@@ -1,0 +1,130 @@
+//! Plain-text charts: sparklines and labelled strip charts for
+//! terminal output of time series (power draw, active servers).
+
+/// The eight block glyphs used for sparklines, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a one-line sparkline, scaled to its own maximum.
+/// Empty input renders as an empty string; an all-zero series renders as
+/// all-minimum glyphs.
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::chart::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.ends_with('█'));
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = ((v / max) * 8.0).ceil() as usize;
+                BLOCKS[idx.clamp(1, 8) - 1]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by averaging buckets,
+/// so long horizons fit a terminal line.
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 || values.is_empty() || values.len() <= width {
+        return values.to_vec();
+    }
+    let n = values.len();
+    (0..width)
+        .map(|b| {
+            let start = b * n / width;
+            let end = (((b + 1) * n) / width).max(start + 1);
+            values[start..end].iter().sum::<f64>() / (end - start) as f64
+        })
+        .collect()
+}
+
+/// A labelled strip chart: the sparkline prefixed with a caption and
+/// suffixed with the series' min/mean/max, downsampled to `width`.
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::chart::strip;
+/// let line = strip("power (W)", &[10.0, 20.0, 30.0], 40);
+/// assert!(line.starts_with("power (W)"));
+/// assert!(line.contains("max 30"));
+/// ```
+pub fn strip(label: &str, values: &[f64], width: usize) -> String {
+    if values.is_empty() {
+        return format!("{label:<16} (empty)");
+    }
+    let sampled = downsample(values, width);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    format!(
+        "{label:<16} {}  min {min:.0} / mean {mean:.0} / max {max:.0}",
+        sparkline(&sampled)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_levels_are_monotone() {
+        let s: Vec<char> = sparkline(&[1.0, 2.0, 4.0, 8.0]).chars().collect();
+        for w in s.windows(2) {
+            let a = BLOCKS.iter().position(|&b| b == w[0]).unwrap();
+            let b = BLOCKS.iter().position(|&b| b == w[1]).unwrap();
+            assert!(a <= b);
+        }
+        assert_eq!(*s.last().unwrap(), '█');
+    }
+
+    #[test]
+    fn zeros_render_as_floor() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn max_maps_to_full_block_small_to_low_block() {
+        let s: Vec<char> = sparkline(&[0.01, 100.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let values: Vec<f64> = (0..1000).map(|i| f64::from(i % 10)).collect();
+        let sampled = downsample(&values, 50);
+        assert_eq!(sampled.len(), 50);
+        let mean_full = values.iter().sum::<f64>() / values.len() as f64;
+        let mean_sampled = sampled.iter().sum::<f64>() / sampled.len() as f64;
+        assert!((mean_full - mean_sampled).abs() < 0.5);
+    }
+
+    #[test]
+    fn downsample_short_series_is_identity() {
+        let values = vec![1.0, 2.0, 3.0];
+        assert_eq!(downsample(&values, 10), values);
+        assert_eq!(downsample(&values, 0), values);
+    }
+
+    #[test]
+    fn strip_reports_stats() {
+        let line = strip("active", &[1.0, 3.0, 5.0], 10);
+        assert!(line.contains("min 1") && line.contains("mean 3") && line.contains("max 5"));
+    }
+
+    #[test]
+    fn strip_handles_empty() {
+        assert!(strip("x", &[], 10).contains("empty"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Least-squares curve fits with adjusted R².
+//!
+//! Every figure in the paper is annotated with a fitting curve and its
+//! adjusted R² ("The adjusted r-square … measures the goodness of fit.
+//! The closer the fit is to the data points, the closer it will be to the
+//! value of 1"). Three families appear:
+//!
+//! * **linear** `y = a + b·x` (Figs. 2, 5, 6, 9),
+//! * **logarithmic** `y = a + b·ln x` (Figs. 4, 6, 7),
+//! * **exponential** `y = a·e^{b·x}` (Fig. 5, 3-minute transition
+//!   series).
+//!
+//! The logarithmic and exponential families are linearised
+//! (`x → ln x`, `y → ln y`) and fitted by ordinary least squares; R² is
+//! then computed **in the original y scale**, so the three families are
+//! directly comparable, and adjusted as `1 − (1−R²)(n−1)/(n−2)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fit family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FitKind {
+    /// `y = a + b·x`
+    Linear,
+    /// `y = a + b·ln x` (requires `x > 0`)
+    Logarithmic,
+    /// `y = a·e^{b·x}` (requires `y > 0`)
+    Exponential,
+}
+
+impl FitKind {
+    /// All families, for best-fit selection.
+    pub const ALL: [FitKind; 3] = [FitKind::Linear, FitKind::Logarithmic, FitKind::Exponential];
+}
+
+impl fmt::Display for FitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FitKind::Linear => "linear",
+            FitKind::Logarithmic => "logarithm",
+            FitKind::Exponential => "exponential",
+        })
+    }
+}
+
+/// A fitted curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// The family.
+    pub kind: FitKind,
+    /// Intercept-like parameter (`a`).
+    pub a: f64,
+    /// Slope-like parameter (`b`).
+    pub b: f64,
+    /// Coefficient of determination in the original y scale.
+    pub r2: f64,
+    /// Adjusted R²: `1 − (1−R²)(n−1)/(n−2)`.
+    pub adj_r2: f64,
+}
+
+impl Fit {
+    /// Evaluates the fitted curve at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        match self.kind {
+            FitKind::Linear => self.a + self.b * x,
+            FitKind::Logarithmic => self.a + self.b * x.ln(),
+            FitKind::Exponential => self.a * (self.b * x).exp(),
+        }
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FitKind::Linear => write!(f, "y = {:.4} + {:.4}·x", self.a, self.b)?,
+            FitKind::Logarithmic => write!(f, "y = {:.4} + {:.4}·ln x", self.a, self.b)?,
+            FitKind::Exponential => write!(f, "y = {:.4}·exp({:.4}·x)", self.a, self.b)?,
+        }
+        write!(f, " (Adj.R² = {:.3})", self.adj_r2)
+    }
+}
+
+/// Plain OLS on already-transformed coordinates; returns `(a, b)`.
+fn ols(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(u, v)| (u - mx) * (v - my)).sum();
+    if sxx.abs() < 1e-12 {
+        return None; // all x identical
+    }
+    let b = sxy / sxx;
+    Some((my - b * mx, b))
+}
+
+/// R² of predictions against observations in the original scale.
+fn r_squared(y: &[f64], pred: &[f64]) -> f64 {
+    let n = y.len() as f64;
+    let my = y.iter().sum::<f64>() / n;
+    let ss_tot: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
+    let ss_res: f64 = y.iter().zip(pred).map(|(v, p)| (v - p).powi(2)).sum();
+    if ss_tot <= 1e-12 {
+        // Constant data: perfect iff residuals vanish.
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Fits one family to `(x, y)`.
+///
+/// Returns `None` when the sample is too small (< 3 points), contains
+/// non-finite values, violates a domain requirement (`x > 0` for
+/// logarithmic, `y > 0` for exponential) or is degenerate (all `x`
+/// equal).
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::fit::{fit, FitKind};
+/// let x = [1.0f64, 2.0, 4.0, 8.0];
+/// let y: Vec<f64> = x.iter().map(|v| 3.0 + 2.0 * v.ln()).collect();
+/// let f = fit(FitKind::Logarithmic, &x, &y).unwrap();
+/// assert!((f.a - 3.0).abs() < 1e-9 && (f.b - 2.0).abs() < 1e-9);
+/// assert!(f.adj_r2 > 0.999);
+/// ```
+pub fn fit(kind: FitKind, x: &[f64], y: &[f64]) -> Option<Fit> {
+    if x.len() != y.len() || x.len() < 3 {
+        return None;
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let (tx, ty): (Vec<f64>, Vec<f64>) = match kind {
+        FitKind::Linear => (x.to_vec(), y.to_vec()),
+        FitKind::Logarithmic => {
+            if x.iter().any(|&v| v <= 0.0) {
+                return None;
+            }
+            (x.iter().map(|v| v.ln()).collect(), y.to_vec())
+        }
+        FitKind::Exponential => {
+            if y.iter().any(|&v| v <= 0.0) {
+                return None;
+            }
+            (x.to_vec(), y.iter().map(|v| v.ln()).collect())
+        }
+    };
+    let (a_t, b) = ols(&tx, &ty)?;
+    let (a, b) = match kind {
+        FitKind::Exponential => (a_t.exp(), b),
+        _ => (a_t, b),
+    };
+    let result = Fit {
+        kind,
+        a,
+        b,
+        r2: 0.0,
+        adj_r2: 0.0,
+    };
+    let pred: Vec<f64> = x.iter().map(|&v| result.predict(v)).collect();
+    let r2 = r_squared(y, &pred);
+    let n = x.len() as f64;
+    let adj_r2 = 1.0 - (1.0 - r2) * (n - 1.0) / (n - 2.0);
+    Some(Fit {
+        r2,
+        adj_r2,
+        ..result
+    })
+}
+
+/// Fits every applicable family and returns the one with the highest
+/// adjusted R².
+pub fn best_fit(x: &[f64], y: &[f64]) -> Option<Fit> {
+    FitKind::ALL
+        .iter()
+        .filter_map(|&k| fit(k, x, y))
+        .max_by(|a, b| a.adj_r2.total_cmp(&b.adj_r2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_data() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [5.0, 7.0, 9.0, 11.0]; // 3 + 2x
+        let f = fit(FitKind::Linear, &x, &y).unwrap();
+        assert!((f.a - 3.0).abs() < 1e-12);
+        assert!((f.b - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.adj_r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_exponential_data() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| 2.0 * (0.5 * v).exp()).collect();
+        let f = fit(FitKind::Exponential, &x, &y).unwrap();
+        assert!((f.a - 2.0).abs() < 1e-9, "{f}");
+        assert!((f.b - 0.5).abs() < 1e-9, "{f}");
+        assert!(f.adj_r2 > 0.999);
+    }
+
+    #[test]
+    fn noisy_linear_still_has_high_adj_r2() {
+        let x: Vec<f64> = (1..=20).map(|v| v as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 1.0 + 0.5 * v + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let f = fit(FitKind::Linear, &x, &y).unwrap();
+        assert!(f.adj_r2 > 0.99, "{f}");
+    }
+
+    #[test]
+    fn adjusted_r2_penalises_small_samples() {
+        // Same R², fewer points → lower Adj.R².
+        let x3 = [1.0, 2.0, 3.0];
+        let y3 = [1.0, 2.2, 2.8];
+        let x6 = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y6 = [1.0, 2.2, 2.8, 4.1, 4.9, 6.2];
+        let f3 = fit(FitKind::Linear, &x3, &y3).unwrap();
+        let f6 = fit(FitKind::Linear, &x6, &y6).unwrap();
+        assert!(f3.adj_r2 < f3.r2 + 1e-12);
+        assert!(f6.r2 - f6.adj_r2 < f3.r2 - f3.adj_r2);
+    }
+
+    #[test]
+    fn domain_violations_are_rejected() {
+        assert!(fit(FitKind::Logarithmic, &[0.0, 1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit(FitKind::Exponential, &[1.0, 2.0, 3.0], &[1.0, -1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(fit(FitKind::Linear, &[1.0, 2.0], &[1.0, 2.0]).is_none()); // too few
+        assert!(fit(FitKind::Linear, &[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none()); // x const
+        assert!(fit(FitKind::Linear, &[1.0, 2.0, f64::NAN], &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit(FitKind::Linear, &[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none()); // arity
+    }
+
+    #[test]
+    fn constant_y_fits_perfectly_with_zero_slope() {
+        let f = fit(FitKind::Linear, &[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert!((f.b).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_fit_selects_the_right_family() {
+        let x = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let log_y: Vec<f64> = x.iter().map(|&v: &f64| 1.0 + 2.0 * v.ln()).collect();
+        assert_eq!(best_fit(&x, &log_y).unwrap().kind, FitKind::Logarithmic);
+        let lin_y: Vec<f64> = x.iter().map(|v| 1.0 + 2.0 * v).collect();
+        assert_eq!(best_fit(&x, &lin_y).unwrap().kind, FitKind::Linear);
+        let exp_y: Vec<f64> = x.iter().map(|v| 3.0 * (0.1 * v).exp()).collect();
+        assert_eq!(best_fit(&x, &exp_y).unwrap().kind, FitKind::Exponential);
+    }
+
+    #[test]
+    fn display_shows_formula_and_adj_r2() {
+        let f = fit(FitKind::Linear, &[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("Adj.R²") && s.contains("y ="), "{s}");
+        assert_eq!(FitKind::Logarithmic.to_string(), "logarithm");
+    }
+}

@@ -1,0 +1,42 @@
+//! # esvm-analysis
+//!
+//! Statistics and reporting toolkit for the esvm experiment harness:
+//!
+//! * [`stats`] — descriptive statistics over Monte-Carlo runs
+//!   ([`Summary`]);
+//! * [`fit`](mod@fit) — least-squares curve fits with R² and **adjusted R²**: the
+//!   paper annotates every figure with the Adj.R² of a linear,
+//!   logarithmic or exponential fitting curve ([`Fit`], [`FitKind`]);
+//! * [`metrics`] — the paper's headline metric, the *energy reduction
+//!   ratio* `(Cost_FFPS − Cost_ours) / Cost_FFPS`;
+//! * [`table`] — plain-text table rendering for CLI output and
+//!   EXPERIMENTS.md, plus CSV emission;
+//! * [`chart`] — terminal sparklines and strip charts for time series
+//!   (power draw, active servers);
+//! * [`plot`] — dependency-free SVG line plots for the HTML report.
+//!
+//! ## Example
+//!
+//! ```
+//! use esvm_analysis::fit::{fit, FitKind};
+//! let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+//! let y = [2.1, 3.9, 6.1, 8.0, 9.9]; // ≈ 2x
+//! let f = fit(FitKind::Linear, &x, &y).unwrap();
+//! assert!(f.adj_r2 > 0.99);
+//! assert!((f.b - 2.0).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod fit;
+pub mod metrics;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use fit::{fit, Fit, FitKind};
+pub use metrics::energy_reduction_ratio;
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,87 @@
+//! The paper's evaluation metrics.
+
+/// The energy reduction ratio of Section IV-A: "the reduced cost divided
+/// by the cost of FFPS", i.e. `(baseline − ours) / baseline`.
+///
+/// Positive when `ours` is cheaper. Returns 0 for a zero baseline (both
+/// costs must then be zero for a feasible comparison).
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::energy_reduction_ratio;
+/// assert_eq!(energy_reduction_ratio(200.0, 160.0), 0.2);
+/// assert_eq!(energy_reduction_ratio(100.0, 110.0), -0.1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either cost is negative or non-finite.
+pub fn energy_reduction_ratio(baseline: f64, ours: f64) -> f64 {
+    assert!(
+        baseline.is_finite() && ours.is_finite() && baseline >= 0.0 && ours >= 0.0,
+        "costs must be finite and non-negative: baseline={baseline}, ours={ours}"
+    );
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline
+    }
+}
+
+/// Mean of per-run energy reduction ratios (the paper averages the ratio
+/// over 50 random runs, not the costs).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any cost is invalid.
+pub fn mean_energy_reduction_ratio(baseline: &[f64], ours: &[f64]) -> f64 {
+    assert_eq!(
+        baseline.len(),
+        ours.len(),
+        "paired samples must have equal length"
+    );
+    assert!(!baseline.is_empty(), "need at least one run");
+    baseline
+        .iter()
+        .zip(ours)
+        .map(|(&b, &o)| energy_reduction_ratio(b, o))
+        .sum::<f64>()
+        / baseline.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_definition() {
+        assert!((energy_reduction_ratio(1000.0, 900.0) - 0.1).abs() < 1e-12);
+        assert_eq!(energy_reduction_ratio(0.0, 0.0), 0.0);
+        assert_eq!(energy_reduction_ratio(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn negative_when_ours_is_worse() {
+        assert!(energy_reduction_ratio(100.0, 150.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_cost() {
+        let _ = energy_reduction_ratio(-1.0, 0.0);
+    }
+
+    #[test]
+    fn mean_ratio_averages_per_run() {
+        // Ratios 0.5 and 0.1 → mean 0.3 (not the ratio of summed costs).
+        let m = mean_energy_reduction_ratio(&[100.0, 1000.0], &[50.0, 900.0]);
+        assert!((m - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mean_ratio_rejects_mismatched_lengths() {
+        let _ = mean_energy_reduction_ratio(&[1.0], &[1.0, 2.0]);
+    }
+}

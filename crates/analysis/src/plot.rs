@@ -1,0 +1,404 @@
+//! Self-contained SVG line plots.
+//!
+//! A small, dependency-free plotting backend for the HTML report
+//! (`esvm report`): scatter markers per series, optional smooth fitted
+//! curves, auto-scaled axes with 1-2-5 ticks, grid and legend. Output
+//! is a single `<svg>` element ready for embedding.
+
+use crate::fit::Fit;
+use std::fmt::Write as _;
+
+/// Canvas geometry.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 24.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 48.0;
+
+/// Categorical palette (Okabe–Ito, colour-blind safe).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+struct PlotSeries {
+    label: String,
+    points: Vec<(f64, f64)>,
+    fit: Option<Fit>,
+}
+
+/// A line/scatter plot under construction.
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::plot::LinePlot;
+/// let svg = LinePlot::new("demo", "x", "y")
+///     .series("squares", &[(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)])
+///     .to_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("squares"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<PlotSeries>,
+}
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series of `(x, y)` points.
+    pub fn series(mut self, label: impl Into<String>, points: &[(f64, f64)]) -> Self {
+        self.series.push(PlotSeries {
+            label: label.into(),
+            points: points.to_vec(),
+            fit: None,
+        });
+        self
+    }
+
+    /// Adds a series together with its fitted curve (drawn dashed).
+    pub fn series_with_fit(
+        mut self,
+        label: impl Into<String>,
+        points: &[(f64, f64)],
+        fit: Option<Fit>,
+    ) -> Self {
+        self.series.push(PlotSeries {
+            label: label.into(),
+            points: points.to_vec(),
+            fit,
+        });
+        self
+    }
+
+    /// Number of series added so far.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the plot has no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the plot.
+    pub fn to_svg(&self) -> String {
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let x_ticks = ticks(x_min, x_max);
+        let y_ticks = ticks(y_min, y_max);
+        // Expand bounds to tick extremes for clean framing.
+        let x_min = x_min.min(x_ticks.first().copied().unwrap_or(x_min));
+        let x_max = x_max.max(x_ticks.last().copied().unwrap_or(x_max));
+        let y_min = y_min.min(y_ticks.first().copied().unwrap_or(y_min));
+        let y_max = y_max.max(y_ticks.last().copied().unwrap_or(y_max));
+
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = move |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+        let sy = move |y: f64| {
+            MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect x="0" y="0" width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{:.0}" y="22" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.0}" y="{:.0}" text-anchor="middle">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{:.0}" text-anchor="middle" transform="rotate(-90 14 {:.0})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Grid and ticks.
+        for &t in &x_ticks {
+            let x = sx(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_TOP,
+                MARGIN_TOP + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                MARGIN_TOP + plot_h + 16.0,
+                tick_label(t)
+            );
+        }
+        for &t in &y_ticks {
+            let y = sy(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_LEFT,
+                MARGIN_LEFT + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{y:.1}" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                tick_label(t)
+            );
+        }
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+        );
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            // Connecting polyline.
+            if s.points.len() > 1 {
+                let pts: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                    .collect();
+                let _ = write!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5" opacity="0.7"/>"#,
+                    pts.join(" ")
+                );
+            }
+            // Markers.
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Fitted curve, sampled densely, dashed.
+            if let Some(fit) = s.fit {
+                let n = 60;
+                let pts: Vec<String> = (0..=n)
+                    .filter_map(|k| {
+                        let x = x_min + (x_max - x_min) * k as f64 / n as f64;
+                        let y = fit.predict(x);
+                        (y.is_finite() && y >= y_min && y <= y_max)
+                            .then(|| format!("{:.1},{:.1}", sx(x), sy(y)))
+                    })
+                    .collect();
+                if pts.len() > 1 {
+                    let _ = write!(
+                        svg,
+                        r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.2" stroke-dasharray="5,4"/>"#,
+                        pts.join(" ")
+                    );
+                }
+            }
+        }
+
+        // Legend (top-right inside the frame).
+        let legend_x = MARGIN_LEFT + 10.0;
+        for (i, s) in self.series.iter().enumerate() {
+            let y = MARGIN_TOP + 14.0 + i as f64 * 15.0;
+            let color = PALETTE[i % PALETTE.len()];
+            let _ = write!(
+                svg,
+                r#"<circle cx="{legend_x:.1}" cy="{y:.1}" r="4" fill="{color}"/>"#
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" dominant-baseline="middle">{}</text>"#,
+                legend_x + 9.0,
+                y + 1.0,
+                escape(&s.label)
+            );
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Data bounds over all series (degenerate data gets a unit box).
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for (x, y) in all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        (x_min, x_max, y_min, y_max)
+    }
+}
+
+/// ~5 round ticks covering `[lo, hi]` on the 1-2-5 ladder.
+fn ticks(lo: f64, hi: f64) -> Vec<f64> {
+    let range = (hi - lo).max(1e-12);
+    let raw_step = range / 5.0;
+    let magnitude = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * magnitude)
+        .find(|&s| range / s <= 6.0)
+        .unwrap_or(magnitude * 10.0);
+    let first = (lo / step).floor() * step;
+    let mut out = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1.001 {
+        out.push((t / step).round() * step);
+        t += step;
+    }
+    out
+}
+
+/// Compact tick label.
+fn tick_label(t: f64) -> String {
+    if t == 0.0 {
+        "0".to_owned()
+    } else if t.abs() >= 1000.0 {
+        format!("{:.0}k", t / 1000.0)
+    } else if t.fract().abs() < 1e-9 {
+        format!("{t:.0}")
+    } else {
+        format!("{t}")
+    }
+}
+
+/// Minimal XML escaping for labels.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit, FitKind};
+
+    fn sample() -> LinePlot {
+        LinePlot::new("t", "x", "y")
+            .series("a", &[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)])
+            .series("b", &[(1.0, 1.0), (3.0, 2.0)])
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5 + 2); // markers + legend
+        assert!(svg.contains(">a</text>") && svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn fitted_curve_is_dashed() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let f = fit(FitKind::Linear, &x, &y);
+        let points: Vec<(f64, f64)> = x.iter().copied().zip(y.iter().copied()).collect();
+        let svg = LinePlot::new("t", "x", "y")
+            .series_with_fit("lin", &points, f)
+            .to_svg();
+        assert!(svg.contains("stroke-dasharray"), "{svg}");
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover() {
+        let t = ticks(0.0, 10.0);
+        assert!(t.contains(&0.0) && t.contains(&10.0), "{t:?}");
+        let t = ticks(12.3, 87.9);
+        assert!(t.first().unwrap() <= &12.3 && t.last().unwrap() >= &87.9);
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // 1-2-5 ladder: steps are round.
+        let step = t[1] - t[0];
+        let mag = 10f64.powf(step.log10().floor());
+        let m = step / mag;
+        assert!(
+            [1.0, 2.0, 5.0, 10.0].iter().any(|&k| (m - k).abs() < 1e-9),
+            "step {step}"
+        );
+    }
+
+    #[test]
+    fn degenerate_data_does_not_panic() {
+        let svg = LinePlot::new("t", "x", "y")
+            .series("point", &[(5.0, 5.0)])
+            .to_svg();
+        assert!(svg.contains("<circle"));
+        let svg = LinePlot::new("t", "x", "y").to_svg();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = LinePlot::new("a<b & c", "x", "y")
+            .series("s<1>", &[(0.0, 0.0), (1.0, 1.0)])
+            .to_svg();
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("s<1>"));
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(tick_label(0.0), "0");
+        assert_eq!(tick_label(2500.0), "2k"); // 2.5k rounds via {:.0}
+        assert_eq!(tick_label(5.0), "5");
+        assert_eq!(tick_label(2.5), "2.5");
+    }
+}

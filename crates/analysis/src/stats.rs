@@ -1,0 +1,298 @@
+//! Descriptive statistics over Monte-Carlo runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a sample.
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n = 1).
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample; `None` when empty or containing non-finite
+    /// values.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        Some(Summary {
+            n,
+            mean,
+            std_dev,
+            sem: std_dev / (n as f64).sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// A normal-approximation 95 % confidence interval for the mean:
+    /// `mean ± 1.96 · sem`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.sem;
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.4} ± {:.4} (n = {}, range [{:.4}, {:.4}])",
+            self.mean, self.sem, self.n, self.min, self.max
+        )
+    }
+}
+
+/// A percentile bootstrap confidence interval for the mean of a paired
+/// statistic, e.g. the energy-reduction ratio over Monte-Carlo seeds.
+///
+/// The normal-approximation CI of [`Summary::ci95`] is unreliable for
+/// the ratio statistic at the paper's 50-seed sample sizes (FFPS costs
+/// are heavily right-skewed by the random server ordering); resampling
+/// does not assume a shape.
+///
+/// Deterministic: resampling uses a fixed-seed `SplitMix64` stream, so
+/// reported intervals are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::stats::bootstrap_mean_ci;
+/// let data = [0.1, 0.2, 0.15, 0.12, 0.18, 0.11, 0.22, 0.16];
+/// let (lo, hi) = bootstrap_mean_ci(&data, 2000, 0.95).unwrap();
+/// let mean = data.iter().sum::<f64>() / data.len() as f64;
+/// assert!(lo <= mean && mean <= hi);
+/// ```
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    resamples: usize,
+    confidence: f64,
+) -> Option<(f64, f64)> {
+    if samples.is_empty()
+        || resamples == 0
+        || !(0.0..1.0).contains(&confidence)
+        || samples.iter().any(|v| !v.is_finite())
+    {
+        return None;
+    }
+    // SplitMix64: tiny, seedable, good enough for index resampling.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let n = samples.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += samples[(next() % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let tail = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * tail) as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - tail)) as usize).min(resamples - 1);
+    Some((means[lo_idx], means[hi_idx]))
+}
+
+/// A paired sign-flip permutation test for `mean(a − b) > 0`.
+///
+/// Under the null hypothesis that the paired difference is symmetric
+/// around zero, each difference's sign is exchangeable; the returned
+/// one-sided p-value is the fraction of random sign assignments whose
+/// mean difference is at least the observed one. Used to check that a
+/// measured energy saving (per-seed MIEC-vs-FFPS cost pairs) is not a
+/// Monte-Carlo fluke. Deterministic (fixed-seed SplitMix64).
+///
+/// Returns `None` for empty/invalid input or `resamples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use esvm_analysis::stats::paired_permutation_test;
+/// let ffps = [10.0, 12.0, 11.0, 13.0, 12.5, 11.5];
+/// let miec = [ 8.0,  9.0,  8.5, 10.0,  9.5,  9.0];
+/// let p = paired_permutation_test(&ffps, &miec, 4000).unwrap();
+/// assert!(p < 0.05, "consistent saving should be significant, p = {p}");
+/// ```
+pub fn paired_permutation_test(a: &[f64], b: &[f64], resamples: usize) -> Option<f64> {
+    if a.len() != b.len()
+        || a.is_empty()
+        || resamples == 0
+        || a.iter().chain(b).any(|v| !v.is_finite())
+    {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let observed: f64 = diffs.iter().sum::<f64>() / diffs.len() as f64;
+
+    let mut state = 0x0DD0_11EA_5EED_5EEDu64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let mut at_least = 0usize;
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for &d in &diffs {
+            // One random bit per difference.
+            if next() & 1 == 0 {
+                sum += d;
+            } else {
+                sum -= d;
+            }
+        }
+        if sum / diffs.len() as f64 >= observed - 1e-15 {
+            at_least += 1;
+        }
+    }
+    // Add-one smoothing keeps the p-value away from an impossible 0.
+    Some((at_least + 1) as f64 / (resamples + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_test_detects_a_real_effect() {
+        let base: Vec<f64> = (0..40).map(|i| 100.0 + f64::from(i % 7)).collect();
+        let better: Vec<f64> = base.iter().map(|v| v - 5.0).collect();
+        let p = paired_permutation_test(&base, &better, 4000).unwrap();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_test_accepts_the_null() {
+        // Symmetric noise around zero difference: p should be large.
+        let a: Vec<f64> = (0..40).map(|i| f64::from(i % 2)).collect();
+        let b: Vec<f64> = (0..40).map(|i| f64::from((i + 1) % 2)).collect();
+        let p = paired_permutation_test(&a, &b, 4000).unwrap();
+        assert!(p > 0.2, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_test_is_deterministic_and_validates() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, 1.5, 2.5];
+        assert_eq!(
+            paired_permutation_test(&a, &b, 500),
+            paired_permutation_test(&a, &b, 500)
+        );
+        assert!(paired_permutation_test(&a, &b[..2], 10).is_none());
+        assert!(paired_permutation_test(&[], &[], 10).is_none());
+        assert!(paired_permutation_test(&a, &b, 0).is_none());
+        assert!(paired_permutation_test(&[f64::NAN, 1.0, 2.0], &b, 10).is_none());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let data: Vec<f64> = (0..60).map(|i| f64::from(i % 7)).collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let (lo, hi) = bootstrap_mean_ci(&data, 4000, 0.95).unwrap();
+        assert!(lo < mean && mean < hi, "({lo}, {hi}) vs {mean}");
+        // Interval width shrinks with higher confidence demanded less.
+        let (lo50, hi50) = bootstrap_mean_ci(&data, 4000, 0.5).unwrap();
+        assert!(hi50 - lo50 < hi - lo);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert_eq!(
+            bootstrap_mean_ci(&data, 1000, 0.9),
+            bootstrap_mean_ci(&data, 1000, 0.9)
+        );
+    }
+
+    #[test]
+    fn bootstrap_degenerate_inputs() {
+        assert!(bootstrap_mean_ci(&[], 100, 0.9).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.9).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.0).is_none());
+        assert!(bootstrap_mean_ci(&[f64::NAN], 100, 0.9).is_none());
+        // Single constant sample: CI collapses to the point.
+        assert_eq!(bootstrap_mean_ci(&[4.0], 100, 0.9), Some((4.0, 4.0)));
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n−1 = 7: Σ(x−5)² = 32 → √(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn singleton_has_zero_spread() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.sem, 0.0);
+        assert_eq!(s.ci95(), (3.5, 3.5));
+    }
+
+    #[test]
+    fn empty_and_nan_are_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn ci95_brackets_the_mean() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let (lo, hi) = s.ci95();
+        assert!(lo < s.mean && s.mean < hi);
+        assert!((hi - s.mean - 1.96 * s.sem).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_mean_and_n() {
+        let s = Summary::of(&[1.0, 3.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("mean 2.0000") && text.contains("n = 2"), "{text}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the statistics and fitting toolkit.
+
+use esvm_analysis::fit::{best_fit, fit, FitKind};
+use esvm_analysis::Summary;
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1000i32..1000, 1..40)
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Summary invariants: min ≤ mean ≤ max; non-negative spread; the
+    /// CI brackets the mean.
+    #[test]
+    fn summary_invariants(sample in arb_sample()) {
+        let s = Summary::of(&sample).expect("non-empty finite sample");
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0 && s.sem >= 0.0);
+        let (lo, hi) = s.ci95();
+        prop_assert!(lo <= s.mean && s.mean <= hi);
+        prop_assert_eq!(s.n, sample.len());
+    }
+
+    /// A linear fit recovers exact parameters from exact data, with
+    /// perfect R².
+    #[test]
+    fn linear_fit_recovers_parameters(
+        a in -50i32..50,
+        b in -20i32..20,
+        n in 3usize..30,
+    ) {
+        let (a, b) = (f64::from(a), f64::from(b));
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| a + b * v).collect();
+        let f = fit(FitKind::Linear, &x, &y).expect("fit");
+        prop_assert!((f.a - a).abs() < 1e-6 && (f.b - b).abs() < 1e-6);
+        prop_assert!((f.r2 - 1.0).abs() < 1e-9);
+    }
+
+    /// An exponential fit recovers exact parameters from exact data.
+    #[test]
+    fn exponential_fit_recovers_parameters(
+        a10 in 1i32..60,
+        b100 in -30i32..30,
+        n in 3usize..20,
+    ) {
+        let (a, b) = (f64::from(a10) / 10.0, f64::from(b100) / 100.0);
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| a * (b * v).exp()).collect();
+        let f = fit(FitKind::Exponential, &x, &y).expect("fit");
+        prop_assert!((f.a - a).abs() < 1e-6, "a {} vs {}", f.a, a);
+        prop_assert!((f.b - b).abs() < 1e-6, "b {} vs {}", f.b, b);
+    }
+
+    /// R² never exceeds 1 and Adj.R² never exceeds R² (n > 2 penalty).
+    #[test]
+    fn r2_bounds(
+        xs in proptest::collection::vec(1i32..100, 4..25),
+        ys in proptest::collection::vec(-100i32..100, 4..25),
+    ) {
+        let n = xs.len().min(ys.len());
+        let mut x: Vec<f64> = xs[..n].iter().map(|&v| f64::from(v)).collect();
+        let y: Vec<f64> = ys[..n].iter().map(|&v| f64::from(v)).collect();
+        // De-duplicate x a little so the fit is defined.
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += i as f64 * 0.001;
+        }
+        for kind in FitKind::ALL {
+            if let Some(f) = fit(kind, &x, &y) {
+                prop_assert!(f.r2 <= 1.0 + 1e-9, "{kind:?} r2 {}", f.r2);
+                prop_assert!(f.adj_r2 <= f.r2 + 1e-9);
+            }
+        }
+    }
+
+    /// `best_fit` returns the family with maximal adjusted R² among the
+    /// applicable ones.
+    #[test]
+    fn best_fit_is_argmax(
+        xs in proptest::collection::vec(1i32..50, 4..15),
+        ys in proptest::collection::vec(1i32..50, 4..15),
+    ) {
+        let n = xs.len().min(ys.len());
+        let mut x: Vec<f64> = xs[..n].iter().map(|&v| f64::from(v)).collect();
+        let y: Vec<f64> = ys[..n].iter().map(|&v| f64::from(v)).collect();
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += i as f64 * 0.001;
+        }
+        let best = best_fit(&x, &y);
+        let max_adj = FitKind::ALL
+            .iter()
+            .filter_map(|&k| fit(k, &x, &y))
+            .map(|f| f.adj_r2)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if let Some(b) = best {
+            prop_assert!((b.adj_r2 - max_adj).abs() < 1e-12);
+        } else {
+            prop_assert!(max_adj == f64::NEG_INFINITY);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! transition-cost awareness in MIEC's scoring, offline local-search
+//! refinement, and the live-migration consolidation post-pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esvm_core::{Allocator, AllocatorKind, Consolidator};
+use esvm_workload::WorkloadConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let problem = WorkloadConfig::new(100, 50)
+        .mean_interarrival(4.0)
+        .generate(42)
+        .expect("instance");
+
+    // Print the quality ablation once: cost of each pipeline.
+    println!("\n--- ablation costs on one seeded instance ---");
+    for kind in [
+        AllocatorKind::Miec,
+        AllocatorKind::MiecNoAlpha,
+        AllocatorKind::MiecLocalSearch,
+        AllocatorKind::Ffps,
+        AllocatorKind::FfpsLocalSearch,
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = kind.build().allocate(&problem, &mut rng).unwrap();
+        println!("{:<14} {:>10.0}", kind.name(), a.total_cost());
+    }
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = AllocatorKind::Miec
+            .build()
+            .allocate(&problem, &mut rng)
+            .unwrap();
+        let audit = Consolidator::new(5.0)
+            .consolidate(&base)
+            .unwrap()
+            .audit()
+            .unwrap();
+        println!(
+            "{:<14} {:>10.0} ({} migrations)",
+            "miec+consol.", audit.total_cost, audit.migrations
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_runtime");
+    group.sample_size(10);
+    for kind in [
+        AllocatorKind::Miec,
+        AllocatorKind::MiecNoAlpha,
+        AllocatorKind::MiecLocalSearch,
+    ] {
+        let allocator = kind.build();
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(
+                    allocator
+                        .allocate(black_box(&problem), &mut rng)
+                        .unwrap()
+                        .total_cost(),
+                )
+            })
+        });
+    }
+    group.bench_function("miec_plus_consolidation", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = AllocatorKind::Miec
+            .build()
+            .allocate(&problem, &mut rng)
+            .unwrap();
+        let consolidator = Consolidator::new(5.0);
+        b.iter(|| {
+            black_box(
+                consolidator
+                    .consolidate(black_box(&base))
+                    .unwrap()
+                    .audit()
+                    .unwrap()
+                    .total_cost,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of every allocation algorithm on the paper's
+//! flagship instance (100 VMs on 50 servers, all catalogs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esvm_core::{Allocator, AllocatorKind};
+use esvm_workload::WorkloadConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_allocators(c: &mut Criterion) {
+    let problem = WorkloadConfig::new(100, 50)
+        .mean_interarrival(4.0)
+        .generate(42)
+        .expect("instance");
+    let mut group = c.benchmark_group("allocate_100vms_50servers");
+    for kind in AllocatorKind::ALL {
+        let allocator = kind.build();
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let a = allocator.allocate(black_box(&problem), &mut rng).unwrap();
+                black_box(a.total_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miec_scaling");
+    group.sample_size(10);
+    for vms in [100usize, 200, 400] {
+        let problem = WorkloadConfig::new(vms, vms / 2)
+            .mean_interarrival(4.0)
+            .generate(1)
+            .expect("instance");
+        group.bench_function(BenchmarkId::from_parameter(vms), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let a = esvm_core::Miec::new()
+                    .allocate(black_box(&problem), &mut rng)
+                    .unwrap();
+                black_box(a.total_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 2 in quick mode and benchmarks its
+//! representative sweep point (all VM and server types, ia = 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_bench::{comparison_at, print_regenerated, representative_config};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    print_regenerated("Fig. 2", esvm_exper::experiments::fig2);
+    let config = representative_config(100);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("sweep_point", |b| {
+        b.iter(|| black_box(comparison_at(&config, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 4 in quick mode and benchmarks its
+//! representative sweep point (load-axis variant of the Fig. 2 sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_bench::{comparison_at, print_regenerated, representative_config};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    print_regenerated("Fig. 4", esvm_exper::experiments::fig4);
+    let config = representative_config(100);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("sweep_point", |b| {
+        b.iter(|| black_box(comparison_at(&config, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 6 in quick mode and benchmarks its
+//! representative sweep point (mean VM length 10 min).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_bench::{comparison_at, print_regenerated, representative_config};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    print_regenerated("Fig. 6", esvm_exper::experiments::fig6);
+    let config = representative_config(100).mean_duration(10.0);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("sweep_point", |b| {
+        b.iter(|| black_box(comparison_at(&config, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 7 in quick mode and benchmarks its
+//! representative sweep point (standard VMs on server types 1-3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_bench::{comparison_at, print_regenerated, representative_config};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    print_regenerated("Fig. 7", esvm_exper::experiments::fig7);
+    let config = representative_config(100).vm_types(esvm_workload::catalog::standard_vm_types()).server_types(esvm_workload::catalog::server_types_1_3());
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("sweep_point", |b| {
+        b.iter(|| black_box(comparison_at(&config, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 8 in quick mode and benchmarks its
+//! representative sweep point (standard-VM utilization probe).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_bench::{comparison_at, print_regenerated, representative_config};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    print_regenerated("Fig. 8", esvm_exper::experiments::fig8);
+    let config = representative_config(100).vm_types(esvm_workload::catalog::standard_vm_types());
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("sweep_point", |b| {
+        b.iter(|| black_box(comparison_at(&config, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

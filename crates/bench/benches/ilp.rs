@@ -1,0 +1,35 @@
+//! Benchmarks of the exact-solver substrate: simplex on the LP
+//! relaxation and full branch-and-bound on the Section II MILP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_ilp::{solve_lp, Formulation};
+use esvm_workload::WorkloadConfig;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let problem = WorkloadConfig::new(4, 2)
+        .mean_interarrival(2.0)
+        .mean_duration(3.0)
+        .vm_types(esvm_workload::catalog::standard_vm_types())
+        .generate(0)
+        .expect("instance");
+    let formulation = Formulation::new(&problem);
+    let (nx, ny, nz) = formulation.var_counts();
+    println!(
+        "exact instance: {nx} x-vars, {ny} y-vars, {nz} z-vars, {} rows",
+        formulation.lp().num_constraints()
+    );
+
+    let mut group = c.benchmark_group("ilp");
+    group.sample_size(20);
+    group.bench_function("lp_relaxation", |b| {
+        b.iter(|| black_box(solve_lp(formulation.lp()).unwrap().objective))
+    });
+    group.bench_function("branch_and_bound", |b| {
+        b.iter(|| black_box(formulation.solve().unwrap().objective))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Tables I and II and benchmarks workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esvm_exper::experiments::{table1, table2};
+use esvm_workload::WorkloadConfig;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    println!("\nTable I — the types of resource demands of VMs\n\n{}", table1());
+    println!(
+        "\nTable II — the types of resource capacities and power consumption parameters of servers\n\n{}",
+        table2()
+    );
+
+    let config = WorkloadConfig::new(500, 250).mean_interarrival(2.0);
+    c.bench_function("generate_500vm_workload", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(config.generate(seed).unwrap().vm_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

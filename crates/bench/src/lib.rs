@@ -1,0 +1,72 @@
+//! # esvm-bench
+//!
+//! Criterion benchmarks for the esvm workspace. One bench target per
+//! paper artefact (`fig2` … `fig9`, `tables`) plus micro-benches for the
+//! allocators (`allocators`) and the exact solver (`ilp`).
+//!
+//! Every `figN` bench **regenerates the figure** in quick mode and
+//! prints it before timing a representative sweep point, so
+//! `cargo bench` reproduces the paper's series as a side effect; the
+//! full-scale regeneration lives in the `esvm` CLI (`esvm fig2 …`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use esvm_core::AllocatorKind;
+use esvm_exper::runner::RunError;
+use esvm_exper::{ExpOptions, Figure, MonteCarlo};
+use esvm_workload::WorkloadConfig;
+
+/// Options used for the printed quick-mode regeneration.
+pub fn regen_options() -> ExpOptions {
+    ExpOptions {
+        seeds: 6,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        quick: true,
+    }
+}
+
+/// Regenerates one figure in quick mode and prints it (used by every
+/// `figN` bench before timing).
+pub fn print_regenerated(
+    name: &str,
+    f: fn(&ExpOptions) -> Result<Figure, RunError>,
+) {
+    match f(&regen_options()) {
+        Ok(figure) => println!("\n--- regenerated (quick mode) ---\n{figure}"),
+        Err(e) => println!("\n--- {name} regeneration failed: {e} ---"),
+    }
+}
+
+/// The paper's flagship comparison at one sweep point: MIEC vs FFPS over
+/// a few seeds. This is what the `figN` benches time.
+pub fn comparison_at(config: &WorkloadConfig, seeds: u64) -> f64 {
+    let point = MonteCarlo::new(seeds, 1)
+        .compare(config, &[AllocatorKind::Miec, AllocatorKind::Ffps])
+        .expect("comparison");
+    point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec)
+}
+
+/// A mid-sweep configuration for a figure's representative point.
+pub fn representative_config(vms: usize) -> WorkloadConfig {
+    WorkloadConfig::new(vms, (vms / 2).max(1))
+        .mean_interarrival(4.0)
+        .mean_duration(5.0)
+        .transition_time(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_at_returns_a_ratio() {
+        let r = comparison_at(&representative_config(20), 2);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn regen_options_are_quick() {
+        assert!(regen_options().quick);
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`Allocator`] trait shared by all algorithms.
+
+use crate::AllocResult;
+use esvm_simcore::{AllocationProblem, Assignment};
+use rand::RngCore;
+
+/// An offline VM allocation algorithm.
+///
+/// Every algorithm in this workspace processes the problem's VMs in
+/// increasing start-time order (Section III of the paper: "Our algorithm
+/// allocates VMs in the increasing order of their starting time"; the
+/// FFPS baseline uses the same order). They differ only in *which* of the
+/// feasible servers they pick per VM.
+///
+/// The `rng` parameter drives randomized policies (FFPS's random server
+/// order, the `Random` baseline); deterministic algorithms ignore it.
+/// Passing the RNG per call rather than storing it in the allocator keeps
+/// allocators `Sync` and lets the experiment runner control seeding per
+/// run, which makes every figure in the paper reproduction
+/// bit-reproducible.
+pub trait Allocator: Send + Sync {
+    /// Short machine-friendly name (used in tables, CSV and CLI).
+    fn name(&self) -> &'static str;
+
+    /// Allocates every VM of `problem` to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::NoFeasibleServer`](crate::AllocError::NoFeasibleServer)
+    /// when some VM fits on no server given earlier placements. The
+    /// returned assignment is always complete and capacity-valid on
+    /// success.
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>>;
+}
+
+impl<T: Allocator + ?Sized> Allocator for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        (**self).allocate(problem, rng)
+    }
+}
+
+impl<T: Allocator + ?Sized> Allocator for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        (**self).allocate(problem, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Miec;
+
+    #[test]
+    fn trait_is_object_safe_and_blanket_impls_forward() {
+        let boxed: Box<dyn Allocator> = Box::new(Miec::new());
+        assert_eq!(boxed.name(), "miec");
+        let by_ref: &dyn Allocator = &Miec::new();
+        assert_eq!((&by_ref).name(), "miec");
+    }
+}

@@ -1,0 +1,336 @@
+//! Additional baselines for ablation studies.
+//!
+//! None of these appear in the paper; they bracket the MIEC heuristic
+//! from below (energy-naive packing rules) and isolate individual
+//! ingredients of its saving:
+//!
+//! * [`FirstFit`] — FFPS without the random shuffle (servers in id
+//!   order): separates "first fit" from "random order".
+//! * [`BestFit`] — classic best-fit bin packing on the bottleneck
+//!   resource: consolidation without any energy model.
+//! * [`LowestIdlePower`] — greedy on `P_idle` only: energy awareness
+//!   without consolidation or transition awareness.
+//! * [`RoundRobin`] — deliberate spreading; the worst reasonable policy
+//!   for energy, useful as an upper bound on cost.
+//! * [`Random`] — uniform choice among feasible servers.
+
+use crate::{AllocError, AllocResult, Allocator};
+use esvm_simcore::{AllocationProblem, Assignment, ServerId, Vm};
+use rand::RngCore;
+
+/// Iterates feasible servers for `vm` in id order.
+fn feasible<'a>(
+    assignment: &'a Assignment<'_>,
+    vm: &'a Vm,
+) -> impl Iterator<Item = ServerId> + 'a {
+    (0..assignment.problem().server_count() as u32)
+        .map(ServerId)
+        .filter(move |&sid| assignment.ledger(sid).fits(vm))
+}
+
+/// First Fit with servers in id order (deterministic FFPS).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl FirstFit {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Allocator for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        _rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        let mut assignment = Assignment::new(problem);
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let sid = feasible(&assignment, vm)
+                .next()
+                .ok_or(AllocError::NoFeasibleServer(vm.id()))?;
+            assignment.place(vm.id(), sid)?;
+        }
+        Ok(assignment)
+    }
+}
+
+/// Best Fit: place the VM on the feasible server whose *bottleneck* spare
+/// capacity over the VM's duration is smallest after placement.
+///
+/// The score of a candidate is
+/// `max(spare_cpu / cap_cpu, spare_mem / cap_mem)` at the peak usage over
+/// the VM's interval, after hypothetically adding the VM; smaller is
+/// "fuller". This is the classical bin-packing consolidation rule lifted
+/// to two resources and time intervals — it consolidates aggressively but
+/// knows nothing about power models or transition costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+impl BestFit {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Allocator for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        _rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        let mut assignment = Assignment::new(problem);
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let best = feasible(&assignment, vm)
+                .map(|sid| {
+                    let ledger = assignment.ledger(sid);
+                    let cap = ledger.spec().capacity();
+                    let peak = ledger.peak_over(vm.interval()) + vm.demand();
+                    let spare_cpu = (cap.cpu - peak.cpu) / cap.cpu;
+                    let spare_mem = if cap.mem > 0.0 {
+                        (cap.mem - peak.mem) / cap.mem
+                    } else {
+                        0.0
+                    };
+                    (spare_cpu.max(spare_mem), sid)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .ok_or(AllocError::NoFeasibleServer(vm.id()))?;
+            assignment.place(vm.id(), best.1)?;
+        }
+        Ok(assignment)
+    }
+}
+
+/// Greedy on idle power: pick the feasible server with the smallest
+/// `P_idle` (ties by id). Energy-aware in the crudest possible way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowestIdlePower;
+
+impl LowestIdlePower {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Allocator for LowestIdlePower {
+    fn name(&self) -> &'static str {
+        "lowest-idle-power"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        _rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        let mut assignment = Assignment::new(problem);
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let best = feasible(&assignment, vm)
+                .map(|sid| (assignment.ledger(sid).spec().power().p_idle(), sid))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .ok_or(AllocError::NoFeasibleServer(vm.id()))?;
+            assignment.place(vm.id(), best.1)?;
+        }
+        Ok(assignment)
+    }
+}
+
+/// Round robin: cycle through servers, taking the next feasible one.
+/// Spreads VMs as widely as possible — an anti-consolidation baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Allocator for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        _rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        let n = problem.server_count();
+        let mut cursor = 0usize;
+        let mut assignment = Assignment::new(problem);
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let sid = (0..n)
+                .map(|k| ServerId(((cursor + k) % n) as u32))
+                .find(|&sid| assignment.ledger(sid).fits(vm))
+                .ok_or(AllocError::NoFeasibleServer(vm.id()))?;
+            assignment.place(vm.id(), sid)?;
+            cursor = (sid.index() + 1) % n;
+        }
+        Ok(assignment)
+    }
+}
+
+/// Uniformly random choice among feasible servers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Random;
+
+impl Random {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Allocator for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        let mut assignment = Assignment::new(problem);
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let candidates: Vec<ServerId> = feasible(&assignment, vm).collect();
+            if candidates.is_empty() {
+                return Err(AllocError::NoFeasibleServer(vm.id()));
+            }
+            let pick = candidates[(rng.next_u64() % candidates.len() as u64) as usize];
+            assignment.place(vm.id(), pick)?;
+        }
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources, VmId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn two_server_problem() -> AllocationProblem {
+        ProblemBuilder::new()
+            .server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0)
+            .server(Resources::new(4.0, 8.0), PowerModel::new(40.0, 90.0), 20.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(2.0, 4.0), Interval::new(3, 12))
+            .vm(Resources::new(1.0, 2.0), Interval::new(5, 9))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_fit_uses_lowest_ids() {
+        let p = two_server_problem();
+        let a = FirstFit::new().allocate(&p, &mut rng()).unwrap();
+        assert!(a.is_complete());
+        // Everything fits on server 0.
+        for j in 0..3 {
+            assert_eq!(a.server_of(VmId(j)), Some(ServerId(0)));
+        }
+    }
+
+    #[test]
+    fn best_fit_picks_fullest_server() {
+        // VM fits both servers; server 1 is smaller so it ends up fuller.
+        let p = two_server_problem();
+        let a = BestFit::new().allocate(&p, &mut rng()).unwrap();
+        assert_eq!(a.server_of(VmId(0)), Some(ServerId(1)));
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn lowest_idle_power_is_greedy_on_p_idle() {
+        let p = two_server_problem();
+        let a = LowestIdlePower::new().allocate(&p, &mut rng()).unwrap();
+        // Server 1 has P_idle 40 < 100 and capacity for all three VMs
+        // does not hold: 2+2+1 = 5 CPU > 4 during overlap → one spills.
+        assert_eq!(a.server_of(VmId(0)), Some(ServerId(1)));
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let p = two_server_problem();
+        let a = RoundRobin::new().allocate(&p, &mut rng()).unwrap();
+        assert_eq!(a.server_of(VmId(0)), Some(ServerId(0)));
+        assert_eq!(a.server_of(VmId(1)), Some(ServerId(1)));
+        assert_eq!(a.server_of(VmId(2)), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn random_is_seed_reproducible_and_valid() {
+        let p = two_server_problem();
+        let a = Random::new()
+            .allocate(&p, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let b = Random::new()
+            .allocate(&p, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a.placement(), b.placement());
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn all_baselines_error_on_overload() {
+        let p = ProblemBuilder::new()
+            .server(Resources::new(2.0, 2.0), PowerModel::new(1.0, 2.0), 0.0)
+            .vm(Resources::new(2.0, 2.0), Interval::new(1, 5))
+            .vm(Resources::new(2.0, 2.0), Interval::new(3, 8))
+            .build()
+            .unwrap();
+        let allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(FirstFit::new()),
+            Box::new(BestFit::new()),
+            Box::new(LowestIdlePower::new()),
+            Box::new(RoundRobin::new()),
+            Box::new(Random::new()),
+        ];
+        for alloc in allocators {
+            let err = alloc.allocate(&p, &mut rng()).unwrap_err();
+            assert_eq!(
+                err,
+                AllocError::NoFeasibleServer(VmId(1)),
+                "{}",
+                alloc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            FirstFit::new().name(),
+            BestFit::new().name(),
+            LowestIdlePower::new().name(),
+            RoundRobin::new().name(),
+            Random::new().name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,68 @@
+//! Allocation errors.
+
+use esvm_simcore::VmId;
+use std::fmt;
+
+/// Result alias for allocation runs.
+pub type AllocResult<T> = std::result::Result<T, AllocError>;
+
+/// Errors raised by allocation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// No server has sufficient spare CPU and memory for the VM
+    /// throughout its duration — the candidate set `S_j` is empty. The
+    /// data center is overloaded at the VM's time window.
+    NoFeasibleServer(VmId),
+    /// A placement the algorithm believed valid was rejected by the
+    /// assignment (indicates an algorithm bug; surfaced rather than
+    /// panicking so batch experiment runs can report it).
+    Placement(esvm_simcore::Error),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::NoFeasibleServer(vm) => {
+                write!(f, "no server can host {vm} throughout its duration")
+            }
+            AllocError::Placement(e) => write!(f, "placement rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<esvm_simcore::Error> for AllocError {
+    fn from(e: esvm_simcore::Error) -> Self {
+        AllocError::Placement(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AllocError::NoFeasibleServer(VmId(3));
+        assert!(e.to_string().contains("vm3"));
+        let e: AllocError = esvm_simcore::Error::NoServers.into();
+        assert!(e.to_string().contains("placement rejected"));
+    }
+
+    #[test]
+    fn source_chains_placement_errors() {
+        use std::error::Error as _;
+        let e: AllocError = esvm_simcore::Error::NoServers.into();
+        assert!(e.source().is_some());
+        assert!(AllocError::NoFeasibleServer(VmId(0)).source().is_none());
+    }
+}

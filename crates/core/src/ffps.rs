@@ -1,0 +1,211 @@
+//! The paper's baseline: First Fit Power Saving (FFPS).
+
+use crate::{AllocError, AllocResult, Allocator};
+use esvm_simcore::{AllocationProblem, Assignment, ServerId};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// The baseline of Section IV-A.
+///
+/// "VMs are allocated in the increasing order of their starting time, and
+/// servers are randomly sorted. Each VM is allocated on the first
+/// searched server which can provide sufficient resources to the VM
+/// throughout its time duration."
+///
+/// The random server order is drawn **once per run** from the provided
+/// RNG; the same switch-off policy as MIEC is applied when the resulting
+/// assignment's energy is evaluated (that is what the "power saving" in
+/// the name refers to — the baseline is energy-naive only in *placement*,
+/// not in *operation*).
+///
+/// # Example
+///
+/// ```
+/// use esvm_core::{Allocator, Ffps};
+/// use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let problem = ProblemBuilder::new()
+///     .server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0)
+///     .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+///     .build()?;
+/// let a = Ffps::new().allocate(&problem, &mut StdRng::seed_from_u64(1))?;
+/// assert!(a.is_complete());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ffps {
+    _private: (),
+}
+
+impl Ffps {
+    /// Creates the baseline allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Ffps {
+    fn run<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+        admit: bool,
+    ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
+        let mut order: Vec<ServerId> = (0..problem.server_count() as u32)
+            .map(ServerId)
+            .collect();
+        order.shuffle(rng);
+
+        let mut assignment = Assignment::new(problem);
+        let mut rejected = Vec::new();
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            match order
+                .iter()
+                .copied()
+                .find(|&sid| assignment.ledger(sid).fits(vm))
+            {
+                Some(sid) => assignment.place(vm.id(), sid)?,
+                None if admit => rejected.push(vm.id()),
+                None => return Err(AllocError::NoFeasibleServer(vm.id())),
+            }
+        }
+        Ok((assignment, rejected))
+    }
+
+    /// First-fit with admission control: unplaceable VMs are rejected
+    /// instead of aborting. See
+    /// [`Miec::allocate_with_admission`](crate::Miec::allocate_with_admission).
+    ///
+    /// # Errors
+    ///
+    /// Only internal placement errors.
+    pub fn allocate_with_admission<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
+        self.run(problem, rng, true)
+    }
+}
+
+impl Allocator for Ffps {
+    fn name(&self) -> &'static str {
+        "ffps"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        self.run(problem, rng, false).map(|(a, _)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources, VmId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn many_servers() -> AllocationProblem {
+        let mut b = ProblemBuilder::new();
+        for _ in 0..8 {
+            b = b.server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0);
+        }
+        b.vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(2.0, 4.0), Interval::new(2, 11))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn server_order_is_fixed_within_a_run() {
+        // Both VMs fit on the first server in the shuffled order, so FFPS
+        // must co-locate them.
+        let p = many_servers();
+        for seed in 0..20 {
+            let a = Ffps::new()
+                .allocate(&p, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(a.server_of(VmId(0)), a.server_of(VmId(1)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_orders() {
+        let p = many_servers();
+        let picks: std::collections::HashSet<_> = (0..32)
+            .map(|seed| {
+                Ffps::new()
+                    .allocate(&p, &mut StdRng::seed_from_u64(seed))
+                    .unwrap()
+                    .server_of(VmId(0))
+                    .unwrap()
+            })
+            .collect();
+        assert!(picks.len() > 1, "shuffle appears inert: {picks:?}");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let p = many_servers();
+        let a = Ffps::new()
+            .allocate(&p, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = Ffps::new()
+            .allocate(&p, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(a.placement(), b.placement());
+    }
+
+    #[test]
+    fn first_fit_skips_full_servers() {
+        let p = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .vm(Resources::new(3.0, 6.0), Interval::new(1, 10))
+            .vm(Resources::new(3.0, 6.0), Interval::new(5, 12))
+            .build()
+            .unwrap();
+        let a = Ffps::new()
+            .allocate(&p, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_ne!(a.server_of(VmId(0)), a.server_of(VmId(1)));
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn admission_mode_rejects_instead_of_erroring() {
+        let p = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .vm(Resources::new(3.0, 6.0), Interval::new(1, 10))
+            .vm(Resources::new(3.0, 6.0), Interval::new(5, 12))
+            .vm(Resources::new(1.0, 1.0), Interval::new(20, 22))
+            .build()
+            .unwrap();
+        let (a, rejected) = Ffps::new()
+            .allocate_with_admission(&p, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_eq!(rejected, vec![VmId(1)]);
+        assert_eq!(a.server_of(VmId(0)), Some(esvm_simcore::ServerId(0)));
+        assert_eq!(a.server_of(VmId(1)), None);
+        assert_eq!(a.server_of(VmId(2)), Some(esvm_simcore::ServerId(0)));
+    }
+
+    #[test]
+    fn errors_when_overloaded() {
+        let p = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .vm(Resources::new(3.0, 6.0), Interval::new(1, 10))
+            .vm(Resources::new(3.0, 6.0), Interval::new(5, 12))
+            .build()
+            .unwrap();
+        let err = Ffps::new()
+            .allocate(&p, &mut StdRng::seed_from_u64(3))
+            .unwrap_err();
+        assert_eq!(err, AllocError::NoFeasibleServer(VmId(1)));
+    }
+}

@@ -1,0 +1,407 @@
+//! Local-search refinement of an allocation.
+//!
+//! MIEC is greedy and online (one pass in start-time order); the exact
+//! ILP is offline but only feasible on toy instances. This module fills
+//! the gap between them: a first-improvement local search over the
+//! *relocate* (move one VM to another server) and *swap* (exchange the
+//! servers of two VMs) neighbourhoods, evaluated with the exact audit
+//! cost model. It refines any complete [`Assignment`], so it both
+//! quantifies how much MIEC's greediness leaves on the table and serves
+//! as a stronger offline baseline.
+
+use crate::{AllocError, AllocResult, Allocator};
+use esvm_simcore::energy::full_cost;
+use esvm_simcore::{
+    AllocationProblem, Assignment, ServerId, ServerSpec, UsageProfile, Vm, VmId,
+};
+use rand::RngCore;
+
+/// Per-server evaluation state for the search.
+#[derive(Debug, Clone)]
+struct Host {
+    spec: ServerSpec,
+    vms: Vec<Vm>,
+    usage: UsageProfile,
+    cost: f64,
+}
+
+impl Host {
+    fn new(spec: ServerSpec) -> Self {
+        Self {
+            spec,
+            vms: Vec::new(),
+            usage: UsageProfile::new(),
+            cost: 0.0,
+        }
+    }
+
+    fn recompute(&mut self) {
+        self.cost = full_cost(&self.spec, &self.vms);
+    }
+
+    fn add(&mut self, vm: Vm) {
+        self.usage.add(vm.interval(), vm.demand());
+        self.vms.push(vm);
+        self.recompute();
+    }
+
+    fn remove(&mut self, vm: VmId) -> Vm {
+        let idx = self
+            .vms
+            .iter()
+            .position(|v| v.id() == vm)
+            .expect("vm hosted here");
+        let v = self.vms.swap_remove(idx);
+        self.usage.remove(v.interval(), v.demand());
+        self.recompute();
+        v
+    }
+
+    fn fits(&self, vm: &Vm) -> bool {
+        self.usage
+            .fits(vm.interval(), vm.demand(), self.spec.capacity())
+    }
+
+    /// Cost if `vm` were added (no capacity check).
+    fn cost_with(&self, vm: &Vm) -> f64 {
+        let mut vms = self.vms.clone();
+        vms.push(*vm);
+        full_cost(&self.spec, &vms)
+    }
+
+    /// Cost if `vm` were removed.
+    fn cost_without(&self, vm: VmId) -> f64 {
+        let vms: Vec<Vm> = self.vms.iter().filter(|v| v.id() != vm).copied().collect();
+        full_cost(&self.spec, &vms)
+    }
+
+    /// Whether `vm` fits if `leaving` were removed first.
+    fn fits_replacing(&self, vm: &Vm, leaving: &Vm) -> bool {
+        let mut usage = self.usage.clone();
+        usage.remove(leaving.interval(), leaving.demand());
+        usage.fits(vm.interval(), vm.demand(), self.spec.capacity())
+    }
+
+    /// Cost with `leaving` replaced by `vm`.
+    fn cost_replacing(&self, vm: &Vm, leaving: VmId) -> f64 {
+        let mut vms: Vec<Vm> = self.vms.iter().filter(|v| v.id() != leaving).copied().collect();
+        vms.push(*vm);
+        full_cost(&self.spec, &vms)
+    }
+}
+
+/// First-improvement local search over relocate + swap moves.
+///
+/// # Example
+///
+/// ```
+/// use esvm_core::{Allocator, LocalSearch, Miec};
+/// use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let problem = ProblemBuilder::new()
+///     .server(Resources::new(8.0, 16.0), PowerModel::new(60.0, 120.0), 30.0)
+///     .server(Resources::new(8.0, 16.0), PowerModel::new(50.0, 110.0), 25.0)
+///     .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+///     .vm(Resources::new(2.0, 4.0), Interval::new(5, 14))
+///     .build()?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let base = Miec::new().allocate(&problem, &mut rng)?;
+/// let refined = LocalSearch::new().refine(&base)?;
+/// assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearch {
+    max_rounds: usize,
+    enable_swaps: bool,
+}
+
+impl Default for LocalSearch {
+    fn default() -> Self {
+        Self {
+            max_rounds: 50,
+            enable_swaps: true,
+        }
+    }
+}
+
+impl LocalSearch {
+    /// Creates the default search (relocate + swap, ≤ 50 rounds).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of full improvement rounds.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Disables the (quadratic) swap neighbourhood.
+    pub fn relocate_only(mut self) -> Self {
+        self.enable_swaps = false;
+        self
+    }
+
+    /// Refines a complete assignment; the result never costs more.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::Placement`] if the input is incomplete, or if the
+    /// final placement fails re-validation (would indicate a bug).
+    pub fn refine<'p>(&self, base: &Assignment<'p>) -> AllocResult<Assignment<'p>> {
+        let problem = base.problem();
+        if let Some(vm) = base.unplaced().next() {
+            return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
+        }
+
+        let mut hosts: Vec<Host> = problem
+            .servers()
+            .iter()
+            .map(|s| Host::new(*s))
+            .collect();
+        let mut location: Vec<ServerId> = Vec::with_capacity(problem.vm_count());
+        for (j, slot) in base.placement().iter().enumerate() {
+            let server = slot.expect("complete");
+            hosts[server.index()].add(problem.vms()[j]);
+            location.push(server);
+        }
+
+        for _ in 0..self.max_rounds {
+            let mut improved = false;
+
+            // Relocate moves. (Index loop: the body needs `location[j]`
+            // both read and written while `hosts` is borrowed mutably.)
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..problem.vm_count() {
+                let vm = problem.vms()[j];
+                let src = location[j];
+                let src_cost = hosts[src.index()].cost;
+                let src_without = hosts[src.index()].cost_without(vm.id());
+                for i in 0..hosts.len() {
+                    let dst = ServerId(i as u32);
+                    if dst == src || !hosts[i].fits(&vm) {
+                        continue;
+                    }
+                    let delta =
+                        (src_without - src_cost) + (hosts[i].cost_with(&vm) - hosts[i].cost);
+                    if delta < -1e-9 {
+                        let v = hosts[src.index()].remove(vm.id());
+                        hosts[i].add(v);
+                        location[j] = dst;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+
+            // Swap moves.
+            if self.enable_swaps {
+                for a in 0..problem.vm_count() {
+                    for b in (a + 1)..problem.vm_count() {
+                        let (sa, sb) = (location[a], location[b]);
+                        if sa == sb {
+                            continue;
+                        }
+                        let va = problem.vms()[a];
+                        let vb = problem.vms()[b];
+                        let ha = &hosts[sa.index()];
+                        let hb = &hosts[sb.index()];
+                        if !ha.fits_replacing(&vb, &va) || !hb.fits_replacing(&va, &vb) {
+                            continue;
+                        }
+                        let delta = (ha.cost_replacing(&vb, va.id()) - ha.cost)
+                            + (hb.cost_replacing(&va, vb.id()) - hb.cost);
+                        if delta < -1e-9 {
+                            let va_owned = hosts[sa.index()].remove(va.id());
+                            let vb_owned = hosts[sb.index()].remove(vb.id());
+                            hosts[sa.index()].add(vb_owned);
+                            hosts[sb.index()].add(va_owned);
+                            location[a] = sb;
+                            location[b] = sa;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+
+            if !improved {
+                break;
+            }
+        }
+
+        let placement: Vec<Option<ServerId>> = location.into_iter().map(Some).collect();
+        Assignment::from_placement(problem, &placement).map_err(AllocError::Placement)
+    }
+}
+
+/// An [`Allocator`] wrapper: run `base`, then refine with local search.
+#[derive(Debug, Clone)]
+pub struct Refined<A> {
+    base: A,
+    search: LocalSearch,
+    name: &'static str,
+}
+
+impl<A: Allocator> Refined<A> {
+    /// Wraps `base`; `name` labels the pipeline in tables.
+    pub fn new(base: A, search: LocalSearch, name: &'static str) -> Self {
+        Self { base, search, name }
+    }
+}
+
+impl<A: Allocator> Allocator for Refined<A> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        let base = self.base.allocate(problem, rng)?;
+        self.search.refine(&base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ffps, Miec};
+    use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn problem() -> AllocationProblem {
+        let mut b = ProblemBuilder::new();
+        for i in 0..6 {
+            let scale = 1.0 + (i % 3) as f64 * 0.5;
+            b = b.server(
+                Resources::new(8.0 * scale, 16.0 * scale),
+                PowerModel::new(40.0 * scale, 100.0 * scale),
+                60.0 * scale,
+            );
+        }
+        for j in 0..14u32 {
+            b = b.vm(
+                Resources::new(1.0 + f64::from(j % 4), 2.0 + f64::from(j % 5)),
+                Interval::with_len(1 + j * 2, 4 + (j % 3)),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn refinement_never_worsens() {
+        let p = problem();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = Ffps::new().allocate(&p, &mut rng).unwrap();
+            let refined = LocalSearch::new().refine(&base).unwrap();
+            assert!(
+                refined.total_cost() <= base.total_cost() + 1e-9,
+                "seed {seed}: {} > {}",
+                refined.total_cost(),
+                base.total_cost()
+            );
+            assert!(refined.audit().is_ok());
+        }
+    }
+
+    #[test]
+    fn refinement_improves_a_bad_start() {
+        // Round-robin spreads everything; local search must consolidate.
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        let refined = LocalSearch::new().refine(&base).unwrap();
+        assert!(
+            refined.total_cost() < base.total_cost() * 0.95,
+            "expected ≥ 5% improvement over round-robin: {} vs {}",
+            refined.total_cost(),
+            base.total_cost()
+        );
+    }
+
+    #[test]
+    fn result_is_a_local_optimum_for_relocation() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = Ffps::new().allocate(&p, &mut rng).unwrap();
+        let refined = LocalSearch::new().refine(&base).unwrap();
+        // No single relocation improves the refined solution.
+        for j in 0..p.vm_count() {
+            let vm = p.vms()[j];
+            let src = refined.server_of(vm.id()).unwrap();
+            for i in 0..p.server_count() {
+                let dst = ServerId(i as u32);
+                if dst == src {
+                    continue;
+                }
+                let mut placement = refined.placement().to_vec();
+                placement[j] = Some(dst);
+                if let Ok(candidate) = Assignment::from_placement(&p, &placement) {
+                    assert!(
+                        candidate.total_cost() >= refined.total_cost() - 1e-6,
+                        "relocating vm{j} to srv{i} improves: {} < {}",
+                        candidate.total_cost(),
+                        refined.total_cost()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relocate_only_mode_works() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = Ffps::new().allocate(&p, &mut rng).unwrap();
+        let refined = LocalSearch::new()
+            .relocate_only()
+            .with_max_rounds(3)
+            .refine(&base)
+            .unwrap();
+        assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn wrapper_allocator_composes() {
+        let p = problem();
+        let wrapped = Refined::new(Miec::new(), LocalSearch::new(), "miec-ls");
+        assert_eq!(wrapped.name(), "miec-ls");
+        let mut rng = StdRng::seed_from_u64(3);
+        let refined = wrapped.allocate(&p, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let plain = Miec::new().allocate(&p, &mut rng).unwrap();
+        assert!(refined.total_cost() <= plain.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn incomplete_input_is_rejected() {
+        let p = problem();
+        let empty = Assignment::new(&p);
+        assert!(LocalSearch::new().refine(&empty).is_err());
+    }
+
+    #[test]
+    fn swap_bookkeeping_is_consistent() {
+        // Force a scenario where swaps matter: two servers, two VMs each
+        // better off exchanged (capacity prevents simple relocation).
+        let p = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(10.0, 90.0), 5.0)
+            .server(Resources::new(8.0, 16.0), PowerModel::new(80.0, 160.0), 5.0)
+            // Big VM must sit on server 1 unless the small one leaves.
+            .vm(Resources::new(4.0, 8.0), Interval::new(1, 10))
+            .vm(Resources::new(3.0, 3.0), Interval::new(1, 10))
+            .build()
+            .unwrap();
+        let mut base = Assignment::new(&p);
+        base.place(VmId(0), ServerId(1)).unwrap();
+        base.place(VmId(1), ServerId(0)).unwrap();
+        let refined = LocalSearch::new().refine(&base).unwrap();
+        assert!(refined.audit().is_ok());
+        assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+    }
+}

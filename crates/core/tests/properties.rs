@@ -1,0 +1,154 @@
+//! Property-based tests of the allocation algorithms.
+
+use esvm_core::{AllocError, Allocator, AllocatorKind, Miec};
+use esvm_simcore::{
+    AllocationProblem, Interval, PowerModel, Resources, ServerSpec, Vm,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random problems where the first server can host any VM (so the
+/// instance is always valid, though individual placements may still be
+/// infeasible under load).
+fn arb_problem() -> impl Strategy<Value = AllocationProblem> {
+    let server = (1u32..=10, 1u32..=10, 1u32..=15, 1u32..=15, 0u32..=40);
+    let vm = (1u32..=6, 1u32..=6, 1u32..=40, 1u32..=8);
+    (
+        proptest::collection::vec(server, 0..=4),
+        proptest::collection::vec(vm, 0..=12),
+    )
+        .prop_map(|(servers, vms)| {
+            let mut specs = vec![ServerSpec::new(
+                0,
+                Resources::new(12.0, 12.0),
+                PowerModel::new(8.0, 30.0),
+                15.0,
+            )];
+            for (i, (cpu, mem, idle, dynamic, alpha)) in servers.into_iter().enumerate() {
+                specs.push(ServerSpec::new(
+                    (i + 1) as u32,
+                    Resources::new(f64::from(cpu), f64::from(mem)),
+                    PowerModel::new(f64::from(idle), f64::from(idle + dynamic)),
+                    f64::from(alpha),
+                ));
+            }
+            let vms: Vec<Vm> = vms
+                .into_iter()
+                .enumerate()
+                .map(|(j, (cpu, mem, start, len))| {
+                    Vm::new(
+                        j as u32,
+                        Resources::new(f64::from(cpu.min(12)), f64::from(mem.min(12))),
+                        Interval::with_len(start, len),
+                    )
+                })
+                .collect();
+            AllocationProblem::new(specs, vms).expect("valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MIEC's final cost equals the sum of the incremental costs it
+    /// accepted — i.e. the greedy bookkeeping is exact.
+    #[test]
+    fn miec_cost_is_sum_of_increments(problem in arb_problem()) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let Ok(assignment) = Miec::new().allocate(&problem, &mut rng) else {
+            return Ok(());
+        };
+        // Replay the placements in start-time order, accumulating
+        // increments on a fresh assignment.
+        let mut replay = esvm_simcore::Assignment::new(&problem);
+        let mut total = 0.0;
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let server = assignment.server_of(vm.id()).unwrap();
+            total += replay.ledger(server).incremental_cost(vm);
+            replay.place(vm.id(), server).unwrap();
+        }
+        prop_assert!((total - assignment.total_cost()).abs() < 1e-6);
+    }
+
+    /// Deterministic allocators ignore the RNG completely.
+    #[test]
+    fn deterministic_allocators_ignore_rng(problem in arb_problem(), s1 in 0u64..99, s2 in 100u64..199) {
+        for kind in [
+            AllocatorKind::Miec,
+            AllocatorKind::MiecNoAlpha,
+            AllocatorKind::FirstFit,
+            AllocatorKind::BestFit,
+            AllocatorKind::LowestIdlePower,
+            AllocatorKind::RoundRobin,
+        ] {
+            let a = kind.build().allocate(&problem, &mut StdRng::seed_from_u64(s1));
+            let b = kind.build().allocate(&problem, &mut StdRng::seed_from_u64(s2));
+            match (a, b) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a.placement(), b.placement()),
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                _ => return Err(TestCaseError::fail(format!("{kind}: divergent outcomes"))),
+            }
+        }
+    }
+
+    /// The greedy invariant, verified by replay: at every step MIEC's
+    /// chosen server has minimal incremental cost among all feasible
+    /// servers at that step (ties broken by lowest id).
+    #[test]
+    fn miec_choice_is_stepwise_minimal(problem in arb_problem()) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let Ok(assignment) = Miec::new().allocate(&problem, &mut rng) else {
+            return Ok(());
+        };
+        let mut replay = esvm_simcore::Assignment::new(&problem);
+        for j in problem.vms_by_start_time() {
+            let vm = &problem.vms()[j];
+            let chosen = assignment.server_of(vm.id()).unwrap();
+            let chosen_delta = replay.ledger(chosen).incremental_cost(vm);
+            for s in 0..problem.server_count() as u32 {
+                let sid = esvm_simcore::ServerId(s);
+                if !replay.ledger(sid).fits(vm) {
+                    continue;
+                }
+                let delta = replay.ledger(sid).incremental_cost(vm);
+                prop_assert!(
+                    delta > chosen_delta - 1e-9
+                        || (delta >= chosen_delta - 1e-9 && sid >= chosen),
+                    "{}: server {} delta {} beats chosen {} delta {}",
+                    vm.id(), s, delta, chosen.index(), chosen_delta
+                );
+            }
+            replay.place(vm.id(), chosen).unwrap();
+        }
+    }
+
+    /// Failure is honest: when an allocator reports NoFeasibleServer,
+    /// the VM it names really fits no server at that point of its run.
+    #[test]
+    fn first_fit_failure_names_a_truly_stuck_vm(problem in arb_problem()) {
+        let mut rng = StdRng::seed_from_u64(5);
+        if let Err(AllocError::NoFeasibleServer(vm)) =
+            esvm_core::FirstFit::new().allocate(&problem, &mut rng)
+        {
+            // Re-run the prefix before `vm` and verify no server fits it.
+            let mut partial = esvm_simcore::Assignment::new(&problem);
+            for j in problem.vms_by_start_time() {
+                let v = &problem.vms()[j];
+                if v.id() == vm {
+                    break;
+                }
+                let sid = (0..problem.server_count() as u32)
+                    .map(esvm_simcore::ServerId)
+                    .find(|&s| partial.ledger(s).fits(v))
+                    .expect("prefix was placeable");
+                partial.place(v.id(), sid).unwrap();
+            }
+            let stuck = &problem.vms()[vm.index()];
+            for s in 0..problem.server_count() as u32 {
+                prop_assert!(!partial.ledger(esvm_simcore::ServerId(s)).fits(stuck));
+            }
+        }
+    }
+}

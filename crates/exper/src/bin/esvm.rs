@@ -1,0 +1,18 @@
+//! `esvm` — reproduce the tables and figures of Xie et al. (ICDCSW
+//! 2013) from the command line. Run `esvm` with no arguments for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match esvm_exper::cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

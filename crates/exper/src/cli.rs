@@ -1,0 +1,756 @@
+//! The `esvm` command-line front end.
+//!
+//! ```text
+//! esvm table1 | table2                  # reproduce Tables I / II
+//! esvm fig2 … fig9 [--seeds N] [--quick] [--csv]
+//! esvm all [--seeds N] [--quick]        # every artefact in order
+//! esvm compare --vms N --servers N [--interarrival F] [--duration F]
+//!              [--transition F] [--algos a,b,…] [--seed N]
+//! esvm exact [--vms N] [--servers N] [--seed N]
+//! esvm timeline [--vms N] [--servers N] [--seed N] [--algos a,b,…]
+//! ```
+//!
+//! Parsing is deliberately dependency-free; [`run`] returns the rendered
+//! output so it is fully testable.
+
+use crate::options::ExpOptions;
+use crate::runner::{MonteCarlo, RunError};
+use crate::{experiments, Figure};
+use esvm_analysis::Table;
+use esvm_core::AllocatorKind;
+use esvm_ilp::Formulation;
+use esvm_workload::WorkloadConfig;
+use std::fmt;
+
+/// CLI errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Unknown command or malformed flags; carries the usage text.
+    Usage(String),
+    /// An experiment failed.
+    Run(RunError),
+    /// The exact solver failed.
+    Exact(esvm_ilp::MilpError),
+    /// Decoding/auditing failed.
+    Sim(esvm_simcore::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Run(e) => write!(f, "experiment failed: {e}"),
+            CliError::Exact(e) => write!(f, "exact solve failed: {e}"),
+            CliError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        CliError::Run(e)
+    }
+}
+
+const USAGE: &str = "\
+usage: esvm <command> [options]
+
+commands:
+  table1            VM type catalog (paper Table I)
+  table2            server type catalog (paper Table II)
+  fig2 .. fig9      reproduce the corresponding paper figure
+  ext-migration     extension E1: live-migration consolidation trade-off
+  ext-arrivals      extension E2: diurnal / bursty arrival streams
+  ext-overload      extension E3: admission control under overload
+  all               every table and figure in order
+  compare           one Monte-Carlo comparison at explicit parameters
+  exact             certify heuristics against the exact ILP optimum
+  timeline          replay one instance and chart power / active servers
+  gen               generate a workload and write it as a trace file
+  solve             load a trace file and compare allocators on it
+  plan              capacity planning: admission/energy frontier over
+                    fleet sizes (--target F, --sizes a,b,c)
+  report            standalone HTML report with SVG plots of every
+                    artefact (use --out report.html)
+
+options (figures):
+  --seeds N         Monte-Carlo seeds per point (default 50)
+  --threads N       worker threads (default: all cores)
+  --quick           scaled-down VM counts and 6 seeds
+  --csv             emit CSV instead of aligned tables
+
+options (compare):
+  --vms N --servers N --interarrival F --duration F --transition F
+  --algos a,b,…     default: miec,ffps
+  --seed N          base seed (default 0)
+  --standard-vms    restrict VM catalog to the four standard types
+  --small-servers   restrict server catalog to types 1-3
+
+options (exact):
+  --vms N (default 4) --servers N (default 2) --seed N (default 0)
+";
+
+/// Flag accumulator.
+#[derive(Debug, Default, Clone)]
+struct Flags {
+    seeds: Option<u64>,
+    threads: Option<usize>,
+    quick: bool,
+    csv: bool,
+    vms: Option<usize>,
+    servers: Option<usize>,
+    interarrival: Option<f64>,
+    duration: Option<f64>,
+    transition: Option<f64>,
+    algos: Option<Vec<AllocatorKind>>,
+    seed: Option<u64>,
+    standard_vms: bool,
+    small_servers: bool,
+    out: Option<String>,
+    trace: Option<String>,
+    target: Option<f64>,
+    sizes: Option<Vec<usize>>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    let usage = |msg: String| CliError::Usage(format!("{msg}\n\n{USAGE}"));
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("flag {name} needs a value")))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                flags.seeds = Some(
+                    value("--seeds")?
+                        .parse()
+                        .map_err(|_| usage("--seeds must be an integer".into()))?,
+                )
+            }
+            "--threads" => {
+                flags.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| usage("--threads must be an integer".into()))?,
+                )
+            }
+            "--quick" => flags.quick = true,
+            "--csv" => flags.csv = true,
+            "--standard-vms" => flags.standard_vms = true,
+            "--small-servers" => flags.small_servers = true,
+            "--vms" => {
+                flags.vms = Some(
+                    value("--vms")?
+                        .parse()
+                        .map_err(|_| usage("--vms must be an integer".into()))?,
+                )
+            }
+            "--servers" => {
+                flags.servers = Some(
+                    value("--servers")?
+                        .parse()
+                        .map_err(|_| usage("--servers must be an integer".into()))?,
+                )
+            }
+            "--interarrival" => {
+                flags.interarrival = Some(
+                    value("--interarrival")?
+                        .parse()
+                        .map_err(|_| usage("--interarrival must be a number".into()))?,
+                )
+            }
+            "--duration" => {
+                flags.duration = Some(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|_| usage("--duration must be a number".into()))?,
+                )
+            }
+            "--transition" => {
+                flags.transition = Some(
+                    value("--transition")?
+                        .parse()
+                        .map_err(|_| usage("--transition must be a number".into()))?,
+                )
+            }
+            "--out" => flags.out = Some(value("--out")?),
+            "--target" => {
+                flags.target = Some(
+                    value("--target")?
+                        .parse()
+                        .map_err(|_| usage("--target must be a number in (0, 1]".into()))?,
+                )
+            }
+            "--sizes" => {
+                let list = value("--sizes")?;
+                let mut sizes = Vec::new();
+                for item in list.split(',') {
+                    sizes.push(item.parse::<usize>().map_err(|_| {
+                        usage("--sizes must be a comma-separated list of integers".into())
+                    })?);
+                }
+                flags.sizes = Some(sizes);
+            }
+            "--trace" => flags.trace = Some(value("--trace")?),
+            "--seed" => {
+                flags.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| usage("--seed must be an integer".into()))?,
+                )
+            }
+            "--algos" => {
+                let list = value("--algos")?;
+                let mut kinds = Vec::new();
+                for name in list.split(',') {
+                    kinds.push(
+                        name.parse::<AllocatorKind>()
+                            .map_err(|e| usage(e.to_string()))?,
+                    );
+                }
+                flags.algos = Some(kinds);
+            }
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(flags)
+}
+
+fn options_from(flags: &Flags) -> ExpOptions {
+    let mut opts = if flags.quick {
+        ExpOptions::quick()
+    } else {
+        ExpOptions::paper()
+    };
+    if let Some(s) = flags.seeds {
+        opts.seeds = s;
+    }
+    if let Some(t) = flags.threads {
+        opts.threads = t;
+    }
+    opts
+}
+
+fn render_figure(figure: &Figure, csv: bool) -> String {
+    if csv {
+        figure.to_csv()
+    } else {
+        figure.render()
+    }
+}
+
+fn render_table(title: &str, table: &Table, csv: bool) -> String {
+    if csv {
+        table.to_csv()
+    } else {
+        format!("{title}\n\n{table}")
+    }
+}
+
+/// Runs the CLI and returns the rendered output.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed invocations, otherwise the
+/// underlying experiment error.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    let flags = parse_flags(rest)?;
+    let opts = options_from(&flags);
+
+    let output = dispatch(command, &flags, &opts)?;
+    // `gen` manages --out itself (it writes the trace, not the message).
+    match (&flags.out, command.as_str()) {
+        (Some(path), cmd) if cmd != "gen" => {
+            std::fs::write(path, &output)
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+            Ok(format!("wrote output to {path}"))
+        }
+        _ => Ok(output),
+    }
+}
+
+fn dispatch(command: &str, flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
+    let flags = flags.clone();
+    let opts = *opts;
+
+    let figure = |f: fn(&ExpOptions) -> Result<Figure, RunError>| -> Result<String, CliError> {
+        Ok(render_figure(&f(&opts)?, flags.csv))
+    };
+
+    match command {
+        "table1" => Ok(render_table(
+            "Table I — the types of resource demands of VMs",
+            &experiments::table1(),
+            flags.csv,
+        )),
+        "table2" => Ok(render_table(
+            "Table II — the types of resource capacities and power consumption parameters of servers",
+            &experiments::table2(),
+            flags.csv,
+        )),
+        "fig2" => figure(experiments::fig2),
+        "fig3" => figure(experiments::fig3),
+        "fig4" => figure(experiments::fig4),
+        "fig5" => figure(experiments::fig5),
+        "fig6" => figure(experiments::fig6),
+        "fig7" => figure(experiments::fig7),
+        "fig8" => figure(experiments::fig8),
+        "fig9" => figure(experiments::fig9),
+        "all" => {
+            let mut out = String::new();
+            out.push_str(&render_table(
+                "Table I — the types of resource demands of VMs",
+                &experiments::table1(),
+                flags.csv,
+            ));
+            out.push_str("\n\n");
+            out.push_str(&render_table(
+                "Table II — the types of resource capacities and power consumption parameters of servers",
+                &experiments::table2(),
+                flags.csv,
+            ));
+            for f in [
+                experiments::fig2,
+                experiments::fig3,
+                experiments::fig4,
+                experiments::fig5,
+                experiments::fig6,
+                experiments::fig7,
+                experiments::fig8,
+                experiments::fig9,
+            ] {
+                out.push_str("\n\n");
+                out.push_str(&render_figure(&f(&opts)?, flags.csv));
+            }
+            for (title, table) in [
+                (
+                    "E1 — extra saving from live-migration consolidation",
+                    experiments::ext_migration(&opts)?,
+                ),
+                (
+                    "E2 — sensitivity to the arrival process",
+                    experiments::ext_arrivals(&opts)?,
+                ),
+                (
+                    "E3 — overload behaviour with admission control",
+                    experiments::ext_overload(&opts)?,
+                ),
+            ] {
+                out.push_str("\n\n");
+                out.push_str(&render_table(title, &table, flags.csv));
+            }
+            Ok(out)
+        }
+        "ext-overload" => Ok(format!(
+            "E3 — overload behaviour with admission control ({} seeds)\n\n{}",
+            opts.seeds,
+            experiments::ext_overload(&opts)?
+        )),
+        "ext-arrivals" => Ok(format!(
+            "E2 — sensitivity to the arrival process ({} seeds)\n\n{}",
+            opts.seeds,
+            experiments::ext_arrivals(&opts)?
+        )),
+        "ext-migration" => Ok(format!(
+            "E1 — extra saving from live-migration consolidation ({} seeds)\n\n{}",
+            opts.seeds,
+            experiments::ext_migration(&opts)?
+        )),
+        "compare" => run_compare(&flags, &opts),
+        "exact" => run_exact(&flags),
+        "timeline" => run_timeline(&flags),
+        "gen" => run_gen(&flags),
+        "plan" => run_plan(&flags, &opts),
+        "report" => crate::report::html_report(&opts).map_err(CliError::Run),
+        "solve" => run_solve(&flags),
+        _ => Err(CliError::Usage(format!(
+            "unknown command {command:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
+    let config = workload_from(flags);
+    let vms = config.vm_count_value();
+    let servers = config.server_count_value();
+    let algos = flags
+        .algos
+        .clone()
+        .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
+    let point = MonteCarlo::new(opts.seeds, opts.threads).compare(&config, &algos)?;
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean cost",
+        "std dev",
+        "run",
+        "idle",
+        "transition",
+        "cpu util (%)",
+        "mem util (%)",
+        "vs ffps (%)",
+        "95% CI",
+    ]);
+    for &algo in &algos {
+        let s = point.cost_summary(algo);
+        let (run, idle, transition) = point.mean_breakdown(algo);
+        let (reduction, ci) = if algos.contains(&AllocatorKind::Ffps) {
+            let r = point.reduction_ratio(AllocatorKind::Ffps, algo) * 100.0;
+            let ci = point
+                .reduction_ratio_ci(AllocatorKind::Ffps, algo)
+                .map(|(lo, hi)| format!("[{:.1}; {:.1}]", lo * 100.0, hi * 100.0))
+                .unwrap_or_default();
+            (format!("{r:.2}"), ci)
+        } else {
+            (String::new(), String::new())
+        };
+        table.row(vec![
+            algo.name().to_owned(),
+            format!("{:.1}", s.mean),
+            format!("{:.1}", s.std_dev),
+            format!("{run:.0}"),
+            format!("{idle:.0}"),
+            format!("{transition:.0}"),
+            format!("{:.1}", point.mean_cpu_utilization(algo) * 100.0),
+            format!("{:.1}", point.mean_mem_utilization(algo) * 100.0),
+            reduction,
+            ci,
+        ]);
+    }
+    let mut out = format!(
+        "{} VMs on {} servers, {} seeds\n\n{}",
+        vms, servers, opts.seeds, table
+    );
+    // Significance of the headline saving, when both contenders ran.
+    if algos.contains(&AllocatorKind::Miec) && algos.contains(&AllocatorKind::Ffps) {
+        let miec = algos.iter().position(|&a| a == AllocatorKind::Miec).unwrap();
+        let ffps = algos.iter().position(|&a| a == AllocatorKind::Ffps).unwrap();
+        if let Some(p) = esvm_analysis::stats::paired_permutation_test(
+            &point.costs[ffps],
+            &point.costs[miec],
+            4000,
+        ) {
+            out.push_str(&format!(
+                "\nmiec saving significance (paired sign-flip permutation): p = {p:.4}\n"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn run_timeline(flags: &Flags) -> Result<String, CliError> {
+    use esvm_analysis::chart::strip;
+    use esvm_simcore::replay;
+
+    let seed = flags.seed.unwrap_or(0);
+    let config = workload_from(flags);
+    let vms = config.vm_count_value();
+    let servers = config.server_count_value();
+    let problem = config
+        .generate(seed)
+        .map_err(|e| CliError::Run(RunError::Generate(e)))?;
+    let algos = flags
+        .algos
+        .clone()
+        .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
+
+    let width = 72;
+    let mut out = format!(
+        "power timeline: {vms} VMs on {servers} servers, seed {seed}, horizon {} units\n",
+        problem.horizon()
+    );
+    for kind in algos {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let assignment = kind
+            .build()
+            .allocate(&problem, &mut rng)
+            .map_err(|error| RunError::Alloc { algo: kind, seed, error })?;
+        let trace = replay(&assignment);
+        let active: Vec<f64> = trace
+            .active_series()
+            .iter()
+            .map(|&n| f64::from(n))
+            .collect();
+        out.push_str(&format!(
+            "\n{} — total energy {:.0} W·min (peak {:.0} W)\n{}\n{}\n",
+            kind.name(),
+            trace.total_energy(),
+            trace.peak_power(),
+            strip("power (W)", trace.power_series(), width),
+            strip("active servers", &active, width),
+        ));
+    }
+    Ok(out)
+}
+
+fn workload_from(flags: &Flags) -> WorkloadConfig {
+    let vms = flags.vms.unwrap_or(100);
+    let servers = flags.servers.unwrap_or_else(|| (vms / 2).max(1));
+    let mut config = WorkloadConfig::new(vms, servers)
+        .mean_interarrival(flags.interarrival.unwrap_or(4.0))
+        .mean_duration(flags.duration.unwrap_or(5.0))
+        .transition_time(flags.transition.unwrap_or(1.0));
+    if flags.standard_vms {
+        config = config.vm_types(esvm_workload::catalog::standard_vm_types());
+    }
+    if flags.small_servers {
+        config = config.server_types(esvm_workload::catalog::server_types_1_3());
+    }
+    config
+}
+
+fn run_plan(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
+    let target = flags.target.unwrap_or(0.95);
+    if !(target > 0.0 && target <= 1.0) {
+        return Err(CliError::Usage(format!(
+            "--target must be in (0, 1]\n\n{USAGE}"
+        )));
+    }
+    let template = workload_from(flags);
+    let vms = template.vm_count_value();
+    let sizes = flags.sizes.clone().unwrap_or_else(|| {
+        // Default sweep: powers-of-two fractions of the VM count.
+        [16, 8, 4, 2]
+            .iter()
+            .map(|d| (vms / d).max(1))
+            .collect()
+    });
+    let planner =
+        crate::planner::CapacityPlanner::new(template, target, opts.seeds.clamp(2, 20));
+    let plan = planner.plan(sizes)?;
+    let verdict = match plan.recommended {
+        Some(p) => format!(
+            "recommended fleet: {} servers ({:.1}% admission, energy {:.0})",
+            p.servers,
+            p.admission_rate * 100.0,
+            p.energy
+        ),
+        None => "no evaluated fleet meets the target — try larger --sizes".to_owned(),
+    };
+    Ok(format!(
+        "capacity plan for {vms} VMs, admission target {:.0}%\n\n{}\n{verdict}",
+        target * 100.0,
+        plan.to_table()
+    ))
+}
+
+fn run_gen(flags: &Flags) -> Result<String, CliError> {
+    let seed = flags.seed.unwrap_or(0);
+    let problem = workload_from(flags)
+        .generate(seed)
+        .map_err(|e| CliError::Run(RunError::Generate(e)))?;
+    let text = esvm_workload::trace::to_text(&problem);
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| {
+                CliError::Usage(format!("cannot write {path:?}: {e}"))
+            })?;
+            Ok(format!(
+                "wrote {} VMs / {} servers (seed {seed}) to {path}",
+                problem.vm_count(),
+                problem.server_count()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+fn run_solve(flags: &Flags) -> Result<String, CliError> {
+    let Some(path) = &flags.trace else {
+        return Err(CliError::Usage(format!(
+            "solve needs --trace FILE
+
+{USAGE}"
+        )));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path:?}: {e}")))?;
+    let problem = esvm_workload::trace::from_text(&text)
+        .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
+
+    let algos = flags
+        .algos
+        .clone()
+        .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
+    let seed = flags.seed.unwrap_or(0);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "total cost",
+        "run",
+        "idle",
+        "transition",
+        "cpu util (%)",
+    ]);
+    for kind in algos {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let assignment = kind
+            .build()
+            .allocate(&problem, &mut rng)
+            .map_err(|error| RunError::Alloc { algo: kind, seed, error })?;
+        let report = assignment.audit().map_err(RunError::Audit)?;
+        table.row(vec![
+            kind.name().to_owned(),
+            format!("{:.0}", report.total_cost),
+            format!("{:.0}", report.breakdown.run),
+            format!("{:.0}", report.breakdown.idle),
+            format!("{:.0}", report.breakdown.transition),
+            format!("{:.1}", report.utilization.avg_cpu * 100.0),
+        ]);
+    }
+    Ok(format!(
+        "trace {path}: {} VMs on {} servers, horizon {}
+
+{}",
+        problem.vm_count(),
+        problem.server_count(),
+        problem.horizon(),
+        table
+    ))
+}
+
+fn run_exact(flags: &Flags) -> Result<String, CliError> {
+    let vms = flags.vms.unwrap_or(4);
+    let servers = flags.servers.unwrap_or(2);
+    let seed = flags.seed.unwrap_or(0);
+    let config = WorkloadConfig::new(vms, servers)
+        .mean_interarrival(2.0)
+        .mean_duration(3.0);
+    let problem = config
+        .generate(seed)
+        .map_err(|e| CliError::Run(RunError::Generate(e)))?;
+
+    let exact = Formulation::new(&problem)
+        .solve()
+        .map_err(CliError::Exact)?;
+
+    let mut table = Table::new(vec!["algorithm", "total cost", "gap vs optimal (%)"]);
+    table.row(vec![
+        "exact (ILP)".into(),
+        format!("{:.2}", exact.objective),
+        "0.00".into(),
+    ]);
+    for kind in [AllocatorKind::Miec, AllocatorKind::Ffps] {
+        let report = crate::runner::run_once(&config, kind, seed)?;
+        let gap = (report.total_cost - exact.objective) / exact.objective * 100.0;
+        table.row(vec![
+            kind.name().to_owned(),
+            format!("{:.2}", report.total_cost),
+            format!("{gap:.2}"),
+        ]);
+    }
+    Ok(format!(
+        "exact certification: {vms} VMs on {servers} servers (seed {seed}, {} B&B nodes)\n\n{}",
+        exact.nodes, table
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn tables_render() {
+        let out = run(&args(&["table1"])).unwrap();
+        assert!(out.contains("m1.small"));
+        let out = run(&args(&["table2", "--csv"])).unwrap();
+        assert!(out.starts_with("type,"));
+    }
+
+    #[test]
+    fn unknown_command_yields_usage() {
+        let err = run(&args(&["fig99"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn missing_command_yields_usage() {
+        assert!(matches!(run(&[]).unwrap_err(), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn malformed_flag_yields_usage() {
+        for bad in [
+            vec!["fig2", "--seeds"],
+            vec!["fig2", "--seeds", "abc"],
+            vec!["fig2", "--wat"],
+            vec!["compare", "--algos", "nonsense"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn quick_fig2_runs_end_to_end() {
+        let out = run(&args(&["fig2", "--quick", "--seeds", "2", "--threads", "4"])).unwrap();
+        assert!(out.contains("Fig. 2"), "{out}");
+        assert!(out.contains("linear fit"), "{out}");
+    }
+
+    #[test]
+    fn fig_csv_output() {
+        let out = run(&args(&[
+            "fig3", "--quick", "--seeds", "2", "--threads", "4", "--csv",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("series,x,y"), "{out}");
+    }
+
+    #[test]
+    fn compare_command_runs() {
+        let out = run(&args(&[
+            "compare", "--vms", "20", "--servers", "10", "--seeds", "2", "--algos",
+            "miec,ffps,best-fit",
+        ]))
+        .unwrap();
+        assert!(out.contains("best-fit"), "{out}");
+        assert!(out.contains("vs ffps"), "{out}");
+    }
+
+    #[test]
+    fn plan_command_runs_and_validates_target() {
+        let out = run(&args(&[
+            "plan", "--vms", "30", "--interarrival", "0.5", "--duration", "8", "--seeds", "2",
+            "--standard-vms", "--sizes", "2,10",
+        ]))
+        .unwrap();
+        assert!(out.contains("capacity plan"), "{out}");
+        assert!(out.contains("admission"), "{out}");
+        let err = run(&args(&["plan", "--target", "1.5"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn out_flag_redirects_any_command() {
+        let path = std::env::temp_dir().join("esvm_cli_out_test.txt");
+        let path_str = path.to_str().unwrap().to_owned();
+        let msg = run(&args(&["table1", "--out", &path_str])).unwrap();
+        assert!(msg.contains("wrote output"), "{msg}");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("m1.small"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exact_command_certifies() {
+        let out = run(&args(&["exact", "--vms", "3", "--servers", "2", "--seed", "1"])).unwrap();
+        assert!(out.contains("exact (ILP)"), "{out}");
+        assert!(out.contains("miec"), "{out}");
+    }
+}

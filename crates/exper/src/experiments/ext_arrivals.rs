@@ -1,0 +1,142 @@
+//! Extension experiment E2 (not in the paper): sensitivity of the
+//! energy saving to the *structure* of the arrival process.
+//!
+//! The paper only evaluates a homogeneous Poisson stream. Real request
+//! streams have day/night cycles and bursts; this experiment holds the
+//! mean arrival rate fixed and swaps the process (Poisson vs diurnal
+//! NHPP vs bursty MMPP-2), comparing MIEC's reduction ratio under each.
+
+use super::{executor, pct, COMPARED};
+use crate::runner::RunError;
+use crate::ExpOptions;
+use esvm_analysis::Table;
+use esvm_core::AllocatorKind;
+use esvm_workload::{ArrivalModel, WorkloadConfig};
+
+/// One row of the E2 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalRow {
+    /// Human name of the arrival model.
+    pub model: &'static str,
+    /// Mean reduction ratio (percent).
+    pub reduction: f64,
+    /// 95 % bootstrap CI on the ratio (percent).
+    pub ci: (f64, f64),
+    /// Mean CPU utilization under MIEC (percent).
+    pub miec_cpu_util: f64,
+    /// Mean CPU utilization under FFPS (percent).
+    pub ffps_cpu_util: f64,
+}
+
+/// Runs experiment E2 and returns the raw rows.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn ext_arrivals_rows(opts: &ExpOptions) -> Result<Vec<ArrivalRow>, RunError> {
+    let vm_count = opts.scale_vms(100);
+    let ia = 4.0;
+    let models: [(&'static str, ArrivalModel); 3] = [
+        (
+            "poisson",
+            ArrivalModel::Poisson {
+                mean_interarrival: ia,
+            },
+        ),
+        (
+            "diurnal (A=0.8, day=240)",
+            ArrivalModel::Diurnal {
+                mean_interarrival: ia,
+                amplitude: 0.8,
+                period: 240.0,
+            },
+        ),
+        (
+            "bursty (x8, 60/15)",
+            ArrivalModel::Bursty {
+                quiet_interarrival: ia,
+                burstiness: 8.0,
+                mean_quiet_sojourn: 60.0,
+                mean_burst_sojourn: 15.0,
+            },
+        ),
+    ];
+
+    let exec = executor(opts);
+    let mut rows = Vec::new();
+    for (name, model) in models {
+        let config = WorkloadConfig::new(vm_count, (vm_count / 2).max(1))
+            .mean_interarrival(ia)
+            .mean_duration(5.0)
+            .transition_time(1.0)
+            .arrivals(model);
+        let point = exec.compare(&config, &COMPARED)?;
+        let ci = point
+            .reduction_ratio_ci(AllocatorKind::Ffps, AllocatorKind::Miec)
+            .unwrap_or((0.0, 0.0));
+        rows.push(ArrivalRow {
+            model: name,
+            reduction: pct(point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec)),
+            ci: (pct(ci.0), pct(ci.1)),
+            miec_cpu_util: pct(point.mean_cpu_utilization(AllocatorKind::Miec)),
+            ffps_cpu_util: pct(point.mean_cpu_utilization(AllocatorKind::Ffps)),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders experiment E2 as a table.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn ext_arrivals(opts: &ExpOptions) -> Result<Table, RunError> {
+    let rows = ext_arrivals_rows(opts)?;
+    let mut table = Table::new(vec![
+        "arrival model",
+        "reduction (%)",
+        "95% CI",
+        "miec cpu util (%)",
+        "ffps cpu util (%)",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.model.to_owned(),
+            format!("{:.2}", r.reduction),
+            format!("[{:.1}; {:.1}]", r.ci.0, r.ci.1),
+            format!("{:.1}", r.miec_cpu_util),
+            format!("{:.1}", r.ffps_cpu_util),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            seeds: 3,
+            threads: 4,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn three_models_all_save_energy() {
+        let rows = ext_arrivals_rows(&tiny()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.reduction > 0.0, "{}: {r:?}", r.model);
+            assert!(r.ci.0 <= r.reduction && r.reduction <= r.ci.1);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = ext_arrivals(&tiny()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.to_string().contains("poisson"));
+    }
+}

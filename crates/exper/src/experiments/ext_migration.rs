@@ -1,0 +1,154 @@
+//! Extension experiment E1 (not in the paper): how much extra energy
+//! can live-migration consolidation recover on top of allocation, and
+//! how does that depend on the migration energy cost `μ`?
+//!
+//! Section V of the paper positions allocation *against* migration;
+//! this experiment quantifies the trade-off the paper leaves open. For
+//! each `μ` it compares the audited energy of MIEC and FFPS before and
+//! after the [`Consolidator`](esvm_core::Consolidator) post-pass.
+
+use super::pct;
+use crate::runner::RunError;
+use crate::ExpOptions;
+use esvm_analysis::Table;
+use esvm_core::{AllocatorKind, Consolidator};
+use esvm_workload::WorkloadConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One row of the E1 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRow {
+    /// Migration energy per GB moved.
+    pub mu: f64,
+    /// Extra saving of MIEC + consolidation over plain MIEC (percent).
+    pub miec_extra_saving: f64,
+    /// Extra saving of FFPS + consolidation over plain FFPS (percent).
+    pub ffps_extra_saving: f64,
+    /// Mean migrations per run under MIEC + consolidation.
+    pub miec_migrations: f64,
+    /// Mean migrations per run under FFPS + consolidation.
+    pub ffps_migrations: f64,
+}
+
+/// Runs experiment E1 and returns the raw rows.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn ext_migration_rows(opts: &ExpOptions) -> Result<Vec<MigrationRow>, RunError> {
+    let vm_count = opts.scale_vms(100);
+    let config = WorkloadConfig::new(vm_count, (vm_count / 2).max(1))
+        .mean_interarrival(4.0)
+        .mean_duration(5.0)
+        .transition_time(1.0);
+
+    let mut rows = Vec::new();
+    for mu in [0.0, 1.0, 5.0, 20.0, 100.0] {
+        let consolidator = Consolidator::new(mu);
+        let mut extra = [0.0f64; 2];
+        let mut migrations = [0.0f64; 2];
+        let mut runs = 0u64;
+        for seed in 0..opts.seeds {
+            let problem = config.generate(seed)?;
+            let mut ok = true;
+            let mut per_algo = [(0.0, 0.0, 0.0); 2];
+            for (k, algo) in [AllocatorKind::Miec, AllocatorKind::Ffps].iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(seed * 37 + k as u64);
+                let Ok(base) = algo.build().allocate(&problem, &mut rng) else {
+                    ok = false;
+                    break;
+                };
+                let schedule = consolidator
+                    .consolidate(&base)
+                    .map_err(|error| RunError::Alloc {
+                        algo: *algo,
+                        seed,
+                        error,
+                    })?;
+                let audit = schedule.audit().map_err(RunError::Audit)?;
+                per_algo[k] = (base.total_cost(), audit.total_cost, audit.migrations as f64);
+            }
+            if !ok {
+                continue; // overloaded seed, skip paired
+            }
+            for k in 0..2 {
+                let (base, consolidated, moves) = per_algo[k];
+                extra[k] += (base - consolidated) / base;
+                migrations[k] += moves;
+            }
+            runs += 1;
+        }
+        if runs == 0 {
+            return Err(RunError::AllSeedsOverloaded { skipped: opts.seeds });
+        }
+        let n = runs as f64;
+        rows.push(MigrationRow {
+            mu,
+            miec_extra_saving: pct(extra[0] / n),
+            ffps_extra_saving: pct(extra[1] / n),
+            miec_migrations: migrations[0] / n,
+            ffps_migrations: migrations[1] / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders experiment E1 as a table.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn ext_migration(opts: &ExpOptions) -> Result<Table, RunError> {
+    let rows = ext_migration_rows(opts)?;
+    let mut table = Table::new(vec![
+        "μ (W·min/GB)",
+        "miec +consol. saving (%)",
+        "ffps +consol. saving (%)",
+        "miec migrations/run",
+        "ffps migrations/run",
+    ]);
+    for r in rows {
+        table.row(vec![
+            format!("{:.0}", r.mu),
+            format!("{:.2}", r.miec_extra_saving),
+            format!("{:.2}", r.ffps_extra_saving),
+            format!("{:.1}", r.miec_migrations),
+            format!("{:.1}", r.ffps_migrations),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            seeds: 3,
+            threads: 2,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn savings_are_nonnegative_and_decrease_with_mu() {
+        let rows = ext_migration_rows(&tiny()).unwrap();
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.miec_extra_saving >= -1e-9, "{r:?}");
+            assert!(r.ffps_extra_saving >= -1e-9, "{r:?}");
+        }
+        // Cheapest μ recovers at least as much as the dearest.
+        assert!(rows[0].miec_extra_saving >= rows.last().unwrap().miec_extra_saving - 1e-9);
+        assert!(rows[0].miec_migrations >= rows.last().unwrap().miec_migrations - 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = ext_migration(&tiny()).unwrap();
+        assert_eq!(t.len(), 5);
+        assert!(t.to_string().contains("migrations/run"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Extension experiment E3 (not in the paper): behaviour under
+//! overload, with admission control.
+//!
+//! The paper's evaluation stays in the light-load regime where every VM
+//! fits somewhere. This experiment shrinks the fleet until requests
+//! must be rejected and asks two questions the paper cannot answer:
+//! does energy-aware placement *cost* admission capacity (it packs
+//! differently — worse, more fragmented?), and how do the algorithms'
+//! energy-per-served-work compare when saturated?
+
+use super::pct;
+use crate::runner::RunError;
+use crate::ExpOptions;
+use esvm_analysis::Table;
+use esvm_core::{Ffps, Miec};
+use esvm_simcore::Assignment;
+use esvm_workload::WorkloadConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One row of the E3 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadRow {
+    /// Servers as a fraction of VMs (the paper uses 1/2).
+    pub server_fraction: &'static str,
+    /// Mean fraction of VMs admitted by MIEC (percent).
+    pub miec_admitted: f64,
+    /// Mean fraction of VMs admitted by FFPS (percent).
+    pub ffps_admitted: f64,
+    /// MIEC energy per admitted CPU·time unit (watts per CU).
+    pub miec_energy_per_work: f64,
+    /// FFPS energy per admitted CPU·time unit.
+    pub ffps_energy_per_work: f64,
+}
+
+fn served_cpu_time(assignment: &Assignment<'_>) -> f64 {
+    assignment
+        .placement()
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_some())
+        .map(|(j, _)| assignment.problem().vms()[j].cpu_time())
+        .sum()
+}
+
+/// Runs experiment E3 and returns the raw rows.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn ext_overload_rows(opts: &ExpOptions) -> Result<Vec<OverloadRow>, RunError> {
+    let vm_count = opts.scale_vms(200);
+    // High arrival rate and long VMs: heavy concurrent demand. Standard
+    // VM types so even a tiny fleet (which may lack type-4/5 servers)
+    // yields valid instances.
+    let fractions: [(&'static str, usize); 3] = [
+        ("1/8", (vm_count / 8).max(1)),
+        ("1/16", (vm_count / 16).max(1)),
+        ("1/32", (vm_count / 32).max(1)),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, servers) in fractions {
+        let config = WorkloadConfig::new(vm_count, servers)
+            .mean_interarrival(0.25)
+            .mean_duration(20.0)
+            .transition_time(1.0)
+            .vm_types(esvm_workload::catalog::standard_vm_types());
+        let mut admitted = [0.0f64; 2];
+        let mut energy_per_work = [0.0f64; 2];
+        for seed in 0..opts.seeds {
+            let problem = config.generate(seed)?;
+            // MIEC with admission.
+            let (a, rejected) = Miec::new()
+                .allocate_with_admission(&problem)
+                .map_err(|error| RunError::Alloc {
+                    algo: esvm_core::AllocatorKind::Miec,
+                    seed,
+                    error,
+                })?;
+            admitted[0] += 1.0 - rejected.len() as f64 / problem.vm_count() as f64;
+            let work = served_cpu_time(&a);
+            if work > 0.0 {
+                energy_per_work[0] += a.total_cost() / work;
+            }
+            // FFPS with admission.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFF);
+            let (a, rejected) = Ffps::new()
+                .allocate_with_admission(&problem, &mut rng)
+                .map_err(|error| RunError::Alloc {
+                    algo: esvm_core::AllocatorKind::Ffps,
+                    seed,
+                    error,
+                })?;
+            admitted[1] += 1.0 - rejected.len() as f64 / problem.vm_count() as f64;
+            let work = served_cpu_time(&a);
+            if work > 0.0 {
+                energy_per_work[1] += a.total_cost() / work;
+            }
+        }
+        let n = opts.seeds as f64;
+        rows.push(OverloadRow {
+            server_fraction: label,
+            miec_admitted: pct(admitted[0] / n),
+            ffps_admitted: pct(admitted[1] / n),
+            miec_energy_per_work: energy_per_work[0] / n,
+            ffps_energy_per_work: energy_per_work[1] / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders experiment E3 as a table.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn ext_overload(opts: &ExpOptions) -> Result<Table, RunError> {
+    let rows = ext_overload_rows(opts)?;
+    let mut table = Table::new(vec![
+        "servers/VMs",
+        "miec admitted (%)",
+        "ffps admitted (%)",
+        "miec energy/work",
+        "ffps energy/work",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.server_fraction.to_owned(),
+            format!("{:.1}", r.miec_admitted),
+            format!("{:.1}", r.ffps_admitted),
+            format!("{:.2}", r.miec_energy_per_work),
+            format!("{:.2}", r.ffps_energy_per_work),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            seeds: 3,
+            threads: 2,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn smaller_fleets_admit_less() {
+        let rows = ext_overload_rows(&tiny()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!((0.0..=100.0).contains(&r.miec_admitted), "{r:?}");
+            assert!((0.0..=100.0).contains(&r.ffps_admitted), "{r:?}");
+            assert!(r.miec_energy_per_work > 0.0);
+        }
+        assert!(
+            rows[0].miec_admitted >= rows[2].miec_admitted,
+            "1/8 fleet should admit at least as much as 1/32"
+        );
+        assert!(
+            rows[2].miec_admitted < 100.0,
+            "the 1/32 fleet must actually reject under this load"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = ext_overload(&tiny()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.to_string().contains("admitted"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 4 — energy reduction ratio vs the memory load of the system,
+//! one series per VM count, logarithmic fits.
+//!
+//! The paper quantifies the *load* of the system by the average
+//! utilization obtained with the FFPS method (Section IV-C). Shape: the
+//! reduction ratio decreases with load and the decrease flattens.
+
+use super::{executor, interarrival_sweep, pct, vm_count_sweep, COMPARED};
+use crate::runner::RunError;
+use crate::{ExpOptions, Figure, Series};
+use esvm_analysis::fit::FitKind;
+use esvm_core::AllocatorKind;
+use esvm_workload::WorkloadConfig;
+
+/// Reproduces Fig. 4: the Fig. 2 sweep re-plotted against memory load.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn fig4(opts: &ExpOptions) -> Result<Figure, RunError> {
+    let mut figure = Figure::new(
+        "Fig. 4",
+        "energy reduction ratio vs the memory load of the system",
+        "memory load of the system (%)",
+        "energy reduction ratio (%)",
+    );
+    let exec = executor(opts);
+
+    for vm_count in vm_count_sweep(opts) {
+        // (load, ratio) pairs; load varies inversely with inter-arrival.
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for ia in interarrival_sweep() {
+            let config = WorkloadConfig::new(vm_count, (vm_count / 2).max(1))
+                .mean_interarrival(ia)
+                .mean_duration(5.0)
+                .transition_time(1.0);
+            let point = exec.compare(&config, &COMPARED)?;
+            let load = pct(point.mean_mem_utilization(AllocatorKind::Ffps));
+            let ratio = pct(point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec));
+            pairs.push((load, ratio));
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        figure.push(Series::with_fit(
+            format!("{vm_count} VMs"),
+            xs,
+            ys,
+            FitKind::Logarithmic,
+        ));
+    }
+    figure.note("load = average memory utilization measured under FFPS (Section IV-C)");
+    Ok(figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            seeds: 3,
+            threads: 4,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn ratio_decreases_with_load() {
+        let fig = fig4(&tiny()).unwrap();
+        for s in &fig.series {
+            // Compare the mean ratio over the lighter half vs the heavier
+            // half of the load range (robust to Monte-Carlo noise).
+            let n = s.y.len();
+            let light: f64 = s.y[n / 2..].iter().sum::<f64>() / (n - n / 2) as f64;
+            let heavy: f64 = s.y[..n / 2].iter().sum::<f64>() / (n / 2) as f64;
+            // x ascends with load, so the light-load points are the LAST
+            // ones only if load descends... pairs are sorted by load, so
+            // the first half is light load.
+            let (light, heavy) = (heavy, light);
+            assert!(
+                light > heavy,
+                "{}: light-load saving {light}% ≤ heavy-load {heavy}%",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn log_fits_are_attached() {
+        let fig = fig4(&tiny()).unwrap();
+        for s in &fig.series {
+            let fit = s.fit.expect("log fit");
+            assert_eq!(fit.kind, FitKind::Logarithmic);
+            assert!(fit.b < 0.0, "{}: slope {}", s.label, fit.b);
+        }
+    }
+
+    #[test]
+    fn loads_ascend_within_each_series() {
+        let fig = fig4(&tiny()).unwrap();
+        for s in &fig.series {
+            assert!(s.x.windows(2).all(|w| w[0] <= w[1]), "{:?}", s.x);
+        }
+    }
+}

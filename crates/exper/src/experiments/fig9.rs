@@ -1,0 +1,115 @@
+//! Fig. 9 — energy reduction ratio vs the load of the system (standard
+//! VMs), linear fits.
+//!
+//! Load is again measured as the FFPS average utilization
+//! (Section IV-C); the figure shows four series: CPU load and memory
+//! load, for the all-types fleet and the types-1–3 fleet. Paper shape:
+//! the ratio decreases close to linearly with load, and the all-types
+//! curves sit above the types-1–3 curves (FFPS wastes more on big
+//! servers while MIEC is equally good in both fleets).
+
+use super::{executor, interarrival_sweep, pct, COMPARED};
+use crate::runner::RunError;
+use crate::{ExpOptions, Figure, Series};
+use esvm_analysis::fit::FitKind;
+use esvm_core::AllocatorKind;
+use esvm_workload::{catalog, ServerType, WorkloadConfig};
+
+/// Reproduces Fig. 9: standard VMs on both fleets, reduction ratio
+/// plotted against the measured CPU and memory loads.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn fig9(opts: &ExpOptions) -> Result<Figure, RunError> {
+    let vm_count = opts.scale_vms(100);
+    let mut figure = Figure::new(
+        "Fig. 9",
+        "energy reduction ratio vs the load of the system",
+        "load of the system (%)",
+        "energy reduction ratio (%)",
+    );
+    let exec = executor(opts);
+
+    let fleets: [(&str, Vec<ServerType>); 2] = [
+        ("all types of servers used", catalog::server_types().to_vec()),
+        ("types 1-3 of servers used", catalog::server_types_1_3()),
+    ];
+    for (tag, fleet) in fleets {
+        let mut cpu_pairs: Vec<(f64, f64)> = Vec::new();
+        let mut mem_pairs: Vec<(f64, f64)> = Vec::new();
+        for ia in interarrival_sweep() {
+            let config = WorkloadConfig::new(vm_count, (vm_count / 2).max(1))
+                .mean_interarrival(ia)
+                .mean_duration(5.0)
+                .transition_time(1.0)
+                .vm_types(catalog::standard_vm_types())
+                .server_types(fleet.clone());
+            let point = exec.compare(&config, &COMPARED)?;
+            let ratio = pct(point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec));
+            cpu_pairs.push((pct(point.mean_cpu_utilization(AllocatorKind::Ffps)), ratio));
+            mem_pairs.push((pct(point.mean_mem_utilization(AllocatorKind::Ffps)), ratio));
+        }
+        for (kind_label, mut pairs) in [("CPU load", cpu_pairs), ("memory load", mem_pairs)] {
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            figure.push(Series::with_fit(
+                format!("vs {kind_label} ({tag})"),
+                xs,
+                ys,
+                FitKind::Linear,
+            ));
+        }
+    }
+    figure.note("standard VM types; load = FFPS average utilization");
+    Ok(figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            seeds: 3,
+            threads: 4,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn four_series_with_linear_fits() {
+        let fig = fig9(&tiny()).unwrap();
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert_eq!(s.fit.expect("fit").kind, FitKind::Linear);
+        }
+    }
+
+    #[test]
+    fn savings_are_positive_everywhere() {
+        // The strict decreasing-slope shape claim needs paper-scale
+        // statistics and lives in the integration tests; at this tiny
+        // scale we assert the weaker invariant that MIEC never loses.
+        let fig = fig9(&tiny()).unwrap();
+        for s in &fig.series {
+            let mean = s.y.iter().sum::<f64>() / s.y.len() as f64;
+            assert!(mean > 0.0, "{}: mean {mean}%", s.label);
+        }
+    }
+
+    #[test]
+    fn all_types_fleet_saves_at_least_as_much() {
+        let fig = fig9(&tiny()).unwrap();
+        let mean = |l: &str| {
+            let s = fig.series_by_label(l).unwrap();
+            s.y.iter().sum::<f64>() / s.y.len() as f64
+        };
+        let all = mean("vs CPU load (all types of servers used)");
+        let small = mean("vs CPU load (types 1-3 of servers used)");
+        assert!(
+            all + 3.0 > small,
+            "all-types saving {all}% not above types-1-3 {small}%"
+        );
+    }
+}

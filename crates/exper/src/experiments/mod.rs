@@ -1,0 +1,68 @@
+//! One module per paper artefact: Tables I–II and Figs. 2–9.
+//!
+//! Every `figN` function returns a [`Figure`](crate::Figure) holding the
+//! same series the paper plots, with the same fitting-curve families
+//! attached. All of them accept `ExpOptions` so the
+//! CLI runs them at paper scale while tests and benches run them in
+//! quick mode. [`ext_migration`], [`ext_arrivals`] and [`ext_overload`]
+//! are extension experiments beyond the paper: the
+//! allocation-vs-migration trade-off of Section V, the sensitivity to
+//! non-Poisson arrival streams, and behaviour under overload with
+//! admission control.
+
+mod ext_arrivals;
+mod ext_migration;
+mod ext_overload;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod tables;
+
+pub use ext_arrivals::{ext_arrivals, ext_arrivals_rows, ArrivalRow};
+pub use ext_migration::{ext_migration, ext_migration_rows, MigrationRow};
+pub use ext_overload::{ext_overload, ext_overload_rows, OverloadRow};
+pub use fig2::fig2;
+pub use fig3::fig3;
+pub use fig4::fig4;
+pub use fig5::fig5;
+pub use fig6::fig6;
+pub use fig7::fig7;
+pub use fig8::fig8;
+pub use fig9::fig9;
+pub use tables::{table1, table2};
+
+use crate::{ExpOptions, MonteCarlo};
+use esvm_core::AllocatorKind;
+
+/// The paper's inter-arrival sweep: "The mean inter-arrival time varies
+/// from 0.5 to 10 time units."
+pub(crate) fn interarrival_sweep() -> Vec<f64> {
+    vec![0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+}
+
+/// The paper's VM-count sweep (Fig. 2/7): 100–500 VMs, servers = half
+/// the VMs; scaled down in quick mode.
+pub(crate) fn vm_count_sweep(opts: &ExpOptions) -> Vec<usize> {
+    [100, 200, 300, 400, 500]
+        .into_iter()
+        .map(|c| opts.scale_vms(c))
+        .collect()
+}
+
+/// The two algorithms every figure compares.
+pub(crate) const COMPARED: [AllocatorKind; 2] = [AllocatorKind::Miec, AllocatorKind::Ffps];
+
+/// Shorthand for the executor configured by `opts`.
+pub(crate) fn executor(opts: &ExpOptions) -> MonteCarlo {
+    MonteCarlo::new(opts.seeds, opts.threads)
+}
+
+/// Percentage helper.
+pub(crate) fn pct(fraction: f64) -> f64 {
+    fraction * 100.0
+}

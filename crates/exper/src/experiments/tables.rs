@@ -1,0 +1,69 @@
+//! Tables I and II of the paper, rendered from the workload catalog.
+
+use esvm_analysis::Table;
+use esvm_workload::catalog;
+
+/// Table I — the types of resource demands of VMs.
+pub fn table1() -> Table {
+    let mut t = Table::new(vec!["type", "class", "CPU (compute unit)", "memory (GB)"]);
+    for vm in catalog::vm_types() {
+        t.row(vec![
+            vm.name.to_owned(),
+            vm.class.to_string(),
+            format!("{:.1}", vm.cpu),
+            format!("{:.2}", vm.mem),
+        ]);
+    }
+    t
+}
+
+/// Table II — the types of resource capacities and power consumption
+/// parameters of servers.
+pub fn table2() -> Table {
+    let mut t = Table::new(vec![
+        "type",
+        "CPU (compute unit)",
+        "memory (GB)",
+        "P_idle (W)",
+        "P_peak (W)",
+        "P_idle/P_peak",
+    ]);
+    for s in catalog::server_types() {
+        t.row(vec![
+            s.name.to_owned(),
+            format!("{:.0}", s.cpu),
+            format!("{:.0}", s.mem),
+            format!("{:.0}", s.p_idle),
+            format!("{:.0}", s.p_peak),
+            format!("{:.0}%", s.idle_fraction() * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_nine_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 9);
+        let text = t.to_string();
+        assert!(text.contains("m1.small") && text.contains("memory-intensive"), "{text}");
+    }
+
+    #[test]
+    fn table2_has_five_rows_with_idle_fraction() {
+        let t = table2();
+        assert_eq!(t.len(), 5);
+        let text = t.to_string();
+        assert!(text.contains("type 3") && text.contains("45%"), "{text}");
+    }
+
+    #[test]
+    fn tables_render_as_csv_too() {
+        assert!(table1().to_csv().starts_with("type,class"));
+        assert!(table2().to_csv().contains("type 1,16,32,38,80,48%"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Renderable figure data shared by the CLI, benches and tests.
+
+use esvm_analysis::fit::{fit, Fit, FitKind};
+use esvm_analysis::Table;
+use std::fmt;
+
+/// One data series of a figure (one line in the paper's plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"100 VMs"` or `"transition time = 3 min"`.
+    pub label: String,
+    /// X coordinates.
+    pub x: Vec<f64>,
+    /// Y coordinates.
+    pub y: Vec<f64>,
+    /// The fitting curve the paper draws through this series, if any.
+    pub fit: Option<Fit>,
+}
+
+impl Series {
+    /// Creates a series and attaches the requested fitting curve
+    /// (silently omitted when the fit is not computable, e.g. too few
+    /// points).
+    pub fn with_fit(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>, kind: FitKind) -> Self {
+        let fit = fit(kind, &x, &y);
+        Self {
+            label: label.into(),
+            x,
+            y,
+            fit,
+        }
+    }
+
+    /// Creates a series without a fitting curve.
+    pub fn plain(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        Self {
+            label: label.into(),
+            x,
+            y,
+            fit: None,
+        }
+    }
+}
+
+/// A reproduced figure or table: titled series over a common x-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Paper artefact id, e.g. `"Fig. 2"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (workload parameters, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    pub fn push(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// The series with the given label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as an aligned text table: one row per x value,
+    /// one column per series, followed by the fitted curves.
+    ///
+    /// Series may have different x grids (Figs. 4 and 9 plot against
+    /// measured load); the table uses the union of x values and leaves
+    /// holes blank.
+    pub fn render(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.x.iter().copied())
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut table = Table::new(header);
+        for &x in &xs {
+            let mut cells = vec![format!("{x:.3}")];
+            for s in &self.series {
+                let cell = s
+                    .x
+                    .iter()
+                    .position(|&sx| (sx - x).abs() < 1e-9)
+                    .map(|i| format!("{:.3}", s.y[i]))
+                    .unwrap_or_default();
+                cells.push(cell);
+            }
+            table.row(cells);
+        }
+
+        let mut out = format!("{}: {}\n(y: {})\n\n{}", self.id, self.title, self.y_label, table);
+        let fits: Vec<String> = self
+            .series
+            .iter()
+            .filter_map(|s| s.fit.map(|f| format!("  {} fit of {}: {f}", f.kind, s.label)))
+            .collect();
+        if !fits.is_empty() {
+            out.push_str("\nFitting curves:\n");
+            for line in fits {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// CSV rendering of the series (long format:
+    /// `series,x,y` rows), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for (x, y) in s.x.iter().zip(&s.y) {
+                // Labels are generated in-repo and contain no commas; keep
+                // the emitter strict anyway.
+                assert!(!s.label.contains(','), "label {:?} needs quoting", s.label);
+                out.push_str(&format!("{},{x},{y}\n", s.label));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("Fig. T", "test figure", "x", "ratio (%)");
+        fig.push(Series::with_fit(
+            "a",
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            FitKind::Linear,
+        ));
+        fig.push(Series::plain("b", vec![2.0, 4.0], vec![1.0, 2.0]));
+        fig.note("demo note");
+        fig
+    }
+
+    #[test]
+    fn render_includes_all_parts() {
+        let text = sample().render();
+        assert!(text.contains("Fig. T"), "{text}");
+        assert!(text.contains("linear fit of a"), "{text}");
+        assert!(text.contains("Adj.R²"), "{text}");
+        assert!(text.contains("note: demo note"), "{text}");
+        // Union x grid: 1, 2, 3, 4.
+        assert!(text.contains("4.000"), "{text}");
+    }
+
+    #[test]
+    fn series_without_fit_renders() {
+        let fig = sample();
+        assert!(fig.series_by_label("b").unwrap().fit.is_none());
+        assert!(fig.series_by_label("a").unwrap().fit.is_some());
+        assert!(fig.series_by_label("zzz").is_none());
+    }
+
+    #[test]
+    fn csv_is_long_format() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines.len(), 1 + 3 + 2);
+        assert!(lines.contains(&"a,2,4"));
+    }
+
+    #[test]
+    fn fit_is_omitted_when_uncomputable() {
+        let s = Series::with_fit("tiny", vec![1.0, 2.0], vec![1.0, 2.0], FitKind::Linear);
+        assert!(s.fit.is_none());
+    }
+
+    #[test]
+    fn display_delegates_to_render() {
+        let fig = sample();
+        assert_eq!(fig.to_string(), fig.render());
+    }
+}

@@ -1,0 +1,42 @@
+//! # esvm-exper
+//!
+//! Experiment harness reproducing **every table and figure** of
+//! *"Energy Saving Virtual Machine Allocation in Cloud Computing"*
+//! (Xie et al., ICDCSW 2013).
+//!
+//! * [`runner`] — seeded, multi-threaded Monte-Carlo executor comparing
+//!   allocation algorithms on generated workloads;
+//! * [`figure`] — a renderable figure/series data model shared by the
+//!   CLI, the benches and the integration tests;
+//! * [`experiments`] — one module per paper artefact:
+//!   [`experiments::table1`], [`experiments::table2`],
+//!   [`experiments::fig2`] … [`experiments::fig9`];
+//! * [`planner`] — capacity planning: the admission/energy frontier
+//!   over fleet sizes, with a recommended minimal fleet;
+//! * [`report`] — a standalone HTML reproduction report with embedded
+//!   SVG plots of every figure;
+//! * [`options`] — common knobs (seed count, thread count, quick mode);
+//! * [`cli`] — the `esvm` command-line front end.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use esvm_exper::{experiments, options::ExpOptions};
+//! let figure = experiments::fig2(&ExpOptions::quick()).unwrap();
+//! println!("{}", figure.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod figure;
+pub mod options;
+pub mod planner;
+pub mod report;
+pub mod runner;
+
+pub use figure::{Figure, Series};
+pub use options::ExpOptions;
+pub use runner::{ComparisonPoint, MonteCarlo, RunError};

@@ -1,0 +1,80 @@
+//! Common experiment knobs.
+
+use std::num::NonZeroUsize;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Number of Monte-Carlo seeds per sweep point (the paper uses 50).
+    pub seeds: u64,
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+    /// Quick mode shrinks VM counts (100–500 → 20–100) so the full
+    /// figure set reproduces in seconds; used by tests and benches.
+    pub quick: bool,
+}
+
+impl ExpOptions {
+    /// The paper's configuration: 50 seeds, full VM counts.
+    pub fn paper() -> Self {
+        Self {
+            seeds: 50,
+            threads: default_threads(),
+            quick: false,
+        }
+    }
+
+    /// A fast smoke configuration: 6 seeds, scaled-down VM counts.
+    pub fn quick() -> Self {
+        Self {
+            seeds: 6,
+            threads: default_threads(),
+            quick: true,
+        }
+    }
+
+    /// Scales a paper VM count for quick mode (divides by 5).
+    pub fn scale_vms(&self, paper_count: usize) -> usize {
+        if self.quick {
+            (paper_count / 5).max(10)
+        } else {
+            paper_count
+        }
+    }
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let o = ExpOptions::paper();
+        assert_eq!(o.seeds, 50);
+        assert!(!o.quick);
+        assert!(o.threads >= 1);
+        assert_eq!(o.scale_vms(300), 300);
+        assert_eq!(ExpOptions::default(), o);
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let o = ExpOptions::quick();
+        assert!(o.quick);
+        assert_eq!(o.scale_vms(100), 20);
+        assert_eq!(o.scale_vms(500), 100);
+        assert_eq!(o.scale_vms(20), 10); // floor
+    }
+}

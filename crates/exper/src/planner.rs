@@ -1,0 +1,216 @@
+//! Capacity planning: how many servers does a workload need?
+//!
+//! The paper takes the fleet as given (servers = VMs/2). A downstream
+//! operator asks the inverse question: *given my request stream and an
+//! admission-rate target, how small can the fleet be, and what will it
+//! cost in energy?* [`CapacityPlanner`] answers it by sweeping fleet
+//! sizes, running admission-controlled MIEC on seeded workloads at each
+//! size, and reporting the admission/energy frontier plus the minimal
+//! fleet meeting the target.
+
+use crate::runner::RunError;
+use esvm_analysis::Table;
+use esvm_core::{AllocatorKind, Miec};
+use esvm_workload::WorkloadConfig;
+
+/// One fleet size on the frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// Fleet size evaluated.
+    pub servers: usize,
+    /// Mean fraction of VMs admitted, in `[0, 1]`.
+    pub admission_rate: f64,
+    /// Mean total energy of the admitted work (watt·time-units).
+    pub energy: f64,
+    /// Mean energy per admitted CPU·time unit.
+    pub energy_per_work: f64,
+}
+
+/// The planning result: the frontier and the chosen fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPlan {
+    /// Admission target the plan was built for, in `[0, 1]`.
+    pub target: f64,
+    /// Evaluated fleet sizes, ascending.
+    pub frontier: Vec<FrontierPoint>,
+    /// The smallest evaluated fleet meeting the target, if any.
+    pub recommended: Option<FrontierPoint>,
+}
+
+impl CapacityPlan {
+    /// Renders the frontier as a table (the recommended row is marked).
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "servers",
+            "admission (%)",
+            "energy",
+            "energy/work",
+            "meets target",
+        ]);
+        for p in &self.frontier {
+            let marker = if Some(p.servers) == self.recommended.map(|r| r.servers) {
+                "<- recommended".to_owned()
+            } else if p.admission_rate >= self.target {
+                "yes".to_owned()
+            } else {
+                String::new()
+            };
+            table.row(vec![
+                p.servers.to_string(),
+                format!("{:.2}", p.admission_rate * 100.0),
+                format!("{:.0}", p.energy),
+                format!("{:.2}", p.energy_per_work),
+                marker,
+            ]);
+        }
+        table
+    }
+}
+
+/// Sweeps fleet sizes for a workload template.
+#[derive(Debug, Clone)]
+pub struct CapacityPlanner {
+    template: WorkloadConfig,
+    target: f64,
+    seeds: u64,
+}
+
+impl CapacityPlanner {
+    /// Creates a planner for the given workload template (its server
+    /// count is ignored — the sweep overrides it) and admission target.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target ∈ (0, 1]` and `seeds ≥ 1`.
+    pub fn new(template: WorkloadConfig, target: f64, seeds: u64) -> Self {
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "admission target must be in (0, 1]"
+        );
+        assert!(seeds >= 1, "need at least one seed");
+        Self {
+            template,
+            target,
+            seeds,
+        }
+    }
+
+    /// Evaluates one fleet size.
+    fn evaluate(&self, servers: usize) -> Result<FrontierPoint, RunError> {
+        let config = self.template.clone().with_server_count(servers);
+        let mut admitted = 0.0;
+        let mut energy = 0.0;
+        let mut work = 0.0;
+        for seed in 0..self.seeds {
+            let problem = config.generate(seed)?;
+            let (assignment, rejected) =
+                Miec::new()
+                    .allocate_with_admission(&problem)
+                    .map_err(|error| RunError::Alloc {
+                        algo: AllocatorKind::Miec,
+                        seed,
+                        error,
+                    })?;
+            admitted += 1.0 - rejected.len() as f64 / problem.vm_count().max(1) as f64;
+            energy += assignment.total_cost();
+            work += assignment
+                .placement()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(j, _)| problem.vms()[j].cpu_time())
+                .sum::<f64>();
+        }
+        let n = self.seeds as f64;
+        Ok(FrontierPoint {
+            servers,
+            admission_rate: admitted / n,
+            energy: energy / n,
+            energy_per_work: if work > 0.0 { energy / work } else { 0.0 },
+        })
+    }
+
+    /// Builds the plan over the given candidate fleet sizes (deduplicated
+    /// and sorted ascending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`] (e.g. a fleet too small to host
+    /// the largest VM type at all).
+    pub fn plan(&self, mut candidate_sizes: Vec<usize>) -> Result<CapacityPlan, RunError> {
+        candidate_sizes.sort_unstable();
+        candidate_sizes.dedup();
+        let mut frontier = Vec::with_capacity(candidate_sizes.len());
+        for servers in candidate_sizes {
+            frontier.push(self.evaluate(servers.max(1))?);
+        }
+        let recommended = frontier
+            .iter()
+            .copied()
+            .find(|p| p.admission_rate >= self.target);
+        Ok(CapacityPlan {
+            target: self.target,
+            frontier,
+            recommended,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esvm_workload::catalog;
+
+    fn template() -> WorkloadConfig {
+        WorkloadConfig::new(60, 1)
+            .mean_interarrival(0.5)
+            .mean_duration(10.0)
+            .vm_types(catalog::standard_vm_types())
+    }
+
+    #[test]
+    fn admission_rate_is_monotone_in_fleet_size() {
+        let plan = CapacityPlanner::new(template(), 0.99, 4)
+            .plan(vec![2, 6, 20])
+            .unwrap();
+        assert_eq!(plan.frontier.len(), 3);
+        for w in plan.frontier.windows(2) {
+            assert!(
+                w[0].admission_rate <= w[1].admission_rate + 1e-9,
+                "{w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recommendation_is_smallest_meeting_target() {
+        let plan = CapacityPlanner::new(template(), 0.9, 4)
+            .plan(vec![20, 2, 6, 6])
+            .unwrap();
+        if let Some(rec) = plan.recommended {
+            assert!(rec.admission_rate >= 0.9);
+            for p in &plan.frontier {
+                if p.servers < rec.servers {
+                    assert!(p.admission_rate < 0.9, "{p:?} should have been chosen");
+                }
+            }
+        }
+        // A generous fleet always meets a 90 % target for this stream.
+        assert!(plan.recommended.is_some());
+    }
+
+    #[test]
+    fn table_marks_the_recommendation() {
+        let plan = CapacityPlanner::new(template(), 0.5, 2)
+            .plan(vec![2, 30])
+            .unwrap();
+        let text = plan.to_table().to_string();
+        assert!(text.contains("<- recommended"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "admission target")]
+    fn invalid_target_is_rejected() {
+        let _ = CapacityPlanner::new(template(), 1.5, 2);
+    }
+}

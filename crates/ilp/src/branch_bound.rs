@@ -1,0 +1,314 @@
+//! Branch-and-bound over the binary variables of a MILP.
+//!
+//! Depth-first search on the LP relaxation: at each node the relaxation
+//! is solved with the branching decisions imposed as fixings
+//! ([`solve_lp_with_fixings`]); a node is pruned when its bound meets the
+//! incumbent, its relaxation is infeasible, or its relaxation is already
+//! integral. Branching picks the most fractional binary variable.
+
+use crate::model::{LinearProgram, VarId};
+use crate::simplex::{solve_lp_with_fixings, LpError};
+use std::fmt;
+
+/// Integrality tolerance: a value within this of 0/1 counts as integral.
+const INT_EPS: f64 = 1e-6;
+
+/// Errors from the MILP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MilpError {
+    /// No integral feasible point exists.
+    Infeasible,
+    /// The relaxation at the root is unbounded.
+    Unbounded,
+    /// The node budget was exhausted before the tree was closed.
+    NodeLimit,
+    /// The LP solver failed numerically.
+    Numerical,
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::Infeasible => write!(f, "milp is infeasible"),
+            MilpError::Unbounded => write!(f, "milp relaxation is unbounded"),
+            MilpError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+            MilpError::Numerical => write!(f, "lp solver failed numerically"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+/// An optimal MILP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Optimal variable values (binaries are exactly 0.0 or 1.0).
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Solves the MILP to proven optimality with the default node budget
+/// (1 million nodes — far beyond anything the certification instances
+/// need).
+///
+/// # Errors
+///
+/// Any [`MilpError`] variant.
+pub fn solve_milp(lp: &LinearProgram) -> Result<MilpSolution, MilpError> {
+    solve_milp_with_budget(lp, 1_000_000)
+}
+
+/// Solves the MILP with an explicit node budget.
+///
+/// # Errors
+///
+/// Any [`MilpError`] variant; [`MilpError::NodeLimit`] when the budget
+/// runs out with the tree still open.
+pub fn solve_milp_with_budget(
+    lp: &LinearProgram,
+    node_budget: usize,
+) -> Result<MilpSolution, MilpError> {
+    let mut solver = BranchBound {
+        lp,
+        incumbent: None,
+        nodes: 0,
+        budget: node_budget,
+    };
+    match solver.explore(&mut Vec::new()) {
+        Ok(()) => {}
+        Err(MilpError::NodeLimit) if solver.incumbent.is_none() => {
+            return Err(MilpError::NodeLimit)
+        }
+        Err(MilpError::NodeLimit) => return Err(MilpError::NodeLimit),
+        Err(e) => return Err(e),
+    }
+    let (x, objective) = solver.incumbent.ok_or(MilpError::Infeasible)?;
+    Ok(MilpSolution {
+        x,
+        objective,
+        nodes: solver.nodes,
+    })
+}
+
+struct BranchBound<'a> {
+    lp: &'a LinearProgram,
+    incumbent: Option<(Vec<f64>, f64)>,
+    nodes: usize,
+    budget: usize,
+}
+
+impl BranchBound<'_> {
+    /// Picks the binary variable whose relaxed value is farthest from an
+    /// integer.
+    fn most_fractional(&self, x: &[f64]) -> Option<(VarId, f64)> {
+        self.lp
+            .binary_vars()
+            .map(|v| (v, x[v]))
+            .filter(|&(_, val)| val > INT_EPS && val < 1.0 - INT_EPS)
+            .max_by(|a, b| {
+                let fa = (a.1 - 0.5).abs();
+                let fb = (b.1 - 0.5).abs();
+                fb.total_cmp(&fa) // max_by keyed on closeness to 0.5
+            })
+    }
+
+    fn explore(&mut self, fixings: &mut Vec<(VarId, f64)>) -> Result<(), MilpError> {
+        if self.nodes >= self.budget {
+            return Err(MilpError::NodeLimit);
+        }
+        self.nodes += 1;
+
+        let relaxed = match solve_lp_with_fixings(self.lp, fixings) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => return Ok(()), // prune
+            Err(LpError::Unbounded) => {
+                // Unbounded at the root means the MILP is unbounded; at a
+                // deeper node with binaries fixed it still means the
+                // continuous part is unbounded.
+                return Err(MilpError::Unbounded);
+            }
+            Err(LpError::IterationLimit) => return Err(MilpError::Numerical),
+        };
+
+        // Bound pruning.
+        if let Some((_, best)) = &self.incumbent {
+            if relaxed.objective >= *best - 1e-9 {
+                return Ok(());
+            }
+        }
+
+        match self.most_fractional(&relaxed.x) {
+            None => {
+                // Integral: round binaries exactly and accept.
+                let mut x = relaxed.x;
+                for v in self.lp.binary_vars() {
+                    x[v] = if x[v] >= 0.5 { 1.0 } else { 0.0 };
+                }
+                let objective = self.lp.objective_value(&x);
+                let improves = self
+                    .incumbent
+                    .as_ref()
+                    .is_none_or(|(_, best)| objective < *best);
+                if improves {
+                    self.incumbent = Some((x, objective));
+                }
+                Ok(())
+            }
+            Some((v, value)) => {
+                // Explore the "nearer" branch first for faster incumbents.
+                let order = if value >= 0.5 { [1.0, 0.0] } else { [0.0, 1.0] };
+                for fix in order {
+                    fixings.push((v, fix));
+                    let r = self.explore(fixings);
+                    fixings.pop();
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, LinearProgram};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    /// Brute-force reference over all binary combinations.
+    fn brute_force(lp: &LinearProgram) -> Option<f64> {
+        let binaries: Vec<VarId> = lp.binary_vars().collect();
+        assert!(
+            lp.num_vars() == binaries.len(),
+            "reference only handles pure binary programs"
+        );
+        let mut best: Option<f64> = None;
+        for mask in 0..(1u32 << binaries.len()) {
+            let x: Vec<f64> = (0..binaries.len())
+                .map(|k| f64::from((mask >> k) & 1))
+                .collect();
+            if lp.is_feasible(&x, 1e-9) {
+                let obj = lp.objective_value(&x);
+                if best.is_none_or(|b| obj < b) {
+                    best = Some(obj);
+                }
+            }
+        }
+        best
+    }
+
+    fn knapsack(values: &[f64], weights: &[f64], capacity: f64) -> LinearProgram {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<VarId> = values.iter().map(|&v| lp.add_binary_var(-v)).collect();
+        lp.add_constraint(
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect(),
+            ConstraintOp::Le,
+            capacity,
+        );
+        lp
+    }
+
+    #[test]
+    fn solves_small_knapsack() {
+        let lp = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let sol = solve_milp(&lp).unwrap();
+        assert!(close(sol.objective, brute_force(&lp).unwrap()), "{sol:?}");
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_knapsacks() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            let n = rng.gen_range(3..9);
+            let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..20.0)).collect();
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+            let capacity = rng.gen_range(5.0..25.0);
+            let lp = knapsack(&values, &weights, capacity);
+            let sol = solve_milp(&lp).unwrap();
+            let reference = brute_force(&lp).unwrap();
+            assert!(
+                close(sol.objective, reference),
+                "trial {trial}: got {} expected {reference}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // Assign 2 jobs to 2 machines: min cost, each job exactly once.
+        // costs: j0: (1, 5), j1: (4, 2) → 1 + 2 = 3.
+        let mut lp = LinearProgram::new();
+        let x00 = lp.add_binary_var(1.0);
+        let x01 = lp.add_binary_var(5.0);
+        let x10 = lp.add_binary_var(4.0);
+        let x11 = lp.add_binary_var(2.0);
+        lp.add_constraint(vec![(x00, 1.0), (x01, 1.0)], ConstraintOp::Eq, 1.0);
+        lp.add_constraint(vec![(x10, 1.0), (x11, 1.0)], ConstraintOp::Eq, 1.0);
+        let sol = solve_milp(&lp).unwrap();
+        assert!(close(sol.objective, 3.0), "{sol:?}");
+        assert!(close(sol.x[x00], 1.0) && close(sol.x[x11], 1.0));
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        // min z + 10 y  s.t. z ≥ 3 − 5y, z ≥ 0, y binary.
+        // y=0 → z=3 cost 3; y=1 → z=0 cost 10. Optimal 3.
+        let mut lp = LinearProgram::new();
+        let z = lp.add_var(1.0, None);
+        let y = lp.add_binary_var(10.0);
+        lp.add_constraint(vec![(z, 1.0), (y, 5.0)], ConstraintOp::Ge, 3.0);
+        let sol = solve_milp(&lp).unwrap();
+        assert!(close(sol.objective, 3.0), "{sol:?}");
+        assert!(close(sol.x[y], 0.0));
+    }
+
+    #[test]
+    fn detects_infeasible_milp() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var(1.0);
+        let b = lp.add_binary_var(1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], ConstraintOp::Eq, 3.0);
+        assert_eq!(solve_milp(&lp).unwrap_err(), MilpError::Infeasible);
+    }
+
+    #[test]
+    fn fractional_lp_optimum_forces_branching() {
+        // LP relaxation of: max x1 + x2, 2x1 + 2x2 ≤ 3 gives 1.5;
+        // integral optimum is 1.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var(-1.0);
+        let b = lp.add_binary_var(-1.0);
+        lp.add_constraint(vec![(a, 2.0), (b, 2.0)], ConstraintOp::Le, 3.0);
+        let sol = solve_milp(&lp).unwrap();
+        assert!(close(sol.objective, -1.0), "{sol:?}");
+        assert!(sol.nodes > 1, "must have branched: {sol:?}");
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let lp = knapsack(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0; 5], 2.5);
+        assert_eq!(
+            solve_milp_with_budget(&lp, 1).unwrap_err(),
+            MilpError::NodeLimit
+        );
+    }
+
+    #[test]
+    fn binaries_in_solution_are_exact() {
+        let lp = knapsack(&[5.0, 4.0, 3.0], &[2.0, 3.0, 1.0], 3.0);
+        let sol = solve_milp(&lp).unwrap();
+        for v in lp.binary_vars() {
+            assert!(sol.x[v] == 0.0 || sol.x[v] == 1.0, "{sol:?}");
+        }
+        assert!(lp.is_feasible(&sol.x, 1e-7));
+    }
+}

@@ -1,0 +1,391 @@
+//! The paper's boolean ILP (Section II, Eqs. 8–14) built from an
+//! [`AllocationProblem`].
+//!
+//! Decision variables:
+//!
+//! * `x_ij ∈ {0,1}` — VM `j` allocated on server `i` (only *statically
+//!   feasible* pairs are materialised: the VM's demand must fit the
+//!   server's total capacity);
+//! * `y_it ∈ {0,1}` — server `i` active during time unit `t`, for `t`
+//!   in `[t_min, T]` (the span of all VM activity; outside it `y = 0`
+//!   trivially);
+//! * `z_it ∈ [0,1]` — linearisation of the transition term
+//!   `(y_it − y_{i,t−1})⁺` with `y_{i,t_min−1} = 0`; since `z` has
+//!   positive cost `α_i` and is only bounded below by the difference, it
+//!   takes exactly `max{0, y_it − y_{i,t−1}}` at any optimum.
+//!
+//! Objective (Eq. 8): `min Σ W_ij x_ij + Σ P_idle,i y_it + Σ α_i z_it`.
+//!
+//! Constraints: CPU and memory capacity per server per time unit
+//! (Eqs. 9–10), exactly-one-server per VM (Eq. 11), activity linking
+//! `x_ij ≤ y_it` for `t` in the VM's duration (Eq. 12). The linking
+//! constraints are implied by the capacity rows for VMs with positive
+//! demand, but they tighten the LP relaxation substantially, which is
+//! what makes branch-and-bound practical.
+
+use crate::branch_bound::{solve_milp_with_budget, MilpError, MilpSolution};
+use crate::model::{ConstraintOp, LinearProgram, VarId};
+use esvm_simcore::{AllocationProblem, Assignment, ServerId, TimeUnit, VmId};
+use std::collections::HashMap;
+
+/// The MILP encoding of one allocation problem.
+#[derive(Debug, Clone)]
+pub struct Formulation<'p> {
+    problem: &'p AllocationProblem,
+    lp: LinearProgram,
+    /// `(server, vm) → x` var.
+    x: HashMap<(usize, usize), VarId>,
+    /// Number of `y` variables (diagnostics).
+    num_y: usize,
+    /// Number of `z` variables (diagnostics).
+    num_z: usize,
+}
+
+/// An exact solution: the optimal placement and its certified objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// Optimal placement, indexed by VM id.
+    pub placement: Vec<Option<ServerId>>,
+    /// The MILP objective at the optimum (equals the audited energy of
+    /// the decoded assignment).
+    pub objective: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+impl ExactSolution {
+    /// Reconstructs a validated [`Assignment`] from the placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`esvm_simcore::Error`] if the placement is invalid
+    /// (cannot happen for solutions produced by [`Formulation::solve`]).
+    pub fn decode<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+    ) -> esvm_simcore::Result<Assignment<'p>> {
+        Assignment::from_placement(problem, &self.placement)
+    }
+}
+
+impl<'p> Formulation<'p> {
+    /// Builds the MILP for `problem`.
+    ///
+    /// Instance size is `O(n·m + n·T)` variables and
+    /// `O(n·T + Σ_j n·|duration_j|)` constraints — intended for
+    /// certification-scale instances (a handful of VMs and servers over a
+    /// short horizon).
+    pub fn new(problem: &'p AllocationProblem) -> Self {
+        let mut lp = LinearProgram::new();
+        let n = problem.server_count();
+        let m = problem.vm_count();
+
+        let (t_min, t_max) = time_span(problem);
+
+        // x_ij for statically feasible pairs.
+        let mut x = HashMap::new();
+        for (i, server) in problem.servers().iter().enumerate() {
+            for (j, vm) in problem.vms().iter().enumerate() {
+                if vm.demand().fits_within(server.capacity()) {
+                    let var = lp.add_binary_var(server.run_cost(vm));
+                    x.insert((i, j), var);
+                }
+            }
+        }
+
+        // y_it and z_it.
+        let mut y = HashMap::new();
+        let mut z = HashMap::new();
+        if m > 0 {
+            for (i, server) in problem.servers().iter().enumerate() {
+                for t in t_min..=t_max {
+                    y.insert((i, t), lp.add_binary_var(server.power().p_idle()));
+                    z.insert((i, t), lp.add_var(server.transition_cost(), Some(1.0)));
+                }
+            }
+        }
+
+        // Capacity constraints (Eqs. 9–10) per (i, t).
+        if m > 0 {
+            for (i, server) in problem.servers().iter().enumerate() {
+                for t in t_min..=t_max {
+                    let mut cpu_row: Vec<(VarId, f64)> = Vec::new();
+                    let mut mem_row: Vec<(VarId, f64)> = Vec::new();
+                    for (j, vm) in problem.vms().iter().enumerate() {
+                        if vm.interval().contains(t) {
+                            if let Some(&var) = x.get(&(i, j)) {
+                                cpu_row.push((var, vm.demand().cpu));
+                                mem_row.push((var, vm.demand().mem));
+                            }
+                        }
+                    }
+                    let y_var = y[&(i, t)];
+                    if !cpu_row.is_empty() {
+                        cpu_row.push((y_var, -server.capacity().cpu));
+                        lp.add_constraint(cpu_row, ConstraintOp::Le, 0.0);
+                        mem_row.push((y_var, -server.capacity().mem));
+                        lp.add_constraint(mem_row, ConstraintOp::Le, 0.0);
+                    }
+
+                    // Transition linearisation: y_it − y_{i,t−1} ≤ z_it.
+                    let z_var = z[&(i, t)];
+                    let mut row = vec![(y_var, 1.0), (z_var, -1.0)];
+                    if t > t_min {
+                        row.push((y[&(i, t - 1)], -1.0));
+                    }
+                    lp.add_constraint(row, ConstraintOp::Le, 0.0);
+                }
+            }
+        }
+
+        // Exactly one server per VM (Eq. 11).
+        for j in 0..m {
+            let row: Vec<(VarId, f64)> = (0..n)
+                .filter_map(|i| x.get(&(i, j)).map(|&v| (v, 1.0)))
+                .collect();
+            lp.add_constraint(row, ConstraintOp::Eq, 1.0);
+        }
+
+        // Linking x_ij ≤ y_it (Eq. 12).
+        for (&(i, j), &x_var) in &x {
+            let vm = &problem.vms()[j];
+            for t in vm.interval().iter() {
+                lp.add_constraint(
+                    vec![(x_var, 1.0), (y[&(i, t)], -1.0)],
+                    ConstraintOp::Le,
+                    0.0,
+                );
+            }
+        }
+
+        let num_y = y.len();
+        let num_z = z.len();
+        Self {
+            problem,
+            lp,
+            x,
+            num_y,
+            num_z,
+        }
+    }
+
+    /// The underlying MILP (read-only).
+    pub fn lp(&self) -> &LinearProgram {
+        &self.lp
+    }
+
+    /// `(x, y, z)` variable counts (diagnostics).
+    pub fn var_counts(&self) -> (usize, usize, usize) {
+        (self.x.len(), self.num_y, self.num_z)
+    }
+
+    /// Solves to proven optimality and decodes the placement.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MilpError`] variant (an overloaded instance is
+    /// [`MilpError::Infeasible`]).
+    pub fn solve(&self) -> Result<ExactSolution, MilpError> {
+        self.solve_with_budget(1_000_000)
+    }
+
+    /// Solves with an explicit branch-and-bound node budget.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MilpError`] variant.
+    pub fn solve_with_budget(&self, budget: usize) -> Result<ExactSolution, MilpError> {
+        let MilpSolution {
+            x: values,
+            objective,
+            nodes,
+        } = solve_milp_with_budget(&self.lp, budget)?;
+
+        let mut placement = vec![None; self.problem.vm_count()];
+        for (&(i, j), &var) in &self.x {
+            if values[var] > 0.5 {
+                debug_assert!(
+                    placement[j].is_none(),
+                    "vm {j} assigned to two servers"
+                );
+                placement[j] = Some(ServerId(i as u32));
+            }
+        }
+        debug_assert!(
+            placement.iter().all(Option::is_some),
+            "incomplete exact placement"
+        );
+        Ok(ExactSolution {
+            placement,
+            objective,
+            nodes,
+        })
+    }
+
+    /// Whether the pair `(server, vm)` was materialised as a variable.
+    pub fn has_pair(&self, server: ServerId, vm: VmId) -> bool {
+        self.x.contains_key(&(server.index(), vm.index()))
+    }
+}
+
+/// The `[t_min, t_max]` span of VM activity (degenerate `(0, 0)` when
+/// there is no VM).
+fn time_span(problem: &AllocationProblem) -> (TimeUnit, TimeUnit) {
+    let t_min = problem.vms().iter().map(|v| v.start()).min().unwrap_or(0);
+    let t_max = problem.horizon();
+    (t_min, t_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    fn small_problem() -> ProblemBuilder {
+        ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+            .server(Resources::new(8.0, 16.0), PowerModel::new(80.0, 200.0), 100.0)
+    }
+
+    #[test]
+    fn single_vm_lands_on_cheapest_server() {
+        let p = small_problem()
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 4))
+            .build()
+            .unwrap();
+        let sol = Formulation::new(&p).solve().unwrap();
+        // Server 0: run = (50/4)·2·4 = 100, idle = 200, α = 60 → 360.
+        // Server 1: run = (120/8)·2·4 = 120, idle = 320, α = 100 → 540.
+        assert_eq!(sol.placement[0], Some(ServerId(0)));
+        assert!(close(sol.objective, 360.0), "{sol:?}");
+    }
+
+    #[test]
+    fn objective_matches_decoded_assignment_cost() {
+        let p = small_problem()
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 4))
+            .vm(Resources::new(3.0, 3.0), Interval::new(3, 6))
+            .vm(Resources::new(1.0, 1.0), Interval::new(9, 10))
+            .build()
+            .unwrap();
+        let sol = Formulation::new(&p).solve().unwrap();
+        let assignment = sol.decode(&p).unwrap();
+        assert!(
+            close(sol.objective, assignment.total_cost()),
+            "milp {} vs audit {}",
+            sol.objective,
+            assignment.total_cost()
+        );
+    }
+
+    #[test]
+    fn milp_never_beats_is_matched_by_brute_force() {
+        // Enumerate all placements; the MILP optimum must equal the best.
+        let p = small_problem()
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 4))
+            .vm(Resources::new(3.0, 3.0), Interval::new(2, 5))
+            .build()
+            .unwrap();
+        let mut best = f64::INFINITY;
+        for s0 in 0..2u32 {
+            for s1 in 0..2u32 {
+                let placement = vec![Some(ServerId(s0)), Some(ServerId(s1))];
+                if let Ok(a) = Assignment::from_placement(&p, &placement) {
+                    best = best.min(a.total_cost());
+                }
+            }
+        }
+        let sol = Formulation::new(&p).solve().unwrap();
+        assert!(close(sol.objective, best), "milp {} vs brute {best}", sol.objective);
+    }
+
+    #[test]
+    fn switch_off_policy_emerges_from_the_milp() {
+        // One server, two VMs with a long gap: cheaper to switch off
+        // (α = 60 < P_idle·gap = 50·4 = 200). The MILP must choose y = 0
+        // in the gap and pay a second α.
+        let p = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 2))
+            .vm(Resources::new(2.0, 4.0), Interval::new(7, 8))
+            .build()
+            .unwrap();
+        let sol = Formulation::new(&p).solve().unwrap();
+        let a = sol.decode(&p).unwrap();
+        assert!(close(sol.objective, a.total_cost()));
+        let report = a.audit().unwrap();
+        assert_eq!(report.servers[0].transitions, 2);
+    }
+
+    #[test]
+    fn keep_active_policy_emerges_when_alpha_is_large() {
+        // Same shape but α = 500 > 200: stay active through the gap.
+        let p = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 500.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 2))
+            .vm(Resources::new(2.0, 4.0), Interval::new(7, 8))
+            .build()
+            .unwrap();
+        let sol = Formulation::new(&p).solve().unwrap();
+        let a = sol.decode(&p).unwrap();
+        assert!(close(sol.objective, a.total_cost()));
+        assert_eq!(a.audit().unwrap().servers[0].transitions, 1);
+    }
+
+    #[test]
+    fn infeasible_pairs_are_not_materialised() {
+        let p = small_problem()
+            // Fits only server 1.
+            .vm(Resources::new(6.0, 10.0), Interval::new(1, 2))
+            .build()
+            .unwrap();
+        let f = Formulation::new(&p);
+        assert!(!f.has_pair(ServerId(0), VmId(0)));
+        assert!(f.has_pair(ServerId(1), VmId(0)));
+        let sol = f.solve().unwrap();
+        assert_eq!(sol.placement[0], Some(ServerId(1)));
+    }
+
+    #[test]
+    fn capacity_conflict_forces_split() {
+        let p = small_problem()
+            .vm(Resources::new(3.0, 6.0), Interval::new(1, 4))
+            .vm(Resources::new(3.0, 6.0), Interval::new(2, 5))
+            .build()
+            .unwrap();
+        let sol = Formulation::new(&p).solve().unwrap();
+        // 3+3 = 6 CPU exceeds server 0 (4 CPU) but fits server 1 (8 CPU):
+        // both on server 1 is allowed; both on server 0 is not.
+        let a = sol.decode(&p).unwrap();
+        assert!(a.audit().is_ok());
+        assert!(
+            !(sol.placement[0] == Some(ServerId(0)) && sol.placement[1] == Some(ServerId(0)))
+        );
+    }
+
+    #[test]
+    fn var_counts_are_reported() {
+        let p = small_problem()
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 3))
+            .build()
+            .unwrap();
+        let f = Formulation::new(&p);
+        let (nx, ny, nz) = f.var_counts();
+        assert_eq!(nx, 2); // fits both servers
+        assert_eq!(ny, 2 * 3); // 2 servers × t ∈ [1,3]
+        assert_eq!(nz, 2 * 3);
+        assert!(f.lp().num_constraints() > 0);
+    }
+
+    #[test]
+    fn empty_vm_list_solves_to_zero() {
+        let p = small_problem().build().unwrap();
+        let sol = Formulation::new(&p).solve().unwrap();
+        assert_eq!(sol.placement.len(), 0);
+        assert!(close(sol.objective, 0.0));
+    }
+}

@@ -1,0 +1,55 @@
+//! # esvm-ilp
+//!
+//! Exact optimization substrate for the reproduction of *"Energy Saving
+//! Virtual Machine Allocation in Cloud Computing"* (Xie et al.,
+//! ICDCSW 2013).
+//!
+//! The paper formulates VM allocation as a boolean integer linear program
+//! (Section II, Eqs. 8–14) and notes it is NP-hard. This crate implements
+//! the whole stack from scratch (crate support for LP/ILP being thin):
+//!
+//! * [`model`] — a sparse minimisation LP/MILP description
+//!   ([`LinearProgram`], [`Constraint`]);
+//! * [`simplex`] — a dense two-phase primal simplex solver with Bland's
+//!   anti-cycling rule ([`solve_lp`], [`LpSolution`]);
+//! * [`branch_bound`] — LP-relaxation branch-and-bound over the binary
+//!   variables ([`solve_milp`], [`MilpSolution`]);
+//! * [`formulation`] — the paper's model built from an
+//!   [`AllocationProblem`](esvm_simcore::AllocationProblem): binary
+//!   `x_ij` (VM `j` on server `i`), binary `y_it` (server `i` active at
+//!   `t`), continuous `z_it ≥ y_it − y_{i,t−1}` linearising the
+//!   transition term `(y_it − y_{i,t−1})⁺`.
+//!
+//! The exact solver exists to *certify* the heuristics on small
+//! instances: the integration tests compare MIEC and FFPS costs against
+//! the true optimum. It is not built for scale — the paper's full
+//! instances (hundreds of VMs, tens of thousands of binaries) are far out
+//! of reach for any exact method, which is the paper's point.
+//!
+//! ## Example
+//!
+//! ```
+//! use esvm_ilp::model::{ConstraintOp, LinearProgram};
+//! use esvm_ilp::solve_milp;
+//!
+//! // Knapsack: min -(3a + 4b) s.t. 2a + 3b ≤ 4, a,b ∈ {0,1}.
+//! let mut lp = LinearProgram::new();
+//! let a = lp.add_binary_var(-3.0);
+//! let b = lp.add_binary_var(-4.0);
+//! lp.add_constraint(vec![(a, 2.0), (b, 3.0)], ConstraintOp::Le, 4.0);
+//! let sol = solve_milp(&lp).expect("feasible");
+//! assert_eq!(sol.objective.round(), -4.0); // b alone
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod formulation;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::{solve_milp, MilpError, MilpSolution};
+pub use formulation::{ExactSolution, Formulation};
+pub use model::{Constraint, ConstraintOp, LinearProgram, VarId};
+pub use simplex::{solve_lp, LpError, LpSolution};

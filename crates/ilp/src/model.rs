@@ -1,0 +1,236 @@
+//! Sparse description of a minimisation LP / MILP.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a decision variable.
+pub type VarId = usize;
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "=",
+        })
+    }
+}
+
+/// One sparse linear constraint `Σ coeffs · x (op) rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs; variables not listed have
+    /// coefficient zero.
+    pub coeffs: Vec<(VarId, f64)>,
+    /// The relation.
+    pub op: ConstraintOp,
+    /// The right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimisation linear program with optional binary restrictions.
+///
+/// All variables are non-negative; continuous variables may carry an
+/// optional upper bound, binary variables are `{0, 1}` (upper bound 1 in
+/// the LP relaxation).
+///
+/// # Example
+///
+/// ```
+/// use esvm_ilp::model::{ConstraintOp, LinearProgram};
+/// let mut lp = LinearProgram::new();
+/// let x = lp.add_var(1.0, Some(10.0));
+/// let y = lp.add_binary_var(3.0);
+/// lp.add_constraint(vec![(x, 1.0), (y, 5.0)], ConstraintOp::Ge, 4.0);
+/// assert_eq!(lp.num_vars(), 2);
+/// assert!(lp.is_binary(y) && !lp.is_binary(x));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    upper_bounds: Vec<Option<f64>>,
+    binary: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable `x ≥ 0` with objective coefficient
+    /// `cost` and optional upper bound, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not finite or the bound is negative/NaN.
+    pub fn add_var(&mut self, cost: f64, upper: Option<f64>) -> VarId {
+        assert!(cost.is_finite(), "objective coefficient must be finite");
+        if let Some(u) = upper {
+            assert!(u.is_finite() && u >= 0.0, "upper bound must be >= 0");
+        }
+        self.objective.push(cost);
+        self.upper_bounds.push(upper);
+        self.binary.push(false);
+        self.objective.len() - 1
+    }
+
+    /// Adds a binary variable `x ∈ {0, 1}` with objective coefficient
+    /// `cost`, returning its id.
+    pub fn add_binary_var(&mut self, cost: f64) -> VarId {
+        let id = self.add_var(cost, Some(1.0));
+        self.binary[id] = true;
+        id
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not exist or any
+    /// coefficient / the rhs is not finite.
+    pub fn add_constraint(&mut self, coeffs: Vec<(VarId, f64)>, op: ConstraintOp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for &(v, a) in &coeffs {
+            assert!(v < self.num_vars(), "unknown variable {v}");
+            assert!(a.is_finite(), "coefficient must be finite");
+        }
+        self.constraints.push(Constraint { coeffs, op, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Upper bounds (per variable; `None` = unbounded above).
+    pub fn upper_bounds(&self) -> &[Option<f64>] {
+        &self.upper_bounds
+    }
+
+    /// Whether variable `v` is binary.
+    pub fn is_binary(&self, v: VarId) -> bool {
+        self.binary[v]
+    }
+
+    /// Ids of all binary variables.
+    pub fn binary_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.binary
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(v, _)| v)
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective value of a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Whether `x` satisfies every constraint and bound within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (v, &value) in x.iter().enumerate() {
+            if value < -tol {
+                return false;
+            }
+            if let Some(u) = self.upper_bounds[v] {
+                if value > u + tol {
+                    return false;
+                }
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_a_program() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(2.0, None);
+        let y = lp.add_binary_var(-1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 3.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.objective(), &[2.0, -1.0]);
+        assert_eq!(lp.upper_bounds(), &[None, Some(1.0)]);
+        assert_eq!(lp.binary_vars().collect::<Vec<_>>(), vec![y]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_rejects_unknown_var() {
+        let mut lp = LinearProgram::new();
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_cost() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(f64::NAN, None);
+    }
+
+    #[test]
+    fn objective_and_feasibility() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, Some(5.0));
+        let y = lp.add_var(2.0, None);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Eq, 1.0);
+        assert_eq!(lp.objective_value(&[1.0, 1.0]), 3.0);
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0, 0.5], 1e-9)); // Ge violated
+        assert!(!lp.is_feasible(&[0.5, 2.0], 1e-9)); // Eq violated
+        assert!(!lp.is_feasible(&[6.0, 0.0], 1e-9)); // bound violated
+        assert!(!lp.is_feasible(&[-0.1, 3.0], 1e-9)); // negativity
+        assert!(!lp.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(ConstraintOp::Le.to_string(), "<=");
+        assert_eq!(ConstraintOp::Ge.to_string(), ">=");
+        assert_eq!(ConstraintOp::Eq.to_string(), "=");
+    }
+}

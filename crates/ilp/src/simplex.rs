@@ -1,0 +1,532 @@
+//! Dense two-phase primal simplex.
+//!
+//! A from-scratch tableau implementation sized for the certification
+//! instances this workspace solves (hundreds of rows/columns). Bland's
+//! rule is used for both the entering and leaving choices, so the
+//! algorithm cannot cycle; the price is a few extra iterations, which is
+//! irrelevant at this scale.
+
+use crate::model::{ConstraintOp, LinearProgram, VarId};
+use std::fmt;
+
+/// Elimination tolerance.
+const EPS: f64 = 1e-9;
+/// Minimum acceptable pivot magnitude; smaller pivots amplify rounding
+/// error catastrophically.
+const PIVOT_EPS: f64 = 1e-7;
+/// Two ratios within this are treated as tied in the ratio test.
+const RATIO_TIE_EPS: f64 = 1e-9;
+/// Feasibility tolerance for reporting.
+const FEAS_EPS: f64 = 1e-6;
+
+/// Errors from the LP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// The iteration cap was exceeded (indicates severe numerical
+    /// trouble; should not occur with Bland's rule on well-posed input).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// Solves `lp` (a minimisation) to optimality, treating binary markers as
+/// plain `[0, 1]` bounds (the LP relaxation).
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+/// [`LpError::IterationLimit`].
+///
+/// # Example
+///
+/// ```
+/// use esvm_ilp::model::{ConstraintOp, LinearProgram};
+/// use esvm_ilp::simplex::solve_lp;
+///
+/// // min -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 2  →  x=2? no: x+y=4 with y=2, x=2.
+/// let mut lp = LinearProgram::new();
+/// let x = lp.add_var(-1.0, Some(3.0));
+/// let y = lp.add_var(-2.0, Some(2.0));
+/// lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+/// let sol = solve_lp(&lp)?;
+/// assert!((sol.objective - (-6.0)).abs() < 1e-6);
+/// # Ok::<(), esvm_ilp::LpError>(())
+/// ```
+pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    Tableau::build(lp).solve(lp)
+}
+
+/// Solves `lp` with some variables additionally fixed (used by
+/// branch-and-bound to impose branching decisions without rebuilding the
+/// model).
+pub fn solve_lp_with_fixings(
+    lp: &LinearProgram,
+    fixings: &[(VarId, f64)],
+) -> Result<LpSolution, LpError> {
+    Tableau::build_with_fixings(lp, fixings).solve(lp)
+}
+
+struct Tableau {
+    /// Constraint rows, each of length `cols + 1` (last entry = rhs).
+    rows: Vec<Vec<f64>>,
+    /// Basis: `basis[i]` = column basic in row `i`.
+    basis: Vec<usize>,
+    /// Phase-2 (real) cost row, canonical w.r.t. the basis.
+    cost: Vec<f64>,
+    /// Number of structural variables.
+    n_struct: usize,
+    /// Total columns (structural + slack/surplus + artificial).
+    cols: usize,
+    /// Artificial column flags.
+    artificial: Vec<bool>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Self {
+        Self::build_with_fixings(lp, &[])
+    }
+
+    fn build_with_fixings(lp: &LinearProgram, fixings: &[(VarId, f64)]) -> Self {
+        let n = lp.num_vars();
+
+        // Collect rows as (dense coeffs over structural vars, op, rhs).
+        let mut raw: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::new();
+        for c in lp.constraints() {
+            let mut row = vec![0.0; n];
+            for &(v, a) in &c.coeffs {
+                row[v] += a;
+            }
+            raw.push((row, c.op, c.rhs));
+        }
+        for (v, upper) in lp.upper_bounds().iter().enumerate() {
+            if let Some(u) = upper {
+                let mut row = vec![0.0; n];
+                row[v] = 1.0;
+                raw.push((row, ConstraintOp::Le, *u));
+            }
+        }
+        for &(v, value) in fixings {
+            let mut row = vec![0.0; n];
+            row[v] = 1.0;
+            raw.push((row, ConstraintOp::Eq, value));
+        }
+
+        // Normalise rhs >= 0.
+        for (row, op, rhs) in &mut raw {
+            if *rhs < 0.0 {
+                for a in row.iter_mut() {
+                    *a = -*a;
+                }
+                *rhs = -*rhs;
+                *op = match *op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+            }
+        }
+
+        // Count auxiliary columns.
+        let m = raw.len();
+        let mut extra = 0usize;
+        for (_, op, _) in &raw {
+            extra += match op {
+                ConstraintOp::Le => 1,
+                ConstraintOp::Ge => 2,
+                ConstraintOp::Eq => 1,
+            };
+        }
+        let cols = n + extra;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut artificial = vec![false; cols];
+        let mut next = n;
+        for (row, op, rhs) in raw {
+            let mut full = vec![0.0; cols + 1];
+            full[..n].copy_from_slice(&row);
+            full[cols] = rhs;
+            match op {
+                ConstraintOp::Le => {
+                    full[next] = 1.0; // slack
+                    basis.push(next);
+                    next += 1;
+                }
+                ConstraintOp::Ge => {
+                    full[next] = -1.0; // surplus
+                    next += 1;
+                    full[next] = 1.0; // artificial
+                    artificial[next] = true;
+                    basis.push(next);
+                    next += 1;
+                }
+                ConstraintOp::Eq => {
+                    full[next] = 1.0; // artificial
+                    artificial[next] = true;
+                    basis.push(next);
+                    next += 1;
+                }
+            }
+            rows.push(full);
+        }
+        debug_assert_eq!(next, cols);
+
+        let mut cost = vec![0.0; cols + 1];
+        cost[..n].copy_from_slice(lp.objective());
+
+        Self {
+            rows,
+            basis,
+            cost,
+            n_struct: n,
+            cols,
+            artificial,
+        }
+    }
+
+    /// Pivots on (row, col): normalises the pivot row and eliminates the
+    /// column from all other rows and from `extra_rows` (cost rows).
+    fn pivot(&mut self, r: usize, c: usize, phase1_cost: &mut Option<Vec<f64>>) {
+        let pivot_value = self.rows[r][c];
+        debug_assert!(pivot_value.abs() > EPS);
+        for a in self.rows[r].iter_mut() {
+            *a /= pivot_value;
+        }
+        let pivot_row = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i != r && row[c].abs() > EPS {
+                let factor = row[c];
+                for (a, p) in row.iter_mut().zip(&pivot_row) {
+                    *a -= factor * p;
+                }
+                row[c] = 0.0; // kill residual noise
+            }
+        }
+        if self.cost[c].abs() > EPS {
+            let factor = self.cost[c];
+            for (a, p) in self.cost.iter_mut().zip(&pivot_row) {
+                *a -= factor * p;
+            }
+            self.cost[c] = 0.0;
+        }
+        if let Some(c1) = phase1_cost {
+            if c1[c].abs() > EPS {
+                let factor = c1[c];
+                for (a, p) in c1.iter_mut().zip(&pivot_row) {
+                    *a -= factor * p;
+                }
+                c1[c] = 0.0;
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Main iteration loop on the given cost row.
+    ///
+    /// Entering rule: Dantzig (most negative reduced cost) for speed,
+    /// switching to Bland (smallest index) after a run of degenerate
+    /// pivots so cycling is impossible. Leaving rule: minimum ratio;
+    /// among (near-)ties, the largest pivot element for numerical
+    /// stability — or the smallest basis index while in Bland mode.
+    /// Pivot elements below [`PIVOT_EPS`] are never accepted.
+    fn iterate(
+        &mut self,
+        use_phase1: bool,
+        mut phase1_cost: Option<Vec<f64>>,
+        iteration_cap: usize,
+    ) -> Result<Option<Vec<f64>>, LpError> {
+        let mut degenerate_streak = 0usize;
+        for _ in 0..iteration_cap {
+            let bland = degenerate_streak > 40;
+            let cost_row: &[f64] = match (&phase1_cost, use_phase1) {
+                (Some(c1), true) => c1,
+                _ => &self.cost,
+            };
+            // Entering column. Artificials may not (re-)enter: in phase 1
+            // they start basic, and once driven out they are done.
+            let candidates = (0..self.cols)
+                .filter(|&j| !self.artificial[j] && cost_row[j] < -FEAS_EPS)
+                .filter(|&j| self.basis.iter().all(|&b| b != j));
+            let entering = if bland {
+                candidates.take(1).next()
+            } else {
+                candidates.min_by(|&a, &b| cost_row[a].total_cmp(&cost_row[b]))
+            };
+            let Some(c) = entering else {
+                return Ok(phase1_cost);
+            };
+
+            // Leaving row: min ratio over sufficiently large pivots.
+            let mut leave: Option<(f64, usize)> = None; // (ratio, row)
+            for (i, row) in self.rows.iter().enumerate() {
+                if row[c] > PIVOT_EPS {
+                    let ratio = row[self.cols].max(0.0) / row[c];
+                    let better = match leave {
+                        None => true,
+                        Some((br, bi)) => {
+                            if ratio < br - RATIO_TIE_EPS {
+                                true
+                            } else if ratio > br + RATIO_TIE_EPS {
+                                false
+                            } else if bland {
+                                self.basis[i] < self.basis[bi]
+                            } else {
+                                row[c] > self.rows[bi][c]
+                            }
+                        }
+                    };
+                    if better {
+                        leave = Some((ratio, i));
+                    }
+                }
+            }
+            let Some((ratio, r)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            if ratio <= RATIO_TIE_EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            self.pivot(r, c, &mut phase1_cost);
+
+            // Divergence guard: a healthy tableau for these models stays
+            // within a modest dynamic range.
+            if self.rows[r][self.cols].abs() > 1e10 {
+                return Err(LpError::IterationLimit);
+            }
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        let cap = 5000 + 200 * (self.rows.len() + self.cols);
+
+        // Phase 1 (only if artificials exist).
+        if self.artificial.iter().any(|&a| a) {
+            let mut c1 = vec![0.0; self.cols + 1];
+            for (j, &is_art) in self.artificial.iter().enumerate() {
+                if is_art {
+                    c1[j] = 1.0;
+                }
+            }
+            // Canonicalise: artificials are basic.
+            for (i, &b) in self.basis.iter().enumerate() {
+                if self.artificial[b] {
+                    let row = self.rows[i].clone();
+                    for (a, p) in c1.iter_mut().zip(&row) {
+                        *a -= p;
+                    }
+                }
+            }
+            let c1 = self.iterate(true, Some(c1), cap)?;
+            let z1 = -c1.expect("phase1 cost row")[self.cols];
+            if z1 > FEAS_EPS {
+                return Err(LpError::Infeasible);
+            }
+            // Drive remaining basic artificials out where possible.
+            for i in 0..self.rows.len() {
+                if self.artificial[self.basis[i]] {
+                    if let Some(c) = (0..self.cols)
+                        .find(|&j| !self.artificial[j] && self.rows[i][j].abs() > 1e-7)
+                    {
+                        self.pivot(i, c, &mut None);
+                    }
+                    // Otherwise the row is redundant; the artificial stays
+                    // basic at value ~0 and is barred from re-entering.
+                }
+            }
+        }
+
+        // Phase 2.
+        self.iterate(false, None, cap)?;
+
+        let mut x = vec![0.0; self.n_struct];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n_struct {
+                x[b] = self.rows[i][self.cols].max(0.0);
+            }
+        }
+        let objective = lp.objective_value(&x);
+        Ok(LpSolution { x, objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearProgram;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-3.0, None);
+        let y = lp.add_var(-5.0, None);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let s = solve_lp(&lp).unwrap();
+        assert!(close(s.objective, -36.0), "{s:?}");
+        assert!(close(s.x[0], 2.0) && close(s.x[1], 6.0), "{s:?}");
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x ≥ 4 → (10? no) x=10,y=0? x≥4,
+        // y≥0 → cheapest is x as large as possible? cost 2 < 3 so x=10,
+        // y=0, z=20.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(2.0, None);
+        let y = lp.add_var(3.0, None);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 4.0);
+        let s = solve_lp(&lp).unwrap();
+        assert!(close(s.objective, 20.0), "{s:?}");
+        assert!(close(s.x[0], 10.0), "{s:?}");
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // min x s.t. −x ≤ −5  (i.e. x ≥ 5).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, None);
+        lp.add_constraint(vec![(x, -1.0)], ConstraintOp::Le, -5.0);
+        let s = solve_lp(&lp).unwrap();
+        assert!(close(s.objective, 5.0), "{s:?}");
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, None);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve_lp(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0, None);
+        let y = lp.add_var(0.0, None);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(solve_lp(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_are_honoured() {
+        // min −x, x ≤ 2.5 → x = 2.5.
+        let mut lp = LinearProgram::new();
+        let _x = lp.add_var(-1.0, Some(2.5));
+        let s = solve_lp(&lp).unwrap();
+        assert!(close(s.objective, -2.5), "{s:?}");
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: several constraints active at the optimum.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-0.75, None);
+        let y = lp.add_var(150.0, None);
+        let z = lp.add_var(-0.02, None);
+        let w = lp.add_var(6.0, None);
+        lp.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(z, 1.0)], ConstraintOp::Le, 1.0);
+        // Beale's cycling example; Bland's rule must terminate: z* = −0.05.
+        let s = solve_lp(&lp).unwrap();
+        assert!(close(s.objective, -0.05), "{s:?}");
+    }
+
+    #[test]
+    fn zero_variable_program() {
+        let lp = LinearProgram::new();
+        let s = solve_lp(&lp).unwrap();
+        assert_eq!(s.x.len(), 0);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // x + y = 2 stated twice.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, None);
+        let y = lp.add_var(1.0, None);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        let s = solve_lp(&lp).unwrap();
+        assert!(close(s.objective, 2.0), "{s:?}");
+    }
+
+    #[test]
+    fn fixings_are_respected() {
+        // min x + y s.t. x + y ≥ 1, fix x = 0.25.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, Some(1.0));
+        let y = lp.add_var(1.0, Some(1.0));
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+        let s = solve_lp_with_fixings(&lp, &[(x, 0.25)]).unwrap();
+        assert!(close(s.x[0], 0.25), "{s:?}");
+        assert!(close(s.objective, 1.0), "{s:?}");
+    }
+
+    #[test]
+    fn infeasible_fixing_is_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, Some(1.0));
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(
+            solve_lp_with_fixings(&lp, &[(x, 0.0)]).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn solution_is_feasible_for_original_model() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, Some(4.0));
+        let y = lp.add_var(-2.0, Some(3.0));
+        let z = lp.add_var(0.5, None);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0), (z, -1.0)], ConstraintOp::Le, 5.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], ConstraintOp::Ge, 2.0);
+        let s = solve_lp(&lp).unwrap();
+        assert!(lp.is_feasible(&s.x, 1e-6), "{s:?}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests of the LP/MILP solvers against naive reference
+//! evaluations.
+
+use esvm_ilp::model::{ConstraintOp, LinearProgram};
+use esvm_ilp::{solve_lp, solve_milp, LpError};
+use proptest::prelude::*;
+
+/// A random small pure-binary minimisation with ≤ constraints
+/// (guaranteed feasible: x = 0 satisfies every `≤ b`, `b ≥ 0`).
+fn arb_binary_program() -> impl Strategy<Value = LinearProgram> {
+    let n_vars = 2usize..=7;
+    n_vars.prop_flat_map(|n| {
+        let costs = proptest::collection::vec(-10i32..=10, n);
+        let constraint = (
+            proptest::collection::vec(0u32..=5, n),
+            1u32..=12, // rhs ≥ 1
+        );
+        let constraints = proptest::collection::vec(constraint, 0..=4);
+        (costs, constraints).prop_map(move |(costs, constraints)| {
+            let mut lp = LinearProgram::new();
+            let vars: Vec<_> = costs
+                .iter()
+                .map(|&c| lp.add_binary_var(f64::from(c)))
+                .collect();
+            for (coeffs, rhs) in constraints {
+                let row: Vec<_> = vars
+                    .iter()
+                    .zip(&coeffs)
+                    .filter(|(_, &a)| a > 0)
+                    .map(|(&v, &a)| (v, f64::from(a)))
+                    .collect();
+                if !row.is_empty() {
+                    lp.add_constraint(row, ConstraintOp::Le, f64::from(rhs));
+                }
+            }
+            lp
+        })
+    })
+}
+
+/// Exhaustive reference optimum over all binary points.
+fn brute_force(lp: &LinearProgram) -> Option<f64> {
+    let n = lp.num_vars();
+    let mut best: Option<f64> = None;
+    for mask in 0..(1u32 << n) {
+        let x: Vec<f64> = (0..n).map(|k| f64::from((mask >> k) & 1)).collect();
+        if lp.is_feasible(&x, 1e-9) {
+            let obj = lp.objective_value(&x);
+            if best.is_none_or(|b| obj < b) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Branch-and-bound equals exhaustive enumeration on random binary
+    /// programs.
+    #[test]
+    fn milp_matches_brute_force(lp in arb_binary_program()) {
+        let reference = brute_force(&lp).expect("x = 0 is always feasible");
+        let sol = solve_milp(&lp).expect("feasible");
+        prop_assert!(
+            (sol.objective - reference).abs() < 1e-6,
+            "milp {} vs brute {}",
+            sol.objective,
+            reference
+        );
+        prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+        for v in lp.binary_vars() {
+            prop_assert!(sol.x[v] == 0.0 || sol.x[v] == 1.0);
+        }
+    }
+
+    /// The LP relaxation is a valid lower bound on the MILP optimum.
+    #[test]
+    fn relaxation_bounds_milp(lp in arb_binary_program()) {
+        let relaxed = solve_lp(&lp).expect("relaxation feasible");
+        let integral = solve_milp(&lp).expect("milp feasible");
+        prop_assert!(
+            relaxed.objective <= integral.objective + 1e-6,
+            "relaxation {} above milp {}",
+            relaxed.objective,
+            integral.objective
+        );
+        prop_assert!(lp.is_feasible(&relaxed.x, 1e-6));
+    }
+
+    /// The LP solution is never beaten by any binary point (sanity on a
+    /// dense sample of the vertex set for small n).
+    #[test]
+    fn lp_beats_every_binary_point(lp in arb_binary_program()) {
+        let relaxed = solve_lp(&lp).expect("feasible");
+        let n = lp.num_vars();
+        for mask in 0..(1u32 << n) {
+            let x: Vec<f64> = (0..n).map(|k| f64::from((mask >> k) & 1)).collect();
+            if lp.is_feasible(&x, 1e-9) {
+                prop_assert!(relaxed.objective <= lp.objective_value(&x) + 1e-6);
+            }
+        }
+    }
+
+    /// Infeasibility is detected reliably: adding contradictory
+    /// constraints to any program flips the verdict.
+    #[test]
+    fn contradiction_is_infeasible(mut lp in arb_binary_program()) {
+        let v = 0; // first variable exists (n ≥ 2)
+        lp.add_constraint(vec![(v, 1.0)], ConstraintOp::Ge, 0.75);
+        lp.add_constraint(vec![(v, 1.0)], ConstraintOp::Le, 0.25);
+        prop_assert_eq!(solve_lp(&lp).unwrap_err(), LpError::Infeasible);
+    }
+}
+
+/// Random tiny allocation instances: the Section II formulation solved
+/// to optimality must lower-bound the audited cost of any valid
+/// placement, and its decoded assignment must audit to its objective.
+mod formulation_properties {
+    use esvm_ilp::Formulation;
+    use esvm_simcore::{
+        AllocationProblem, Assignment, Interval, PowerModel, ProblemBuilder, Resources, ServerId,
+    };
+    use proptest::prelude::*;
+
+    fn arb_tiny_problem() -> impl Strategy<Value = AllocationProblem> {
+        let server = (2u32..=8, 2u32..=8, 1u32..=10, 1u32..=10, 0u32..=30);
+        let vm = (1u32..=4, 1u32..=4, 1u32..=8, 1u32..=5);
+        (
+            proptest::collection::vec(server, 1..=2),
+            proptest::collection::vec(vm, 1..=3),
+        )
+            .prop_map(|(servers, vms)| {
+                let mut b = ProblemBuilder::new().server(
+                    Resources::new(8.0, 8.0),
+                    PowerModel::new(6.0, 20.0),
+                    9.0,
+                );
+                for (cpu, mem, idle, dynamic, alpha) in servers {
+                    b = b.server(
+                        Resources::new(f64::from(cpu), f64::from(mem)),
+                        PowerModel::new(f64::from(idle), f64::from(idle + dynamic)),
+                        f64::from(alpha),
+                    );
+                }
+                for (cpu, mem, start, len) in vms {
+                    b = b.vm(
+                        Resources::new(f64::from(cpu.min(8)), f64::from(mem.min(8))),
+                        Interval::with_len(start, len),
+                    );
+                }
+                b.build().expect("valid by construction")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn milp_lower_bounds_every_valid_placement(problem in arb_tiny_problem()) {
+            let exact = Formulation::new(&problem)
+                .solve()
+                .expect("instance is feasible by construction");
+            // Decoded assignment audits to the MILP objective.
+            let decoded = exact.decode(&problem).expect("decode");
+            prop_assert!((decoded.total_cost() - exact.objective).abs() < 1e-6);
+
+            // Exhaustively enumerate placements: none beats the optimum,
+            // and the best equals it.
+            let n = problem.server_count() as u32;
+            let m = problem.vm_count();
+            let mut best = f64::INFINITY;
+            let mut stack = vec![0u32; m];
+            'outer: loop {
+                let placement: Vec<Option<ServerId>> =
+                    stack.iter().map(|&s| Some(ServerId(s))).collect();
+                if let Ok(a) = Assignment::from_placement(&problem, &placement) {
+                    let cost = a.total_cost();
+                    prop_assert!(cost >= exact.objective - 1e-6);
+                    best = best.min(cost);
+                }
+                for digit in stack.iter_mut() {
+                    *digit += 1;
+                    if *digit < n {
+                        continue 'outer;
+                    }
+                    *digit = 0;
+                }
+                break;
+            }
+            prop_assert!((best - exact.objective).abs() < 1e-6,
+                "brute {best} vs milp {}", exact.objective);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-server energy accounting — Eqs. (15)–(17) of the paper.
+//!
+//! The energy cost of server `s_i` hosting the VM set `V_i` over the
+//! planning horizon is
+//!
+//! ```text
+//! Cost_i =   Σ_{v_j ∈ V_i} W_ij                    (run cost, Eq. 3)
+//!          + Σ_{[t,τ] ∈ BS_i} P_idle · (τ−t+1)     (busy segments, Eq. 15)
+//!          + Σ_{[t,τ] ∈ IS_i} min{P_idle·(τ−t+1), α}  (idle segments, Eq. 16)
+//!          + α · 1{V_i ≠ ∅}                        (initial switch-on)
+//! ```
+//!
+//! The last term is not printed in Eq. (17) but is charged by the ILP
+//! objective (Eq. 7 with `y_{i,0} = 0`) and required by the paper's own
+//! argument that a VM landing in an all-asleep data center should prefer
+//! the server with the smallest transition cost (Section III). See
+//! DESIGN.md, "Substitutions".
+//!
+//! [`ServerLedger`] maintains this cost *incrementally*: the Minimum
+//! Incremental Energy Cost heuristic asks "what would this server's cost
+//! become if VM `j` were added?" once per candidate server per VM, so the
+//! evaluation must not rescan the whole VM set.
+
+use crate::{Interval, Resources, SegmentSet, ServerSpec, UsageProfile, Vm};
+use serde::{Deserialize, Serialize};
+
+/// Energy cost of a set of busy segments on `spec`, per Eqs. (15)–(17)
+/// plus the initial switch-on charge (see module docs). Excludes run
+/// costs, which depend on the VMs rather than the segments.
+pub fn segment_cost(spec: &ServerSpec, segments: &SegmentSet) -> f64 {
+    if segments.is_empty() {
+        return 0.0;
+    }
+    let busy = spec.idle_cost(segments.busy_time());
+    let gaps: f64 = segments.gaps().map(|g| spec.gap_cost(g.len())).sum();
+    busy + gaps + spec.transition_cost()
+}
+
+/// Full cost of hosting `vms` on `spec`: run costs plus [`segment_cost`]
+/// of the induced busy segments. This is the reference (non-incremental)
+/// implementation of Eq. (17); [`ServerLedger`] must always agree with it.
+pub fn full_cost(spec: &ServerSpec, vms: &[Vm]) -> f64 {
+    let run: f64 = vms.iter().map(|vm| spec.run_cost(vm)).sum();
+    let segments: SegmentSet = vms.iter().map(Vm::interval).collect();
+    run + segment_cost(spec, &segments)
+}
+
+/// Number of switch-on transitions performed by the switch-off policy:
+/// one initial power-on plus one for every interior gap where switching
+/// off is cheaper than idling.
+pub fn transition_count(spec: &ServerSpec, segments: &SegmentSet) -> u64 {
+    if segments.is_empty() {
+        return 0;
+    }
+    1 + segments
+        .gaps()
+        .filter(|g| spec.switches_off_for_gap(g.len()))
+        .count() as u64
+}
+
+/// Live energy/occupancy state of one server during allocation.
+///
+/// Tracks the hosted VMs' usage profile (for capacity checks), the merged
+/// busy segments, the accumulated run cost, and the current total cost.
+/// [`ServerLedger::cost_with`] evaluates a hypothetical placement in
+/// `O(segments)` without mutating the ledger.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, PowerModel, Resources, ServerLedger, ServerSpec, Vm};
+/// let spec = ServerSpec::new(0, Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 150.0);
+/// let mut ledger = ServerLedger::new(spec);
+/// let vm = Vm::new(0, Resources::new(4.0, 4.0), Interval::new(1, 10));
+/// assert!(ledger.fits(&vm));
+/// let delta = ledger.cost_with(&vm) - ledger.cost();
+/// ledger.host(&vm);
+/// assert!((ledger.cost() - delta).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerLedger {
+    spec: ServerSpec,
+    usage: UsageProfile,
+    segments: SegmentSet,
+    run_cost: f64,
+    hosted: u32,
+}
+
+impl ServerLedger {
+    /// Creates a ledger for an empty (power-saving) server.
+    pub fn new(spec: ServerSpec) -> Self {
+        Self {
+            spec,
+            usage: UsageProfile::new(),
+            segments: SegmentSet::new(),
+            run_cost: 0.0,
+            hosted: 0,
+        }
+    }
+
+    /// The server specification.
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// Number of VMs hosted so far.
+    pub fn hosted_count(&self) -> u32 {
+        self.hosted
+    }
+
+    /// The merged busy segments induced by the hosted VMs.
+    pub fn segments(&self) -> &SegmentSet {
+        &self.segments
+    }
+
+    /// The resource usage profile of the hosted VMs.
+    pub fn usage(&self) -> &UsageProfile {
+        &self.usage
+    }
+
+    /// Accumulated run cost `Σ W_ij` of the hosted VMs.
+    pub fn run_cost(&self) -> f64 {
+        self.run_cost
+    }
+
+    /// Whether `vm` fits on this server **throughout its duration**
+    /// (both CPU and memory, every time unit — constraints (9)–(10)).
+    pub fn fits(&self, vm: &Vm) -> bool {
+        self.usage
+            .fits(vm.interval(), vm.demand(), self.spec.capacity())
+    }
+
+    /// Current total cost of this server (Eq. 17 + initial switch-on).
+    pub fn cost(&self) -> f64 {
+        self.run_cost + segment_cost(&self.spec, &self.segments)
+    }
+
+    /// Cost the server would have if `vm` were placed on it, without
+    /// mutating the ledger. Does **not** re-check capacity; callers filter
+    /// with [`ServerLedger::fits`] first, as the heuristic's candidate set
+    /// `S_j` does.
+    pub fn cost_with(&self, vm: &Vm) -> f64 {
+        let segments = self.segments.with_inserted(vm.interval());
+        self.run_cost + self.spec.run_cost(vm) + segment_cost(&self.spec, &segments)
+    }
+
+    /// Incremental cost of adding `vm`: `cost_with(vm) − cost()`.
+    ///
+    /// This is the quantity the MIEC heuristic minimises over the
+    /// candidate set. Always non-negative: adding a VM adds run cost and
+    /// never shrinks busy time.
+    pub fn incremental_cost(&self, vm: &Vm) -> f64 {
+        self.cost_with(vm) - self.cost()
+    }
+
+    /// Commits `vm` to this server, updating usage, segments and cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the VM does not fit; callers must check
+    /// [`ServerLedger::fits`] first.
+    pub fn host(&mut self, vm: &Vm) {
+        debug_assert!(self.fits(vm), "hosting {vm} would violate capacity");
+        self.usage.add(vm.interval(), vm.demand());
+        self.segments.insert(vm.interval());
+        self.run_cost += self.spec.run_cost(vm);
+        self.hosted += 1;
+    }
+
+    /// Spare capacity at time `t`.
+    pub fn spare_at(&self, t: u32) -> Resources {
+        self.spec.capacity().saturating_sub(self.usage.usage_at(t))
+    }
+
+    /// Peak usage over an interval (diagnostic).
+    pub fn peak_over(&self, interval: Interval) -> Resources {
+        self.usage.peak_over(interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerModel;
+
+    fn spec(alpha: f64) -> ServerSpec {
+        ServerSpec::new(
+            0,
+            Resources::new(10.0, 20.0),
+            PowerModel::new(100.0, 300.0),
+            alpha,
+        )
+    }
+
+    fn vm(id: u32, cpu: f64, mem: f64, s: u32, e: u32) -> Vm {
+        Vm::new(id, Resources::new(cpu, mem), Interval::new(s, e))
+    }
+
+    #[test]
+    fn empty_server_costs_nothing() {
+        let ledger = ServerLedger::new(spec(50.0));
+        assert_eq!(ledger.cost(), 0.0);
+        assert_eq!(segment_cost(&spec(50.0), &SegmentSet::new()), 0.0);
+        assert_eq!(transition_count(&spec(50.0), &SegmentSet::new()), 0);
+    }
+
+    #[test]
+    fn single_vm_cost_breakdown() {
+        // P1 = (300-100)/10 = 20 W/CU; VM: 5 CU × 10 units → run 1000.
+        // Busy: 10 × 100 = 1000. Initial switch-on: 50.
+        let mut ledger = ServerLedger::new(spec(50.0));
+        let v = vm(0, 5.0, 5.0, 1, 10);
+        ledger.host(&v);
+        assert!((ledger.cost() - (1000.0 + 1000.0 + 50.0)).abs() < 1e-9);
+        assert_eq!(ledger.hosted_count(), 1);
+    }
+
+    #[test]
+    fn interior_gap_picks_cheaper_of_idle_and_transition() {
+        // α = 250, P_idle = 100: gap of 2 → idle (200); gap of 3 → off (250).
+        let s = spec(250.0);
+        let mut short_gap = ServerLedger::new(s);
+        short_gap.host(&vm(0, 1.0, 1.0, 1, 2));
+        short_gap.host(&vm(1, 1.0, 1.0, 5, 6));
+        // run: 20×1×2 ×2 vms = 80; busy 4×100; gap 2×100; initial 250.
+        assert!((short_gap.cost() - (80.0 + 400.0 + 200.0 + 250.0)).abs() < 1e-9);
+
+        let mut long_gap = ServerLedger::new(s);
+        long_gap.host(&vm(0, 1.0, 1.0, 1, 2));
+        long_gap.host(&vm(1, 1.0, 1.0, 6, 7));
+        // gap of 3 → α = 250 < 300.
+        assert!((long_gap.cost() - (80.0 + 400.0 + 250.0 + 250.0)).abs() < 1e-9);
+        assert_eq!(transition_count(&s, long_gap.segments()), 2);
+        assert_eq!(transition_count(&s, short_gap.segments()), 1);
+    }
+
+    #[test]
+    fn leading_and_trailing_idle_time_is_free() {
+        let mut a = ServerLedger::new(spec(50.0));
+        a.host(&vm(0, 1.0, 1.0, 1, 5));
+        let mut b = ServerLedger::new(spec(50.0));
+        b.host(&vm(0, 1.0, 1.0, 100, 104));
+        assert!((a.cost() - b.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_with_matches_host_then_cost() {
+        let mut ledger = ServerLedger::new(spec(120.0));
+        let vms = [
+            vm(0, 2.0, 3.0, 1, 8),
+            vm(1, 1.0, 1.0, 4, 12),
+            vm(2, 3.0, 2.0, 20, 25),
+            vm(3, 0.5, 0.5, 13, 19),
+        ];
+        for v in &vms {
+            let predicted = ledger.cost_with(v);
+            assert!(ledger.fits(v));
+            ledger.host(v);
+            assert!(
+                (ledger.cost() - predicted).abs() < 1e-9,
+                "incremental evaluation diverged at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_agrees_with_full_cost_reference() {
+        let s = spec(90.0);
+        let vms = vec![
+            vm(0, 2.0, 3.0, 1, 8),
+            vm(1, 1.0, 1.0, 30, 31),
+            vm(2, 3.0, 2.0, 10, 25),
+        ];
+        let mut ledger = ServerLedger::new(s);
+        for v in &vms {
+            ledger.host(v);
+        }
+        assert!((ledger.cost() - full_cost(&s, &vms)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_cost_is_nonnegative() {
+        let mut ledger = ServerLedger::new(spec(10.0));
+        ledger.host(&vm(0, 1.0, 1.0, 5, 10));
+        for v in [
+            vm(1, 0.0, 1.0, 5, 10), // zero-CPU VM inside existing segment
+            vm(2, 1.0, 1.0, 1, 3),
+            vm(3, 1.0, 1.0, 50, 60),
+        ] {
+            assert!(ledger.incremental_cost(&v) >= -1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn zero_cpu_vm_inside_busy_segment_is_free() {
+        let mut ledger = ServerLedger::new(spec(10.0));
+        ledger.host(&vm(0, 1.0, 1.0, 5, 10));
+        let free_rider = vm(1, 0.0, 1.0, 6, 9);
+        assert!(ledger.incremental_cost(&free_rider).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_rejects_capacity_violation() {
+        let mut ledger = ServerLedger::new(spec(10.0));
+        ledger.host(&vm(0, 6.0, 6.0, 1, 10));
+        assert!(!ledger.fits(&vm(1, 5.0, 1.0, 5, 6)));
+        assert!(ledger.fits(&vm(1, 4.0, 1.0, 5, 6)));
+        assert!(ledger.fits(&vm(1, 5.0, 1.0, 11, 12)));
+    }
+
+    #[test]
+    fn spare_at_reports_remaining() {
+        let mut ledger = ServerLedger::new(spec(10.0));
+        ledger.host(&vm(0, 6.0, 6.0, 1, 10));
+        assert_eq!(ledger.spare_at(5), Resources::new(4.0, 14.0));
+        assert_eq!(ledger.spare_at(11), Resources::new(10.0, 20.0));
+        assert_eq!(ledger.peak_over(Interval::new(0, 20)), Resources::new(6.0, 6.0));
+    }
+}

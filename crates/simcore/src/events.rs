@@ -1,0 +1,372 @@
+//! Event-driven replay of an assignment: power over time.
+//!
+//! The audit ([`Assignment::audit`]) integrates energy analytically from
+//! segment algebra. This module recomputes the same energy a third,
+//! completely different way — a discrete-event sweep over the timeline —
+//! and additionally exposes what the analytic path cannot: the
+//! *instantaneous* state of the data center (total power draw, number of
+//! active servers, switch-on impulses) at every time unit. The equality
+//! of the integrated trace and the audited total is one of the strongest
+//! cross-checks in the workspace (see the property tests).
+//!
+//! Replay semantics per server:
+//!
+//! * the server is **active** during its busy segments and during the
+//!   interior gaps where the switch-off policy keeps it on
+//!   (`P_idle · gap ≤ α`); asleep otherwise;
+//! * while active it draws `P_idle + P¹ · cpu_in_use(t)` watts (Eq. 1);
+//! * each power-saving → active transition deposits an `α` energy
+//!   impulse at the first time unit of the activation.
+
+use crate::{Assignment, Interval, SegmentSet, ServerSpec, TimeUnit};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One kind of sweep event, taking effect at its time unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Server becomes active (deposits its `α` impulse).
+    Activate { server: usize, alpha: f64 },
+    /// Server returns to the power-saving state from this unit on.
+    Deactivate { server: usize },
+    /// CPU draw changes by `delta_watts` from this unit on.
+    CpuDelta { delta_watts: f64 },
+}
+
+/// The instantaneous power profile of a replayed assignment.
+///
+/// All series are indexed by time unit over `[0, horizon]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    horizon: TimeUnit,
+    /// Continuous draw (idle + dynamic) in watts per time unit.
+    power: Vec<f64>,
+    /// Transition energy deposited at each time unit (watt·units).
+    transition_impulses: Vec<f64>,
+    /// Number of active servers per time unit.
+    active_servers: Vec<u32>,
+}
+
+impl PowerTrace {
+    /// The planning horizon (last modelled time unit).
+    pub fn horizon(&self) -> TimeUnit {
+        self.horizon
+    }
+
+    /// Continuous power draw in watts at time `t` (0 beyond horizon).
+    pub fn power_at(&self, t: TimeUnit) -> f64 {
+        self.power.get(t as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The full continuous-power series.
+    pub fn power_series(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// Transition energy deposited at time `t`.
+    pub fn transition_at(&self, t: TimeUnit) -> f64 {
+        self.transition_impulses
+            .get(t as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Number of active servers at time `t`.
+    pub fn active_servers_at(&self, t: TimeUnit) -> u32 {
+        self.active_servers.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// The active-server-count series.
+    pub fn active_series(&self) -> &[u32] {
+        &self.active_servers
+    }
+
+    /// Peak continuous power draw, in watts.
+    pub fn peak_power(&self) -> f64 {
+        self.power.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total energy: the time-integral of the power series plus all
+    /// transition impulses. Equals [`AuditReport::total_cost`] exactly.
+    ///
+    /// [`AuditReport::total_cost`]: crate::AuditReport::total_cost
+    pub fn total_energy(&self) -> f64 {
+        self.power.iter().sum::<f64>() + self.transition_impulses.iter().sum::<f64>()
+    }
+
+    /// Mean power over the span where anything is active, in watts.
+    pub fn mean_active_power(&self) -> f64 {
+        let active_units = self.power.iter().filter(|&&p| p > 0.0).count();
+        if active_units == 0 {
+            0.0
+        } else {
+            self.power.iter().sum::<f64>() / active_units as f64
+        }
+    }
+}
+
+/// The per-server activation intervals under the switch-off policy:
+/// busy segments, fused across gaps the policy keeps powered.
+pub fn activation_intervals(spec: &ServerSpec, segments: &SegmentSet) -> Vec<Interval> {
+    let mut out: Vec<Interval> = Vec::new();
+    for seg in segments.iter() {
+        match out.last_mut() {
+            Some(last) if {
+                // Gap between `last.end()` and `seg.start()`; keep the
+                // server on when idling is no dearer than a transition.
+                let gap = Interval::new(last.end() + 1, seg.start() - 1);
+                !spec.switches_off_for_gap(gap.len())
+            } =>
+            {
+                *last = last.hull(seg);
+            }
+            _ => out.push(seg),
+        }
+    }
+    out
+}
+
+/// Replays `assignment` as a discrete-event sweep, producing the
+/// instantaneous power profile.
+///
+/// Works on partial assignments too (unplaced VMs simply do not appear).
+pub fn replay(assignment: &Assignment<'_>) -> PowerTrace {
+    let problem = assignment.problem();
+    let horizon = problem.horizon();
+    let n_units = horizon as usize + 1;
+
+    // Gather events: time → list.
+    let mut events: BTreeMap<TimeUnit, Vec<Event>> = BTreeMap::new();
+
+    for (i, ledger) in assignment.ledgers().iter().enumerate() {
+        let spec = ledger.spec();
+        for activation in activation_intervals(spec, ledger.segments()) {
+            events
+                .entry(activation.start())
+                .or_default()
+                .push(Event::Activate {
+                    server: i,
+                    alpha: spec.transition_cost(),
+                });
+            if let Some(after) = activation.end().checked_add(1) {
+                events
+                    .entry(after)
+                    .or_default()
+                    .push(Event::Deactivate { server: i });
+            }
+        }
+    }
+
+    for (j, slot) in assignment.placement().iter().enumerate() {
+        let Some(server) = slot else { continue };
+        let vm = &problem.vms()[j];
+        let spec = &problem.servers()[server.index()];
+        let watts = spec.power_per_cpu_unit() * vm.demand().cpu;
+        events
+            .entry(vm.start())
+            .or_default()
+            .push(Event::CpuDelta { delta_watts: watts });
+        if let Some(after) = vm.end().checked_add(1) {
+            events
+                .entry(after)
+                .or_default()
+                .push(Event::CpuDelta {
+                    delta_watts: -watts,
+                });
+        }
+    }
+
+    // Sweep: fill `[cursor, t)` with the running state, then apply the
+    // batch at `t`; the state at `t` itself is recorded by the next fill
+    // (or the tail).
+    let mut power = vec![0.0; n_units];
+    let mut transition_impulses = vec![0.0; n_units];
+    let mut active_counts = vec![0u32; n_units];
+
+    let mut idle_watts = 0.0;
+    let mut cpu_watts = 0.0;
+    let mut active = 0u32;
+    let mut cursor: TimeUnit = 0;
+
+    let idle_of = |i: usize| problem.servers()[i].power().p_idle();
+
+    for (&t, batch) in &events {
+        for u in cursor..t.min(horizon + 1) {
+            power[u as usize] = idle_watts + cpu_watts;
+            active_counts[u as usize] = active;
+        }
+        cursor = t;
+
+        for event in batch {
+            match *event {
+                Event::Activate { server, alpha } => {
+                    idle_watts += idle_of(server);
+                    active += 1;
+                    if (t as usize) < n_units {
+                        transition_impulses[t as usize] += alpha;
+                    }
+                }
+                Event::Deactivate { server } => {
+                    idle_watts -= idle_of(server);
+                    active -= 1;
+                }
+                Event::CpuDelta { delta_watts } => {
+                    cpu_watts += delta_watts;
+                }
+            }
+        }
+    }
+    for u in cursor..=horizon {
+        power[u as usize] = idle_watts + cpu_watts;
+        active_counts[u as usize] = active;
+    }
+
+    PowerTrace {
+        horizon,
+        power,
+        transition_impulses,
+        active_servers: active_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PowerModel, ProblemBuilder, Resources, ServerId, VmId};
+
+    fn res(c: f64, m: f64) -> Resources {
+        Resources::new(c, m)
+    }
+
+    #[test]
+    fn single_vm_trace() {
+        let p = ProblemBuilder::new()
+            .server(res(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+            .vm(res(2.0, 4.0), Interval::new(2, 4))
+            .build()
+            .unwrap();
+        let mut a = Assignment::new(&p);
+        a.place(VmId(0), ServerId(0)).unwrap();
+        let trace = replay(&a);
+
+        // P¹ = 50/4 = 12.5 W/CU → VM draws 25 W on top of 50 idle.
+        assert_eq!(trace.power_at(1), 0.0);
+        assert_eq!(trace.power_at(2), 75.0);
+        assert_eq!(trace.power_at(4), 75.0);
+        assert_eq!(trace.power_at(5), 0.0);
+        assert_eq!(trace.transition_at(2), 60.0);
+        assert_eq!(trace.active_servers_at(3), 1);
+        assert_eq!(trace.active_servers_at(5), 0);
+        assert_eq!(trace.peak_power(), 75.0);
+        // 3 units × 75 W + α.
+        assert!((trace.total_energy() - (225.0 + 60.0)).abs() < 1e-9);
+        assert!((trace.total_energy() - a.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_kept_active_draws_idle_power() {
+        // Gap of 2 units: idle 100 < α 300 → stay on.
+        let p = ProblemBuilder::new()
+            .server(res(4.0, 8.0), PowerModel::new(50.0, 100.0), 300.0)
+            .vm(res(2.0, 4.0), Interval::new(1, 2))
+            .vm(res(2.0, 4.0), Interval::new(5, 6))
+            .build()
+            .unwrap();
+        let mut a = Assignment::new(&p);
+        a.place(VmId(0), ServerId(0)).unwrap();
+        a.place(VmId(1), ServerId(0)).unwrap();
+        let trace = replay(&a);
+        assert_eq!(trace.power_at(3), 50.0); // idle through the gap
+        assert_eq!(trace.power_at(4), 50.0);
+        assert_eq!(trace.active_servers_at(3), 1);
+        // One activation only.
+        let impulses: f64 = (0..=6).map(|t| trace.transition_at(t)).sum();
+        assert_eq!(impulses, 300.0);
+        assert!((trace.total_energy() - a.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_switched_off_draws_nothing() {
+        // Gap of 2 units: idle 100 > α 60 → switch off, two activations.
+        let p = ProblemBuilder::new()
+            .server(res(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+            .vm(res(2.0, 4.0), Interval::new(1, 2))
+            .vm(res(2.0, 4.0), Interval::new(5, 6))
+            .build()
+            .unwrap();
+        let mut a = Assignment::new(&p);
+        a.place(VmId(0), ServerId(0)).unwrap();
+        a.place(VmId(1), ServerId(0)).unwrap();
+        let trace = replay(&a);
+        assert_eq!(trace.power_at(3), 0.0);
+        assert_eq!(trace.active_servers_at(4), 0);
+        assert_eq!(trace.transition_at(1), 60.0);
+        assert_eq!(trace.transition_at(5), 60.0);
+        assert!((trace.total_energy() - a.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_vms_on_two_servers() {
+        let p = ProblemBuilder::new()
+            .server(res(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .server(res(8.0, 16.0), PowerModel::new(80.0, 160.0), 20.0)
+            .vm(res(2.0, 4.0), Interval::new(1, 5))
+            .vm(res(4.0, 4.0), Interval::new(3, 8))
+            .build()
+            .unwrap();
+        let mut a = Assignment::new(&p);
+        a.place(VmId(0), ServerId(0)).unwrap();
+        a.place(VmId(1), ServerId(1)).unwrap();
+        let trace = replay(&a);
+        assert_eq!(trace.active_servers_at(4), 2);
+        assert_eq!(trace.active_servers_at(7), 1);
+        // t=4: srv0 50 + 2×12.5 = 75; srv1 80 + 4×10 = 120.
+        assert!((trace.power_at(4) - 195.0).abs() < 1e-9);
+        assert!((trace.total_energy() - a.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_assignment_is_dark() {
+        let p = ProblemBuilder::new()
+            .server(res(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+            .build()
+            .unwrap();
+        let a = Assignment::new(&p);
+        let trace = replay(&a);
+        assert_eq!(trace.total_energy(), 0.0);
+        assert_eq!(trace.peak_power(), 0.0);
+        assert_eq!(trace.mean_active_power(), 0.0);
+    }
+
+    #[test]
+    fn mean_active_power_ignores_dark_time() {
+        let p = ProblemBuilder::new()
+            .server(res(4.0, 8.0), PowerModel::new(50.0, 100.0), 0.0)
+            .vm(res(4.0, 4.0), Interval::new(10, 11))
+            .build()
+            .unwrap();
+        let mut a = Assignment::new(&p);
+        a.place(VmId(0), ServerId(0)).unwrap();
+        let trace = replay(&a);
+        assert!((trace.mean_active_power() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_intervals_fuse_cheap_gaps() {
+        let spec = crate::ServerSpec::new(
+            0,
+            res(4.0, 8.0),
+            PowerModel::new(50.0, 100.0),
+            120.0, // gaps of ≤ 2 units (≤ 100 W·u) stay on
+        );
+        let segments: SegmentSet = [Interval::new(1, 2), Interval::new(5, 6), Interval::new(20, 21)]
+            .into_iter()
+            .collect();
+        let act = activation_intervals(&spec, &segments);
+        assert_eq!(
+            act,
+            vec![Interval::new(1, 6), Interval::new(20, 21)],
+            "2-unit gap fused, 13-unit gap not"
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! The allocation problem instance.
+
+use crate::{Error, Interval, PowerModel, Resources, Result, ServerSpec, TimeUnit, Vm};
+use serde::{Deserialize, Serialize};
+
+/// An instance of the paper's allocation problem: `m` VMs, `n`
+/// non-homogeneous servers, a planning horizon `[min start, T]`.
+///
+/// Invariants enforced at construction:
+///
+/// * at least one server;
+/// * VM ids are dense `0..m` and server ids dense `0..n` (so ids can be
+///   used as vector indices throughout the workspace);
+/// * every VM fits on at least one *empty* server (otherwise no feasible
+///   allocation exists and every algorithm would fail).
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{AllocationProblem, Interval, PowerModel, Resources, ServerSpec, Vm};
+/// let problem = AllocationProblem::new(
+///     vec![ServerSpec::new(0, Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)],
+///     vec![Vm::new(0, Resources::new(1.0, 1.7), Interval::new(1, 9))],
+/// )?;
+/// assert_eq!(problem.vm_count(), 1);
+/// assert_eq!(problem.horizon(), 9);
+/// # Ok::<(), esvm_simcore::Error>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationProblem {
+    servers: Vec<ServerSpec>,
+    vms: Vec<Vm>,
+    horizon: TimeUnit,
+}
+
+impl AllocationProblem {
+    /// Builds a problem, validating the invariants above.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoServers`] if `servers` is empty;
+    /// * [`Error::NonDenseIds`] if ids are not `0..n` in order;
+    /// * [`Error::InfeasibleVm`] if some VM fits no empty server.
+    pub fn new(servers: Vec<ServerSpec>, vms: Vec<Vm>) -> Result<Self> {
+        if servers.is_empty() {
+            return Err(Error::NoServers);
+        }
+        if servers
+            .iter()
+            .enumerate()
+            .any(|(i, s)| s.id().index() != i)
+        {
+            return Err(Error::NonDenseIds);
+        }
+        if vms.iter().enumerate().any(|(j, v)| v.id().index() != j) {
+            return Err(Error::NonDenseIds);
+        }
+        for vm in &vms {
+            if !servers
+                .iter()
+                .any(|s| vm.demand().fits_within(s.capacity()))
+            {
+                return Err(Error::InfeasibleVm(vm.id()));
+            }
+        }
+        let horizon = vms.iter().map(Vm::end).max().unwrap_or(0);
+        Ok(Self {
+            servers,
+            vms,
+            horizon,
+        })
+    }
+
+    /// The servers, indexed by [`ServerId`](crate::ServerId).
+    pub fn servers(&self) -> &[ServerSpec] {
+        &self.servers
+    }
+
+    /// The VMs, indexed by [`VmId`](crate::VmId).
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Number of servers `n`.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of VMs `m`.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// The planning horizon `T`: the latest finishing time of any VM
+    /// (0 when there is no VM).
+    pub fn horizon(&self) -> TimeUnit {
+        self.horizon
+    }
+
+    /// VM indices sorted by increasing start time (ties broken by id).
+    /// Both MIEC and FFPS process VMs in this order (Section III).
+    pub fn vms_by_start_time(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.vms.len()).collect();
+        order.sort_by_key(|&j| (self.vms[j].start(), self.vms[j].id()));
+        order
+    }
+
+    /// Aggregate statistics of the instance (diagnostics, logging).
+    pub fn stats(&self) -> ProblemStats {
+        let total_cpu_time: f64 = self.vms.iter().map(Vm::cpu_time).sum();
+        let total_mem_time: f64 = self
+            .vms
+            .iter()
+            .map(|v| v.demand().mem * v.duration() as f64)
+            .sum();
+        let capacity: Resources = self.servers.iter().map(|s| s.capacity()).sum();
+        let horizon = self.horizon.max(1) as f64;
+        ProblemStats {
+            vm_count: self.vm_count(),
+            server_count: self.server_count(),
+            horizon: self.horizon,
+            mean_vm_duration: if self.vms.is_empty() {
+                0.0
+            } else {
+                self.vms.iter().map(|v| v.duration() as f64).sum::<f64>()
+                    / self.vms.len() as f64
+            },
+            offered_cpu_load: total_cpu_time / (capacity.cpu * horizon),
+            offered_mem_load: total_mem_time / (capacity.mem * horizon),
+        }
+    }
+}
+
+/// Aggregate statistics of a problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProblemStats {
+    /// Number of VMs `m`.
+    pub vm_count: usize,
+    /// Number of servers `n`.
+    pub server_count: usize,
+    /// Planning horizon `T`.
+    pub horizon: TimeUnit,
+    /// Mean VM duration in time units.
+    pub mean_vm_duration: f64,
+    /// Total CPU demand·time divided by total CPU capacity·horizon.
+    pub offered_cpu_load: f64,
+    /// Total memory demand·time divided by total memory capacity·horizon.
+    pub offered_mem_load: f64,
+}
+
+/// Incremental builder for [`AllocationProblem`], assigning dense ids
+/// automatically.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+/// let problem = ProblemBuilder::new()
+///     .server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0)
+///     .vm(Resources::new(2.0, 4.0), Interval::new(1, 5))
+///     .vm(Resources::new(1.0, 1.0), Interval::new(3, 9))
+///     .build()?;
+/// assert_eq!(problem.server_count(), 1);
+/// assert_eq!(problem.vm_count(), 2);
+/// # Ok::<(), esvm_simcore::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProblemBuilder {
+    servers: Vec<ServerSpec>,
+    vms: Vec<Vm>,
+}
+
+impl ProblemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a server with the next dense id.
+    pub fn server(
+        mut self,
+        capacity: Resources,
+        power: PowerModel,
+        transition_cost: f64,
+    ) -> Self {
+        let id = self.servers.len() as u32;
+        self.servers
+            .push(ServerSpec::new(id, capacity, power, transition_cost));
+        self
+    }
+
+    /// Adds a pre-built server spec, re-indexing it to the next dense id.
+    pub fn server_spec(mut self, spec: ServerSpec) -> Self {
+        let id = self.servers.len() as u32;
+        self.servers.push(ServerSpec::new(
+            id,
+            spec.capacity(),
+            *spec.power(),
+            spec.transition_cost(),
+        ));
+        self
+    }
+
+    /// Adds a VM with the next dense id.
+    pub fn vm(mut self, demand: Resources, interval: Interval) -> Self {
+        let id = self.vms.len() as u32;
+        self.vms.push(Vm::new(id, demand, interval));
+        self
+    }
+
+    /// Finalises the problem.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AllocationProblem::new`].
+    pub fn build(self) -> Result<AllocationProblem> {
+        AllocationProblem::new(self.servers, self.vms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AllocationProblem {
+        ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .server(Resources::new(8.0, 16.0), PowerModel::new(80.0, 200.0), 20.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(5, 9))
+            .vm(Resources::new(1.0, 1.0), Interval::new(1, 20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn horizon_is_latest_end() {
+        assert_eq!(tiny().horizon(), 20);
+    }
+
+    #[test]
+    fn vms_by_start_time_sorts() {
+        assert_eq!(tiny().vms_by_start_time(), vec![1, 0]);
+    }
+
+    #[test]
+    fn rejects_empty_server_list() {
+        assert_eq!(
+            AllocationProblem::new(vec![], vec![]).unwrap_err(),
+            Error::NoServers
+        );
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let servers = vec![ServerSpec::new(
+            1,
+            Resources::new(1.0, 1.0),
+            PowerModel::new(1.0, 2.0),
+            0.0,
+        )];
+        assert_eq!(
+            AllocationProblem::new(servers, vec![]).unwrap_err(),
+            Error::NonDenseIds
+        );
+    }
+
+    #[test]
+    fn rejects_infeasible_vm() {
+        let err = ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+            .vm(Resources::new(5.0, 4.0), Interval::new(1, 2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InfeasibleVm(_)));
+    }
+
+    #[test]
+    fn stats_report_offered_load() {
+        let p = tiny();
+        let s = p.stats();
+        assert_eq!(s.vm_count, 2);
+        assert_eq!(s.server_count, 2);
+        assert_eq!(s.horizon, 20);
+        assert!((s.mean_vm_duration - (5.0 + 20.0) / 2.0).abs() < 1e-12);
+        // cpu time: 2*5 + 1*20 = 30; capacity 12 × horizon 20 = 240.
+        assert!((s.offered_cpu_load - 30.0 / 240.0).abs() < 1e-12);
+        // mem time: 4*5 + 1*20 = 40; capacity 24 × 20 = 480.
+        assert!((s.offered_mem_load - 40.0 / 480.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vm_list_is_allowed() {
+        let p = ProblemBuilder::new()
+            .server(Resources::new(1.0, 1.0), PowerModel::new(1.0, 2.0), 0.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.vm_count(), 0);
+        assert_eq!(p.horizon(), 0);
+        assert_eq!(p.stats().mean_vm_duration, 0.0);
+    }
+
+    #[test]
+    fn server_spec_is_reindexed() {
+        let foreign = ServerSpec::new(
+            7,
+            Resources::new(2.0, 2.0),
+            PowerModel::new(1.0, 2.0),
+            0.5,
+        );
+        let p = ProblemBuilder::new().server_spec(foreign).build().unwrap();
+        assert_eq!(p.servers()[0].id().index(), 0);
+        assert_eq!(p.servers()[0].capacity(), Resources::new(2.0, 2.0));
+    }
+}

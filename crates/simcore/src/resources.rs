@@ -1,0 +1,233 @@
+//! Two-dimensional resource vectors (CPU, memory).
+//!
+//! The paper restricts demands and capacities to CPU and memory
+//! ("as for resource demand of VMs and capacity of servers, we only focus
+//! on CPU and memory", Section I): CPU in Amazon-EC2-style *compute
+//! units*, memory in GB. Both are `f64` because the EC2 catalog contains
+//! fractional compute units (e.g. `m2.xlarge` = 6.5 CU).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Tolerance for capacity comparisons.
+///
+/// Demands are sums of catalog values; accumulated floating-point error is
+/// far below this while any real capacity violation in the paper's catalogs
+/// is at least 0.5 compute units / 0.1 GB.
+pub(crate) const EPSILON: f64 = 1e-9;
+
+/// A (CPU, memory) resource vector.
+///
+/// Used both for VM demands and for server capacities. All arithmetic is
+/// component-wise; comparisons ([`Resources::fits_within`]) are
+/// component-wise too, because a VM must fit in *both* dimensions
+/// (constraints (9) and (10) of the paper).
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::Resources;
+/// let capacity = Resources::new(8.0, 16.0);
+/// let used = Resources::new(4.0, 8.0) + Resources::new(2.0, 2.0);
+/// assert!(used.fits_within(capacity));
+/// assert_eq!(capacity - used, Resources::new(2.0, 6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// CPU, in EC2-style compute units.
+    pub cpu: f64,
+    /// Memory, in GB.
+    pub mem: f64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources { cpu: 0.0, mem: 0.0 };
+
+    /// Creates a resource vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is negative or not finite: demands and
+    /// capacities are physical quantities.
+    pub fn new(cpu: f64, mem: f64) -> Self {
+        assert!(
+            cpu.is_finite() && mem.is_finite() && cpu >= 0.0 && mem >= 0.0,
+            "resources must be finite and non-negative, got cpu={cpu} mem={mem}"
+        );
+        Self { cpu, mem }
+    }
+
+    /// Whether `self` fits within `capacity` in both dimensions, with a
+    /// small tolerance for floating-point accumulation.
+    pub fn fits_within(&self, capacity: Resources) -> bool {
+        self.cpu <= capacity.cpu + EPSILON && self.mem <= capacity.mem + EPSILON
+    }
+
+    /// Whether both components are (approximately) zero.
+    pub fn is_zero(&self) -> bool {
+        self.cpu.abs() <= EPSILON && self.mem.abs() <= EPSILON
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: Resources) -> Resources {
+        Resources {
+            cpu: self.cpu.max(other.cpu),
+            mem: self.mem.max(other.mem),
+        }
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: Resources) -> Resources {
+        Resources {
+            cpu: self.cpu.min(other.cpu),
+            mem: self.mem.min(other.mem),
+        }
+    }
+
+    /// Saturating subtraction: negative components are clamped to zero.
+    /// Useful for "spare capacity" computations in the presence of
+    /// floating-point noise.
+    pub fn saturating_sub(&self, other: Resources) -> Resources {
+        Resources {
+            cpu: (self.cpu - other.cpu).max(0.0),
+            mem: (self.mem - other.mem).max(0.0),
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu: self.cpu + rhs.cpu,
+            mem: self.mem + rhs.mem,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        self.cpu += rhs.cpu;
+        self.mem += rhs.mem;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu: self.cpu - rhs.cpu,
+            mem: self.mem - rhs.mem,
+        }
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        self.cpu -= rhs.cpu;
+        self.mem -= rhs.mem;
+    }
+}
+
+impl Mul<f64> for Resources {
+    type Output = Resources;
+    fn mul(self, rhs: f64) -> Resources {
+        Resources {
+            cpu: self.cpu * rhs,
+            mem: self.mem * rhs,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |acc, r| acc + r)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(cpu {:.2} CU, mem {:.2} GB)", self.cpu, self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_componentwise() {
+        let a = Resources::new(4.0, 8.0);
+        let b = Resources::new(1.0, 2.0);
+        assert_eq!(a + b, Resources::new(5.0, 10.0));
+        assert_eq!(a - b, Resources::new(3.0, 6.0));
+        assert_eq!(b * 3.0, Resources::new(3.0, 6.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Resources::new(5.0, 10.0));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn fits_within_requires_both_dimensions() {
+        let cap = Resources::new(8.0, 16.0);
+        assert!(Resources::new(8.0, 16.0).fits_within(cap));
+        assert!(!Resources::new(8.1, 1.0).fits_within(cap));
+        assert!(!Resources::new(1.0, 16.1).fits_within(cap));
+    }
+
+    #[test]
+    fn fits_within_tolerates_float_noise() {
+        let cap = Resources::new(1.0, 1.0);
+        let mut used = Resources::ZERO;
+        for _ in 0..10 {
+            used += Resources::new(0.1, 0.1);
+        }
+        assert!(used.fits_within(cap));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn new_rejects_negative() {
+        let _ = Resources::new(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn new_rejects_nan() {
+        let _ = Resources::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn min_max_and_saturating_sub() {
+        let a = Resources::new(4.0, 1.0);
+        let b = Resources::new(2.0, 3.0);
+        assert_eq!(a.max(b), Resources::new(4.0, 3.0));
+        assert_eq!(a.min(b), Resources::new(2.0, 1.0));
+        assert_eq!(b.saturating_sub(a), Resources::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Resources = vec![Resources::new(1.0, 2.0), Resources::new(3.0, 4.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Resources::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Resources::ZERO.is_zero());
+        assert!(!Resources::new(0.1, 0.0).is_zero());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = Resources::new(6.5, 17.1).to_string();
+        assert!(s.contains("6.50") && s.contains("17.10"), "{s}");
+    }
+}

@@ -1,0 +1,429 @@
+//! Schedules: placements that may migrate VMs between servers.
+//!
+//! The paper "focuses on saving energy consumption by VM allocation
+//! instead of migration" (Section V) and cites dynamic-migration
+//! systems as the contrasting line of work. This module models that
+//! contrast: a [`Schedule`] hosts each VM on a *sequence* of servers
+//! over consecutive sub-intervals that partition its duration. Energy
+//! accounting extends Eq. (17) with a migration term: moving a VM costs
+//! `μ × memory` watt·time-units (copying a VM image is dominated by its
+//! memory footprint; `μ` is the energy per GB moved).
+//!
+//! A plain [`Assignment`] is the special case with one piece per VM and
+//! zero migrations ([`Schedule::from_assignment`]).
+
+use crate::energy::segment_cost;
+use crate::{
+    AllocationProblem, Assignment, Error, Interval, Result, SegmentSet, ServerId, UsageProfile,
+    VmId,
+};
+use serde::{Deserialize, Serialize};
+
+/// One hosting piece: the VM lives on `server` throughout `interval`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Piece {
+    /// The hosting server.
+    pub server: ServerId,
+    /// The closed sub-interval of the VM's duration.
+    pub interval: Interval,
+}
+
+/// A migrating placement: per VM, consecutive hosting pieces.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{
+///     Interval, PowerModel, ProblemBuilder, Resources, Schedule, ServerId, VmId,
+/// };
+/// let problem = ProblemBuilder::new()
+///     .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+///     .server(Resources::new(4.0, 8.0), PowerModel::new(40.0, 90.0), 50.0)
+///     .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+///     .build()?;
+/// let mut schedule = Schedule::new(&problem, 5.0);
+/// schedule.host(VmId(0), ServerId(0), Interval::new(1, 4))?;
+/// schedule.host(VmId(0), ServerId(1), Interval::new(5, 10))?; // migration
+/// let audit = schedule.audit()?;
+/// assert_eq!(audit.migrations, 1);
+/// assert!((audit.migration_energy - 5.0 * 4.0).abs() < 1e-9);
+/// # Ok::<(), esvm_simcore::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule<'p> {
+    problem: &'p AllocationProblem,
+    /// Pieces per VM, kept sorted by start time.
+    pieces: Vec<Vec<Piece>>,
+    /// Usage per server (for capacity checks while building).
+    usage: Vec<UsageProfile>,
+    /// Energy per GB moved, in watt·time-units.
+    migration_energy_per_gb: f64,
+}
+
+/// Audit results for a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleAudit {
+    /// Total energy including migrations, in watt·time-units.
+    pub total_cost: f64,
+    /// Server-side energy (run + idle + transitions).
+    pub server_energy: f64,
+    /// Energy spent moving VMs.
+    pub migration_energy: f64,
+    /// Number of migrations across all VMs.
+    pub migrations: u64,
+}
+
+impl<'p> Schedule<'p> {
+    /// Creates an empty schedule with the given migration energy per GB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `migration_energy_per_gb` is negative or not finite.
+    pub fn new(problem: &'p AllocationProblem, migration_energy_per_gb: f64) -> Self {
+        assert!(
+            migration_energy_per_gb.is_finite() && migration_energy_per_gb >= 0.0,
+            "migration energy must be finite and non-negative"
+        );
+        Self {
+            problem,
+            pieces: vec![Vec::new(); problem.vm_count()],
+            usage: problem.servers().iter().map(|_| UsageProfile::new()).collect(),
+            migration_energy_per_gb,
+        }
+    }
+
+    /// Lifts a whole-duration assignment into a schedule (no
+    /// migrations).
+    pub fn from_assignment(
+        assignment: &Assignment<'p>,
+        migration_energy_per_gb: f64,
+    ) -> Result<Self> {
+        let problem = assignment.problem();
+        let mut schedule = Schedule::new(problem, migration_energy_per_gb);
+        for (j, slot) in assignment.placement().iter().enumerate() {
+            if let Some(server) = slot {
+                let vm = &problem.vms()[j];
+                schedule.host(vm.id(), *server, vm.interval())?;
+            }
+        }
+        Ok(schedule)
+    }
+
+    /// The problem being scheduled.
+    pub fn problem(&self) -> &'p AllocationProblem {
+        self.problem
+    }
+
+    /// The migration energy per GB.
+    pub fn migration_energy_per_gb(&self) -> f64 {
+        self.migration_energy_per_gb
+    }
+
+    /// The pieces of one VM, in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    pub fn pieces_of(&self, vm: VmId) -> &[Piece] {
+        &self.pieces[vm.index()]
+    }
+
+    /// Whether `server` has spare capacity for `vm`'s demand throughout
+    /// `interval`.
+    pub fn fits(&self, vm: VmId, server: ServerId, interval: Interval) -> bool {
+        let demand = self.problem.vms()[vm.index()].demand();
+        let spec = &self.problem.servers()[server.index()];
+        self.usage[server.index()].fits(interval, demand, spec.capacity())
+    }
+
+    /// Hosts `vm` on `server` throughout `interval`.
+    ///
+    /// Pieces must be added in time order and must not overlap previous
+    /// pieces; the audit later verifies they exactly partition the VM's
+    /// duration.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownVm`] / [`Error::UnknownServer`] for bad ids;
+    /// * [`Error::AlreadyPlaced`] if the interval overlaps or precedes an
+    ///   existing piece of the VM, or lies outside the VM's duration;
+    /// * [`Error::CapacityExceeded`] if the server lacks room in some
+    ///   time unit.
+    pub fn host(&mut self, vm: VmId, server: ServerId, interval: Interval) -> Result<()> {
+        let v = self
+            .problem
+            .vms()
+            .get(vm.index())
+            .ok_or(Error::UnknownVm(vm))?;
+        if server.index() >= self.problem.server_count() {
+            return Err(Error::UnknownServer(server));
+        }
+        if !v.interval().contains_interval(interval) {
+            return Err(Error::AlreadyPlaced(vm));
+        }
+        if let Some(last) = self.pieces[vm.index()].last() {
+            if interval.start() <= last.interval.end() {
+                return Err(Error::AlreadyPlaced(vm));
+            }
+        }
+        if !self.fits(vm, server, interval) {
+            return Err(Error::CapacityExceeded { vm, server });
+        }
+        self.usage[server.index()].add(interval, v.demand());
+        self.pieces[vm.index()].push(Piece { server, interval });
+        Ok(())
+    }
+
+    /// Truncates the final piece of `vm` at `end` (inclusive) so a later
+    /// piece can re-host the remainder elsewhere — the primitive a
+    /// migration policy uses to move a *running* VM.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownVm`] if the VM has no pieces or `end` is outside
+    /// the final piece.
+    pub fn truncate_last_piece(&mut self, vm: VmId, end: crate::TimeUnit) -> Result<()> {
+        let pieces = self
+            .pieces
+            .get_mut(vm.index())
+            .ok_or(Error::UnknownVm(vm))?;
+        let last = pieces.last_mut().ok_or(Error::UnknownVm(vm))?;
+        if !last.interval.contains(end) || end == last.interval.end() {
+            if end == last.interval.end() {
+                return Ok(()); // no-op
+            }
+            return Err(Error::UnknownVm(vm));
+        }
+        let removed = Interval::new(end + 1, last.interval.end());
+        let demand = self.problem.vms()[vm.index()].demand();
+        self.usage[last.server.index()].remove(removed, demand);
+        last.interval = Interval::new(last.interval.start(), end);
+        Ok(())
+    }
+
+    /// Number of migrations (piece boundaries changing server).
+    pub fn migration_count(&self) -> u64 {
+        self.pieces
+            .iter()
+            .map(|pieces| {
+                pieces
+                    .windows(2)
+                    .filter(|w| w[0].server != w[1].server)
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Audits the schedule: verifies coverage and capacity, and computes
+    /// total energy (servers + migrations).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Unplaced`] if some VM's pieces do not exactly cover its
+    ///   duration;
+    /// * [`Error::CapacityExceeded`] on any per-time-unit violation.
+    pub fn audit(&self) -> Result<ScheduleAudit> {
+        // Coverage: pieces partition each VM's interval.
+        for (j, pieces) in self.pieces.iter().enumerate() {
+            let vm = &self.problem.vms()[j];
+            let mut cursor = vm.start();
+            for (k, piece) in pieces.iter().enumerate() {
+                if piece.interval.start() != cursor {
+                    return Err(Error::Unplaced(vm.id()));
+                }
+                cursor = match piece.interval.end().checked_add(1) {
+                    Some(c) => c,
+                    None if k + 1 == pieces.len() => {
+                        // Piece reaches TimeUnit::MAX; must be the last.
+                        piece.interval.end()
+                    }
+                    None => return Err(Error::Unplaced(vm.id())),
+                };
+            }
+            if pieces.is_empty() || cursor != vm.end() + 1 {
+                return Err(Error::Unplaced(vm.id()));
+            }
+        }
+
+        // Rebuild per-server state from scratch.
+        let n = self.problem.server_count();
+        let mut usage: Vec<UsageProfile> = (0..n).map(|_| UsageProfile::new()).collect();
+        let mut segments: Vec<SegmentSet> = vec![SegmentSet::new(); n];
+        let mut run_cost = vec![0.0; n];
+        for (j, pieces) in self.pieces.iter().enumerate() {
+            let vm = &self.problem.vms()[j];
+            for piece in pieces {
+                let i = piece.server.index();
+                let spec = &self.problem.servers()[i];
+                if !usage[i].fits(piece.interval, vm.demand(), spec.capacity()) {
+                    return Err(Error::CapacityExceeded {
+                        vm: vm.id(),
+                        server: piece.server,
+                    });
+                }
+                usage[i].add(piece.interval, vm.demand());
+                segments[i].insert(piece.interval);
+                run_cost[i] +=
+                    spec.power_per_cpu_unit() * vm.demand().cpu * piece.interval.len() as f64;
+            }
+        }
+
+        let server_energy: f64 = (0..n)
+            .map(|i| run_cost[i] + segment_cost(&self.problem.servers()[i], &segments[i]))
+            .sum();
+        let migrations = self.migration_count();
+        let migration_energy: f64 = self
+            .pieces
+            .iter()
+            .enumerate()
+            .map(|(j, pieces)| {
+                let moves = pieces
+                    .windows(2)
+                    .filter(|w| w[0].server != w[1].server)
+                    .count() as f64;
+                moves * self.migration_energy_per_gb * self.problem.vms()[j].demand().mem
+            })
+            .sum();
+
+        Ok(ScheduleAudit {
+            total_cost: server_energy + migration_energy,
+            server_energy,
+            migration_energy,
+            migrations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PowerModel, ProblemBuilder, Resources};
+
+    fn problem() -> AllocationProblem {
+        ProblemBuilder::new()
+            .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 60.0)
+            .server(Resources::new(4.0, 8.0), PowerModel::new(40.0, 90.0), 50.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(1.0, 2.0), Interval::new(5, 8))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_assignment_has_no_migrations_and_same_cost() {
+        let p = problem();
+        let mut a = Assignment::new(&p);
+        a.place(VmId(0), ServerId(0)).unwrap();
+        a.place(VmId(1), ServerId(1)).unwrap();
+        let s = Schedule::from_assignment(&a, 7.0).unwrap();
+        let audit = s.audit().unwrap();
+        assert_eq!(audit.migrations, 0);
+        assert_eq!(audit.migration_energy, 0.0);
+        assert!((audit.total_cost - a.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_is_charged_per_gb() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 3.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 6)).unwrap();
+        s.host(VmId(0), ServerId(1), Interval::new(7, 10)).unwrap();
+        s.host(VmId(1), ServerId(1), Interval::new(5, 8)).unwrap();
+        let audit = s.audit().unwrap();
+        assert_eq!(audit.migrations, 1);
+        assert!((audit.migration_energy - 3.0 * 4.0).abs() < 1e-9);
+        assert!(audit.total_cost > audit.server_energy);
+    }
+
+    #[test]
+    fn consecutive_pieces_on_same_server_are_not_migrations() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 3.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 6)).unwrap();
+        s.host(VmId(0), ServerId(0), Interval::new(7, 10)).unwrap();
+        s.host(VmId(1), ServerId(0), Interval::new(5, 8)).unwrap();
+        assert_eq!(s.migration_count(), 0);
+        assert_eq!(s.audit().unwrap().migrations, 0);
+    }
+
+    #[test]
+    fn coverage_gaps_are_rejected() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 0.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 5)).unwrap();
+        // [6, 10] missing for vm0; vm1 fully placed.
+        s.host(VmId(1), ServerId(1), Interval::new(5, 8)).unwrap();
+        assert_eq!(s.audit().unwrap_err(), Error::Unplaced(VmId(0)));
+    }
+
+    #[test]
+    fn pieces_outside_duration_are_rejected() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 0.0);
+        assert!(s.host(VmId(0), ServerId(0), Interval::new(0, 5)).is_err());
+        assert!(s.host(VmId(1), ServerId(0), Interval::new(5, 9)).is_err());
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_piece() {
+        let p = ProblemBuilder::new()
+            .server(Resources::new(2.0, 4.0), PowerModel::new(10.0, 20.0), 5.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 4))
+            .vm(Resources::new(2.0, 4.0), Interval::new(3, 6))
+            .build()
+            .unwrap();
+        let mut s = Schedule::new(&p, 0.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 4)).unwrap();
+        assert_eq!(
+            s.host(VmId(1), ServerId(0), Interval::new(3, 6)).unwrap_err(),
+            Error::CapacityExceeded {
+                vm: VmId(1),
+                server: ServerId(0),
+            }
+        );
+        // But the non-overlapping tail is fine on the same server.
+        assert!(s.fits(VmId(1), ServerId(0), Interval::new(5, 6)));
+    }
+
+    #[test]
+    fn truncate_then_rehost_moves_a_running_vm() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 1.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 10)).unwrap();
+        s.host(VmId(1), ServerId(0), Interval::new(5, 8)).unwrap();
+        // Move vm0's tail [6, 10] to server 1.
+        s.truncate_last_piece(VmId(0), 5).unwrap();
+        s.host(VmId(0), ServerId(1), Interval::new(6, 10)).unwrap();
+        let audit = s.audit().unwrap();
+        assert_eq!(audit.migrations, 1);
+        // Server 0 usage after truncation frees capacity at t=6..10.
+        assert!(s.fits(VmId(0), ServerId(0), Interval::new(9, 10)));
+    }
+
+    #[test]
+    fn truncate_at_current_end_is_noop() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 1.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 10)).unwrap();
+        s.truncate_last_piece(VmId(0), 10).unwrap();
+        assert_eq!(s.pieces_of(VmId(0)).len(), 1);
+        assert_eq!(s.pieces_of(VmId(0))[0].interval, Interval::new(1, 10));
+    }
+
+    #[test]
+    fn truncate_outside_last_piece_errors() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 1.0);
+        s.host(VmId(0), ServerId(0), Interval::new(1, 10)).unwrap();
+        assert!(s.truncate_last_piece(VmId(0), 0).is_err());
+        assert!(s.truncate_last_piece(VmId(1), 5).is_err()); // no pieces
+    }
+
+    #[test]
+    fn out_of_order_pieces_are_rejected() {
+        let p = problem();
+        let mut s = Schedule::new(&p, 0.0);
+        s.host(VmId(0), ServerId(0), Interval::new(5, 10)).unwrap();
+        assert!(s.host(VmId(0), ServerId(1), Interval::new(1, 4)).is_err());
+    }
+}

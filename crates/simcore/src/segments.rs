@@ -1,0 +1,332 @@
+//! Busy/idle segment algebra.
+//!
+//! A server running a set of VMs "experiences a sequence of time-segments
+//! alternating in running VMs (called busy-segment) and running no VM
+//! (called idle-segment)" (Section III, Fig. 1). [`SegmentSet`] maintains
+//! the *busy* segments as a canonical set of disjoint, non-adjacent closed
+//! intervals; the interior gaps between consecutive busy segments are the
+//! idle segments of the paper. Time before the first and after the last
+//! busy segment is not an idle segment: the server is simply still in the
+//! power-saving state (`y_{i,0} = y_{i,T+1} = 0`).
+
+use crate::{Interval, TimeUnit};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A segment of server time: either busy (≥ 1 VM) or idle (an interior
+/// gap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// The server hosts at least one VM throughout the interval.
+    Busy(Interval),
+    /// Interior gap between two busy segments: the server hosts no VM but
+    /// is "booked" between activity periods.
+    Idle(Interval),
+}
+
+impl Segment {
+    /// The underlying interval.
+    pub fn interval(&self) -> Interval {
+        match *self {
+            Segment::Busy(i) | Segment::Idle(i) => i,
+        }
+    }
+
+    /// Whether this is a busy segment.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Segment::Busy(_))
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::Busy(i) => write!(f, "busy{i}"),
+            Segment::Idle(i) => write!(f, "idle{i}"),
+        }
+    }
+}
+
+/// A canonical set of disjoint, non-adjacent closed intervals — the busy
+/// segments of one server.
+///
+/// Inserting an interval merges it with every interval it overlaps or
+/// touches, so the set always stores the *minimal* number of segments.
+/// All operations are `O(k log n)` where `k` is the number of merged
+/// segments.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, SegmentSet};
+/// let mut set = SegmentSet::new();
+/// set.insert(Interval::new(1, 5));
+/// set.insert(Interval::new(10, 12));
+/// set.insert(Interval::new(6, 7)); // adjacent to [1,5] → merges
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.busy_time(), 7 + 3);
+/// let gaps: Vec<_> = set.gaps().collect();
+/// assert_eq!(gaps, vec![Interval::new(8, 9)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSet {
+    /// start → end of each merged segment.
+    segments: BTreeMap<TimeUnit, TimeUnit>,
+}
+
+impl SegmentSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of merged busy segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the set holds no segment.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total number of busy time units across all segments.
+    pub fn busy_time(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|(&s, &e)| Interval::new(s, e).len())
+            .sum()
+    }
+
+    /// The hull `[first_start, last_end]` of all segments, or `None` when
+    /// empty.
+    pub fn span(&self) -> Option<Interval> {
+        let (&first, _) = self.segments.iter().next()?;
+        let (_, &last) = self.segments.iter().next_back()?;
+        Some(Interval::new(first, last))
+    }
+
+    /// Whether `t` falls inside a busy segment.
+    pub fn contains(&self, t: TimeUnit) -> bool {
+        self.segments
+            .range(..=t)
+            .next_back()
+            .is_some_and(|(_, &end)| t <= end)
+    }
+
+    /// Inserts an interval, merging with all overlapping or adjacent
+    /// segments. Returns the merged segment that now covers `interval`.
+    pub fn insert(&mut self, interval: Interval) -> Interval {
+        let mut start = interval.start();
+        let mut end = interval.end();
+
+        // A segment beginning at or before `start` may reach into the new
+        // interval (or touch it).
+        if let Some((&s, &e)) = self.segments.range(..=start).next_back() {
+            if u64::from(e) + 1 >= u64::from(start) {
+                start = s;
+                end = end.max(e);
+                self.segments.remove(&s);
+            }
+        }
+        // Absorb every later segment that begins at or before `end + 1`.
+        loop {
+            let next = self
+                .segments
+                .range(start..)
+                .next()
+                .map(|(&s, &e)| (s, e))
+                .filter(|&(s, _)| u64::from(s) <= u64::from(end) + 1);
+            match next {
+                Some((s, e)) => {
+                    end = end.max(e);
+                    self.segments.remove(&s);
+                }
+                None => break,
+            }
+        }
+        self.segments.insert(start, end);
+        Interval::new(start, end)
+    }
+
+    /// Iterates over the busy segments in time order.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.segments.iter().map(|(&s, &e)| Interval::new(s, e))
+    }
+
+    /// Iterates over the interior idle gaps between consecutive busy
+    /// segments, in time order. Leading/trailing power-saving time is not
+    /// reported (see module docs).
+    pub fn gaps(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.iter().zip(self.iter().skip(1)).map(|(a, b)| {
+            debug_assert!(u64::from(a.end()) + 1 < u64::from(b.start()));
+            Interval::new(a.end() + 1, b.start() - 1)
+        })
+    }
+
+    /// Iterates over busy and idle segments interleaved in time order, as
+    /// in Fig. 1 of the paper.
+    pub fn timeline(&self) -> Vec<Segment> {
+        let mut out = Vec::with_capacity(self.len().saturating_mul(2));
+        let mut prev_end: Option<TimeUnit> = None;
+        for seg in self.iter() {
+            if let Some(pe) = prev_end {
+                out.push(Segment::Idle(Interval::new(pe + 1, seg.start() - 1)));
+            }
+            out.push(Segment::Busy(seg));
+            prev_end = Some(seg.end());
+        }
+        out
+    }
+
+    /// A copy of the set with `interval` inserted. Used by allocation
+    /// heuristics to evaluate hypothetical placements without mutating the
+    /// live state.
+    pub fn with_inserted(&self, interval: Interval) -> SegmentSet {
+        let mut copy = self.clone();
+        copy.insert(interval);
+        copy
+    }
+}
+
+impl FromIterator<Interval> for SegmentSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut set = SegmentSet::new();
+        for interval in iter {
+            set.insert(interval);
+        }
+        set
+    }
+}
+
+impl Extend<Interval> for SegmentSet {
+    fn extend<I: IntoIterator<Item = Interval>>(&mut self, iter: I) {
+        for interval in iter {
+            self.insert(interval);
+        }
+    }
+}
+
+impl fmt::Display for SegmentSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, seg) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(intervals: &[(u32, u32)]) -> SegmentSet {
+        intervals
+            .iter()
+            .map(|&(s, e)| Interval::new(s, e))
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_insertions_stay_separate() {
+        let s = set(&[(1, 3), (7, 9)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.busy_time(), 6);
+        assert_eq!(s.span(), Some(Interval::new(1, 9)));
+    }
+
+    #[test]
+    fn overlapping_insertions_merge() {
+        let s = set(&[(1, 5), (3, 8)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next(), Some(Interval::new(1, 8)));
+    }
+
+    #[test]
+    fn adjacent_insertions_merge() {
+        let s = set(&[(1, 5), (6, 8)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.busy_time(), 8);
+    }
+
+    #[test]
+    fn insertion_bridges_multiple_segments() {
+        let mut s = set(&[(1, 2), (5, 6), (9, 10)]);
+        let merged = s.insert(Interval::new(3, 8));
+        assert_eq!(merged, Interval::new(1, 10));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insertion_contained_in_existing() {
+        let mut s = set(&[(1, 10)]);
+        s.insert(Interval::new(4, 5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.busy_time(), 10);
+    }
+
+    #[test]
+    fn gaps_are_interior_only() {
+        let s = set(&[(3, 5), (9, 10), (20, 25)]);
+        let gaps: Vec<_> = s.gaps().collect();
+        assert_eq!(gaps, vec![Interval::new(6, 8), Interval::new(11, 19)]);
+    }
+
+    #[test]
+    fn empty_and_single_segment_have_no_gaps() {
+        assert_eq!(SegmentSet::new().gaps().count(), 0);
+        assert_eq!(set(&[(1, 9)]).gaps().count(), 0);
+        assert_eq!(SegmentSet::new().span(), None);
+    }
+
+    #[test]
+    fn contains_point_queries() {
+        let s = set(&[(2, 4), (8, 8)]);
+        assert!(s.contains(2) && s.contains(4) && s.contains(8));
+        assert!(!s.contains(1) && !s.contains(5) && !s.contains(9));
+    }
+
+    #[test]
+    fn timeline_alternates() {
+        let s = set(&[(1, 2), (5, 6)]);
+        let tl = s.timeline();
+        assert_eq!(
+            tl,
+            vec![
+                Segment::Busy(Interval::new(1, 2)),
+                Segment::Idle(Interval::new(3, 4)),
+                Segment::Busy(Interval::new(5, 6)),
+            ]
+        );
+        assert!(tl[0].is_busy() && !tl[1].is_busy());
+        assert_eq!(tl[1].interval(), Interval::new(3, 4));
+    }
+
+    #[test]
+    fn with_inserted_does_not_mutate() {
+        let s = set(&[(1, 2)]);
+        let t = s.with_inserted(Interval::new(4, 5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn merge_at_time_zero() {
+        let mut s = SegmentSet::new();
+        s.insert(Interval::new(0, 0));
+        s.insert(Interval::new(1, 2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.span(), Some(Interval::new(0, 2)));
+    }
+
+    #[test]
+    fn display_lists_segments() {
+        let s = set(&[(1, 2), (5, 6)]);
+        assert_eq!(s.to_string(), "{[1, 2], [5, 6]}");
+    }
+}

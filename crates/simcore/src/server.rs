@@ -1,0 +1,317 @@
+//! Server specifications: capacity, affine power model, transition cost.
+
+use crate::{Resources, Vm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a server, its index into [`AllocationProblem::servers`].
+///
+/// [`AllocationProblem::servers`]: crate::AllocationProblem::servers
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(v: u32) -> Self {
+        ServerId(v)
+    }
+}
+
+impl From<ServerId> for u32 {
+    fn from(v: ServerId) -> u32 {
+        v.0
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv{}", self.0)
+    }
+}
+
+/// The affine power model of Eq. (1):
+/// `P(u) = P_idle + (P_peak − P_idle) · u`, `0 ≤ u ≤ 1`.
+///
+/// `u` is the fraction of the server's *CPU* capacity in use. The paper
+/// follows Barroso & Hölzle's energy-proportionality model and notes that
+/// real data-center servers idle at 40–50 % of peak power.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::PowerModel;
+/// let p = PowerModel::new(180.0, 400.0);
+/// assert_eq!(p.power_at(0.0), 180.0);
+/// assert_eq!(p.power_at(1.0), 400.0);
+/// assert_eq!(p.power_at(0.5), 290.0);
+/// assert!((p.idle_fraction() - 0.45).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    p_idle: f64,
+    p_peak: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model from idle and peak power in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p_idle ≤ p_peak` and both are finite.
+    pub fn new(p_idle: f64, p_peak: f64) -> Self {
+        assert!(
+            p_idle.is_finite() && p_peak.is_finite() && 0.0 <= p_idle && p_idle <= p_peak,
+            "power model requires 0 <= p_idle <= p_peak, got idle={p_idle} peak={p_peak}"
+        );
+        Self { p_idle, p_peak }
+    }
+
+    /// Power when the server is active but runs no VM, in watts.
+    pub fn p_idle(&self) -> f64 {
+        self.p_idle
+    }
+
+    /// Power under full CPU load, in watts.
+    pub fn p_peak(&self) -> f64 {
+        self.p_peak
+    }
+
+    /// Power at CPU load fraction `u ∈ [0, 1]` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `u` is outside `[0, 1]` beyond
+    /// floating-point tolerance.
+    pub fn power_at(&self, u: f64) -> f64 {
+        debug_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&u),
+            "load fraction {u} outside [0, 1]"
+        );
+        self.p_idle + (self.p_peak - self.p_idle) * u
+    }
+
+    /// `P_idle / P_peak`; the paper sets this to 40–50 % for all server
+    /// types. Returns 0 for a degenerate all-zero model.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.p_peak == 0.0 {
+            0.0
+        } else {
+            self.p_idle / self.p_peak
+        }
+    }
+
+    /// The dynamic power range `P_peak − P_idle` in watts.
+    pub fn dynamic_range(&self) -> f64 {
+        self.p_peak - self.p_idle
+    }
+}
+
+/// A server: id, resource capacity, power model and transition cost.
+///
+/// Servers are **non-homogeneous** (Section I, point 2): every server may
+/// have its own capacity, power parameters and transition cost `α`.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, PowerModel, Resources, ServerSpec, Vm};
+/// let s = ServerSpec::new(0, Resources::new(60.0, 68.0), PowerModel::new(180.0, 400.0), 400.0);
+/// // P¹ = (400 − 180) / 60 W per compute unit (Eq. 2).
+/// assert!((s.power_per_cpu_unit() - 220.0 / 60.0).abs() < 1e-12);
+/// // W_ij = P¹ · cpu · duration (Eq. 3).
+/// let vm = Vm::new(0, Resources::new(6.0, 7.0), Interval::new(1, 10));
+/// assert!((s.run_cost(&vm) - (220.0 / 60.0) * 60.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    id: ServerId,
+    capacity: Resources,
+    power: PowerModel,
+    transition_cost: f64,
+}
+
+impl ServerSpec {
+    /// Creates a server specification.
+    ///
+    /// `transition_cost` is `α_i`, the energy charged each time the server
+    /// switches from power-saving to active state, in watt·time-units
+    /// (the paper sets `α_i = P_peak_i × transition time`, Section IV-B3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity has a zero CPU component (the power-per-CPU
+    /// normalisation of Eq. 2 would be undefined) or if the transition
+    /// cost is negative or not finite.
+    pub fn new(
+        id: impl Into<ServerId>,
+        capacity: Resources,
+        power: PowerModel,
+        transition_cost: f64,
+    ) -> Self {
+        assert!(capacity.cpu > 0.0, "server CPU capacity must be positive");
+        assert!(
+            transition_cost.is_finite() && transition_cost >= 0.0,
+            "transition cost must be finite and non-negative, got {transition_cost}"
+        );
+        Self {
+            id: id.into(),
+            capacity,
+            power,
+            transition_cost,
+        }
+    }
+
+    /// The server identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The (CPU, memory) capacity.
+    pub fn capacity(&self) -> Resources {
+        self.capacity
+    }
+
+    /// The affine power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The transition cost `α_i` in watt·time-units.
+    pub fn transition_cost(&self) -> f64 {
+        self.transition_cost
+    }
+
+    /// `P¹_i = (P_peak − P_idle) / C_cpu` (Eq. 2): power drawn by one
+    /// compute unit of demand, in watts per compute unit.
+    pub fn power_per_cpu_unit(&self) -> f64 {
+        self.power.dynamic_range() / self.capacity.cpu
+    }
+
+    /// The run cost `W_ij = P¹_i · Σ_t R^CPU_jt` (Eq. 3) of hosting `vm`
+    /// for its whole duration, in watt·time-units.
+    pub fn run_cost(&self, vm: &Vm) -> f64 {
+        self.power_per_cpu_unit() * vm.cpu_time()
+    }
+
+    /// Whether `demand` fits in this server when `used` is already
+    /// committed.
+    pub fn can_host(&self, used: Resources, demand: Resources) -> bool {
+        (used + demand).fits_within(self.capacity)
+    }
+
+    /// Energy of keeping the server active but idle for `len` time units.
+    pub fn idle_cost(&self, len: u64) -> f64 {
+        self.power.p_idle() * len as f64
+    }
+
+    /// The cheaper of idling through a gap of `len` units or switching off
+    /// and back on (Eq. 16): `min{P_idle · len, α}`.
+    pub fn gap_cost(&self, len: u64) -> f64 {
+        self.idle_cost(len).min(self.transition_cost)
+    }
+
+    /// Whether the switch-off policy powers the server down during an
+    /// interior idle gap of `len` time units (transition cheaper than
+    /// idling).
+    pub fn switches_off_for_gap(&self, len: u64) -> bool {
+        self.transition_cost < self.idle_cost(len)
+    }
+}
+
+impl fmt::Display for ServerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cap {} P_idle {:.0} W P_peak {:.0} W α {:.0}",
+            self.id,
+            self.capacity,
+            self.power.p_idle(),
+            self.power.p_peak(),
+            self.transition_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interval;
+
+    fn spec() -> ServerSpec {
+        ServerSpec::new(
+            1,
+            Resources::new(16.0, 32.0),
+            PowerModel::new(140.0, 300.0),
+            300.0,
+        )
+    }
+
+    #[test]
+    fn power_model_interpolates() {
+        let p = PowerModel::new(100.0, 200.0);
+        assert_eq!(p.power_at(0.25), 125.0);
+        assert_eq!(p.dynamic_range(), 100.0);
+        assert_eq!(p.idle_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_idle <= p_peak")]
+    fn power_model_rejects_idle_above_peak() {
+        let _ = PowerModel::new(300.0, 200.0);
+    }
+
+    #[test]
+    fn p1_and_run_cost_follow_eq2_eq3() {
+        let s = spec();
+        assert!((s.power_per_cpu_unit() - 10.0).abs() < 1e-12);
+        let vm = Vm::new(0, Resources::new(4.0, 4.0), Interval::new(1, 5));
+        // W = 10 W/CU × 4 CU × 5 units = 200.
+        assert!((s.run_cost(&vm) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn can_host_checks_remaining_capacity() {
+        let s = spec();
+        assert!(s.can_host(Resources::new(12.0, 30.0), Resources::new(4.0, 2.0)));
+        assert!(!s.can_host(Resources::new(12.0, 30.0), Resources::new(4.1, 2.0)));
+        assert!(!s.can_host(Resources::new(12.0, 30.0), Resources::new(4.0, 2.1)));
+    }
+
+    #[test]
+    fn gap_cost_picks_cheaper_option() {
+        let s = spec(); // P_idle 140, α 300.
+        assert_eq!(s.gap_cost(1), 140.0); // idle 1 unit: 140 < 300.
+        assert_eq!(s.gap_cost(2), 280.0); // idle 2 units: 280 < 300.
+        assert_eq!(s.gap_cost(3), 300.0); // switch off: 300 < 420.
+        assert!(!s.switches_off_for_gap(2));
+        assert!(s.switches_off_for_gap(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU capacity must be positive")]
+    fn zero_cpu_capacity_rejected() {
+        let _ = ServerSpec::new(
+            0,
+            Resources::new(0.0, 8.0),
+            PowerModel::new(1.0, 2.0),
+            1.0,
+        );
+    }
+
+    #[test]
+    fn id_conversions_and_display() {
+        let id: ServerId = 4u32.into();
+        assert_eq!(id.index(), 4);
+        assert_eq!(u32::from(id), 4);
+        assert_eq!(id.to_string(), "srv4");
+        assert!(spec().to_string().contains("srv1"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Discrete time: time units and closed intervals.
+//!
+//! The paper plans over an entire period `[1, T]` in integer time units
+//! ("we consider the time unit on the minute or more fine-grained scale",
+//! Section I). A VM `v_j` occupies the **closed** interval
+//! `[t^s_j, t^e_j]`: both endpoints are occupied time units, so a VM with
+//! `start == end` runs for exactly one unit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A discrete time unit (1 unit = 1 minute in the paper's evaluation).
+///
+/// Plain `u32` alias: time arithmetic is pervasive in the simulator and a
+/// newtype would add friction without preventing any realistic bug class —
+/// the other integral quantities in the model (ids) already have newtypes.
+pub type TimeUnit = u32;
+
+/// A closed interval `[start, end]` of time units, `start <= end`.
+///
+/// The length of the interval is `end - start + 1` time units, matching the
+/// paper's segment length `(τ − t + 1)` in Eqs. (15)–(16).
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::Interval;
+/// let a = Interval::new(1, 10);
+/// let b = Interval::new(10, 12);
+/// assert_eq!(a.len(), 10);
+/// assert!(a.overlaps(b));
+/// assert_eq!(a.intersection(b), Some(Interval::new(10, 10)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    start: TimeUnit,
+    end: TimeUnit,
+}
+
+impl Interval {
+    /// Creates the closed interval `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: TimeUnit, end: TimeUnit) -> Self {
+        assert!(
+            start <= end,
+            "interval start {start} must not exceed end {end}"
+        );
+        Self { start, end }
+    }
+
+    /// Creates the closed interval `[start, end]`, returning `None` when
+    /// `start > end` instead of panicking.
+    pub fn checked_new(start: TimeUnit, end: TimeUnit) -> Option<Self> {
+        (start <= end).then_some(Self { start, end })
+    }
+
+    /// Creates an interval from a start time and a positive length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `start + len - 1` overflows.
+    pub fn with_len(start: TimeUnit, len: u32) -> Self {
+        assert!(len > 0, "interval length must be positive");
+        let end = start
+            .checked_add(len - 1)
+            .expect("interval end overflows TimeUnit");
+        Self { start, end }
+    }
+
+    /// The first occupied time unit.
+    pub fn start(&self) -> TimeUnit {
+        self.start
+    }
+
+    /// The last occupied time unit (inclusive).
+    pub fn end(&self) -> TimeUnit {
+        self.end
+    }
+
+    /// Number of occupied time units: `end - start + 1`.
+    ///
+    /// This is the `(τ − t + 1)` factor of Eqs. (15)–(16).
+    pub fn len(&self) -> u64 {
+        u64::from(self.end - self.start) + 1
+    }
+
+    /// Closed intervals are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `t` lies inside the interval.
+    pub fn contains(&self, t: TimeUnit) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains_interval(&self, other: Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two closed intervals share at least one time unit.
+    pub fn overlaps(&self, other: Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether the two intervals overlap or are adjacent (their union is a
+    /// single interval). `[1,3]` and `[4,6]` touch; `[1,3]` and `[5,6]`
+    /// do not.
+    pub fn touches(&self, other: Interval) -> bool {
+        // Careful with unsigned underflow: a.end + 1 >= b.start.
+        u64::from(self.end) + 1 >= u64::from(other.start)
+            && u64::from(other.end) + 1 >= u64::from(self.start)
+    }
+
+    /// The overlap of the two intervals, if any.
+    pub fn intersection(&self, other: Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        Interval::checked_new(start, end)
+    }
+
+    /// The smallest interval covering both; only meaningful when they touch
+    /// (otherwise the hull covers time units in neither).
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Iterates over every time unit in the interval.
+    pub fn iter(&self) -> impl Iterator<Item = TimeUnit> + '_ {
+        self.start..=self.end
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_counts_both_endpoints() {
+        assert_eq!(Interval::new(5, 5).len(), 1);
+        assert_eq!(Interval::new(1, 10).len(), 10);
+    }
+
+    #[test]
+    fn with_len_matches_new() {
+        assert_eq!(Interval::with_len(3, 4), Interval::new(3, 6));
+        assert_eq!(Interval::with_len(0, 1), Interval::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn new_rejects_inverted() {
+        let _ = Interval::new(4, 3);
+    }
+
+    #[test]
+    fn checked_new_rejects_inverted() {
+        assert_eq!(Interval::checked_new(4, 3), None);
+        assert!(Interval::checked_new(3, 4).is_some());
+    }
+
+    #[test]
+    fn overlap_is_inclusive() {
+        let a = Interval::new(1, 5);
+        assert!(a.overlaps(Interval::new(5, 9)));
+        assert!(!a.overlaps(Interval::new(6, 9)));
+        assert!(a.overlaps(Interval::new(0, 1)));
+        assert!(a.overlaps(Interval::new(2, 3)));
+    }
+
+    #[test]
+    fn touches_includes_adjacency() {
+        let a = Interval::new(1, 3);
+        assert!(a.touches(Interval::new(4, 6)));
+        assert!(!a.touches(Interval::new(5, 6)));
+        assert!(Interval::new(4, 6).touches(a));
+        // Overlapping intervals also touch.
+        assert!(a.touches(Interval::new(2, 9)));
+    }
+
+    #[test]
+    fn touches_does_not_underflow_at_zero() {
+        let a = Interval::new(0, 0);
+        let b = Interval::new(2, 3);
+        assert!(!a.touches(b));
+        assert!(!b.touches(a));
+        assert!(a.touches(Interval::new(1, 2)));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(4, 9);
+        assert_eq!(a.intersection(b), Some(Interval::new(4, 5)));
+        assert_eq!(a.hull(b), Interval::new(1, 9));
+        assert_eq!(a.intersection(Interval::new(7, 9)), None);
+    }
+
+    #[test]
+    fn contains_checks() {
+        let a = Interval::new(2, 4);
+        assert!(a.contains(2) && a.contains(3) && a.contains(4));
+        assert!(!a.contains(1) && !a.contains(5));
+        assert!(a.contains_interval(Interval::new(3, 4)));
+        assert!(!a.contains_interval(Interval::new(3, 5)));
+    }
+
+    #[test]
+    fn iter_yields_every_unit() {
+        let units: Vec<_> = Interval::new(3, 6).iter().collect();
+        assert_eq!(units, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display_renders_closed_interval() {
+        assert_eq!(Interval::new(1, 9).to_string(), "[1, 9]");
+    }
+}

@@ -1,0 +1,337 @@
+//! Piecewise-constant resource usage over time.
+//!
+//! [`UsageProfile`] tracks how much CPU and memory of one server is
+//! committed at every time unit, supporting the two queries allocation
+//! needs:
+//!
+//! * *capacity check*: does a demand fit **throughout** an interval
+//!   (constraints (9)–(10) must hold in every time unit)?
+//! * *peak / integral*: peak usage over an interval and the time-integral
+//!   of usage (for utilization statistics, Figs. 3 and 8).
+//!
+//! The profile is a breakpoint map `time → usage`, where an entry at `t`
+//! gives the usage from `t` (inclusive) until the next breakpoint
+//! (exclusive). Before the first breakpoint the usage is zero.
+
+use crate::resources::EPSILON;
+use crate::{Interval, Resources, TimeUnit};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Piecewise-constant (CPU, memory) usage over discrete time.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, Resources, UsageProfile};
+/// let mut p = UsageProfile::new();
+/// p.add(Interval::new(1, 10), Resources::new(2.0, 4.0));
+/// p.add(Interval::new(5, 20), Resources::new(1.0, 1.0));
+/// assert_eq!(p.usage_at(3), Resources::new(2.0, 4.0));
+/// assert_eq!(p.usage_at(7), Resources::new(3.0, 5.0));
+/// assert_eq!(p.usage_at(15), Resources::new(1.0, 1.0));
+/// assert_eq!(p.peak_over(Interval::new(1, 20)), Resources::new(3.0, 5.0));
+/// assert!(p.fits(Interval::new(1, 20), Resources::new(1.0, 1.0), Resources::new(4.0, 6.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UsageProfile {
+    /// `time → usage` from that time until the next breakpoint.
+    breakpoints: BTreeMap<TimeUnit, Resources>,
+}
+
+impl UsageProfile {
+    /// Creates an empty (all-zero) profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Usage at time unit `t`.
+    pub fn usage_at(&self, t: TimeUnit) -> Resources {
+        self.breakpoints
+            .range(..=t)
+            .next_back()
+            .map(|(_, &u)| u)
+            .unwrap_or(Resources::ZERO)
+    }
+
+    /// Ensures a breakpoint exists exactly at `t`, carrying the value that
+    /// is in force there.
+    fn ensure_breakpoint(&mut self, t: TimeUnit) {
+        if !self.breakpoints.contains_key(&t) {
+            let value = self.usage_at(t);
+            self.breakpoints.insert(t, value);
+        }
+    }
+
+    /// Adds `demand` to every time unit of `interval`.
+    pub fn add(&mut self, interval: Interval, demand: Resources) {
+        self.ensure_breakpoint(interval.start());
+        if let Some(after) = interval.end().checked_add(1) {
+            self.ensure_breakpoint(after);
+        }
+        for (_, usage) in self
+            .breakpoints
+            .range_mut(interval.start()..=interval.end())
+        {
+            *usage += demand;
+        }
+    }
+
+    /// Subtracts `demand` from every time unit of `interval`; the inverse
+    /// of [`UsageProfile::add`]. Usage is clamped at zero to absorb
+    /// floating-point noise.
+    pub fn remove(&mut self, interval: Interval, demand: Resources) {
+        self.ensure_breakpoint(interval.start());
+        if let Some(after) = interval.end().checked_add(1) {
+            self.ensure_breakpoint(after);
+        }
+        for (_, usage) in self
+            .breakpoints
+            .range_mut(interval.start()..=interval.end())
+        {
+            *usage = usage.saturating_sub(demand);
+        }
+    }
+
+    /// Component-wise peak usage over `interval`.
+    pub fn peak_over(&self, interval: Interval) -> Resources {
+        let mut peak = self.usage_at(interval.start());
+        if interval.start() < interval.end() {
+            for (_, &u) in self
+                .breakpoints
+                .range(interval.start() + 1..=interval.end())
+            {
+                peak = peak.max(u);
+            }
+        }
+        peak
+    }
+
+    /// Whether adding `demand` throughout `interval` keeps usage within
+    /// `capacity` in **every** time unit (constraints (9)–(10)).
+    pub fn fits(&self, interval: Interval, demand: Resources, capacity: Resources) -> bool {
+        // Check the piece in force at interval start, then every
+        // breakpoint inside the interval.
+        if !(self.usage_at(interval.start()) + demand).fits_within(capacity) {
+            return false;
+        }
+        if interval.start() == interval.end() {
+            return true;
+        }
+        self.breakpoints
+            .range(interval.start() + 1..=interval.end())
+            .all(|(_, &u)| (u + demand).fits_within(capacity))
+    }
+
+    /// Iterates over maximal constant pieces `(interval, usage)` with
+    /// non-zero usage, in time order.
+    pub fn nonzero_pieces(&self) -> Vec<(Interval, Resources)> {
+        let mut out = Vec::new();
+        let mut iter = self.breakpoints.iter().peekable();
+        while let Some((&start, &usage)) = iter.next() {
+            let end = match iter.peek() {
+                Some((&next, _)) => next - 1,
+                // Trailing piece: zero for every profile built via `add`,
+                // except when an interval reaches `TimeUnit::MAX` and the
+                // closing breakpoint cannot be represented.
+                None => TimeUnit::MAX,
+            };
+            if !usage.is_zero() && start <= end {
+                out.push((Interval::new(start, end), usage));
+            }
+        }
+        out
+    }
+
+    /// Time-integral of usage over all non-zero pieces, together with the
+    /// number of non-zero time units. Drives the utilization metric of
+    /// Figs. 3 and 8 ("averaging nonzero utilization values").
+    pub fn nonzero_integral(&self) -> (u64, Resources) {
+        let mut units = 0u64;
+        let mut integral = Resources::ZERO;
+        for (interval, usage) in self.nonzero_pieces() {
+            units += interval.len();
+            integral += usage * interval.len() as f64;
+        }
+        (units, integral)
+    }
+
+    /// Time-integral of **CPU** usage over the whole horizon:
+    /// `Σ_t Σ_{j on this server} R^CPU_jt`. Multiplied by `P¹_i` this is
+    /// the server's total run cost (Eq. 4).
+    pub fn cpu_integral(&self) -> f64 {
+        self.nonzero_pieces()
+            .iter()
+            .map(|(interval, usage)| usage.cpu * interval.len() as f64)
+            .sum()
+    }
+
+    /// Whether the profile is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.breakpoints.values().all(Resources::is_zero)
+    }
+
+    /// Drops redundant breakpoints (equal consecutive values, leading
+    /// zeros). Queries are unaffected; this only compacts storage after
+    /// many `add`/`remove` cycles.
+    pub fn compact(&mut self) {
+        let mut prev = Resources::ZERO;
+        let mut drop_keys = Vec::new();
+        for (&t, &u) in &self.breakpoints {
+            let redundant = (u.cpu - prev.cpu).abs() <= EPSILON
+                && (u.mem - prev.mem).abs() <= EPSILON;
+            if redundant {
+                drop_keys.push(t);
+            } else {
+                prev = u;
+            }
+        }
+        for t in drop_keys {
+            self.breakpoints.remove(&t);
+        }
+    }
+
+    /// Number of stored breakpoints (diagnostic).
+    pub fn breakpoint_count(&self) -> usize {
+        self.breakpoints.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(cpu: f64, mem: f64) -> Resources {
+        Resources::new(cpu, mem)
+    }
+
+    #[test]
+    fn empty_profile_is_zero_everywhere() {
+        let p = UsageProfile::new();
+        assert_eq!(p.usage_at(0), Resources::ZERO);
+        assert_eq!(p.usage_at(1000), Resources::ZERO);
+        assert!(p.is_zero());
+        assert!(p.fits(Interval::new(0, 9), res(5.0, 5.0), res(5.0, 5.0)));
+    }
+
+    #[test]
+    fn add_creates_plateau() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(3, 7), res(2.0, 1.0));
+        assert_eq!(p.usage_at(2), Resources::ZERO);
+        assert_eq!(p.usage_at(3), res(2.0, 1.0));
+        assert_eq!(p.usage_at(7), res(2.0, 1.0));
+        assert_eq!(p.usage_at(8), Resources::ZERO);
+    }
+
+    #[test]
+    fn overlapping_adds_stack() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(1, 10), res(1.0, 1.0));
+        p.add(Interval::new(5, 15), res(2.0, 0.5));
+        assert_eq!(p.usage_at(4), res(1.0, 1.0));
+        assert_eq!(p.usage_at(5), res(3.0, 1.5));
+        assert_eq!(p.usage_at(10), res(3.0, 1.5));
+        assert_eq!(p.usage_at(11), res(2.0, 0.5));
+        assert_eq!(p.usage_at(16), Resources::ZERO);
+    }
+
+    #[test]
+    fn remove_undoes_add() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(1, 10), res(1.0, 1.0));
+        p.add(Interval::new(5, 15), res(2.0, 0.5));
+        p.remove(Interval::new(5, 15), res(2.0, 0.5));
+        for t in 0..20 {
+            let expect = if (1..=10).contains(&t) {
+                res(1.0, 1.0)
+            } else {
+                Resources::ZERO
+            };
+            assert_eq!(p.usage_at(t), expect, "t={t}");
+        }
+    }
+
+    #[test]
+    fn fits_detects_mid_interval_violation() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(5, 6), res(3.0, 0.0));
+        let cap = res(4.0, 10.0);
+        // New demand of 2 CPU over [1, 10] collides at t=5..6 only.
+        assert!(!p.fits(Interval::new(1, 10), res(2.0, 0.0), cap));
+        assert!(p.fits(Interval::new(1, 4), res(2.0, 0.0), cap));
+        assert!(p.fits(Interval::new(7, 10), res(2.0, 0.0), cap));
+        assert!(p.fits(Interval::new(1, 10), res(1.0, 0.0), cap));
+    }
+
+    #[test]
+    fn fits_checks_single_unit_interval() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(5, 5), res(3.0, 3.0));
+        let cap = res(4.0, 4.0);
+        assert!(!p.fits(Interval::new(5, 5), res(2.0, 0.0), cap));
+        assert!(p.fits(Interval::new(6, 6), res(2.0, 0.0), cap));
+    }
+
+    #[test]
+    fn peak_over_ranges() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(1, 3), res(1.0, 4.0));
+        p.add(Interval::new(3, 5), res(2.0, 1.0));
+        assert_eq!(p.peak_over(Interval::new(0, 10)), res(3.0, 5.0));
+        assert_eq!(p.peak_over(Interval::new(4, 10)), res(2.0, 1.0));
+        assert_eq!(p.peak_over(Interval::new(6, 10)), Resources::ZERO);
+    }
+
+    #[test]
+    fn nonzero_pieces_and_integral() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(1, 2), res(1.0, 2.0));
+        p.add(Interval::new(5, 5), res(4.0, 4.0));
+        let pieces = p.nonzero_pieces();
+        assert_eq!(
+            pieces,
+            vec![
+                (Interval::new(1, 2), res(1.0, 2.0)),
+                (Interval::new(5, 5), res(4.0, 4.0)),
+            ]
+        );
+        let (units, integral) = p.nonzero_integral();
+        assert_eq!(units, 3);
+        assert_eq!(integral, res(1.0 * 2.0 + 4.0, 2.0 * 2.0 + 4.0));
+        assert!((p.cpu_integral() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_preserves_queries() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(1, 10), res(1.0, 1.0));
+        p.add(Interval::new(11, 20), res(1.0, 1.0));
+        p.add(Interval::new(3, 4), res(0.5, 0.5));
+        p.remove(Interval::new(3, 4), res(0.5, 0.5));
+        let before: Vec<_> = (0..25).map(|t| p.usage_at(t)).collect();
+        p.compact();
+        let after: Vec<_> = (0..25).map(|t| p.usage_at(t)).collect();
+        assert_eq!(before, after);
+        // [1,10] and [11,20] at equal usage collapse into one piece plus
+        // the trailing zero.
+        assert_eq!(p.breakpoint_count(), 2);
+    }
+
+    #[test]
+    fn peak_over_single_unit_interval() {
+        let mut p = UsageProfile::new();
+        p.add(Interval::new(5, 9), res(2.0, 3.0));
+        assert_eq!(p.peak_over(Interval::new(6, 6)), res(2.0, 3.0));
+        assert_eq!(p.peak_over(Interval::new(4, 4)), Resources::ZERO);
+    }
+
+    #[test]
+    fn add_at_max_time_does_not_overflow() {
+        let mut p = UsageProfile::new();
+        let t = TimeUnit::MAX;
+        p.add(Interval::new(t, t), res(1.0, 1.0));
+        assert_eq!(p.usage_at(t), res(1.0, 1.0));
+        assert_eq!(p.usage_at(t - 1), Resources::ZERO);
+    }
+}

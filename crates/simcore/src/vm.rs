@@ -1,0 +1,151 @@
+//! Virtual machine requests.
+
+use crate::{Interval, Resources};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a VM, its index into [`AllocationProblem::vms`].
+///
+/// [`AllocationProblem::vms`]: crate::AllocationProblem::vms
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct VmId(pub u32);
+
+impl VmId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VmId {
+    fn from(v: u32) -> Self {
+        VmId(v)
+    }
+}
+
+impl From<VmId> for u32 {
+    fn from(v: VmId) -> u32 {
+        v.0
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// A virtual machine request: a constant resource demand over a closed
+/// time interval.
+///
+/// The paper allows time-varying demands `R_{jt}` in the formulation but
+/// evaluates with stable demands ("The resource demands of each VM is
+/// stable", Section IV-B); we model the evaluated system.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, Resources, Vm};
+/// let vm = Vm::new(7, Resources::new(2.0, 3.75), Interval::new(5, 24));
+/// assert_eq!(vm.duration(), 20);
+/// assert_eq!(vm.cpu_time(), 2.0 * 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    id: VmId,
+    demand: Resources,
+    interval: Interval,
+}
+
+impl Vm {
+    /// Creates a VM request.
+    pub fn new(id: impl Into<VmId>, demand: Resources, interval: Interval) -> Self {
+        Self {
+            id: id.into(),
+            demand,
+            interval,
+        }
+    }
+
+    /// The VM identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The constant (CPU, memory) demand.
+    pub fn demand(&self) -> Resources {
+        self.demand
+    }
+
+    /// The closed activity interval `[t_start, t_end]`.
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// First active time unit `t^s_j`.
+    pub fn start(&self) -> u32 {
+        self.interval.start()
+    }
+
+    /// Last active time unit `t^e_j`.
+    pub fn end(&self) -> u32 {
+        self.interval.end()
+    }
+
+    /// Number of active time units.
+    pub fn duration(&self) -> u64 {
+        self.interval.len()
+    }
+
+    /// Total CPU·time demanded: `Σ_t R^CPU_{jt} = cpu · duration`.
+    ///
+    /// This is the workload factor of the run cost `W_ij` (Eq. 3): the
+    /// energy to run the VM on server `i` is `P¹_i · cpu_time()`.
+    pub fn cpu_time(&self) -> f64 {
+        self.demand.cpu * self.duration() as f64
+    }
+}
+
+impl fmt::Display for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} @ {}", self.id, self.demand, self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let vm = Vm::new(3, Resources::new(1.0, 1.7), Interval::new(2, 4));
+        assert_eq!(vm.id(), VmId(3));
+        assert_eq!(vm.start(), 2);
+        assert_eq!(vm.end(), 4);
+        assert_eq!(vm.duration(), 3);
+        assert_eq!(vm.demand(), Resources::new(1.0, 1.7));
+    }
+
+    #[test]
+    fn cpu_time_is_demand_times_duration() {
+        let vm = Vm::new(0, Resources::new(6.5, 17.1), Interval::new(10, 19));
+        assert!((vm.cpu_time() - 65.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn id_conversions() {
+        let id: VmId = 9u32.into();
+        assert_eq!(id.index(), 9);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.to_string(), "vm9");
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let vm = Vm::new(1, Resources::new(1.0, 2.0), Interval::new(0, 1));
+        let s = vm.to_string();
+        assert!(s.contains("vm1") && s.contains("[0, 1]"), "{s}");
+    }
+}

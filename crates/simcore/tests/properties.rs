@@ -1,0 +1,153 @@
+//! Property-based tests of the simulation substrate against naive
+//! reference models.
+
+use esvm_simcore::energy::{full_cost, segment_cost};
+use esvm_simcore::{
+    Interval, PowerModel, Resources, SegmentSet, ServerLedger, ServerSpec, UsageProfile, Vm,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u32..200, 0u32..30).prop_map(|(s, len)| Interval::with_len(s, len + 1))
+}
+
+fn arb_spec() -> impl Strategy<Value = ServerSpec> {
+    (1u32..20, 1u32..40, 0u32..30, 1u32..40, 0u32..120).prop_map(
+        |(cpu, mem, idle, dynamic, alpha)| {
+            ServerSpec::new(
+                0,
+                Resources::new(f64::from(cpu), f64::from(mem)),
+                PowerModel::new(f64::from(idle), f64::from(idle + dynamic)),
+                f64::from(alpha),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// SegmentSet agrees with a naive per-time-unit set model.
+    #[test]
+    fn segment_set_matches_naive_model(intervals in proptest::collection::vec(arb_interval(), 0..20)) {
+        let mut set = SegmentSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for iv in &intervals {
+            set.insert(*iv);
+            model.extend(iv.iter());
+        }
+        // Same busy time and same membership.
+        prop_assert_eq!(set.busy_time(), model.len() as u64);
+        for t in 0..260u32 {
+            prop_assert_eq!(set.contains(t), model.contains(&t), "t={}", t);
+        }
+        // Segments are disjoint, non-adjacent and sorted.
+        let segs: Vec<Interval> = set.iter().collect();
+        for w in segs.windows(2) {
+            prop_assert!(u64::from(w[0].end()) + 1 < u64::from(w[1].start()));
+        }
+        // Gaps partition the span minus the busy units.
+        if let Some(span) = set.span() {
+            let gap_units: u64 = set.gaps().map(|g| g.len()).sum();
+            prop_assert_eq!(gap_units + set.busy_time(), span.len());
+        }
+    }
+
+    /// UsageProfile agrees with a naive per-time-unit accumulation.
+    #[test]
+    fn usage_profile_matches_naive_model(
+        entries in proptest::collection::vec((arb_interval(), 1u32..8, 1u32..8), 0..15)
+    ) {
+        let mut profile = UsageProfile::new();
+        let mut model = vec![(0.0f64, 0.0f64); 300];
+        for (iv, cpu, mem) in &entries {
+            let demand = Resources::new(f64::from(*cpu), f64::from(*mem));
+            profile.add(*iv, demand);
+            for t in iv.iter() {
+                model[t as usize].0 += demand.cpu;
+                model[t as usize].1 += demand.mem;
+            }
+        }
+        for (t, &(cpu, mem)) in model.iter().enumerate() {
+            let u = profile.usage_at(t as u32);
+            prop_assert!((u.cpu - cpu).abs() < 1e-9, "cpu at t={}", t);
+            prop_assert!((u.mem - mem).abs() < 1e-9, "mem at t={}", t);
+        }
+        // Non-zero integral agrees with the model.
+        let (units, integral) = profile.nonzero_integral();
+        let m_units = model.iter().filter(|&&(c, m)| c > 0.0 || m > 0.0).count() as u64;
+        let m_cpu: f64 = model.iter().map(|&(c, _)| c).sum();
+        prop_assert_eq!(units, m_units);
+        prop_assert!((integral.cpu - m_cpu).abs() < 1e-6);
+    }
+
+    /// `fits` is exactly "no per-unit capacity violation".
+    #[test]
+    fn fits_matches_naive_check(
+        entries in proptest::collection::vec((arb_interval(), 1u32..8, 1u32..8), 0..10),
+        probe in (arb_interval(), 1u32..8, 1u32..8),
+        cap in (8u32..24, 8u32..24),
+    ) {
+        let capacity = Resources::new(f64::from(cap.0), f64::from(cap.1));
+        let mut profile = UsageProfile::new();
+        let mut model = vec![(0.0f64, 0.0f64); 300];
+        for (iv, cpu, mem) in &entries {
+            let demand = Resources::new(f64::from(*cpu), f64::from(*mem));
+            profile.add(*iv, demand);
+            for t in iv.iter() {
+                model[t as usize].0 += demand.cpu;
+                model[t as usize].1 += demand.mem;
+            }
+        }
+        let (iv, cpu, mem) = probe;
+        let demand = Resources::new(f64::from(cpu), f64::from(mem));
+        let expected = iv.iter().all(|t| {
+            model[t as usize].0 + demand.cpu <= capacity.cpu + 1e-9
+                && model[t as usize].1 + demand.mem <= capacity.mem + 1e-9
+        });
+        prop_assert_eq!(profile.fits(iv, demand, capacity), expected);
+    }
+
+    /// The incremental ledger always agrees with the from-scratch
+    /// reference cost, and hypothetical evaluation never mutates.
+    #[test]
+    fn ledger_matches_reference_cost(
+        spec in arb_spec(),
+        vms in proptest::collection::vec((arb_interval(), 1u32..4, 1u32..4), 0..12),
+    ) {
+        let mut ledger = ServerLedger::new(spec);
+        let mut hosted: Vec<Vm> = Vec::new();
+        for (j, (iv, cpu, mem)) in vms.into_iter().enumerate() {
+            let vm = Vm::new(j as u32, Resources::new(f64::from(cpu), f64::from(mem)), iv);
+            if !ledger.fits(&vm) {
+                continue;
+            }
+            let predicted = ledger.cost_with(&vm);
+            let before = ledger.cost();
+            prop_assert!(predicted >= before - 1e-9, "cost must not decrease");
+            ledger.host(&vm);
+            hosted.push(vm);
+            prop_assert!((ledger.cost() - predicted).abs() < 1e-6);
+            prop_assert!((ledger.cost() - full_cost(ledger.spec(), &hosted)).abs() < 1e-6);
+        }
+    }
+
+    /// Inserting an interval into a segment set never decreases the
+    /// segment cost (more busy time can only cost more or bridge gaps at
+    /// their previous price).
+    #[test]
+    fn segment_cost_is_monotone_under_insert(
+        spec in arb_spec(),
+        intervals in proptest::collection::vec(arb_interval(), 1..15),
+    ) {
+        let mut set = SegmentSet::new();
+        let mut prev = segment_cost(&spec, &set);
+        for iv in intervals {
+            set.insert(iv);
+            let now = segment_cost(&spec, &set);
+            prop_assert!(now >= prev - 1e-9, "cost dropped from {} to {}", prev, now);
+            prev = now;
+        }
+    }
+}

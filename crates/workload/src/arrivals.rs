@@ -1,0 +1,351 @@
+//! Arrival processes beyond the paper's homogeneous Poisson stream.
+//!
+//! The paper generates arrivals from a homogeneous Poisson process
+//! (Section IV-B1). Real cloud request streams are neither stationary
+//! nor memoryless, and the value of energy-aware allocation depends on
+//! exactly that structure — so this module adds two standard richer
+//! models, both reducible to the paper's when their extra parameters
+//! are neutral:
+//!
+//! * [`ArrivalModel::Poisson`] — the paper's process;
+//! * [`ArrivalModel::Diurnal`] — a non-homogeneous Poisson process with
+//!   a sinusoidal day/night rate profile, sampled by thinning;
+//! * [`ArrivalModel::Bursty`] — a two-state Markov-modulated Poisson
+//!   process (MMPP-2): quiet and burst phases with exponentially
+//!   distributed sojourns.
+
+use crate::dist::Exponential;
+use rand::Rng;
+use serde::Serialize;
+
+/// An arrival process generating ascending continuous arrival instants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ArrivalModel {
+    /// Homogeneous Poisson with the given mean inter-arrival time.
+    Poisson {
+        /// Mean time between arrivals.
+        mean_interarrival: f64,
+    },
+    /// Non-homogeneous Poisson: the instantaneous rate swings
+    /// sinusoidally around `1 / mean_interarrival` with relative
+    /// amplitude `amplitude ∈ [0, 1]` and the given period.
+    Diurnal {
+        /// Mean time between arrivals (over a full period).
+        mean_interarrival: f64,
+        /// Relative swing of the rate (0 = the Poisson model, 1 = rate
+        /// touches zero at the trough).
+        amplitude: f64,
+        /// Length of one day/night cycle, in time units.
+        period: f64,
+    },
+    /// MMPP-2: alternates between a quiet phase (mean inter-arrival
+    /// `quiet_interarrival`) and a burst phase
+    /// (`quiet_interarrival / burstiness`), with exponential sojourn
+    /// times of the given means.
+    Bursty {
+        /// Mean inter-arrival in the quiet phase.
+        quiet_interarrival: f64,
+        /// Rate multiplier of the burst phase (≥ 1).
+        burstiness: f64,
+        /// Mean sojourn in the quiet phase.
+        mean_quiet_sojourn: f64,
+        /// Mean sojourn in the burst phase.
+        mean_burst_sojourn: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Validates parameters; called by the samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite / non-positive times, amplitude outside
+    /// `[0, 1]`, or burstiness below 1.
+    fn validate(&self) {
+        match *self {
+            ArrivalModel::Poisson { mean_interarrival } => {
+                assert!(
+                    mean_interarrival.is_finite() && mean_interarrival > 0.0,
+                    "mean inter-arrival must be positive"
+                );
+            }
+            ArrivalModel::Diurnal {
+                mean_interarrival,
+                amplitude,
+                period,
+            } => {
+                assert!(
+                    mean_interarrival.is_finite() && mean_interarrival > 0.0,
+                    "mean inter-arrival must be positive"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&amplitude),
+                    "amplitude must lie in [0, 1]"
+                );
+                assert!(period.is_finite() && period > 0.0, "period must be positive");
+            }
+            ArrivalModel::Bursty {
+                quiet_interarrival,
+                burstiness,
+                mean_quiet_sojourn,
+                mean_burst_sojourn,
+            } => {
+                assert!(
+                    quiet_interarrival.is_finite() && quiet_interarrival > 0.0,
+                    "quiet inter-arrival must be positive"
+                );
+                assert!(
+                    burstiness.is_finite() && burstiness >= 1.0,
+                    "burstiness must be >= 1"
+                );
+                assert!(
+                    mean_quiet_sojourn > 0.0 && mean_burst_sojourn > 0.0,
+                    "sojourn means must be positive"
+                );
+            }
+        }
+    }
+
+    /// Samples the first `n` arrival instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (see the variant docs).
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        self.validate();
+        match *self {
+            ArrivalModel::Poisson { mean_interarrival } => {
+                let gap = Exponential::with_mean(mean_interarrival);
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        t += gap.sample(rng);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalModel::Diurnal {
+                mean_interarrival,
+                amplitude,
+                period,
+            } => {
+                // Thinning against the peak rate.
+                let mean_rate = 1.0 / mean_interarrival;
+                let peak_rate = mean_rate * (1.0 + amplitude);
+                let gap = Exponential::with_mean(1.0 / peak_rate);
+                let rate_at = |t: f64| {
+                    mean_rate
+                        * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin())
+                };
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    t += gap.sample(rng);
+                    if rng.gen::<f64>() < rate_at(t) / peak_rate {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            ArrivalModel::Bursty {
+                quiet_interarrival,
+                burstiness,
+                mean_quiet_sojourn,
+                mean_burst_sojourn,
+            } => {
+                // Thinning against the burst rate, with phase switching.
+                let burst_rate = burstiness / quiet_interarrival;
+                let gap = Exponential::with_mean(1.0 / burst_rate);
+                let quiet_sojourn = Exponential::with_mean(mean_quiet_sojourn);
+                let burst_sojourn = Exponential::with_mean(mean_burst_sojourn);
+
+                let mut t = 0.0;
+                let mut in_burst = false;
+                let mut phase_end = quiet_sojourn.sample(rng);
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    t += gap.sample(rng);
+                    while t >= phase_end {
+                        in_burst = !in_burst;
+                        phase_end += if in_burst {
+                            burst_sojourn.sample(rng)
+                        } else {
+                            quiet_sojourn.sample(rng)
+                        };
+                    }
+                    let accept = if in_burst { 1.0 } else { 1.0 / burstiness };
+                    if rng.gen::<f64>() < accept {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Samples `n` arrivals rounded up to integer time units `≥ 1`
+    /// (the simulator's discrete clock).
+    pub fn sample_n_time_units<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u32> {
+        self.sample_n(n, rng)
+            .into_iter()
+            .map(|t| {
+                let t = t.ceil();
+                if t < 1.0 {
+                    1
+                } else if t > u32::MAX as f64 {
+                    u32::MAX
+                } else {
+                    t as u32
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn mean_gap(arrivals: &[f64]) -> f64 {
+        arrivals.last().unwrap() / arrivals.len() as f64
+    }
+
+    #[test]
+    fn poisson_matches_dist_module_statistics() {
+        let model = ArrivalModel::Poisson {
+            mean_interarrival: 3.0,
+        };
+        let arrivals = model.sample_n(40_000, &mut rng(1));
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!((mean_gap(&arrivals) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn diurnal_mean_rate_is_preserved() {
+        let model = ArrivalModel::Diurnal {
+            mean_interarrival: 2.0,
+            amplitude: 0.8,
+            period: 1440.0,
+        };
+        let arrivals = model.sample_n(100_000, &mut rng(2));
+        // Over many periods the average gap equals the nominal one.
+        assert!(
+            (mean_gap(&arrivals) - 2.0).abs() < 0.1,
+            "mean gap {}",
+            mean_gap(&arrivals)
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diurnal_with_zero_amplitude_is_poisson_like() {
+        let model = ArrivalModel::Diurnal {
+            mean_interarrival: 2.0,
+            amplitude: 0.0,
+            period: 100.0,
+        };
+        let arrivals = model.sample_n(50_000, &mut rng(3));
+        assert!((mean_gap(&arrivals) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn diurnal_concentrates_arrivals_at_the_peak() {
+        let period = 1000.0;
+        let model = ArrivalModel::Diurnal {
+            mean_interarrival: 1.0,
+            amplitude: 0.9,
+            period,
+        };
+        let arrivals = model.sample_n(200_000, &mut rng(4));
+        // Phase histogram: peak half (sin > 0) should hold far more.
+        let (mut peak, mut trough) = (0u64, 0u64);
+        for &t in &arrivals {
+            let phase = (t / period).fract();
+            if phase < 0.5 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 2.0,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn bursty_with_unit_burstiness_is_poisson() {
+        let model = ArrivalModel::Bursty {
+            quiet_interarrival: 2.0,
+            burstiness: 1.0,
+            mean_quiet_sojourn: 50.0,
+            mean_burst_sojourn: 50.0,
+        };
+        let arrivals = model.sample_n(50_000, &mut rng(5));
+        assert!((mean_gap(&arrivals) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bursty_gaps_have_excess_variance() {
+        // Index of dispersion of counts > 1 distinguishes MMPP from
+        // Poisson. Approximate via gap CV²: Poisson ⇒ 1, MMPP ⇒ > 1.
+        let cv2 = |arrivals: &[f64]| {
+            let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var =
+                gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let bursty = ArrivalModel::Bursty {
+            quiet_interarrival: 4.0,
+            burstiness: 10.0,
+            mean_quiet_sojourn: 200.0,
+            mean_burst_sojourn: 50.0,
+        };
+        let poisson = ArrivalModel::Poisson {
+            mean_interarrival: 4.0,
+        };
+        let b = cv2(&bursty.sample_n(60_000, &mut rng(6)));
+        let p = cv2(&poisson.sample_n(60_000, &mut rng(7)));
+        assert!((p - 1.0).abs() < 0.15, "poisson CV² {p}");
+        assert!(b > 1.5, "bursty CV² {b} not over-dispersed");
+    }
+
+    #[test]
+    fn discrete_sampling_starts_at_one() {
+        let model = ArrivalModel::Poisson {
+            mean_interarrival: 0.2,
+        };
+        let units = model.sample_n_time_units(1000, &mut rng(8));
+        assert!(units[0] >= 1);
+        assert!(units.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn invalid_amplitude_is_rejected() {
+        ArrivalModel::Diurnal {
+            mean_interarrival: 1.0,
+            amplitude: 1.5,
+            period: 10.0,
+        }
+        .sample_n(1, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "burstiness")]
+    fn invalid_burstiness_is_rejected() {
+        ArrivalModel::Bursty {
+            quiet_interarrival: 1.0,
+            burstiness: 0.5,
+            mean_quiet_sojourn: 1.0,
+            mean_burst_sojourn: 1.0,
+        }
+        .sample_n(1, &mut rng(0));
+    }
+}

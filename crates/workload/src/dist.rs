@@ -1,0 +1,251 @@
+//! Seeded sampling primitives: exponential variates and Poisson arrival
+//! processes.
+//!
+//! Implemented from first principles (inverse-CDF for the exponential,
+//! exponential gaps for the Poisson process) so the workspace needs no
+//! distribution crate; `rand` supplies only the uniform source.
+
+use rand::Rng;
+
+/// An exponential distribution with the given mean, sampled by inverse
+/// CDF: `X = −mean · ln(1 − U)`, `U ~ Uniform[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use esvm_workload::dist::Exponential;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let exp = Exponential::with_mean(5.0);
+/// let x = exp.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution from its mean (`1/λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and positive.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be finite and positive, got {mean}"
+        );
+        Self { mean }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The rate `λ = 1/mean`.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 − U ∈ (0, 1] avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -self.mean * (1.0 - u).ln()
+    }
+
+    /// Draws a variate rounded to a positive integer number of time
+    /// units (`max(1, round(x))`). The paper's VM durations are integers
+    /// ("the starting time and the finishing time of VMs are integer").
+    pub fn sample_time_units<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let x = self.sample(rng).round();
+        if x < 1.0 {
+            1
+        } else if x > u32::MAX as f64 {
+            u32::MAX
+        } else {
+            x as u32
+        }
+    }
+}
+
+/// A homogeneous Poisson arrival process: inter-arrival gaps are i.i.d.
+/// exponential with the given mean (Section IV-B1: "VM requests arrive
+/// according to the Poisson process. The mean inter-arrival time varies
+/// from 0.5 to 10 time units.").
+///
+/// # Example
+///
+/// ```
+/// use esvm_workload::dist::PoissonProcess;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let arrivals = PoissonProcess::with_mean_interarrival(2.0).sample_n(5, &mut rng);
+/// assert_eq!(arrivals.len(), 5);
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    gap: Exponential,
+}
+
+impl PoissonProcess {
+    /// Creates the process from the mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the mean is finite and positive.
+    pub fn with_mean_interarrival(mean: f64) -> Self {
+        Self {
+            gap: Exponential::with_mean(mean),
+        }
+    }
+
+    /// The mean inter-arrival time.
+    pub fn mean_interarrival(&self) -> f64 {
+        self.gap.mean()
+    }
+
+    /// Samples the first `n` arrival instants (continuous, ascending,
+    /// starting after 0).
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += self.gap.sample(rng);
+                t
+            })
+            .collect()
+    }
+
+    /// Samples `n` arrival instants rounded up to integer time units
+    /// `≥ 1` (the simulator's discrete clock). Multiple arrivals may land
+    /// in the same unit when the rate is high.
+    pub fn sample_n_time_units<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u32> {
+        self.sample_n(n, rng)
+            .into_iter()
+            .map(|t| {
+                let t = t.ceil();
+                if t < 1.0 {
+                    1
+                } else if t > u32::MAX as f64 {
+                    u32::MAX
+                } else {
+                    t as u32
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let exp = Exponential::with_mean(5.0);
+        let mut r = rng(1);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exp.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn exponential_variance_is_mean_squared() {
+        let exp = Exponential::with_mean(3.0);
+        let mut r = rng(2);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| exp.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 9.0).abs() < 0.5, "sample variance {var}");
+    }
+
+    #[test]
+    fn exponential_samples_are_nonnegative() {
+        let exp = Exponential::with_mean(0.1);
+        let mut r = rng(3);
+        assert!((0..10_000).all(|_| exp.sample(&mut r) >= 0.0));
+    }
+
+    #[test]
+    fn sample_time_units_is_at_least_one() {
+        let exp = Exponential::with_mean(0.2);
+        let mut r = rng(4);
+        assert!((0..10_000).all(|_| exp.sample_time_units(&mut r) >= 1));
+    }
+
+    #[test]
+    fn sample_time_units_mean_tracks_distribution_mean() {
+        // For a mean well above 1 the rounding bias is small.
+        let exp = Exponential::with_mean(10.0);
+        let mut r = rng(5);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| u64::from(exp.sample_time_units(&mut r))).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "sample mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_ascend_and_match_rate() {
+        let p = PoissonProcess::with_mean_interarrival(2.0);
+        let mut r = rng(6);
+        let arrivals = p.sample_n(50_000, &mut r);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // n-th arrival ≈ n × mean gap.
+        let last = *arrivals.last().unwrap();
+        let expected = 50_000.0 * 2.0;
+        assert!(
+            (last - expected).abs() / expected < 0.02,
+            "last arrival {last}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn discrete_arrivals_start_at_one_and_ascend() {
+        let p = PoissonProcess::with_mean_interarrival(0.5);
+        let mut r = rng(7);
+        let arrivals = p.sample_n_time_units(1000, &mut r);
+        assert!(arrivals[0] >= 1);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn rate_is_reciprocal_of_mean() {
+        let exp = Exponential::with_mean(4.0);
+        assert!((exp.rate() - 0.25).abs() < 1e-12);
+        assert_eq!(
+            PoissonProcess::with_mean_interarrival(4.0).mean_interarrival(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let exp = Exponential::with_mean(5.0);
+        let a: Vec<f64> = {
+            let mut r = rng(9);
+            (0..100).map(|_| exp.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(9);
+            (0..100).map(|_| exp.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

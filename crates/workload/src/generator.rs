@@ -1,0 +1,428 @@
+//! Seeded workload generation (Section IV-B).
+
+use crate::arrivals::ArrivalModel;
+use crate::catalog::{self, ServerType, VmType};
+use crate::dist::Exponential;
+use esvm_simcore::{AllocationProblem, Interval, Vm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::fmt;
+
+/// Errors raised during workload generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GenerateError {
+    /// The VM or server type list is empty.
+    EmptyCatalog,
+    /// The VM type weights have the wrong arity, contain negative or
+    /// non-finite values, or sum to zero.
+    BadWeights,
+    /// The generated instance is structurally invalid (e.g. a VM type
+    /// that fits no configured server type).
+    Invalid(esvm_simcore::Error),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::EmptyCatalog => write!(f, "vm and server type lists must be non-empty"),
+            GenerateError::BadWeights => {
+                write!(f, "vm type weights must be non-negative, finite, match the catalog arity and not all be zero")
+            }
+            GenerateError::Invalid(e) => write!(f, "generated instance is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenerateError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<esvm_simcore::Error> for GenerateError {
+    fn from(e: esvm_simcore::Error) -> Self {
+        GenerateError::Invalid(e)
+    }
+}
+
+/// Configuration of one synthetic workload, mirroring Section IV-B.
+///
+/// Defaults (overridable with the builder methods) follow Section IV-C:
+/// mean inter-arrival 4 units, mean duration 5 units, transition time
+/// 1 unit, all nine VM types, all five server types. Server types are
+/// assigned to the fleet round-robin so the mix is as even as possible.
+///
+/// # Example
+///
+/// ```
+/// use esvm_workload::{catalog, WorkloadConfig};
+/// let p = WorkloadConfig::new(200, 100)
+///     .mean_interarrival(2.0)
+///     .vm_types(catalog::standard_vm_types())
+///     .server_types(catalog::server_types_1_3())
+///     .generate(7)?;
+/// assert_eq!(p.vm_count(), 200);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadConfig {
+    vm_count: usize,
+    server_count: usize,
+    mean_interarrival: f64,
+    mean_duration: f64,
+    transition_time: f64,
+    vm_types: Vec<VmType>,
+    vm_type_weights: Option<Vec<f64>>,
+    server_types: Vec<ServerType>,
+    arrivals: Option<ArrivalModel>,
+}
+
+impl WorkloadConfig {
+    /// Creates a configuration for `vm_count` VMs on `server_count`
+    /// servers with the paper's default parameters.
+    pub fn new(vm_count: usize, server_count: usize) -> Self {
+        Self {
+            vm_count,
+            server_count,
+            mean_interarrival: 4.0,
+            mean_duration: 5.0,
+            transition_time: 1.0,
+            vm_types: catalog::vm_types().to_vec(),
+            vm_type_weights: None,
+            server_types: catalog::server_types().to_vec(),
+            arrivals: None,
+        }
+    }
+
+    /// Overrides the server count (used by capacity planning sweeps).
+    pub fn with_server_count(mut self, servers: usize) -> Self {
+        self.server_count = servers;
+        self
+    }
+
+    /// Sets the mean inter-arrival time (time units); paper sweep:
+    /// 0.5–10.
+    pub fn mean_interarrival(mut self, mean: f64) -> Self {
+        self.mean_interarrival = mean;
+        self
+    }
+
+    /// Sets the mean VM duration (time units); paper values: 2, 5, 10.
+    pub fn mean_duration(mut self, mean: f64) -> Self {
+        self.mean_duration = mean;
+        self
+    }
+
+    /// Sets the server transition time (time units); paper range:
+    /// 0.5–3 (30 s – 3 min at 1-minute units). `α_i = P_peak_i × time`.
+    pub fn transition_time(mut self, time: f64) -> Self {
+        self.transition_time = time;
+        self
+    }
+
+    /// Overrides the arrival process (default: the paper's homogeneous
+    /// Poisson stream at the configured mean inter-arrival time).
+    pub fn arrivals(mut self, model: ArrivalModel) -> Self {
+        self.arrivals = Some(model);
+        self
+    }
+
+    /// Restricts the VM type catalog.
+    pub fn vm_types(mut self, types: Vec<VmType>) -> Self {
+        self.vm_types = types;
+        self
+    }
+
+    /// Weights the VM type draw (default: uniform, the paper's setting).
+    /// Real request mixes skew heavily toward small instances; pass one
+    /// non-negative weight per configured VM type.
+    pub fn vm_type_weights(mut self, weights: Vec<f64>) -> Self {
+        self.vm_type_weights = Some(weights);
+        self
+    }
+
+    /// Restricts the server type catalog.
+    pub fn server_types(mut self, types: Vec<ServerType>) -> Self {
+        self.server_types = types;
+        self
+    }
+
+    /// Number of VMs to generate.
+    pub fn vm_count_value(&self) -> usize {
+        self.vm_count
+    }
+
+    /// Number of servers to generate.
+    pub fn server_count_value(&self) -> usize {
+        self.server_count
+    }
+
+    /// The configured mean inter-arrival time.
+    pub fn mean_interarrival_value(&self) -> f64 {
+        self.mean_interarrival
+    }
+
+    /// The configured mean duration.
+    pub fn mean_duration_value(&self) -> f64 {
+        self.mean_duration
+    }
+
+    /// The configured transition time.
+    pub fn transition_time_value(&self) -> f64 {
+        self.transition_time
+    }
+
+    /// Generates the seeded instance.
+    ///
+    /// * server `i` gets type `server_types[i mod k]` (round-robin mix);
+    /// * VM start times are Poisson arrivals rounded up to integer units;
+    /// * VM durations are exponential, rounded to integer units `≥ 1`;
+    /// * VM demands are drawn uniformly from the VM type list.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::EmptyCatalog`] for empty type lists;
+    /// [`GenerateError::BadWeights`] if the weight vector's arity or
+    /// values are invalid;
+    /// [`GenerateError::Invalid`] if some VM type fits no server type in
+    /// the configuration (e.g. memory-intensive VMs on server types 1–3).
+    pub fn generate(&self, seed: u64) -> Result<AllocationProblem, GenerateError> {
+        if self.vm_types.is_empty() || self.server_types.is_empty() {
+            return Err(GenerateError::EmptyCatalog);
+        }
+        let cumulative: Option<Vec<f64>> = match &self.vm_type_weights {
+            None => None,
+            Some(w) => {
+                if w.len() != self.vm_types.len()
+                    || w.iter().any(|&x| !x.is_finite() || x < 0.0)
+                    || w.iter().sum::<f64>() <= 0.0
+                {
+                    return Err(GenerateError::BadWeights);
+                }
+                let total: f64 = w.iter().sum();
+                let mut acc = 0.0;
+                Some(
+                    w.iter()
+                        .map(|&x| {
+                            acc += x / total;
+                            acc
+                        })
+                        .collect(),
+                )
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let servers = (0..self.server_count)
+            .map(|i| {
+                self.server_types[i % self.server_types.len()]
+                    .to_spec(i as u32, self.transition_time)
+            })
+            .collect();
+
+        let model = self.arrivals.unwrap_or(ArrivalModel::Poisson {
+            mean_interarrival: self.mean_interarrival,
+        });
+        let arrivals = model.sample_n_time_units(self.vm_count, &mut rng);
+        let durations = Exponential::with_mean(self.mean_duration);
+
+        let vms = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(j, start)| {
+                let len = durations.sample_time_units(&mut rng);
+                let idx = match &cumulative {
+                    None => rng.gen_range(0..self.vm_types.len()),
+                    Some(cdf) => {
+                        let u: f64 = rng.gen();
+                        cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+                    }
+                };
+                let ty = self.vm_types[idx];
+                Vm::new(j as u32, ty.demand(), Interval::with_len(start, len))
+            })
+            .collect();
+
+        Ok(AllocationProblem::new(servers, vms)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{server_types_1_3, standard_vm_types};
+
+    #[test]
+    fn generates_requested_counts() {
+        let p = WorkloadConfig::new(120, 60).generate(1).unwrap();
+        assert_eq!(p.vm_count(), 120);
+        assert_eq!(p.server_count(), 60);
+    }
+
+    #[test]
+    fn same_seed_same_instance() {
+        let cfg = WorkloadConfig::new(50, 25).mean_interarrival(2.0);
+        let a = cfg.generate(9).unwrap();
+        let b = cfg.generate(9).unwrap();
+        assert_eq!(a.vms(), b.vms());
+        assert_eq!(a.servers(), b.servers());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = WorkloadConfig::new(50, 25);
+        let a = cfg.generate(1).unwrap();
+        let b = cfg.generate(2).unwrap();
+        assert_ne!(a.vms(), b.vms());
+    }
+
+    #[test]
+    fn server_types_cycle_round_robin() {
+        let p = WorkloadConfig::new(10, 7).generate(3).unwrap();
+        let k = catalog::server_types().len();
+        for (i, s) in p.servers().iter().enumerate() {
+            let t = &catalog::server_types()[i % k];
+            assert_eq!(s.capacity(), t.capacity());
+        }
+    }
+
+    #[test]
+    fn vm_demands_come_from_the_catalog() {
+        let p = WorkloadConfig::new(300, 150).generate(4).unwrap();
+        for vm in p.vms() {
+            assert!(
+                catalog::vm_types()
+                    .iter()
+                    .any(|t| t.demand() == vm.demand()),
+                "{vm}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_ascend_with_vm_ids() {
+        let p = WorkloadConfig::new(200, 100).generate(5).unwrap();
+        for w in p.vms().windows(2) {
+            assert!(w[0].start() <= w[1].start());
+        }
+    }
+
+    #[test]
+    fn mean_duration_is_respected_statistically() {
+        let p = WorkloadConfig::new(5000, 2500)
+            .mean_duration(10.0)
+            .generate(6)
+            .unwrap();
+        let mean = p.vms().iter().map(|v| v.duration() as f64).sum::<f64>() / 5000.0;
+        assert!((mean - 10.0).abs() < 0.6, "mean duration {mean}");
+    }
+
+    #[test]
+    fn standard_on_small_servers_is_valid() {
+        let p = WorkloadConfig::new(100, 50)
+            .vm_types(standard_vm_types())
+            .server_types(server_types_1_3())
+            .generate(7)
+            .unwrap();
+        assert_eq!(p.vm_count(), 100);
+    }
+
+    #[test]
+    fn infeasible_combination_is_rejected() {
+        // m2.4xlarge (68.4 GB) does not fit server type 1 (32 GB).
+        let cfg = WorkloadConfig::new(200, 10)
+            .vm_types(vec![catalog::VM_TYPES[6]])
+            .server_types(vec![catalog::SERVER_TYPES[0]]);
+        let err = cfg.generate(8).unwrap_err();
+        assert!(matches!(err, GenerateError::Invalid(_)));
+    }
+
+    #[test]
+    fn empty_catalog_is_rejected() {
+        let err = WorkloadConfig::new(10, 5)
+            .vm_types(vec![])
+            .generate(0)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::EmptyCatalog);
+        let err = WorkloadConfig::new(10, 5)
+            .server_types(vec![])
+            .generate(0)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::EmptyCatalog);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let cfg = WorkloadConfig::new(10, 5)
+            .mean_interarrival(3.0)
+            .mean_duration(7.0)
+            .transition_time(0.5);
+        assert_eq!(cfg.vm_count_value(), 10);
+        assert_eq!(cfg.server_count_value(), 5);
+        assert_eq!(cfg.mean_interarrival_value(), 3.0);
+        assert_eq!(cfg.mean_duration_value(), 7.0);
+        assert_eq!(cfg.transition_time_value(), 0.5);
+    }
+
+    #[test]
+    fn weighted_vm_types_skew_the_mix() {
+        // Weight m1.small 50× the rest: it should dominate the draw.
+        let mut weights = vec![1.0; catalog::vm_types().len()];
+        weights[0] = 50.0;
+        let p = WorkloadConfig::new(2000, 1000)
+            .vm_type_weights(weights)
+            .generate(21)
+            .unwrap();
+        let small = catalog::VM_TYPES[0].demand();
+        let count = p.vms().iter().filter(|v| v.demand() == small).count();
+        // Expected fraction 50/58 ≈ 86 %.
+        assert!(count > 1500, "only {count} of 2000 were m1.small");
+    }
+
+    #[test]
+    fn bad_weights_are_rejected() {
+        for weights in [vec![1.0], vec![-1.0; 9], vec![0.0; 9], vec![f64::NAN; 9]] {
+            let err = WorkloadConfig::new(10, 5)
+                .vm_type_weights(weights.clone())
+                .generate(0)
+                .unwrap_err();
+            assert_eq!(err, GenerateError::BadWeights, "{weights:?}");
+        }
+    }
+
+    #[test]
+    fn arrival_model_override_is_used() {
+        use crate::arrivals::ArrivalModel;
+        let base = WorkloadConfig::new(200, 100).mean_interarrival(2.0);
+        let diurnal = base.clone().arrivals(ArrivalModel::Diurnal {
+            mean_interarrival: 2.0,
+            amplitude: 0.9,
+            period: 50.0,
+        });
+        let a = base.generate(5).unwrap();
+        let b = diurnal.generate(5).unwrap();
+        // Same seed, different processes → different arrival patterns.
+        assert_ne!(
+            a.vms().iter().map(|v| v.start()).collect::<Vec<_>>(),
+            b.vms().iter().map(|v| v.start()).collect::<Vec<_>>()
+        );
+        assert_eq!(b.vm_count(), 200);
+    }
+
+    #[test]
+    fn transition_time_scales_alpha() {
+        let p = WorkloadConfig::new(10, 5)
+            .transition_time(3.0)
+            .generate(1)
+            .unwrap();
+        for (i, s) in p.servers().iter().enumerate() {
+            let t = &catalog::server_types()[i % 5];
+            assert_eq!(s.transition_cost(), t.p_peak * 3.0);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # esvm-workload
+//!
+//! Workload generation for the reproduction of *"Energy Saving Virtual
+//! Machine Allocation in Cloud Computing"* (Xie et al., ICDCSW 2013),
+//! Section IV-B:
+//!
+//! * VM requests arrive according to a **Poisson process** (mean
+//!   inter-arrival time 0.5–10 time units) and have **exponentially
+//!   distributed** durations (mean 2/5/10 units) — [`dist`]; richer
+//!   diurnal and bursty (MMPP-2) streams live in [`arrivals`];
+//! * each VM's demand is drawn uniformly from the paper's **Table I**,
+//!   nine Amazon-EC2-derived types — [`catalog::vm_types`];
+//! * servers come from the paper's **Table II**, five hypothetical
+//!   non-homogeneous types with 40–50 % idle-power fraction —
+//!   [`catalog::server_types`];
+//! * transition cost is `α_i = P_peak_i × transition time`
+//!   (Section IV-B3, following Gandhi et al.'s observation that a waking
+//!   server draws peak power).
+//!
+//! Everything is seeded and deterministic; [`trace`] round-trips problems
+//! through a plain-text format for archival and cross-tool comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use esvm_workload::WorkloadConfig;
+//!
+//! let problem = WorkloadConfig::new(100, 50)
+//!     .mean_interarrival(4.0)
+//!     .mean_duration(5.0)
+//!     .transition_time(1.0)
+//!     .generate(42)?;
+//! assert_eq!(problem.vm_count(), 100);
+//! assert_eq!(problem.server_count(), 50);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod catalog;
+pub mod dist;
+pub mod trace;
+
+mod generator;
+
+pub use arrivals::ArrivalModel;
+pub use catalog::{ServerType, VmClass, VmType};
+pub use generator::{GenerateError, WorkloadConfig};

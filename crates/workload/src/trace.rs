@@ -1,0 +1,319 @@
+//! Plain-text traces of allocation problems.
+//!
+//! A trace is a line-oriented text format so instances can be archived,
+//! diffed, and exchanged with other tools without pulling in a CSV or
+//! JSON dependency:
+//!
+//! ```text
+//! # esvm trace v1
+//! [servers]
+//! id,cpu,mem,p_idle,p_peak,alpha
+//! 0,16,32,38,80,80
+//! [vms]
+//! id,cpu,mem,start,end
+//! 0,1,1.7,1,9
+//! ```
+//!
+//! Blank lines and `#` comments are ignored; the header lines after each
+//! section marker are mandatory and validated.
+
+use esvm_simcore::{AllocationProblem, Interval, PowerModel, Resources, ServerSpec, Vm};
+use std::fmt;
+
+/// Errors raised while parsing a trace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The version line is missing or unsupported.
+    BadHeader,
+    /// A section marker or column header is missing or malformed.
+    BadSection(String),
+    /// A data line has the wrong number of fields or a non-numeric field.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The parsed instance fails [`AllocationProblem`] validation.
+    Invalid(esvm_simcore::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "missing or unsupported trace header"),
+            TraceError::BadSection(s) => write!(f, "bad section: {s}"),
+            TraceError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            TraceError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<esvm_simcore::Error> for TraceError {
+    fn from(e: esvm_simcore::Error) -> Self {
+        TraceError::Invalid(e)
+    }
+}
+
+const HEADER: &str = "# esvm trace v1";
+const SERVER_COLUMNS: &str = "id,cpu,mem,p_idle,p_peak,alpha";
+const VM_COLUMNS: &str = "id,cpu,mem,start,end";
+
+/// Serialises a problem to the trace format.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+/// use esvm_workload::trace;
+///
+/// let p = ProblemBuilder::new()
+///     .server(Resources::new(4.0, 8.0), PowerModel::new(50.0, 100.0), 10.0)
+///     .vm(Resources::new(1.0, 1.7), Interval::new(1, 9))
+///     .build()?;
+/// let text = trace::to_text(&p);
+/// let q = trace::from_text(&text)?;
+/// assert_eq!(p.vms(), q.vms());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_text(problem: &AllocationProblem) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str("[servers]\n");
+    out.push_str(SERVER_COLUMNS);
+    out.push('\n');
+    for s in problem.servers() {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            s.id().index(),
+            s.capacity().cpu,
+            s.capacity().mem,
+            s.power().p_idle(),
+            s.power().p_peak(),
+            s.transition_cost(),
+        ));
+    }
+    out.push_str("[vms]\n");
+    out.push_str(VM_COLUMNS);
+    out.push('\n');
+    for v in problem.vms() {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            v.id().index(),
+            v.demand().cpu,
+            v.demand().mem,
+            v.start(),
+            v.end(),
+        ));
+    }
+    out
+}
+
+/// Parses a problem from the trace format.
+///
+/// # Errors
+///
+/// Any [`TraceError`] variant; the line number in
+/// [`TraceError::BadLine`] refers to the full input including comments.
+pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
+    #[derive(PartialEq)]
+    enum Section {
+        Preamble,
+        Servers,
+        Vms,
+    }
+
+    let mut saw_header = false;
+    let mut section = Section::Preamble;
+    let mut expect_columns: Option<&str> = None;
+    let mut servers: Vec<ServerSpec> = Vec::new();
+    let mut vms: Vec<Vm> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line == HEADER {
+            saw_header = true;
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[servers]" {
+            section = Section::Servers;
+            expect_columns = Some(SERVER_COLUMNS);
+            continue;
+        }
+        if line == "[vms]" {
+            section = Section::Vms;
+            expect_columns = Some(VM_COLUMNS);
+            continue;
+        }
+        if let Some(cols) = expect_columns.take() {
+            if line != cols {
+                return Err(TraceError::BadSection(format!(
+                    "expected column header {cols:?}, found {line:?}"
+                )));
+            }
+            continue;
+        }
+
+        let fields: Vec<&str> = line.split(',').collect();
+        let parse = |s: &str, what: &str| -> Result<f64, TraceError> {
+            s.parse::<f64>().map_err(|_| TraceError::BadLine {
+                line: lineno,
+                reason: format!("{what} is not a number: {s:?}"),
+            })
+        };
+        match section {
+            Section::Preamble => {
+                return Err(TraceError::BadSection(format!(
+                    "data before any section marker: {line:?}"
+                )))
+            }
+            Section::Servers => {
+                if fields.len() != 6 {
+                    return Err(TraceError::BadLine {
+                        line: lineno,
+                        reason: format!("expected 6 fields, found {}", fields.len()),
+                    });
+                }
+                let id = parse(fields[0], "id")? as u32;
+                servers.push(ServerSpec::new(
+                    id,
+                    Resources::new(parse(fields[1], "cpu")?, parse(fields[2], "mem")?),
+                    PowerModel::new(parse(fields[3], "p_idle")?, parse(fields[4], "p_peak")?),
+                    parse(fields[5], "alpha")?,
+                ));
+            }
+            Section::Vms => {
+                if fields.len() != 5 {
+                    return Err(TraceError::BadLine {
+                        line: lineno,
+                        reason: format!("expected 5 fields, found {}", fields.len()),
+                    });
+                }
+                let id = parse(fields[0], "id")? as u32;
+                let start = parse(fields[3], "start")? as u32;
+                let end = parse(fields[4], "end")? as u32;
+                let interval = Interval::checked_new(start, end).ok_or(TraceError::BadLine {
+                    line: lineno,
+                    reason: format!("start {start} exceeds end {end}"),
+                })?;
+                vms.push(Vm::new(
+                    id,
+                    Resources::new(parse(fields[1], "cpu")?, parse(fields[2], "mem")?),
+                    interval,
+                ));
+            }
+        }
+    }
+
+    if !saw_header {
+        return Err(TraceError::BadHeader);
+    }
+    Ok(AllocationProblem::new(servers, vms)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadConfig;
+
+    #[test]
+    fn round_trips_a_generated_workload() {
+        let p = WorkloadConfig::new(40, 20).generate(13).unwrap();
+        let text = to_text(&p);
+        let q = from_text(&text).unwrap();
+        assert_eq!(p.vms(), q.vms());
+        assert_eq!(p.servers(), q.servers());
+        assert_eq!(p.horizon(), q.horizon());
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let p = WorkloadConfig::new(3, 2).generate(1).unwrap();
+        let text = to_text(&p);
+        let noisy = text.replace("[vms]", "\n# vm section follows\n\n[vms]");
+        let q = from_text(&noisy).unwrap();
+        assert_eq!(p.vms(), q.vms());
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let p = WorkloadConfig::new(2, 1).generate(1).unwrap();
+        let text = to_text(&p).replace(HEADER, "# something else");
+        assert_eq!(from_text(&text).unwrap_err(), TraceError::BadHeader);
+    }
+
+    #[test]
+    fn wrong_column_header_is_rejected() {
+        let p = WorkloadConfig::new(2, 1).generate(1).unwrap();
+        let text = to_text(&p).replace(VM_COLUMNS, "id,cpu,mem");
+        assert!(matches!(
+            from_text(&text).unwrap_err(),
+            TraceError::BadSection(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_field_counts_are_rejected() {
+        let text = format!("{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,1,1\n");
+        match from_text(&text).unwrap_err() {
+            TraceError::BadLine { line, .. } => assert_eq!(line, 4),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_field_is_rejected() {
+        let text = format!("{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,x,1,1,2,0\n");
+        assert!(matches!(
+            from_text(&text).unwrap_err(),
+            TraceError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn inverted_interval_is_rejected() {
+        let text = format!(
+            "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n0,1,1,9,3\n"
+        );
+        assert!(matches!(
+            from_text(&text).unwrap_err(),
+            TraceError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn data_before_section_is_rejected() {
+        let text = format!("{HEADER}\n0,1,1,1,2,0\n");
+        assert!(matches!(
+            from_text(&text).unwrap_err(),
+            TraceError::BadSection(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_instance_is_rejected() {
+        // VM too large for the only server.
+        let text = format!(
+            "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n0,9,9,1,3\n"
+        );
+        assert!(matches!(
+            from_text(&text).unwrap_err(),
+            TraceError::Invalid(_)
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of workload generation and the trace format.
+
+use esvm_workload::{catalog, trace, WorkloadConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        1usize..=60,          // vms
+        1usize..=30,          // servers
+        1u32..=20,            // interarrival ×2 (0.5 steps)
+        1u32..=20,            // duration ×2
+        1u32..=6,             // transition ×2
+        proptest::bool::ANY,  // standard only?
+    )
+        .prop_map(|(vms, servers, ia2, dur2, tr2, standard)| {
+            // With all nine VM types the fleet needs at least one server
+            // of type 4 or 5 (the m2.4xlarge demand fits nothing
+            // smaller), i.e. at least 4 servers under round-robin typing.
+            let servers = if standard { servers } else { servers.max(5) };
+            let mut cfg = WorkloadConfig::new(vms, servers)
+                .mean_interarrival(f64::from(ia2) * 0.5)
+                .mean_duration(f64::from(dur2) * 0.5)
+                .transition_time(f64::from(tr2) * 0.5);
+            if standard {
+                cfg = cfg.vm_types(catalog::standard_vm_types());
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generation is deterministic per seed, honours the requested
+    /// counts, draws demands from the catalog, and produces ascending
+    /// integer arrival times ≥ 1.
+    #[test]
+    fn generated_instances_are_well_formed(cfg in arb_config(), seed in 0u64..500) {
+        let a = cfg.generate(seed).expect("valid");
+        let b = cfg.generate(seed).expect("valid");
+        prop_assert_eq!(a.vms(), b.vms());
+        prop_assert_eq!(a.servers(), b.servers());
+
+        prop_assert_eq!(a.vm_count(), cfg.vm_count_value());
+        prop_assert_eq!(a.server_count(), cfg.server_count_value());
+        for w in a.vms().windows(2) {
+            prop_assert!(w[0].start() <= w[1].start());
+        }
+        for vm in a.vms() {
+            prop_assert!(vm.start() >= 1);
+            prop_assert!(vm.duration() >= 1);
+            prop_assert!(
+                catalog::vm_types().iter().any(|t| t.demand() == vm.demand()),
+                "demand {} not in catalog",
+                vm.demand()
+            );
+        }
+        for (i, s) in a.servers().iter().enumerate() {
+            let t = &catalog::server_types()[i % catalog::server_types().len()];
+            prop_assert_eq!(s.capacity(), t.capacity());
+            prop_assert!(
+                (s.transition_cost() - t.p_peak * cfg.transition_time_value()).abs() < 1e-9
+            );
+        }
+    }
+
+    /// Every generated instance survives a trace round trip bit-exactly.
+    #[test]
+    fn traces_round_trip(cfg in arb_config(), seed in 0u64..500) {
+        let p = cfg.generate(seed).expect("valid");
+        let q = trace::from_text(&trace::to_text(&p)).expect("parse");
+        prop_assert_eq!(p.vms(), q.vms());
+        prop_assert_eq!(p.servers(), q.servers());
+    }
+
+    /// The offered-load statistic is consistent with first principles.
+    #[test]
+    fn offered_load_matches_first_principles(cfg in arb_config(), seed in 0u64..100) {
+        let p = cfg.generate(seed).expect("valid");
+        if p.vm_count() == 0 || p.horizon() == 0 {
+            return Ok(());
+        }
+        let stats = p.stats();
+        let cpu_time: f64 = p.vms().iter().map(|v| v.demand().cpu * v.duration() as f64).sum();
+        let cap: f64 = p.servers().iter().map(|s| s.capacity().cpu).sum();
+        let expected = cpu_time / (cap * p.horizon() as f64);
+        prop_assert!((stats.offered_cpu_load - expected).abs() < 1e-9);
+    }
+}

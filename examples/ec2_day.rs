@@ -1,0 +1,98 @@
+//! A day in an EC2-style data center: diurnal arrival rates.
+//!
+//! The paper's generator uses a homogeneous Poisson process; real cloud
+//! arrival rates swing over the day (Section I motivates saving energy
+//! exactly because load varies). This example builds a 24-hour
+//! (1440-minute) workload from the diurnal non-homogeneous Poisson
+//! model in `esvm::workload::arrivals` — quiet nights, busy afternoons
+//! — straight through the `simcore` problem API, then compares every
+//! allocator in the registry on it.
+//!
+//! ```sh
+//! cargo run --release --example ec2_day
+//! ```
+
+use esvm::workload::arrivals::ArrivalModel;
+use esvm::workload::dist::Exponential;
+use esvm::{catalog, AllocationProblem, Allocator, AllocatorKind, Interval, ProblemBuilder, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_day(seed: u64) -> Result<AllocationProblem, Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = 1440u32;
+    let durations = Exponential::with_mean(45.0); // 45-minute VMs
+    let vm_types = catalog::vm_types();
+
+    // A diurnal stream averaging one request per minute, swinging ±85 %
+    // over a 24-hour period: near-silent nights, ~2/min afternoons.
+    let model = ArrivalModel::Diurnal {
+        mean_interarrival: 1.0,
+        amplitude: 0.85,
+        period: f64::from(horizon),
+    };
+    // Enough arrivals to cover the day; keep only those inside it.
+    let arrivals: Vec<u32> = model
+        .sample_n_time_units(2200, &mut rng)
+        .into_iter()
+        .take_while(|&t| t < horizon)
+        .collect();
+
+    let mut builder = ProblemBuilder::new();
+    // A 300-server fleet cycling through the Table II types.
+    for i in 0..300u32 {
+        builder = builder.server_spec(
+            catalog::server_types()[(i as usize) % catalog::server_types().len()]
+                .to_spec(i, 1.0),
+        );
+    }
+    for start in arrivals {
+        let len = durations.sample_time_units(&mut rng);
+        let ty = vm_types[rng.gen_range(0..vm_types.len())];
+        builder = builder.vm(ty.demand(), Interval::with_len(start.max(1), len));
+    }
+    Ok(builder.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = build_day(2013)?;
+    let stats = problem.stats();
+    println!(
+        "EC2 day: {} VMs on {} servers over {} minutes (offered CPU load {:.1}%)\n",
+        stats.vm_count,
+        stats.server_count,
+        stats.horizon,
+        stats.offered_cpu_load * 100.0
+    );
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "total cost (kW·min)",
+        "active servers",
+        "transitions",
+        "vs ffps (%)",
+    ]);
+    let mut rng = StdRng::seed_from_u64(99);
+    let ffps_cost = AllocatorKind::Ffps
+        .build()
+        .allocate(&problem, &mut rng)?
+        .total_cost();
+
+    for kind in AllocatorKind::ALL {
+        let mut rng = StdRng::seed_from_u64(99);
+        let assignment = kind.build().allocate(&problem, &mut rng)?;
+        let report = assignment.audit()?;
+        let active = report.servers.iter().filter(|s| s.hosted > 0).count();
+        let transitions: u64 = report.servers.iter().map(|s| s.transitions).sum();
+        table.row(vec![
+            kind.name().to_owned(),
+            format!("{:.1}", report.total_cost / 1000.0),
+            active.to_string(),
+            transitions.to_string(),
+            format!("{:.2}", (1.0 - report.total_cost / ffps_cost) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("(same seeded instance for every algorithm; transition time 1 min)");
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! End-to-end tests spanning the whole workspace: CLI → harness →
+//! algorithms → simulator → analysis.
+
+use esvm::exper::cli;
+use esvm::{catalog, AllocatorKind, MonteCarlo, WorkloadConfig};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn cli_reproduces_every_artefact_in_quick_mode() {
+    for cmd in [
+        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    ] {
+        let out = cli::run(&args(&[cmd, "--quick", "--seeds", "2", "--threads", "8"]))
+            .unwrap_or_else(|e| panic!("{cmd} failed: {e}"));
+        assert!(!out.is_empty(), "{cmd} produced empty output");
+    }
+}
+
+#[test]
+fn cli_csv_mode_is_machine_readable() {
+    let out = cli::run(&args(&[
+        "fig5", "--quick", "--seeds", "2", "--threads", "8", "--csv",
+    ]))
+    .unwrap();
+    let mut lines = out.lines();
+    assert_eq!(lines.next(), Some("series,x,y"));
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 3, "bad CSV line {line:?}");
+        fields[1].parse::<f64>().unwrap();
+        fields[2].parse::<f64>().unwrap();
+    }
+}
+
+#[test]
+fn cli_timeline_charts_power() {
+    let out = cli::run(&args(&[
+        "timeline", "--vms", "30", "--servers", "15", "--seed", "2",
+    ]))
+    .unwrap();
+    assert!(out.contains("power (W)"), "{out}");
+    assert!(out.contains("active servers"), "{out}");
+    assert!(out.contains("miec") && out.contains("ffps"), "{out}");
+}
+
+#[test]
+fn cli_ext_migration_runs() {
+    let out = cli::run(&args(&[
+        "ext-migration",
+        "--quick",
+        "--seeds",
+        "2",
+        "--threads",
+        "4",
+    ]))
+    .unwrap();
+    assert!(out.contains("consol. saving"), "{out}");
+    assert!(out.contains("migrations/run"), "{out}");
+}
+
+#[test]
+fn cli_gen_and_solve_round_trip() {
+    let path = std::env::temp_dir().join("esvm_cli_test.trace");
+    let path_str = path.to_str().unwrap().to_owned();
+    let out = cli::run(&args(&[
+        "gen", "--vms", "20", "--servers", "10", "--seed", "9", "--out", &path_str,
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote 20 VMs"), "{out}");
+    let out = cli::run(&args(&["solve", "--trace", &path_str, "--algos", "miec,ffps"])).unwrap();
+    assert!(out.contains("20 VMs on 10 servers"), "{out}");
+    assert!(out.contains("miec") && out.contains("ffps"), "{out}");
+    std::fs::remove_file(&path).ok();
+
+    // gen without --out streams the trace itself.
+    let text = cli::run(&args(&["gen", "--vms", "3", "--servers", "5", "--seed", "1"])).unwrap();
+    assert!(text.starts_with("# esvm trace v1"), "{text}");
+
+    // solve without --trace is a usage error.
+    assert!(cli::run(&args(&["solve"])).is_err());
+}
+
+#[test]
+fn cli_exact_certification_smoke() {
+    let out = cli::run(&args(&["exact", "--vms", "3", "--servers", "2", "--seed", "4"])).unwrap();
+    assert!(out.contains("exact (ILP)"), "{out}");
+    assert!(out.contains("0.00"), "{out}");
+}
+
+#[test]
+fn registry_names_match_paper_terminology() {
+    // The two algorithms the paper evaluates must exist under stable
+    // names — these are public API used by the CLI and docs.
+    assert_eq!(AllocatorKind::Miec.name(), "miec");
+    assert_eq!(AllocatorKind::Ffps.name(), "ffps");
+    assert_eq!("miec".parse::<AllocatorKind>().unwrap(), AllocatorKind::Miec);
+}
+
+#[test]
+fn headline_claim_miec_beats_ffps() {
+    // The paper's core claim, end to end, at a non-trivial scale.
+    let config = WorkloadConfig::new(80, 40).mean_interarrival(6.0);
+    let point = MonteCarlo::new(20, 8)
+        .compare(&config, &[AllocatorKind::Miec, AllocatorKind::Ffps])
+        .unwrap();
+    let ratio = point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec);
+    assert!(
+        ratio > 0.05,
+        "expected a clear saving at light load, got {:.1}%",
+        ratio * 100.0
+    );
+}
+
+#[test]
+fn catalog_is_consistent_with_generated_workloads() {
+    let problem = WorkloadConfig::new(120, 60).generate(3).unwrap();
+    // Every generated server matches a Table II row (with α = P_peak·1).
+    for s in problem.servers() {
+        assert!(catalog::server_types().iter().any(|t| {
+            t.capacity() == s.capacity()
+                && t.power() == *s.power()
+                && (t.p_peak - s.transition_cost()).abs() < 1e-9
+        }));
+    }
+    // Every generated VM matches a Table I row.
+    for v in problem.vms() {
+        assert!(catalog::vm_types().iter().any(|t| t.demand() == v.demand()));
+    }
+}
+
+#[test]
+fn monte_carlo_reduction_matches_manual_computation() {
+    let config = WorkloadConfig::new(30, 15).mean_interarrival(3.0);
+    let point = MonteCarlo::new(5, 2)
+        .compare(&config, &[AllocatorKind::Miec, AllocatorKind::Ffps])
+        .unwrap();
+    let manual: f64 = point.costs[1]
+        .iter()
+        .zip(&point.costs[0])
+        .map(|(f, m)| (f - m) / f)
+        .sum::<f64>()
+        / point.costs[0].len() as f64;
+    let reported = point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec);
+    assert!((manual - reported).abs() < 1e-12);
+}

@@ -1,0 +1,110 @@
+//! Certification of the heuristics against the exact ILP optimum
+//! (Section II's formulation, solved by the in-repo branch-and-bound).
+//!
+//! The key contract: the exact objective is a true lower bound for every
+//! allocator, the decoded exact assignment audits to the same value the
+//! MILP reports (the switch-off policy emerges from the `y`/`z`
+//! variables), and MIEC is near-optimal on small instances.
+
+use esvm::{Allocator, AllocatorKind, Formulation, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_instance(seed: u64) -> esvm::AllocationProblem {
+    WorkloadConfig::new(4, 2)
+        .mean_interarrival(2.0)
+        .mean_duration(3.0)
+        .vm_types(esvm::catalog::standard_vm_types())
+        .generate(seed)
+        .unwrap()
+}
+
+#[test]
+fn exact_objective_matches_decoded_audit() {
+    for seed in 0..6 {
+        let problem = small_instance(seed);
+        let exact = Formulation::new(&problem).solve().unwrap();
+        let assignment = exact.decode(&problem).unwrap();
+        let audit = assignment.audit().unwrap();
+        assert!(
+            (audit.total_cost - exact.objective).abs() < 1e-6,
+            "seed {seed}: MILP objective {} vs audited {}",
+            exact.objective,
+            audit.total_cost
+        );
+    }
+}
+
+#[test]
+fn no_heuristic_beats_the_proven_optimum() {
+    for seed in 0..6 {
+        let problem = small_instance(seed);
+        let exact = Formulation::new(&problem).solve().unwrap();
+        for kind in AllocatorKind::ALL {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let Ok(assignment) = kind.build().allocate(&problem, &mut rng) else {
+                continue; // overloaded for this ordering — fine
+            };
+            assert!(
+                assignment.total_cost() >= exact.objective - 1e-6,
+                "seed {seed}: {kind} cost {} below optimum {}",
+                assignment.total_cost(),
+                exact.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn miec_is_near_optimal_on_small_instances() {
+    let mut total_gap = 0.0;
+    let n = 6;
+    for seed in 0..n {
+        let problem = small_instance(seed);
+        let exact = Formulation::new(&problem).solve().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let miec = esvm::Miec::new().allocate(&problem, &mut rng).unwrap();
+        total_gap += miec.total_cost() / exact.objective - 1.0;
+    }
+    let mean_gap = total_gap / n as f64;
+    assert!(
+        mean_gap < 0.15,
+        "MIEC mean optimality gap {:.1}% too large",
+        mean_gap * 100.0
+    );
+}
+
+#[test]
+fn brute_force_enumeration_agrees_with_milp() {
+    use esvm::{Assignment, ServerId};
+    for seed in 0..4 {
+        let problem = small_instance(seed);
+        let n = problem.server_count() as u32;
+        let m = problem.vm_count();
+        // Enumerate all n^m placements.
+        let mut best = f64::INFINITY;
+        let mut stack = vec![0u32; m];
+        'outer: loop {
+            let placement: Vec<Option<ServerId>> =
+                stack.iter().map(|&s| Some(ServerId(s))).collect();
+            if let Ok(a) = Assignment::from_placement(&problem, &placement) {
+                best = best.min(a.total_cost());
+            }
+            // Increment the mixed-radix counter.
+            for digit in stack.iter_mut() {
+                *digit += 1;
+                if *digit < n {
+                    continue 'outer;
+                }
+                *digit = 0;
+            }
+            break;
+        }
+        let exact = Formulation::new(&problem).solve().unwrap();
+        assert!(
+            (best - exact.objective).abs() < 1e-6,
+            "seed {seed}: brute force {best} vs MILP {}",
+            exact.objective
+        );
+    }
+}

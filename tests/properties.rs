@@ -1,0 +1,196 @@
+//! Cross-crate property-based tests (proptest): random problems through
+//! the full pipeline.
+
+use esvm::workload::trace;
+use esvm::{
+    AllocationProblem, Allocator, AllocatorKind, Interval, PowerModel, Resources, ServerSpec, Vm,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random feasible allocation problem (2–6 servers, up to 14
+/// VMs, horizon ≤ 60). Server 0 is made a "big" server so every VM fits
+/// somewhere.
+fn arb_problem() -> impl Strategy<Value = AllocationProblem> {
+    let server = (1u32..=12, 1u32..=24, 1u32..=20, 1u32..=20, 0u32..=50).prop_map(
+        |(cpu, mem, idle, dynamic, alpha)| {
+            (
+                f64::from(cpu),
+                f64::from(mem),
+                f64::from(idle),
+                f64::from(idle + dynamic),
+                f64::from(alpha),
+            )
+        },
+    );
+    let vm = (1u32..=8, 1u32..=16, 1u32..=50, 1u32..=10)
+        .prop_map(|(cpu, mem, start, len)| (f64::from(cpu), f64::from(mem), start, len));
+    (
+        proptest::collection::vec(server, 1..=5),
+        proptest::collection::vec(vm, 0..=14),
+    )
+        .prop_map(|(servers, vms)| {
+            let mut specs = vec![ServerSpec::new(
+                0,
+                Resources::new(16.0, 32.0),
+                PowerModel::new(10.0, 40.0),
+                25.0,
+            )];
+            for (i, (cpu, mem, idle, peak, alpha)) in servers.into_iter().enumerate() {
+                specs.push(ServerSpec::new(
+                    (i + 1) as u32,
+                    Resources::new(cpu, mem),
+                    PowerModel::new(idle, peak),
+                    alpha,
+                ));
+            }
+            let vms: Vec<Vm> = vms
+                .into_iter()
+                .enumerate()
+                .map(|(j, (cpu, mem, start, len))| {
+                    Vm::new(
+                        j as u32,
+                        // Clamp to the big server so the instance is valid.
+                        Resources::new(cpu.min(16.0), mem.min(32.0)),
+                        Interval::with_len(start, len),
+                    )
+                })
+                .collect();
+            AllocationProblem::new(specs, vms).expect("constructed valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every allocator either fails with NoFeasibleServer or returns a
+    /// complete assignment that passes the independent audit, with the
+    /// audited total matching the incremental total.
+    #[test]
+    fn allocators_produce_auditable_assignments(problem in arb_problem(), seed in 0u64..1000) {
+        for kind in AllocatorKind::ALL {
+            let mut rng = StdRng::seed_from_u64(seed);
+            match kind.build().allocate(&problem, &mut rng) {
+                Ok(assignment) => {
+                    prop_assert!(assignment.is_complete());
+                    let audit = assignment.audit().expect("audit must pass");
+                    prop_assert!((audit.total_cost - assignment.total_cost()).abs() < 1e-6);
+                    prop_assert!(audit.total_cost >= -1e-9);
+                    prop_assert!(
+                        audit.breakdown.run >= -1e-9
+                            && audit.breakdown.idle >= -1e-9
+                            && audit.breakdown.transition >= -1e-9
+                    );
+                }
+                Err(esvm::core::AllocError::NoFeasibleServer(_)) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{kind}: {e}"))),
+            }
+        }
+    }
+
+    /// Audited utilization values are valid fractions on any instance.
+    #[test]
+    fn audited_utilization_is_a_fraction(problem in arb_problem(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(assignment) = esvm::Miec::new().allocate(&problem, &mut rng) {
+            let audit = assignment.audit().unwrap();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&audit.utilization.avg_cpu));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&audit.utilization.avg_mem));
+        }
+    }
+
+    /// Problems round-trip through the text trace format losslessly.
+    #[test]
+    fn trace_round_trip(problem in arb_problem()) {
+        let text = trace::to_text(&problem);
+        let parsed = trace::from_text(&text).expect("parse back");
+        prop_assert_eq!(problem.vms(), parsed.vms());
+        prop_assert_eq!(problem.servers(), parsed.servers());
+        prop_assert_eq!(problem.horizon(), parsed.horizon());
+    }
+
+    /// Three independent energy computations agree on any assignment:
+    /// the incremental ledger, the analytic audit, and the time-swept
+    /// event replay.
+    #[test]
+    fn ledger_audit_and_replay_agree(problem in arb_problem(), seed in 0u64..1000) {
+        for kind in [AllocatorKind::Miec, AllocatorKind::Ffps, AllocatorKind::BestFit] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Ok(assignment) = kind.build().allocate(&problem, &mut rng) else {
+                continue;
+            };
+            let incremental = assignment.total_cost();
+            let audited = assignment.audit().unwrap().total_cost;
+            let replayed = esvm::simcore::replay(&assignment).total_energy();
+            prop_assert!((incremental - audited).abs() < 1e-6, "{kind}: ledger vs audit");
+            prop_assert!((replayed - audited).abs() < 1e-6,
+                "{kind}: replay {replayed} vs audit {audited}");
+        }
+    }
+
+    /// Consolidation never increases the audited energy, regardless of
+    /// the base allocator or the migration price, and its schedule
+    /// always passes the independent schedule audit.
+    #[test]
+    fn consolidation_is_sound_and_never_worsens(
+        problem in arb_problem(),
+        seed in 0u64..500,
+        mu in 0u32..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(base) = esvm::Ffps::new().allocate(&problem, &mut rng) else {
+            return Ok(());
+        };
+        let schedule = esvm::Consolidator::new(f64::from(mu))
+            .consolidate(&base)
+            .expect("complete base");
+        let audit = schedule.audit().expect("schedule audit");
+        prop_assert!(
+            audit.total_cost <= base.total_cost() + 1e-6,
+            "consolidated {} vs base {}",
+            audit.total_cost,
+            base.total_cost()
+        );
+        prop_assert!(audit.migration_energy >= 0.0);
+        prop_assert!(audit.server_energy >= 0.0);
+        // Lifting back without migrations reproduces the base cost.
+        let lifted = esvm::Schedule::from_assignment(&base, f64::from(mu)).unwrap();
+        let lifted_audit = lifted.audit().unwrap();
+        prop_assert!((lifted_audit.total_cost - base.total_cost()).abs() < 1e-6);
+    }
+
+    /// Local search never increases cost and its result re-validates.
+    #[test]
+    fn local_search_never_worsens(problem in arb_problem(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(base) = esvm::Ffps::new().allocate(&problem, &mut rng) else {
+            return Ok(());
+        };
+        let refined = esvm::LocalSearch::new()
+            .with_max_rounds(5)
+            .refine(&base)
+            .expect("complete base");
+        prop_assert!(refined.total_cost() <= base.total_cost() + 1e-6);
+        prop_assert!(refined.audit().is_ok());
+    }
+
+    /// The total cost of an assignment is invariant under the order in
+    /// which VMs are placed (it is a function of the final placement).
+    #[test]
+    fn cost_is_placement_order_invariant(problem in arb_problem(), seed in 0u64..1000) {
+        use esvm::Assignment;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(reference) = esvm::Miec::new().allocate(&problem, &mut rng) else {
+            return Ok(());
+        };
+        // Re-apply the same placement in reverse VM order.
+        let mut reordered = Assignment::new(&problem);
+        for j in (0..problem.vm_count()).rev() {
+            let vm = esvm::VmId(j as u32);
+            let server = reference.server_of(vm).unwrap();
+            reordered.place(vm, server).expect("same placement is valid");
+        }
+        prop_assert!((reordered.total_cost() - reference.total_cost()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,82 @@
+//! Regression bands for the headline numbers.
+//!
+//! Everything here is fully deterministic (seeded workloads, seeded
+//! policies), so these are tight-but-tolerant bands rather than exact
+//! pins: they flag accidental changes to the catalogs, the cost model
+//! or the algorithms, while leaving room for intentional retuning
+//! (update the bands alongside DESIGN.md if that happens).
+
+use esvm::{AllocatorKind, MonteCarlo, WorkloadConfig};
+
+fn flagship(seeds: u64) -> esvm::exper::ComparisonPoint {
+    let config = WorkloadConfig::new(100, 50)
+        .mean_interarrival(4.0)
+        .mean_duration(5.0)
+        .transition_time(1.0);
+    MonteCarlo::new(seeds, 8)
+        .compare(&config, &[AllocatorKind::Miec, AllocatorKind::Ffps])
+        .unwrap()
+}
+
+#[test]
+fn flagship_reduction_ratio_band() {
+    let point = flagship(30);
+    let ratio = point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec) * 100.0;
+    assert!(
+        (25.0..=50.0).contains(&ratio),
+        "flagship saving {ratio:.1}% left its historical band (≈ 38%)"
+    );
+}
+
+#[test]
+fn flagship_utilization_band() {
+    let point = flagship(30);
+    let miec = point.mean_cpu_utilization(AllocatorKind::Miec) * 100.0;
+    let ffps = point.mean_cpu_utilization(AllocatorKind::Ffps) * 100.0;
+    assert!(
+        (30.0..=55.0).contains(&miec),
+        "MIEC CPU utilization {miec:.1}% left its band (≈ 41%)"
+    );
+    assert!(
+        (12.0..=35.0).contains(&ffps),
+        "FFPS CPU utilization {ffps:.1}% left its band (≈ 22%)"
+    );
+}
+
+#[test]
+fn catalog_totals_are_pinned() {
+    use esvm::catalog;
+    // Any change to the reconstructed Tables I/II shifts every figure;
+    // pin their aggregate signature exactly.
+    let cpu_sum: f64 = catalog::vm_types().iter().map(|t| t.cpu).sum();
+    let mem_sum: f64 = catalog::vm_types().iter().map(|t| t.mem).sum();
+    assert_eq!(cpu_sum, 85.5);
+    assert!((mem_sum - 156.35).abs() < 1e-9);
+    let peak_sum: f64 = catalog::server_types().iter().map(|t| t.p_peak).sum();
+    let idle_sum: f64 = catalog::server_types().iter().map(|t| t.p_idle).sum();
+    assert_eq!(peak_sum, 1580.0);
+    assert_eq!(idle_sum, 713.0);
+}
+
+#[test]
+fn exact_optimum_is_pinned_on_a_fixed_instance() {
+    use esvm::Formulation;
+    let problem = WorkloadConfig::new(4, 2)
+        .mean_interarrival(2.0)
+        .mean_duration(3.0)
+        .vm_types(esvm::catalog::standard_vm_types())
+        .generate(0)
+        .unwrap();
+    let exact = Formulation::new(&problem).solve().unwrap();
+    // The exact optimum of a fixed instance is a single number; a change
+    // here means the cost model itself changed.
+    let reference = exact.decode(&problem).unwrap().total_cost();
+    assert!((exact.objective - reference).abs() < 1e-6);
+    assert!(exact.objective > 0.0);
+    // Stash the value loosely: horizon and catalogs pin it to ~1e2-1e4.
+    assert!(
+        (100.0..=20_000.0).contains(&exact.objective),
+        "optimum {} is wildly off",
+        exact.objective
+    );
+}

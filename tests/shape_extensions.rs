@@ -1,0 +1,88 @@
+//! Shape tests for the extension experiments (E1–E3) and the capacity
+//! planner, at a statistically meaningful scale.
+
+use esvm::exper::planner::CapacityPlanner;
+use esvm::exper::{experiments, ExpOptions};
+use esvm::{catalog, WorkloadConfig};
+
+fn opts() -> ExpOptions {
+    ExpOptions {
+        seeds: 12,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        quick: true,
+    }
+}
+
+/// E1: consolidation recovers more on FFPS than on MIEC (good placement
+/// leaves little), and migrations fall as μ rises.
+#[test]
+fn e1_migration_tradeoff_shapes() {
+    let rows = experiments::ext_migration_rows(&opts()).unwrap();
+    let cheap = &rows[0];
+    let dear = rows.last().unwrap();
+    assert!(cheap.mu < dear.mu);
+    assert!(
+        cheap.ffps_extra_saving >= cheap.miec_extra_saving - 0.5,
+        "FFPS should benefit at least as much: {cheap:?}"
+    );
+    assert!(
+        cheap.miec_migrations >= dear.miec_migrations,
+        "migrations must fall with μ"
+    );
+    assert!(
+        cheap.miec_extra_saving >= dear.miec_extra_saving - 1e-9,
+        "recovered energy must fall with μ"
+    );
+}
+
+/// E2: the saving is positive under all three arrival models.
+#[test]
+fn e2_arrival_models_all_save() {
+    let rows = experiments::ext_arrivals_rows(&opts()).unwrap();
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        assert!(r.reduction > 0.0, "{}: {r:?}", r.model);
+        assert!(r.miec_cpu_util >= r.ffps_cpu_util - 2.0, "{r:?}");
+    }
+}
+
+/// E3: MIEC does not sacrifice admission capacity and serves work at
+/// least as cheaply as FFPS when saturated.
+#[test]
+fn e3_overload_shapes() {
+    let rows = experiments::ext_overload_rows(&opts()).unwrap();
+    for r in &rows {
+        assert!(
+            r.miec_admitted >= r.ffps_admitted - 3.0,
+            "MIEC admission should be competitive: {r:?}"
+        );
+        assert!(
+            r.miec_energy_per_work <= r.ffps_energy_per_work + 0.5,
+            "MIEC energy/work should be competitive: {r:?}"
+        );
+    }
+    // The smallest fleet must actually be saturated.
+    assert!(rows.last().unwrap().miec_admitted < 100.0);
+}
+
+/// Planner: bigger fleets admit more; the recommendation is minimal.
+#[test]
+fn planner_frontier_shapes() {
+    let template = WorkloadConfig::new(80, 1)
+        .mean_interarrival(0.4)
+        .mean_duration(12.0)
+        .vm_types(catalog::standard_vm_types());
+    let plan = CapacityPlanner::new(template, 0.95, 6)
+        .plan(vec![2, 4, 10, 40])
+        .unwrap();
+    for w in plan.frontier.windows(2) {
+        assert!(w[0].admission_rate <= w[1].admission_rate + 1e-9);
+    }
+    let rec = plan.recommended.expect("40 servers always suffice");
+    assert!(rec.admission_rate >= 0.95);
+    for p in &plan.frontier {
+        if p.servers < rec.servers {
+            assert!(p.admission_rate < 0.95);
+        }
+    }
+}

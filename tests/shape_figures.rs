@@ -1,0 +1,202 @@
+//! Integration tests asserting the *shape* claims of the paper's
+//! evaluation (Section IV) at a statistically meaningful scale.
+//!
+//! These run the same experiment code as the `esvm` CLI, at reduced VM
+//! counts but enough Monte-Carlo seeds that the qualitative claims are
+//! stable. Absolute magnitudes are not asserted (they depend on the
+//! reconstructed Tables I/II; see DESIGN.md) — only orderings,
+//! monotonicity and sign.
+
+use esvm::exper::{experiments, ExpOptions};
+use esvm::AllocatorKind;
+use esvm::{MonteCarlo, WorkloadConfig};
+
+fn opts() -> ExpOptions {
+    ExpOptions {
+        seeds: 24,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        quick: true,
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Fig. 2 claims: MIEC saves energy everywhere; the saving grows from
+/// short to long inter-arrival times; the VM-count series roughly
+/// coincide (scalability).
+#[test]
+fn fig2_saving_grows_with_interarrival_and_scales() {
+    let fig = experiments::fig2(&opts()).unwrap();
+    assert_eq!(fig.series.len(), 5);
+    let mut means = Vec::new();
+    for s in &fig.series {
+        let first = s.y.first().copied().unwrap();
+        let last = s.y.last().copied().unwrap();
+        assert!(
+            last > first,
+            "{}: saving at ia=10 ({last:.1}%) not above ia=0.5 ({first:.1}%)",
+            s.label
+        );
+        assert!(last > 0.0, "{}: no saving at light load", s.label);
+        means.push(mean(&s.y));
+    }
+    // Scalability: per-series means within a loose band of each other.
+    let overall = mean(&means);
+    for (s, m) in fig.series.iter().zip(&means) {
+        assert!(
+            (m - overall).abs() < overall * 0.5,
+            "{}: mean {m:.1}% far from overall {overall:.1}%",
+            s.label
+        );
+    }
+}
+
+/// Fig. 3 claims: MIEC lifts CPU utilization above FFPS and evens out
+/// CPU vs memory; utilization decreases with inter-arrival time.
+#[test]
+fn fig3_utilization_claims() {
+    let fig = experiments::fig3(&opts()).unwrap();
+    let get = |l: &str| fig.series_by_label(l).unwrap().y.clone();
+    let cpu_miec = get("CPU utilization of MIEC");
+    let cpu_ffps = get("CPU utilization of FFPS");
+    let mem_miec = get("memory utilization of MIEC");
+    let mem_ffps = get("memory utilization of FFPS");
+
+    assert!(mean(&cpu_miec) > mean(&cpu_ffps));
+    assert!(mean(&mem_miec) > mean(&mem_ffps));
+    // Evenness: |cpu − mem| gap smaller under MIEC.
+    let gap = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+    };
+    assert!(gap(&cpu_miec, &mem_miec) < gap(&cpu_ffps, &mem_ffps) + 3.0);
+    // Utilization decreases with inter-arrival time (first vs last).
+    assert!(cpu_miec.first().unwrap() > cpu_miec.last().unwrap());
+    assert!(cpu_ffps.first().unwrap() > cpu_ffps.last().unwrap());
+}
+
+/// Fig. 4 claims: the reduction ratio decreases as the (memory) load
+/// grows, with a saturating (logarithmic) profile.
+#[test]
+fn fig4_ratio_decreases_with_load() {
+    let fig = experiments::fig4(&opts()).unwrap();
+    for s in &fig.series {
+        let n = s.y.len();
+        // Series are sorted by ascending load.
+        let light = mean(&s.y[..n / 2]);
+        let heavy = mean(&s.y[n - n / 2..]);
+        assert!(
+            light > heavy,
+            "{}: light-load saving {light:.1}% not above heavy-load {heavy:.1}%",
+            s.label
+        );
+        let fit = s.fit.expect("log fit");
+        assert!(fit.b < 0.0, "{}: log slope {:.2} not negative", s.label, fit.b);
+    }
+}
+
+/// Fig. 5 claims: shorter transition times save more, at every
+/// inter-arrival setting on average.
+#[test]
+fn fig5_transition_time_ordering() {
+    let fig = experiments::fig5(&opts()).unwrap();
+    let m = |l: &str| mean(&fig.series_by_label(l).unwrap().y);
+    let t05 = m("transition time = 0.5 min");
+    let t1 = m("transition time = 1 min");
+    let t3 = m("transition time = 3 min");
+    assert!(t05 > t3, "0.5 min ({t05:.1}%) not above 3 min ({t3:.1}%)");
+    assert!(t1 > t3, "1 min ({t1:.1}%) not above 3 min ({t3:.1}%)");
+}
+
+/// Fig. 6 claims: shorter mean VM durations save more.
+#[test]
+fn fig6_duration_ordering() {
+    let fig = experiments::fig6(&opts()).unwrap();
+    let m = |l: &str| mean(&fig.series_by_label(l).unwrap().y);
+    let d2 = m("mean length of time duration = 2 min");
+    let d10 = m("mean length of time duration = 10 min");
+    assert!(d2 > d10, "2 min ({d2:.1}%) not above 10 min ({d10:.1}%)");
+}
+
+/// Fig. 7 claims: positive savings on the standard-VMs / small-servers
+/// workload with a saturating profile (log fit, positive slope).
+#[test]
+fn fig7_standard_workload_saves() {
+    let fig = experiments::fig7(&opts()).unwrap();
+    for s in &fig.series {
+        assert!(mean(&s.y) > 0.0, "{}", s.label);
+        let fit = s.fit.expect("log fit");
+        assert!(fit.b > 0.0, "{}: slope {:.2}", s.label, fit.b);
+    }
+}
+
+/// Fig. 8 claims: MIEC utilization beats FFPS in both fleets, and FFPS
+/// suffers more when the fleet contains the big type-4/5 servers.
+#[test]
+fn fig8_fleet_comparison() {
+    let fig = experiments::fig8(&opts()).unwrap();
+    let m = |l: &str| mean(&fig.series_by_label(l).unwrap().y);
+    for tag in ["(a) all types", "(b) types 1-3"] {
+        assert!(
+            m(&format!("{tag} CPU utilization of MIEC"))
+                > m(&format!("{tag} CPU utilization of FFPS")),
+            "{tag}: MIEC should beat FFPS on CPU utilization"
+        );
+    }
+    assert!(
+        m("(a) all types CPU utilization of FFPS")
+            < m("(b) types 1-3 CPU utilization of FFPS") + 3.0,
+        "FFPS should not do better with big servers in the fleet"
+    );
+}
+
+/// Fig. 9 claims: reduction ratio decreases ~linearly with load, and
+/// the all-server-types fleet saves more than types 1–3.
+#[test]
+fn fig9_load_lines() {
+    let fig = experiments::fig9(&opts()).unwrap();
+    assert_eq!(fig.series.len(), 4);
+    for s in &fig.series {
+        let fit = s.fit.expect("linear fit");
+        assert!(
+            fit.b < 0.0,
+            "{}: slope {:.3} not negative",
+            s.label,
+            fit.b
+        );
+    }
+    let m = |l: &str| mean(&fig.series_by_label(l).unwrap().y);
+    assert!(
+        m("vs CPU load (all types of servers used)")
+            > m("vs CPU load (types 1-3 of servers used)"),
+        "all-types fleet should save more"
+    );
+}
+
+/// The headline comparison at the paper's flagship setting, plus the
+/// ablation ordering: full MIEC ≥ α-blind MIEC ≥ FFPS on average.
+#[test]
+fn ablation_ordering_holds_at_flagship_setting() {
+    let config = WorkloadConfig::new(60, 30)
+        .mean_interarrival(4.0)
+        .mean_duration(5.0)
+        .transition_time(3.0); // α large enough for awareness to matter
+    let point = MonteCarlo::new(30, 8)
+        .compare(
+            &config,
+            &[
+                AllocatorKind::Miec,
+                AllocatorKind::MiecNoAlpha,
+                AllocatorKind::Ffps,
+            ],
+        )
+        .unwrap();
+    let full = point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::Miec);
+    let blind = point.reduction_ratio(AllocatorKind::Ffps, AllocatorKind::MiecNoAlpha);
+    assert!(full > 0.0, "MIEC must beat FFPS, got {full:.3}");
+    assert!(
+        full >= blind - 0.01,
+        "α-aware scoring should not lose to α-blind: {full:.3} vs {blind:.3}"
+    );
+}
