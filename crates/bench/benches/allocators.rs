@@ -1,12 +1,16 @@
 //! Micro-benchmarks of every allocation algorithm on the paper's
-//! flagship instance (100 VMs on 50 servers, all catalogs).
+//! flagship instance (100 VMs on 50 servers, all catalogs), plus a
+//! production-scale MIEC point (2000 VMs on 500 servers) that records
+//! the optimised-vs-reference speedup in `BENCH_miec.json` at the repo
+//! root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use esvm_core::{Allocator, AllocatorKind};
+use esvm_core::{Allocator, AllocatorKind, Miec};
 use esvm_workload::WorkloadConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_allocators(c: &mut Criterion) {
     let problem = WorkloadConfig::new(100, 50)
@@ -38,9 +42,7 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(vms), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                let a = esvm_core::Miec::new()
-                    .allocate(black_box(&problem), &mut rng)
-                    .unwrap();
+                let a = Miec::new().allocate(black_box(&problem), &mut rng).unwrap();
                 black_box(a.total_cost())
             })
         });
@@ -48,5 +50,142 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allocators, bench_scaling);
+/// Median wall-clock seconds over `runs` executions of `f`.
+fn time_median<F: FnMut() -> f64>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Replays the reference trajectory up to the first VM the two runs place
+/// differently and asserts that, at that common state, both candidate
+/// servers offered the same score under *both* arithmetics — i.e. the
+/// divergence is a genuine tie whose winner the reference picked by
+/// rounding noise, not a scoring bug. (Later placements may then differ
+/// legitimately: the trajectories have forked.)
+fn certify_first_divergence_is_fp_tie(
+    problem: &esvm_simcore::AllocationProblem,
+    fast: &esvm_simcore::Assignment,
+    slow: &esvm_simcore::Assignment,
+) {
+    let mut replay = esvm_simcore::Assignment::new(problem);
+    for j in problem.vms_by_start_time() {
+        let vm = &problem.vms()[j];
+        let f = fast.placement()[vm.id().index()].expect("complete run");
+        let s = slow.placement()[vm.id().index()].expect("complete run");
+        if f != s {
+            let delta_gap =
+                (replay.ledger(f).incremental_cost(vm) - replay.ledger(s).incremental_cost(vm)).abs();
+            let reference_gap = (replay.ledger(f).reference_incremental_cost(vm)
+                - replay.ledger(s).reference_incremental_cost(vm))
+            .abs();
+            assert!(
+                delta_gap < 1e-9 && reference_gap < 1e-9,
+                "first divergence at {} is not an FP tie: delta gap {delta_gap:e}, \
+                 reference gap {reference_gap:e}",
+                vm.id()
+            );
+            println!(
+                "placement divergence at {} certified as an FP tie \
+                 (delta gap {delta_gap:.1e}, reference gap {reference_gap:.1e})",
+                vm.id()
+            );
+            return;
+        }
+        replay.place(vm.id(), s).expect("replaying a valid assignment");
+    }
+}
+
+/// Production-scale point: 2000 VMs on 500 servers. Times the optimised
+/// MIEC (delta scoring + spec-class pruning) against the reference
+/// implementation (full scan, clone-and-rescan scoring), checks
+/// placement equivalence, and writes the measurements to
+/// `BENCH_miec.json` at the repository root.
+///
+/// Equivalence is asserted in two layers, because they have different
+/// strength guarantees:
+///
+/// * pruning is *exactly* placement-preserving (asleep servers of one
+///   spec class score bit-identically), so pruned vs unpruned must match
+///   byte for byte;
+/// * delta scoring vs the clone-and-rescan reference agree except where
+///   two servers offer the *same* marginal cost: the delta path computes
+///   the tie exactly and takes the lowest id, while the reference's
+///   difference-of-sums carries ~1e-13 rounding noise that can break the
+///   tie either way. Any divergence is therefore certified to be such an
+///   FP tie (both arithmetics agree the scores are equal within 1e-9).
+fn bench_miec_at_scale(c: &mut Criterion) {
+    const VMS: usize = 2000;
+    const SERVERS: usize = 500;
+    let problem = WorkloadConfig::new(VMS, SERVERS)
+        .mean_interarrival(4.0)
+        .generate(1)
+        .expect("instance");
+
+    let mut group = c.benchmark_group("miec_2000vms_500servers");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("optimised"), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let a = Miec::new().allocate(black_box(&problem), &mut rng).unwrap();
+            black_box(a.total_cost())
+        })
+    });
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let fast = Miec::new().allocate(&problem, &mut rng).unwrap();
+    let unpruned = Miec::new()
+        .without_pruning()
+        .allocate(&problem, &mut rng)
+        .unwrap();
+    assert_eq!(
+        fast.placement(),
+        unpruned.placement(),
+        "spec-class pruning changed placements at scale"
+    );
+    let slow = Miec::reference().allocate(&problem, &mut rng).unwrap();
+    let placements_identical = fast.placement() == slow.placement();
+    if !placements_identical {
+        certify_first_divergence_is_fp_tie(&problem, &fast, &slow);
+        let rel = (fast.total_cost() - slow.total_cost()).abs() / slow.total_cost();
+        assert!(
+            rel < 1e-6,
+            "optimised and reference total costs diverged: rel diff {rel:e}"
+        );
+    }
+
+    let optimised_s = time_median(5, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        Miec::new().allocate(&problem, &mut rng).unwrap().total_cost()
+    });
+    let reference_s = time_median(3, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        Miec::reference()
+            .allocate(&problem, &mut rng)
+            .unwrap()
+            .total_cost()
+    });
+    let speedup = reference_s / optimised_s;
+    println!(
+        "miec @ {VMS} VMs / {SERVERS} servers: optimised {:.3} s, reference {:.3} s, {speedup:.1}x",
+        optimised_s, reference_s
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"miec_allocation\",\n  \"vms\": {VMS},\n  \"servers\": {SERVERS},\n  \"workload_seed\": 1,\n  \"mean_interarrival\": 4.0,\n  \"optimised_seconds\": {optimised_s:.6},\n  \"reference_seconds\": {reference_s:.6},\n  \"speedup\": {speedup:.2},\n  \"pruning_placement_exact\": true,\n  \"placements_identical\": {placements_identical},\n  \"divergences_certified_fp_ties\": true\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_miec.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_allocators, bench_scaling, bench_miec_at_scale);
 criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the `ServerLedger` hot path: capacity checks,
+//! commits, and candidate scoring at 10 / 100 / 1000 resident segments.
+//!
+//! `incremental_cost` (delta-based, no clone) is benchmarked against
+//! `reference_incremental_cost` (the original clone-and-rescan) at each
+//! size; the gap between them is the per-candidate saving the MIEC scan
+//! collects once per server per VM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esvm_simcore::{Interval, PowerModel, Resources, ServerLedger, ServerSpec, Vm};
+use std::hint::black_box;
+
+fn spec() -> ServerSpec {
+    ServerSpec::new(
+        0,
+        Resources::new(1e9, 1e9),
+        PowerModel::new(100.0, 300.0),
+        250.0,
+    )
+}
+
+/// VMs at `[4k, 4k+2]` leave a one-unit gap between consecutive
+/// segments, so a ledger hosting `n` of them holds `n` resident segments
+/// and `n − 1` interior gaps.
+fn resident_vms(n: usize) -> Vec<Vm> {
+    (0..n)
+        .map(|k| {
+            Vm::new(
+                k as u32,
+                Resources::new(1.0, 1.0),
+                Interval::with_len(4 * k as u32, 3),
+            )
+        })
+        .collect()
+}
+
+fn ledger_with(n: usize) -> ServerLedger {
+    let mut ledger = ServerLedger::new(spec());
+    for vm in resident_vms(n) {
+        ledger.host(&vm);
+    }
+    ledger
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    for n in [10usize, 100, 1000] {
+        let ledger = ledger_with(n);
+        // Probe in the middle of the span, splitting one interior gap —
+        // the common shape during a MIEC scan.
+        let mid = 4 * (n as u32 / 2) + 3;
+        let probe = Vm::new(n as u32, Resources::new(1.0, 1.0), Interval::new(mid, mid));
+
+        let mut group = c.benchmark_group(format!("ledger_{n}_segments"));
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::from_parameter("fits"), |b| {
+            b.iter(|| black_box(ledger.fits(black_box(&probe))))
+        });
+        group.bench_function(BenchmarkId::from_parameter("incremental_cost"), |b| {
+            b.iter(|| black_box(ledger.incremental_cost(black_box(&probe))))
+        });
+        group.bench_function(
+            BenchmarkId::from_parameter("reference_incremental_cost"),
+            |b| b.iter(|| black_box(ledger.reference_incremental_cost(black_box(&probe)))),
+        );
+        // Amortised host cost: rebuild the whole ledger (n commits).
+        let vms = resident_vms(n);
+        group.bench_function(BenchmarkId::from_parameter("host_all"), |b| {
+            b.iter(|| {
+                let mut fresh = ServerLedger::new(spec());
+                for vm in &vms {
+                    fresh.host(vm);
+                }
+                black_box(fresh.cost())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ledger);
+criterion_main!(benches);

@@ -48,6 +48,8 @@ use rand::RngCore;
 pub struct Miec {
     ignore_transition_costs: bool,
     assumed_duration: Option<u32>,
+    reference: bool,
+    unpruned: bool,
 }
 
 impl Miec {
@@ -57,13 +59,45 @@ impl Miec {
         Self::default()
     }
 
+    /// Reference implementation used as the equivalence oracle in tests
+    /// and benchmarks: scans every server (no spec-class pruning) and
+    /// scores candidates with the clone-and-rescan
+    /// `ServerLedger::reference_incremental_cost` — the original
+    /// semantics, preserved bit for bit. Produces the same placements as
+    /// [`Miec::new`] except on exact-tie decisions, where the clone
+    /// path's difference-of-sums arithmetic breaks the tie by rounding
+    /// noise rather than by server id (the delta path computes those ties
+    /// exactly and falls back to the documented lowest-id rule).
+    pub fn reference() -> Self {
+        Self::new().with_reference_scoring()
+    }
+
+    /// Switches any configuration (standard, ablation, assumed-duration)
+    /// to the unpruned clone-and-rescan scan of [`Miec::reference`],
+    /// keeping its other knobs. Oracle for equivalence tests.
+    pub fn with_reference_scoring(mut self) -> Self {
+        self.reference = true;
+        self.unpruned = true;
+        self
+    }
+
+    /// Disables the spec-class candidate pruning while keeping the
+    /// delta-based scoring. Pruning is exactly placement-preserving —
+    /// asleep servers of one spec class produce bit-identical scores —
+    /// and this variant lets tests and benchmarks assert that in
+    /// isolation from the scoring arithmetic.
+    pub fn without_pruning(mut self) -> Self {
+        self.unpruned = true;
+        self
+    }
+
     /// Ablation variant: candidate scoring pretends `α_i = 0` (transition
     /// costs are still charged by the audit). Quantifies how much of the
     /// saving comes from transition-cost awareness.
     pub fn ignoring_transition_costs() -> Self {
         Self {
             ignore_transition_costs: true,
-            assumed_duration: None,
+            ..Self::default()
         }
     }
 
@@ -80,8 +114,8 @@ impl Miec {
     pub fn with_assumed_duration(units: u32) -> Self {
         assert!(units > 0, "assumed duration must be positive");
         Self {
-            ignore_transition_costs: false,
             assumed_duration: Some(units),
+            ..Self::default()
         }
     }
 
@@ -126,18 +160,60 @@ impl Miec {
                 .collect()
         });
 
-        for j in problem.vms_by_start_time() {
+        // Spec classes for candidate pruning: servers with identical
+        // capacity, power model and transition cost are interchangeable
+        // while asleep — same `fits` verdict, same score — so per VM only
+        // the first (lowest-id) asleep member of each class is scored.
+        // The strict `<` below would pick exactly that member anyway, so
+        // placements are unchanged. Awake servers are always scored.
+        let specs = problem.servers();
+        let mut class_reps: Vec<usize> = Vec::new();
+        let class_of: Vec<usize> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let found = class_reps.iter().position(|&r| {
+                    let t = &specs[r];
+                    t.capacity() == s.capacity()
+                        && t.power() == s.power()
+                        && t.transition_cost() == s.transition_cost()
+                });
+                found.unwrap_or_else(|| {
+                    class_reps.push(i);
+                    class_reps.len() - 1
+                })
+            })
+            .collect();
+        // `class_scored[c] == step` marks class `c` as already represented
+        // by an asleep server for the current VM (stamps avoid a per-VM
+        // clear).
+        let mut class_scored: Vec<usize> = vec![usize::MAX; class_reps.len()];
+
+        for (step, j) in problem.vms_by_start_time().into_iter().enumerate() {
             let vm = &problem.vms()[j];
             let scoring = self.scoring_vm(vm);
             let mut best: Option<(f64, ServerId)> = None;
             for i in 0..problem.server_count() {
                 let sid = ServerId(i as u32);
                 let real = assignment.ledger(sid);
+                if !self.unpruned && real.hosted_count() == 0 {
+                    let class = class_of[i];
+                    if class_scored[class] == step {
+                        // A lower-id asleep server of the same spec class
+                        // already stood in for this one.
+                        continue;
+                    }
+                    class_scored[class] = step;
+                }
                 if !real.fits(vm) {
                     continue;
                 }
                 let delta = match &shadow {
+                    Some(ledgers) if self.reference => {
+                        ledgers[i].reference_incremental_cost(&scoring)
+                    }
                     Some(ledgers) => ledgers[i].incremental_cost(&scoring),
+                    None if self.reference => real.reference_incremental_cost(&scoring),
                     None => real.incremental_cost(&scoring),
                 };
                 // Strict `<` keeps the lowest server id on ties.
@@ -178,7 +254,11 @@ impl Miec {
 
 impl Allocator for Miec {
     fn name(&self) -> &'static str {
-        if self.ignore_transition_costs {
+        if self.reference {
+            "miec-reference"
+        } else if self.unpruned {
+            "miec-unpruned"
+        } else if self.ignore_transition_costs {
             "miec-noalpha"
         } else if self.assumed_duration.is_some() {
             "miec-blind"
@@ -374,6 +454,28 @@ mod tests {
         assert!(a.server_of(VmId(2)).is_some());
         // The partial assignment still audits against capacity.
         assert!(a.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn pruned_scan_matches_reference_on_homogeneous_fleet() {
+        // Four identical servers: pruning scores only one while all are
+        // asleep, and the lowest-id tie-break must match the full scan.
+        let mut b = ProblemBuilder::new();
+        for _ in 0..4 {
+            b = b.server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0);
+        }
+        let p = b
+            .vm(Resources::new(6.0, 12.0), Interval::new(1, 10))
+            .vm(Resources::new(6.0, 12.0), Interval::new(5, 14))
+            .vm(Resources::new(6.0, 12.0), Interval::new(8, 20))
+            .vm(Resources::new(2.0, 4.0), Interval::new(30, 35))
+            .build()
+            .unwrap();
+        let fast = Miec::new().allocate(&p, &mut rng()).unwrap();
+        let slow = Miec::reference().allocate(&p, &mut rng()).unwrap();
+        assert_eq!(fast.placement(), slow.placement());
+        assert_eq!(fast.server_of(VmId(0)), Some(ServerId(0)));
+        assert_eq!(Miec::reference().name(), "miec-reference");
     }
 
     #[test]

@@ -45,8 +45,7 @@ impl ServerState {
     /// Busy segments: maximal unions of non-zero usage.
     fn segments(&self) -> SegmentSet {
         self.usage
-            .nonzero_pieces()
-            .into_iter()
+            .nonzero_pieces_iter()
             .map(|(interval, _)| interval)
             .collect()
     }

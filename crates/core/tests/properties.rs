@@ -2,11 +2,63 @@
 
 use esvm_core::{AllocError, Allocator, AllocatorKind, Miec};
 use esvm_simcore::{
-    AllocationProblem, Interval, PowerModel, Resources, ServerSpec, Vm,
+    AllocationProblem, Assignment, Interval, PowerModel, Resources, ServerLedger, ServerSpec, Vm,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Certifies that the first VM two complete MIEC runs place differently
+/// was a genuine tie: replayed at the common state, both chosen servers
+/// offer the same score under the delta arithmetic *and* under the
+/// clone-and-rescan reference arithmetic. On such ties the delta path
+/// computes exact equality and takes the lowest id, while the
+/// reference's difference-of-sums carries last-ulp rounding noise that
+/// can break the tie either way — the only way the two are allowed to
+/// disagree. `alpha_free`/`assumed` mirror the variant's scoring knobs.
+fn certify_divergence_is_tie(
+    problem: &AllocationProblem,
+    fast: &Assignment,
+    slow: &Assignment,
+    alpha_free: bool,
+    assumed: Option<u32>,
+) -> Result<(), TestCaseError> {
+    // Scoring ledgers as the variant saw them (α zeroed for the
+    // transition-cost ablation); commitment always uses the real VM.
+    let mut ledgers: Vec<ServerLedger> = problem
+        .servers()
+        .iter()
+        .map(|s| {
+            let alpha = if alpha_free { 0.0 } else { s.transition_cost() };
+            ServerLedger::new(ServerSpec::new(s.id(), s.capacity(), *s.power(), alpha))
+        })
+        .collect();
+    for j in problem.vms_by_start_time() {
+        let vm = &problem.vms()[j];
+        let f = fast.placement()[vm.id().index()].expect("complete run");
+        let s = slow.placement()[vm.id().index()].expect("complete run");
+        if f != s {
+            let scoring = match assumed {
+                None => *vm,
+                Some(u) => Vm::new(vm.id(), vm.demand(), Interval::with_len(vm.start(), u)),
+            };
+            let (lf, ls) = (&ledgers[f.index()], &ledgers[s.index()]);
+            let delta_gap =
+                (lf.incremental_cost(&scoring) - ls.incremental_cost(&scoring)).abs();
+            let reference_gap = (lf.reference_incremental_cost(&scoring)
+                - ls.reference_incremental_cost(&scoring))
+            .abs();
+            prop_assert!(
+                delta_gap < 1e-9 && reference_gap < 1e-9,
+                "divergence at {} is not an FP tie: delta gap {:e}, reference gap {:e}",
+                vm.id(), delta_gap, reference_gap
+            );
+            return Ok(());
+        }
+        ledgers[s.index()].host(vm);
+    }
+    Ok(())
+}
 
 /// Random problems where the first server can host any VM (so the
 /// instance is always valid, though individual placements may still be
@@ -40,6 +92,43 @@ fn arb_problem() -> impl Strategy<Value = AllocationProblem> {
                     Vm::new(
                         j as u32,
                         Resources::new(f64::from(cpu.min(12)), f64::from(mem.min(12))),
+                        Interval::with_len(start, len),
+                    )
+                })
+                .collect();
+            AllocationProblem::new(specs, vms).expect("valid by construction")
+        })
+}
+
+/// Random problems whose servers are many copies of a few spec classes —
+/// the homogeneous-rack shape where MIEC's spec-class pruning actually
+/// prunes (every random spec in `arb_problem` tends to be unique).
+fn arb_clustered_problem() -> impl Strategy<Value = AllocationProblem> {
+    let class = (4u32..=12, 4u32..=12, 1u32..=15, 1u32..=15, 0u32..=40, 1usize..=5);
+    let vm = (1u32..=4, 1u32..=4, 1u32..=40, 1u32..=8);
+    (
+        proptest::collection::vec(class, 1..=3),
+        proptest::collection::vec(vm, 0..=15),
+    )
+        .prop_map(|(classes, vms)| {
+            let mut specs = Vec::new();
+            for (cpu, mem, idle, dynamic, alpha, copies) in classes {
+                for _ in 0..copies {
+                    specs.push(ServerSpec::new(
+                        specs.len() as u32,
+                        Resources::new(f64::from(cpu), f64::from(mem)),
+                        PowerModel::new(f64::from(idle), f64::from(idle + dynamic)),
+                        f64::from(alpha),
+                    ));
+                }
+            }
+            let vms: Vec<Vm> = vms
+                .into_iter()
+                .enumerate()
+                .map(|(j, (cpu, mem, start, len))| {
+                    Vm::new(
+                        j as u32,
+                        Resources::new(f64::from(cpu), f64::from(mem)),
                         Interval::with_len(start, len),
                     )
                 })
@@ -121,6 +210,77 @@ proptest! {
                 );
             }
             replay.place(vm.id(), chosen).unwrap();
+        }
+    }
+
+    /// The optimised MIEC (spec-class pruning + delta-based scoring)
+    /// places every VM exactly where the reference implementation (full
+    /// scan, clone-and-rescan scoring — the seed semantics) does, across
+    /// all scoring variants — except on exact ties, where the reference's
+    /// difference-of-sums breaks the tie by rounding noise; any such
+    /// divergence must be certified as a genuine tie. Ffps, local search
+    /// and migration share the unchanged `fits`/`full_cost` paths, so
+    /// MIEC is the only allocator whose scoring arithmetic changed.
+    #[test]
+    fn optimised_miec_matches_reference_placements(problem in arb_problem(), seed in 0u64..1000) {
+        for (fast, slow, alpha_free, assumed) in [
+            (Miec::new(), Miec::reference(), false, None),
+            (
+                Miec::ignoring_transition_costs(),
+                Miec::ignoring_transition_costs().with_reference_scoring(),
+                true,
+                None,
+            ),
+            (
+                Miec::with_assumed_duration(4),
+                Miec::with_assumed_duration(4).with_reference_scoring(),
+                false,
+                Some(4),
+            ),
+        ] {
+            let a = fast.allocate(&problem, &mut StdRng::seed_from_u64(seed));
+            let b = slow.allocate(&problem, &mut StdRng::seed_from_u64(seed));
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    if a.placement() != b.placement() {
+                        certify_divergence_is_tie(&problem, &a, &b, alpha_free, assumed)?;
+                    }
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                _ => return Err(TestCaseError::fail(
+                    format!("{}: optimised and reference runs diverged", fast.name()),
+                )),
+            }
+        }
+    }
+
+    /// Same equivalence on clustered fleets (many servers per spec
+    /// class), where the pruning path is actually exercised: asleep
+    /// duplicates are skipped yet the lowest-id tie-break must survive.
+    #[test]
+    fn pruning_preserves_placements_on_clustered_fleets(
+        problem in arb_clustered_problem(),
+        seed in 0u64..1000,
+    ) {
+        let a = Miec::new().allocate(&problem, &mut StdRng::seed_from_u64(seed));
+        // Pruning in isolation (same delta scoring, full scan) must be
+        // byte-identical — asleep same-class servers score bit-for-bit
+        // the same, so skipping them can never change the argmin.
+        let u = Miec::new().without_pruning().allocate(&problem, &mut StdRng::seed_from_u64(seed));
+        match (&a, &u) {
+            (Ok(a), Ok(u)) => prop_assert_eq!(a.placement(), u.placement()),
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => return Err(TestCaseError::fail("pruned and unpruned runs diverged".to_string())),
+        }
+        let b = Miec::reference().allocate(&problem, &mut StdRng::seed_from_u64(seed));
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                if a.placement() != b.placement() {
+                    certify_divergence_is_tie(&problem, &a, &b, false, None)?;
+                }
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => return Err(TestCaseError::fail("pruned and reference runs diverged".to_string())),
         }
     }
 

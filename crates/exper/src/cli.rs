@@ -749,7 +749,9 @@ mod tests {
 
     #[test]
     fn exact_command_certifies() {
-        let out = run(&args(&["exact", "--vms", "3", "--servers", "2", "--seed", "1"])).unwrap();
+        // Seed 0 draws a feasible 3-VM/2-server instance; not every seed
+        // does at this tiny scale.
+        let out = run(&args(&["exact", "--vms", "3", "--servers", "2", "--seed", "0"])).unwrap();
         assert!(out.contains("exact (ILP)"), "{out}");
         assert!(out.contains("miec"), "{out}");
     }

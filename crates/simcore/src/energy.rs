@@ -61,9 +61,13 @@ pub fn transition_count(spec: &ServerSpec, segments: &SegmentSet) -> u64 {
 /// Live energy/occupancy state of one server during allocation.
 ///
 /// Tracks the hosted VMs' usage profile (for capacity checks), the merged
-/// busy segments, the accumulated run cost, and the current total cost.
-/// [`ServerLedger::cost_with`] evaluates a hypothetical placement in
-/// `O(segments)` without mutating the ledger.
+/// busy segments, the accumulated run cost, and a cached decomposition of
+/// the segment cost (total busy time plus the sum of interior gap costs),
+/// maintained incrementally on every [`ServerLedger::host`]. This makes
+/// [`ServerLedger::cost`] O(1) and lets
+/// [`ServerLedger::incremental_cost`] score a hypothetical placement as
+/// pure arithmetic over a [`SegmentSet::insertion_delta`] — no clone, no
+/// rescan of resident segments.
 ///
 /// # Example
 ///
@@ -73,7 +77,7 @@ pub fn transition_count(spec: &ServerSpec, segments: &SegmentSet) -> u64 {
 /// let mut ledger = ServerLedger::new(spec);
 /// let vm = Vm::new(0, Resources::new(4.0, 4.0), Interval::new(1, 10));
 /// assert!(ledger.fits(&vm));
-/// let delta = ledger.cost_with(&vm) - ledger.cost();
+/// let delta = ledger.incremental_cost(&vm);
 /// ledger.host(&vm);
 /// assert!((ledger.cost() - delta).abs() < 1e-9);
 /// ```
@@ -84,6 +88,10 @@ pub struct ServerLedger {
     segments: SegmentSet,
     run_cost: f64,
     hosted: u32,
+    /// Cached `segments.busy_time()`, updated on every host.
+    busy_time: u64,
+    /// Cached `Σ gap_cost(g)` over the interior gaps of `segments`.
+    gap_cost_sum: f64,
 }
 
 impl ServerLedger {
@@ -95,6 +103,8 @@ impl ServerLedger {
             segments: SegmentSet::new(),
             run_cost: 0.0,
             hosted: 0,
+            busy_time: 0,
+            gap_cost_sum: 0.0,
         }
     }
 
@@ -131,29 +141,61 @@ impl ServerLedger {
     }
 
     /// Current total cost of this server (Eq. 17 + initial switch-on).
+    ///
+    /// O(1): served from the incrementally maintained busy-time and
+    /// gap-cost caches rather than a rescan of the segments.
     pub fn cost(&self) -> f64 {
-        self.run_cost + segment_cost(&self.spec, &self.segments)
+        if self.segments.is_empty() {
+            return self.run_cost;
+        }
+        let segment = self.spec.idle_cost(self.busy_time)
+            + self.gap_cost_sum
+            + self.spec.transition_cost();
+        self.run_cost + segment
     }
 
     /// Cost the server would have if `vm` were placed on it, without
     /// mutating the ledger. Does **not** re-check capacity; callers filter
     /// with [`ServerLedger::fits`] first, as the heuristic's candidate set
     /// `S_j` does.
+    ///
+    /// Clones and rescans the segment set; retained as the reference
+    /// oracle for [`ServerLedger::incremental_cost`], which scoring paths
+    /// should use instead.
     pub fn cost_with(&self, vm: &Vm) -> f64 {
         let segments = self.segments.with_inserted(vm.interval());
         self.run_cost + self.spec.run_cost(vm) + segment_cost(&self.spec, &segments)
     }
 
-    /// Incremental cost of adding `vm`: `cost_with(vm) − cost()`.
+    /// Incremental cost of adding `vm` — the quantity the MIEC heuristic
+    /// minimises over the candidate set. Always non-negative: adding a VM
+    /// adds run cost and never shrinks busy time.
     ///
-    /// This is the quantity the MIEC heuristic minimises over the
-    /// candidate set. Always non-negative: adding a VM adds run cost and
-    /// never shrinks busy time.
+    /// Computed from a [`SegmentSet::insertion_delta`]: `O(log n +
+    /// merged)` arithmetic with no clone and no allocation, against the
+    /// seed implementation's full copy-and-rescan per candidate.
     pub fn incremental_cost(&self, vm: &Vm) -> f64 {
-        self.cost_with(vm) - self.cost()
+        let d = self
+            .segments
+            .insertion_delta(vm.interval(), |len| self.spec.gap_cost(len));
+        let switch_on = if d.first_segment {
+            self.spec.transition_cost()
+        } else {
+            0.0
+        };
+        self.spec.run_cost(vm) + self.spec.idle_cost(d.busy_added) + d.gap_cost_delta + switch_on
     }
 
-    /// Commits `vm` to this server, updating usage, segments and cost.
+    /// Reference implementation of [`ServerLedger::incremental_cost`]:
+    /// the original `cost_with(vm) − cost()` difference of two full
+    /// rescans. Kept as the test/bench oracle the delta-based scoring is
+    /// checked against.
+    pub fn reference_incremental_cost(&self, vm: &Vm) -> f64 {
+        self.cost_with(vm) - (self.run_cost + segment_cost(&self.spec, &self.segments))
+    }
+
+    /// Commits `vm` to this server, updating usage, segments and the
+    /// cached cost decomposition.
     ///
     /// # Panics
     ///
@@ -161,10 +203,21 @@ impl ServerLedger {
     /// [`ServerLedger::fits`] first.
     pub fn host(&mut self, vm: &Vm) {
         debug_assert!(self.fits(vm), "hosting {vm} would violate capacity");
+        let d = self
+            .segments
+            .insertion_delta(vm.interval(), |len| self.spec.gap_cost(len));
+        self.busy_time += d.busy_added;
+        self.gap_cost_sum += d.gap_cost_delta;
         self.usage.add(vm.interval(), vm.demand());
         self.segments.insert(vm.interval());
         self.run_cost += self.spec.run_cost(vm);
         self.hosted += 1;
+        debug_assert_eq!(self.busy_time, self.segments.busy_time());
+        debug_assert!(
+            (self.cost() - (self.run_cost + segment_cost(&self.spec, &self.segments))).abs()
+                < 1e-6,
+            "cached cost diverged from rescan"
+        );
     }
 
     /// Spare capacity at time `t`.
@@ -297,6 +350,40 @@ mod tests {
         ledger.host(&vm(0, 1.0, 1.0, 5, 10));
         let free_rider = vm(1, 0.0, 1.0, 6, 9);
         assert!(ledger.incremental_cost(&free_rider).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_scoring_matches_reference_oracle() {
+        let mut ledger = ServerLedger::new(spec(120.0));
+        for v in [
+            vm(0, 1.0, 1.0, 10, 20),
+            vm(1, 1.0, 1.0, 30, 35),
+            vm(2, 1.0, 1.0, 50, 80),
+        ] {
+            ledger.host(&v);
+        }
+        for probe in [
+            vm(3, 1.0, 1.0, 1, 5),    // before the span
+            vm(4, 1.0, 1.0, 21, 29),  // bridges the first gap exactly
+            vm(5, 1.0, 1.0, 24, 26),  // splits the first gap
+            vm(6, 1.0, 1.0, 15, 60),  // absorbs two segments
+            vm(7, 1.0, 1.0, 90, 95),  // after the span
+            vm(8, 1.0, 1.0, 12, 18),  // contained
+        ] {
+            let fast = ledger.incremental_cost(&probe);
+            let slow = ledger.reference_incremental_cost(&probe);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "delta {fast} vs oracle {slow} for {probe}"
+            );
+        }
+        // First-segment switch-on charge.
+        let empty = ServerLedger::new(spec(120.0));
+        let probe = vm(9, 1.0, 1.0, 5, 10);
+        assert!(
+            (empty.incremental_cost(&probe) - empty.reference_incremental_cost(&probe)).abs()
+                < 1e-9
+        );
     }
 
     #[test]

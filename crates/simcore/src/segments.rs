@@ -11,7 +11,6 @@
 
 use crate::{Interval, TimeUnit};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A segment of server time: either busy (≥ 1 VM) or idle (an interior
@@ -48,13 +47,42 @@ impl fmt::Display for Segment {
     }
 }
 
+/// How an insertion would change a [`SegmentSet`], without performing it.
+///
+/// Produced by [`SegmentSet::insertion_delta`]; combined with a server's
+/// power parameters this yields the exact change in segment energy cost
+/// as pure arithmetic — no clone, no rescan of the resident segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsertionDelta {
+    /// Increase in total busy time (`busy_time` after − before).
+    pub busy_added: u64,
+    /// Change in the sum of per-gap costs over interior gaps, as priced
+    /// by the closure given to [`SegmentSet::insertion_delta`].
+    pub gap_cost_delta: f64,
+    /// Whether the set was empty, i.e. this insertion creates the first
+    /// busy segment (the initial switch-on).
+    pub first_segment: bool,
+    /// The merged segment the insertion would produce.
+    pub merged: Interval,
+}
+
+/// Interior gap length between a segment ending at `prev_end` and the
+/// next one starting at `next_start` (canonical sets guarantee
+/// `next_start ≥ prev_end + 2`).
+fn gap_len(prev_end: TimeUnit, next_start: TimeUnit) -> u64 {
+    debug_assert!(u64::from(prev_end) + 1 < u64::from(next_start));
+    u64::from(next_start) - u64::from(prev_end) - 1
+}
+
 /// A canonical set of disjoint, non-adjacent closed intervals — the busy
 /// segments of one server.
 ///
 /// Inserting an interval merges it with every interval it overlaps or
 /// touches, so the set always stores the *minimal* number of segments.
-/// All operations are `O(k log n)` where `k` is the number of merged
-/// segments.
+/// Segments are stored in a flat start-sorted vector: lookups are binary
+/// searches and insertion shifts the tail with a `memmove`, which beats a
+/// node-based tree for the segment counts allocation produces (usually a
+/// handful, rarely more than a few hundred).
 ///
 /// # Example
 ///
@@ -71,8 +99,8 @@ impl fmt::Display for Segment {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SegmentSet {
-    /// start → end of each merged segment.
-    segments: BTreeMap<TimeUnit, TimeUnit>,
+    /// `(start, end)` of each merged segment, sorted by start.
+    segments: Vec<(TimeUnit, TimeUnit)>,
 }
 
 impl SegmentSet {
@@ -95,74 +123,141 @@ impl SegmentSet {
     pub fn busy_time(&self) -> u64 {
         self.segments
             .iter()
-            .map(|(&s, &e)| Interval::new(s, e).len())
+            .map(|&(s, e)| Interval::new(s, e).len())
             .sum()
     }
 
     /// The hull `[first_start, last_end]` of all segments, or `None` when
     /// empty.
     pub fn span(&self) -> Option<Interval> {
-        let (&first, _) = self.segments.iter().next()?;
-        let (_, &last) = self.segments.iter().next_back()?;
+        let &(first, _) = self.segments.first()?;
+        let &(_, last) = self.segments.last()?;
         Some(Interval::new(first, last))
     }
 
     /// Whether `t` falls inside a busy segment.
     pub fn contains(&self, t: TimeUnit) -> bool {
-        self.segments
-            .range(..=t)
-            .next_back()
-            .is_some_and(|(_, &end)| t <= end)
+        let idx = self.segments.partition_point(|&(s, _)| s <= t);
+        idx > 0 && t <= self.segments[idx - 1].1
+    }
+
+    /// Indices `[lo, hi)` of the segments `interval` overlaps or touches,
+    /// and the hull they would merge into. Both bounds are binary
+    /// searches; `lo == hi` means the interval lands clear of every
+    /// existing segment.
+    fn merge_range(&self, interval: Interval) -> (usize, usize, Interval) {
+        let mut start = interval.start();
+        let mut end = interval.end();
+        // Ends are strictly increasing, so "ends before my start (with no
+        // adjacency)" is a sorted prefix; `lo` is the first segment that
+        // could reach or touch `start`.
+        let lo = self
+            .segments
+            .partition_point(|&(_, e)| u64::from(e) + 1 < u64::from(start));
+        // Starts are sorted, so "begins at or before end + 1" is also a
+        // prefix; everything in [lo, hi) merges.
+        let hi = self
+            .segments
+            .partition_point(|&(s, _)| u64::from(s) <= u64::from(end) + 1);
+        if lo < hi {
+            start = start.min(self.segments[lo].0);
+            end = end.max(self.segments[hi - 1].1);
+        }
+        (lo, hi, Interval::new(start, end))
     }
 
     /// Inserts an interval, merging with all overlapping or adjacent
     /// segments. Returns the merged segment that now covers `interval`.
     pub fn insert(&mut self, interval: Interval) -> Interval {
-        let mut start = interval.start();
-        let mut end = interval.end();
+        let (lo, hi, merged) = self.merge_range(interval);
+        if lo == hi {
+            self.segments.insert(lo, (merged.start(), merged.end()));
+        } else {
+            self.segments[lo] = (merged.start(), merged.end());
+            self.segments.drain(lo + 1..hi);
+        }
+        merged
+    }
 
-        // A segment beginning at or before `start` may reach into the new
-        // interval (or touch it).
-        if let Some((&s, &e)) = self.segments.range(..=start).next_back() {
-            if u64::from(e) + 1 >= u64::from(start) {
-                start = s;
-                end = end.max(e);
-                self.segments.remove(&s);
-            }
+    /// How inserting `interval` would change the set, with interior gaps
+    /// priced by `gap_cost` (a length → cost map, e.g.
+    /// `ServerSpec::gap_cost`). Probes only the merged segments and their
+    /// two outside neighbours — `O(log n + merged)`, no allocation — and
+    /// does not mutate the set.
+    ///
+    /// Together with the run cost of the inserted VM this is the exact
+    /// incremental energy cost the MIEC heuristic minimises; see
+    /// `ServerLedger::incremental_cost`.
+    pub fn insertion_delta(
+        &self,
+        interval: Interval,
+        gap_cost: impl Fn(u64) -> f64,
+    ) -> InsertionDelta {
+        let (lo, hi, merged) = self.merge_range(interval);
+        let absorbed: u64 = self.segments[lo..hi]
+            .iter()
+            .map(|&(s, e)| Interval::new(s, e).len())
+            .sum();
+        let mut delta = 0.0;
+        // Interior gaps between consecutive absorbed segments become busy.
+        for w in self.segments[lo..hi].windows(2) {
+            delta -= gap_cost(gap_len(w[0].1, w[1].0));
         }
-        // Absorb every later segment that begins at or before `end + 1`.
-        loop {
-            let next = self
-                .segments
-                .range(start..)
-                .next()
-                .map(|(&s, &e)| (s, e))
-                .filter(|&(s, _)| u64::from(s) <= u64::from(end) + 1);
-            match next {
-                Some((s, e)) => {
-                    end = end.max(e);
-                    self.segments.remove(&s);
+        if lo < hi {
+            // The hull may extend past the outermost absorbed segments,
+            // shrinking (never closing) the boundary gaps.
+            if lo > 0 {
+                let left_end = self.segments[lo - 1].1;
+                let old = gap_len(left_end, self.segments[lo].0);
+                let new = gap_len(left_end, merged.start());
+                if new != old {
+                    delta += gap_cost(new) - gap_cost(old);
                 }
-                None => break,
+            }
+            if hi < self.segments.len() {
+                let right_start = self.segments[hi].0;
+                let old = gap_len(self.segments[hi - 1].1, right_start);
+                let new = gap_len(merged.end(), right_start);
+                if new != old {
+                    delta += gap_cost(new) - gap_cost(old);
+                }
+            }
+        } else {
+            // Nothing merges: the interval splits an existing gap in two,
+            // or opens a new boundary gap at the edge of the span.
+            let left = lo.checked_sub(1).map(|i| self.segments[i].1);
+            let right = self.segments.get(lo).map(|&(s, _)| s);
+            match (left, right) {
+                (Some(le), Some(rs)) => {
+                    delta += gap_cost(gap_len(le, merged.start()))
+                        + gap_cost(gap_len(merged.end(), rs))
+                        - gap_cost(gap_len(le, rs));
+                }
+                (Some(le), None) => delta += gap_cost(gap_len(le, merged.start())),
+                (None, Some(rs)) => delta += gap_cost(gap_len(merged.end(), rs)),
+                (None, None) => {}
             }
         }
-        self.segments.insert(start, end);
-        Interval::new(start, end)
+        InsertionDelta {
+            busy_added: merged.len() - absorbed,
+            gap_cost_delta: delta,
+            first_segment: self.is_empty(),
+            merged,
+        }
     }
 
     /// Iterates over the busy segments in time order.
     pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
-        self.segments.iter().map(|(&s, &e)| Interval::new(s, e))
+        self.segments.iter().map(|&(s, e)| Interval::new(s, e))
     }
 
     /// Iterates over the interior idle gaps between consecutive busy
     /// segments, in time order. Leading/trailing power-saving time is not
     /// reported (see module docs).
     pub fn gaps(&self) -> impl Iterator<Item = Interval> + '_ {
-        self.iter().zip(self.iter().skip(1)).map(|(a, b)| {
-            debug_assert!(u64::from(a.end()) + 1 < u64::from(b.start()));
-            Interval::new(a.end() + 1, b.start() - 1)
-        })
+        self.segments
+            .windows(2)
+            .map(|w| Interval::new(w[0].1 + 1, w[1].0 - 1))
     }
 
     /// Iterates over busy and idle segments interleaved in time order, as
@@ -180,9 +275,10 @@ impl SegmentSet {
         out
     }
 
-    /// A copy of the set with `interval` inserted. Used by allocation
-    /// heuristics to evaluate hypothetical placements without mutating the
-    /// live state.
+    /// A copy of the set with `interval` inserted. Retained as the
+    /// reference oracle for [`SegmentSet::insertion_delta`]-based scoring
+    /// (see the simcore property tests); the allocation hot path no
+    /// longer calls it.
     pub fn with_inserted(&self, interval: Interval) -> SegmentSet {
         let mut copy = self.clone();
         copy.insert(interval);
@@ -328,5 +424,69 @@ mod tests {
     fn display_lists_segments() {
         let s = set(&[(1, 2), (5, 6)]);
         assert_eq!(s.to_string(), "{[1, 2], [5, 6]}");
+    }
+
+    /// Capped gap pricing used by the delta tests: min(len, 4).
+    fn price(len: u64) -> f64 {
+        (len as f64).min(4.0)
+    }
+
+    /// Oracle: the gap-cost sum of a whole set under `price`.
+    fn gap_sum(s: &SegmentSet) -> f64 {
+        s.gaps().map(|g| price(g.len())).sum()
+    }
+
+    fn check_delta(s: &SegmentSet, interval: Interval) {
+        let d = s.insertion_delta(interval, price);
+        let after = s.with_inserted(interval);
+        assert_eq!(
+            d.busy_added,
+            after.busy_time() - s.busy_time(),
+            "busy_added wrong inserting {interval} into {s}"
+        );
+        assert!(
+            (d.gap_cost_delta - (gap_sum(&after) - gap_sum(s))).abs() < 1e-9,
+            "gap_cost_delta wrong inserting {interval} into {s}"
+        );
+        assert_eq!(d.first_segment, s.is_empty());
+        assert!(after.iter().any(|seg| seg == d.merged));
+    }
+
+    #[test]
+    fn insertion_delta_matches_clone_oracle() {
+        let s = set(&[(10, 15), (20, 22), (30, 40), (50, 50)]);
+        for (a, b) in [
+            (1, 3),   // before the span: new boundary gap
+            (1, 8),   // touches the first segment from the left
+            (12, 14), // contained: no change
+            (16, 19), // bridges two segments exactly
+            (17, 18), // splits a gap in two
+            (23, 29), // bridges with adjacency on both sides
+            (16, 45), // absorbs three segments
+            (5, 60),  // absorbs everything
+            (55, 99), // after the span: new boundary gap
+            (51, 51), // adjacent to the last segment
+        ] {
+            check_delta(&s, Interval::new(a, b));
+        }
+        check_delta(&SegmentSet::new(), Interval::new(3, 7));
+        check_delta(&set(&[(5, 6)]), Interval::new(5, 6));
+    }
+
+    #[test]
+    fn insertion_delta_does_not_mutate() {
+        let s = set(&[(1, 2), (8, 9)]);
+        let before = s.clone();
+        let _ = s.insertion_delta(Interval::new(4, 5), price);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn insertion_delta_first_segment_flag() {
+        let d = SegmentSet::new().insertion_delta(Interval::new(2, 4), price);
+        assert!(d.first_segment);
+        assert_eq!(d.busy_added, 3);
+        assert_eq!(d.gap_cost_delta, 0.0);
+        assert_eq!(d.merged, Interval::new(2, 4));
     }
 }

@@ -16,7 +16,6 @@
 use crate::resources::EPSILON;
 use crate::{Interval, Resources, TimeUnit};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Piecewise-constant (CPU, memory) usage over discrete time.
 ///
@@ -35,8 +34,12 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct UsageProfile {
-    /// `time → usage` from that time until the next breakpoint.
-    breakpoints: BTreeMap<TimeUnit, Resources>,
+    /// `(time, usage)` pairs sorted by time; each entry is in force from
+    /// its time until the next entry. Flat storage keeps the frequent
+    /// range scans (`fits`, `peak_over`) on contiguous memory; inserts
+    /// shift the tail with a `memmove`, cheap at the breakpoint counts
+    /// one server accumulates.
+    breakpoints: Vec<(TimeUnit, Resources)>,
 }
 
 impl UsageProfile {
@@ -45,21 +48,35 @@ impl UsageProfile {
         Self::default()
     }
 
+    /// Index of the first breakpoint at or after `t`.
+    fn lower_bound(&self, t: TimeUnit) -> usize {
+        self.breakpoints.partition_point(|&(t0, _)| t0 < t)
+    }
+
+    /// Index just past the last breakpoint at or before `t`.
+    fn upper_bound(&self, t: TimeUnit) -> usize {
+        self.breakpoints.partition_point(|&(t0, _)| t0 <= t)
+    }
+
     /// Usage at time unit `t`.
     pub fn usage_at(&self, t: TimeUnit) -> Resources {
-        self.breakpoints
-            .range(..=t)
-            .next_back()
-            .map(|(_, &u)| u)
-            .unwrap_or(Resources::ZERO)
+        match self.upper_bound(t) {
+            0 => Resources::ZERO,
+            i => self.breakpoints[i - 1].1,
+        }
     }
 
     /// Ensures a breakpoint exists exactly at `t`, carrying the value that
     /// is in force there.
     fn ensure_breakpoint(&mut self, t: TimeUnit) {
-        if !self.breakpoints.contains_key(&t) {
-            let value = self.usage_at(t);
-            self.breakpoints.insert(t, value);
+        let i = self.lower_bound(t);
+        if self.breakpoints.get(i).is_none_or(|&(t0, _)| t0 != t) {
+            let value = if i == 0 {
+                Resources::ZERO
+            } else {
+                self.breakpoints[i - 1].1
+            };
+            self.breakpoints.insert(i, (t, value));
         }
     }
 
@@ -69,10 +86,11 @@ impl UsageProfile {
         if let Some(after) = interval.end().checked_add(1) {
             self.ensure_breakpoint(after);
         }
-        for (_, usage) in self
-            .breakpoints
-            .range_mut(interval.start()..=interval.end())
-        {
+        let (a, b) = (
+            self.lower_bound(interval.start()),
+            self.upper_bound(interval.end()),
+        );
+        for (_, usage) in &mut self.breakpoints[a..b] {
             *usage += demand;
         }
     }
@@ -85,10 +103,11 @@ impl UsageProfile {
         if let Some(after) = interval.end().checked_add(1) {
             self.ensure_breakpoint(after);
         }
-        for (_, usage) in self
-            .breakpoints
-            .range_mut(interval.start()..=interval.end())
-        {
+        let (a, b) = (
+            self.lower_bound(interval.start()),
+            self.upper_bound(interval.end()),
+        );
+        for (_, usage) in &mut self.breakpoints[a..b] {
             *usage = usage.saturating_sub(demand);
         }
     }
@@ -97,10 +116,11 @@ impl UsageProfile {
     pub fn peak_over(&self, interval: Interval) -> Resources {
         let mut peak = self.usage_at(interval.start());
         if interval.start() < interval.end() {
-            for (_, &u) in self
-                .breakpoints
-                .range(interval.start() + 1..=interval.end())
-            {
+            let (a, b) = (
+                self.lower_bound(interval.start() + 1),
+                self.upper_bound(interval.end()),
+            );
+            for &(_, u) in &self.breakpoints[a..b] {
                 peak = peak.max(u);
             }
         }
@@ -118,29 +138,40 @@ impl UsageProfile {
         if interval.start() == interval.end() {
             return true;
         }
-        self.breakpoints
-            .range(interval.start() + 1..=interval.end())
-            .all(|(_, &u)| (u + demand).fits_within(capacity))
+        let (a, b) = (
+            self.lower_bound(interval.start() + 1),
+            self.upper_bound(interval.end()),
+        );
+        self.breakpoints[a..b]
+            .iter()
+            .all(|&(_, u)| (u + demand).fits_within(capacity))
     }
 
-    /// Iterates over maximal constant pieces `(interval, usage)` with
-    /// non-zero usage, in time order.
+    /// Streams the maximal constant pieces `(interval, usage)` with
+    /// non-zero usage, in time order, without materialising them.
+    pub fn nonzero_pieces_iter(&self) -> impl Iterator<Item = (Interval, Resources)> + '_ {
+        self.breakpoints
+            .iter()
+            .enumerate()
+            .map(move |(i, &(start, usage))| {
+                let end = match self.breakpoints.get(i + 1) {
+                    Some(&(next, _)) => next - 1,
+                    // Trailing piece: zero for every profile built via
+                    // `add`, except when an interval reaches
+                    // `TimeUnit::MAX` and the closing breakpoint cannot be
+                    // represented.
+                    None => TimeUnit::MAX,
+                };
+                (Interval::new(start, end), usage)
+            })
+            .filter(|(_, usage)| !usage.is_zero())
+    }
+
+    /// The non-zero pieces collected into a vector; thin wrapper over
+    /// [`UsageProfile::nonzero_pieces_iter`] for callers that need random
+    /// access.
     pub fn nonzero_pieces(&self) -> Vec<(Interval, Resources)> {
-        let mut out = Vec::new();
-        let mut iter = self.breakpoints.iter().peekable();
-        while let Some((&start, &usage)) = iter.next() {
-            let end = match iter.peek() {
-                Some((&next, _)) => next - 1,
-                // Trailing piece: zero for every profile built via `add`,
-                // except when an interval reaches `TimeUnit::MAX` and the
-                // closing breakpoint cannot be represented.
-                None => TimeUnit::MAX,
-            };
-            if !usage.is_zero() && start <= end {
-                out.push((Interval::new(start, end), usage));
-            }
-        }
-        out
+        self.nonzero_pieces_iter().collect()
     }
 
     /// Time-integral of usage over all non-zero pieces, together with the
@@ -149,7 +180,7 @@ impl UsageProfile {
     pub fn nonzero_integral(&self) -> (u64, Resources) {
         let mut units = 0u64;
         let mut integral = Resources::ZERO;
-        for (interval, usage) in self.nonzero_pieces() {
+        for (interval, usage) in self.nonzero_pieces_iter() {
             units += interval.len();
             integral += usage * interval.len() as f64;
         }
@@ -160,15 +191,14 @@ impl UsageProfile {
     /// `Σ_t Σ_{j on this server} R^CPU_jt`. Multiplied by `P¹_i` this is
     /// the server's total run cost (Eq. 4).
     pub fn cpu_integral(&self) -> f64 {
-        self.nonzero_pieces()
-            .iter()
+        self.nonzero_pieces_iter()
             .map(|(interval, usage)| usage.cpu * interval.len() as f64)
             .sum()
     }
 
     /// Whether the profile is identically zero.
     pub fn is_zero(&self) -> bool {
-        self.breakpoints.values().all(Resources::is_zero)
+        self.breakpoints.iter().all(|(_, u)| u.is_zero())
     }
 
     /// Drops redundant breakpoints (equal consecutive values, leading
@@ -176,19 +206,14 @@ impl UsageProfile {
     /// many `add`/`remove` cycles.
     pub fn compact(&mut self) {
         let mut prev = Resources::ZERO;
-        let mut drop_keys = Vec::new();
-        for (&t, &u) in &self.breakpoints {
-            let redundant = (u.cpu - prev.cpu).abs() <= EPSILON
-                && (u.mem - prev.mem).abs() <= EPSILON;
-            if redundant {
-                drop_keys.push(t);
-            } else {
+        self.breakpoints.retain(|&(_, u)| {
+            let redundant =
+                (u.cpu - prev.cpu).abs() <= EPSILON && (u.mem - prev.mem).abs() <= EPSILON;
+            if !redundant {
                 prev = u;
             }
-        }
-        for t in drop_keys {
-            self.breakpoints.remove(&t);
-        }
+            !redundant
+        });
     }
 
     /// Number of stored breakpoints (diagnostic).

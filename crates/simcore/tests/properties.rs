@@ -133,6 +133,53 @@ proptest! {
         }
     }
 
+    /// The delta-based scoring agrees with the clone-based oracle: for a
+    /// ledger grown from random VMs and a random probe,
+    /// `incremental_cost` equals both `reference_incremental_cost` (the
+    /// seed's cost_with − cost arithmetic) and the `full_cost` difference
+    /// of the hosted sets.
+    #[test]
+    fn incremental_cost_matches_clone_oracle(
+        spec in arb_spec(),
+        vms in proptest::collection::vec((arb_interval(), 1u32..4, 1u32..4), 0..12),
+        probe in (arb_interval(), 1u32..4, 1u32..4),
+    ) {
+        let mut ledger = ServerLedger::new(spec);
+        let mut hosted: Vec<Vm> = Vec::new();
+        for (j, (iv, cpu, mem)) in vms.into_iter().enumerate() {
+            let vm = Vm::new(j as u32, Resources::new(f64::from(cpu), f64::from(mem)), iv);
+            if ledger.fits(&vm) {
+                ledger.host(&vm);
+                hosted.push(vm);
+            }
+        }
+        let (iv, cpu, mem) = probe;
+        let vm = Vm::new(99, Resources::new(f64::from(cpu), f64::from(mem)), iv);
+
+        let fast = ledger.incremental_cost(&vm);
+        let oracle = ledger.reference_incremental_cost(&vm);
+        prop_assert!((fast - oracle).abs() < 1e-9, "delta {} vs oracle {}", fast, oracle);
+        prop_assert!((fast - (ledger.cost_with(&vm) - ledger.cost())).abs() < 1e-6);
+
+        let mut with_probe = hosted.clone();
+        with_probe.push(vm);
+        let full_delta = full_cost(ledger.spec(), &with_probe) - full_cost(ledger.spec(), &hosted);
+        prop_assert!((fast - full_delta).abs() < 1e-6, "delta {} vs full-cost {}", fast, full_delta);
+
+        // Scoring never mutates: committing afterwards lands on the
+        // predicted cost, and the cached cost matches a fresh rescan.
+        if ledger.fits(&vm) {
+            let predicted = ledger.cost() + fast;
+            ledger.host(&vm);
+            prop_assert!((ledger.cost() - predicted).abs() < 1e-6);
+            prop_assert!(
+                (ledger.cost()
+                    - (ledger.run_cost() + segment_cost(ledger.spec(), ledger.segments())))
+                .abs() < 1e-6
+            );
+        }
+    }
+
     /// Inserting an interval into a segment set never decreases the
     /// segment cost (more busy time can only cost more or bridge gaps at
     /// their previous price).

@@ -252,14 +252,14 @@ mod tests {
 
     #[test]
     fn missing_header_is_rejected() {
-        let p = WorkloadConfig::new(2, 1).generate(1).unwrap();
+        let p = WorkloadConfig::new(2, 1).generate(0).unwrap();
         let text = to_text(&p).replace(HEADER, "# something else");
         assert_eq!(from_text(&text).unwrap_err(), TraceError::BadHeader);
     }
 
     #[test]
     fn wrong_column_header_is_rejected() {
-        let p = WorkloadConfig::new(2, 1).generate(1).unwrap();
+        let p = WorkloadConfig::new(2, 1).generate(0).unwrap();
         let text = to_text(&p).replace(VM_COLUMNS, "id,cpu,mem");
         assert!(matches!(
             from_text(&text).unwrap_err(),

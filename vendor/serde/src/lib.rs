@@ -1,0 +1,31 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no network access and no vendored crates.io
+//! registry, so the real `serde` cannot be fetched. The workspace only
+//! *derives* `Serialize`/`Deserialize` (no code path ever serializes a
+//! value — there is no `serde_json`/`bincode` dependency), so marker
+//! traits with blanket impls plus no-op derive macros reproduce the exact
+//! API surface the workspace needs while keeping every type signature
+//! source-compatible with the real crate.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every
+/// type so `T: Serialize` bounds hold everywhere.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`. Blanket-implemented for
+/// every sized type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace mirror of `serde::de` for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
