@@ -1,0 +1,150 @@
+//! Offline-refinement benchmark: delta-scored local search and
+//! consolidation vs their retained clone-and-rescan reference
+//! implementations, at a 500-VM / 100-server scale point. Records the
+//! measured speedups and equivalence flags in `BENCH_localsearch.json`
+//! at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esvm_core::{Allocator, Consolidator, Ffps, LocalSearch, SearchMove};
+use esvm_simcore::VmId;
+use esvm_workload::WorkloadConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock seconds over `runs` executions of `f`.
+fn time_median<F: FnMut() -> f64>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Same accepted decision, ignoring the recorded score (the two
+/// evaluators' arithmetic differs in the last ulps).
+fn same_decision(a: &SearchMove, b: &SearchMove) -> bool {
+    match (a, b) {
+        (
+            SearchMove::Relocate { vm, from, to, .. },
+            SearchMove::Relocate { vm: v2, from: f2, to: t2, .. },
+        ) => vm == v2 && from == f2 && to == t2,
+        (
+            SearchMove::Swap { a: a1, b: b1, server_a: sa1, server_b: sb1, .. },
+            SearchMove::Swap { a: a2, b: b2, server_a: sa2, server_b: sb2, .. },
+        ) => a1 == a2 && b1 == b2 && sa1 == sa2 && sb1 == sb2,
+        _ => false,
+    }
+}
+
+/// 500 VMs on 100 servers: refine an FFPS allocation with the
+/// delta-scored search (criterion timing), then compare against the
+/// clone-and-rescan reference for both time and trajectory, run the same
+/// comparison for the consolidation pass, and write the measurements to
+/// `BENCH_localsearch.json`.
+fn bench_local_search_at_scale(c: &mut Criterion) {
+    const VMS: usize = 500;
+    const SERVERS: usize = 100;
+    let problem = WorkloadConfig::new(VMS, SERVERS)
+        .mean_interarrival(4.0)
+        .generate(1)
+        .expect("instance");
+    let mut rng = StdRng::seed_from_u64(7);
+    let base = Ffps::new().allocate(&problem, &mut rng).expect("base allocation");
+
+    let mut group = c.benchmark_group("local_search_500vms_100servers");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("optimised"), |b| {
+        b.iter(|| {
+            let refined = LocalSearch::new().refine(black_box(&base)).unwrap();
+            black_box(refined.total_cost())
+        })
+    });
+    group.finish();
+
+    // Refinement equivalence: the delta-scored search must walk the same
+    // first-improvement trajectory as the reference (up to FP ties at
+    // the acceptance threshold, which these instances do not exhibit).
+    let (fast, fast_moves) = LocalSearch::new().refine_traced(&base).unwrap();
+    let (slow, slow_moves) = LocalSearch::reference().refine_traced(&base).unwrap();
+    let trajectory_equivalent = fast_moves.len() == slow_moves.len()
+        && fast_moves
+            .iter()
+            .zip(&slow_moves)
+            .all(|(a, b)| same_decision(a, b));
+    let placements_identical = fast.placement() == slow.placement();
+    let rel = (fast.total_cost() - slow.total_cost()).abs() / slow.total_cost();
+    assert!(
+        rel < 1e-6,
+        "optimised and reference refinement costs diverged: rel diff {rel:e}"
+    );
+    let improvement = 1.0 - fast.total_cost() / base.total_cost();
+
+    let optimised_s = time_median(5, || {
+        LocalSearch::new().refine(&base).unwrap().total_cost()
+    });
+    let reference_s = time_median(3, || {
+        LocalSearch::reference().refine(&base).unwrap().total_cost()
+    });
+    let speedup = reference_s / optimised_s;
+    println!(
+        "local search @ {VMS} VMs / {SERVERS} servers: optimised {optimised_s:.3} s, \
+         reference {reference_s:.3} s, {speedup:.1}x ({} moves, {:.1}% saved)",
+        fast_moves.len(),
+        improvement * 100.0
+    );
+
+    // Consolidation pass, same treatment.
+    let fast_schedule = Consolidator::new(2.0).consolidate(&base).unwrap();
+    let slow_schedule = Consolidator::reference(2.0).consolidate(&base).unwrap();
+    let schedules_identical = (0..problem.vm_count()).all(|j| {
+        fast_schedule.pieces_of(VmId(j as u32)) == slow_schedule.pieces_of(VmId(j as u32))
+    });
+    // Even when a tied greedy decision lets the schedules part, the two
+    // passes must save essentially the same energy.
+    let fast_cost = fast_schedule.audit().unwrap().total_cost;
+    let slow_cost = slow_schedule.audit().unwrap().total_cost;
+    let consolidation_rel = (fast_cost - slow_cost).abs() / slow_cost;
+    assert!(
+        consolidation_rel < 1e-6,
+        "optimised and reference consolidation costs diverged: rel diff {consolidation_rel:e}"
+    );
+    let consolidation_optimised_s = time_median(5, || {
+        Consolidator::new(2.0)
+            .consolidate(&base)
+            .unwrap()
+            .audit()
+            .unwrap()
+            .total_cost
+    });
+    let consolidation_reference_s = time_median(3, || {
+        Consolidator::reference(2.0)
+            .consolidate(&base)
+            .unwrap()
+            .audit()
+            .unwrap()
+            .total_cost
+    });
+    let consolidation_speedup = consolidation_reference_s / consolidation_optimised_s;
+    println!(
+        "consolidation @ {VMS} VMs / {SERVERS} servers: optimised {consolidation_optimised_s:.3} s, \
+         reference {consolidation_reference_s:.3} s, {consolidation_speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"local_search_refinement\",\n  \"vms\": {VMS},\n  \"servers\": {SERVERS},\n  \"workload_seed\": 1,\n  \"mean_interarrival\": 4.0,\n  \"optimised_seconds\": {optimised_s:.6},\n  \"reference_seconds\": {reference_s:.6},\n  \"speedup\": {speedup:.2},\n  \"moves_accepted\": {moves},\n  \"refinement_improvement\": {improvement:.6},\n  \"trajectory_equivalent\": {trajectory_equivalent},\n  \"placements_identical\": {placements_identical},\n  \"consolidation_optimised_seconds\": {consolidation_optimised_s:.6},\n  \"consolidation_reference_seconds\": {consolidation_reference_s:.6},\n  \"consolidation_speedup\": {consolidation_speedup:.2},\n  \"consolidation_schedules_identical\": {schedules_identical},\n  \"consolidation_cost_rel_diff\": {consolidation_rel:.3e}\n}}\n",
+        moves = fast_moves.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_localsearch.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_local_search_at_scale);
+criterion_main!(benches);

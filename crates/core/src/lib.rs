@@ -48,6 +48,7 @@
 
 mod allocator;
 mod baselines;
+mod classes;
 mod error;
 mod ffps;
 mod miec;
@@ -60,6 +61,6 @@ pub use baselines::{BestFit, FirstFit, LowestIdlePower, Random, RoundRobin};
 pub use error::{AllocError, AllocResult};
 pub use ffps::Ffps;
 pub use miec::Miec;
-pub use local_search::{LocalSearch, Refined};
+pub use local_search::{LocalSearch, Refined, SearchMove};
 pub use migration::Consolidator;
 pub use registry::AllocatorKind;

@@ -5,89 +5,176 @@
 //! the gap between them: a first-improvement local search over the
 //! *relocate* (move one VM to another server) and *swap* (exchange the
 //! servers of two VMs) neighbourhoods, evaluated with the exact audit
-//! cost model. It refines any complete [`Assignment`], so it both
-//! quantifies how much MIEC's greediness leaves on the table and serves
-//! as a stronger offline baseline.
+//! cost model.
+//!
+//! Moves are scored with the paired delta machinery of
+//! [`ServerLedger`]: a relocate is `incremental_cost(dst) −
+//! decremental_cost(src)` and a swap is four such deltas — pure
+//! `O(log K)` arithmetic per candidate, no clones, no `full_cost`
+//! rescans inside the move loops. The seed's clone-and-rescan evaluation
+//! is retained behind [`LocalSearch::reference`] as the oracle the fast
+//! path is certified against (the same pattern PR 1 used for MIEC), and
+//! the relocate scan prunes spec-class-symmetric asleep targets and can
+//! optionally visit targets in cached-cost order.
 
+use crate::classes::spec_classes;
 use crate::{AllocError, AllocResult, Allocator};
 use esvm_simcore::energy::full_cost;
 use esvm_simcore::{
-    AllocationProblem, Assignment, ServerId, ServerSpec, UsageProfile, Vm, VmId,
+    AllocationProblem, Assignment, ServerId, ServerLedger, ServerSpec, Vm, VmId,
 };
 use rand::RngCore;
+use std::collections::HashMap;
 
-/// Per-server evaluation state for the search.
+/// Per-server evaluation state for the search: a delta-scored
+/// [`ServerLedger`] plus the hosted VM list with an id → slot map so
+/// [`Host::remove`] is O(1) instead of a linear scan.
 #[derive(Debug, Clone)]
 struct Host {
-    spec: ServerSpec,
+    ledger: ServerLedger,
     vms: Vec<Vm>,
-    usage: UsageProfile,
-    cost: f64,
+    slot_of: HashMap<VmId, usize>,
 }
 
 impl Host {
     fn new(spec: ServerSpec) -> Self {
         Self {
-            spec,
+            ledger: ServerLedger::new(spec),
             vms: Vec::new(),
-            usage: UsageProfile::new(),
-            cost: 0.0,
+            slot_of: HashMap::new(),
         }
     }
 
-    fn recompute(&mut self) {
-        self.cost = full_cost(&self.spec, &self.vms);
-    }
-
     fn add(&mut self, vm: Vm) {
-        self.usage.add(vm.interval(), vm.demand());
+        self.slot_of.insert(vm.id(), self.vms.len());
+        self.ledger.host(&vm);
         self.vms.push(vm);
-        self.recompute();
     }
 
     fn remove(&mut self, vm: VmId) -> Vm {
-        let idx = self
-            .vms
-            .iter()
-            .position(|v| v.id() == vm)
-            .expect("vm hosted here");
+        let idx = self.slot_of.remove(&vm).expect("vm hosted here");
         let v = self.vms.swap_remove(idx);
-        self.usage.remove(v.interval(), v.demand());
-        self.recompute();
+        if let Some(moved) = self.vms.get(idx) {
+            self.slot_of.insert(moved.id(), idx);
+        }
+        self.ledger.unhost(&v);
         v
     }
 
     fn fits(&self, vm: &Vm) -> bool {
-        self.usage
-            .fits(vm.interval(), vm.demand(), self.spec.capacity())
+        self.ledger.fits(vm)
+    }
+
+    /// Cached O(1) total cost (delta-maintained by the ledger).
+    fn cost(&self) -> f64 {
+        self.ledger.cost()
+    }
+
+    // ---- Reference oracle probes (the seed's clone-and-rescan
+    // evaluation, used only by `LocalSearch::reference`) ----
+
+    /// Full rescan of the current VM set — the value the seed cached.
+    fn reference_cost(&self) -> f64 {
+        full_cost(self.ledger.spec(), &self.vms)
     }
 
     /// Cost if `vm` were added (no capacity check).
     fn cost_with(&self, vm: &Vm) -> f64 {
         let mut vms = self.vms.clone();
         vms.push(*vm);
-        full_cost(&self.spec, &vms)
+        full_cost(self.ledger.spec(), &vms)
     }
 
     /// Cost if `vm` were removed.
     fn cost_without(&self, vm: VmId) -> f64 {
         let vms: Vec<Vm> = self.vms.iter().filter(|v| v.id() != vm).copied().collect();
-        full_cost(&self.spec, &vms)
+        full_cost(self.ledger.spec(), &vms)
     }
 
-    /// Whether `vm` fits if `leaving` were removed first.
-    fn fits_replacing(&self, vm: &Vm, leaving: &Vm) -> bool {
-        let mut usage = self.usage.clone();
+    /// Whether `vm` fits if `leaving` were removed first (clone probe).
+    fn reference_fits_replacing(&self, vm: &Vm, leaving: &Vm) -> bool {
+        let mut usage = self.ledger.usage().clone();
         usage.remove(leaving.interval(), leaving.demand());
-        usage.fits(vm.interval(), vm.demand(), self.spec.capacity())
+        usage.fits(vm.interval(), vm.demand(), self.ledger.spec().capacity())
     }
 
     /// Cost with `leaving` replaced by `vm`.
     fn cost_replacing(&self, vm: &Vm, leaving: VmId) -> f64 {
-        let mut vms: Vec<Vm> = self.vms.iter().filter(|v| v.id() != leaving).copied().collect();
+        let mut vms: Vec<Vm> = self
+            .vms
+            .iter()
+            .filter(|v| v.id() != leaving)
+            .copied()
+            .collect();
         vms.push(*vm);
-        full_cost(&self.spec, &vms)
+        full_cost(self.ledger.spec(), &vms)
     }
+}
+
+/// Disjoint mutable references to two hosts.
+fn pair_mut(hosts: &mut [Host], a: usize, b: usize) -> (&mut Host, &mut Host) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = hosts.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = hosts.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Exact cost change on one swap side: `leaving` departs and `incoming`
+/// arrives on `host`. When the two intervals' influence regions on the
+/// current segment set are disjoint, the removal and insertion deltas
+/// are exactly additive and the score is pure arithmetic; otherwise the
+/// ledger is probed transiently (unhost, score, rehost — integer state
+/// round-trips exactly, the float accumulators are checkpointed).
+fn swap_side_delta(host: &mut Host, leaving: &Vm, incoming: &Vm) -> f64 {
+    let segments = host.ledger.segments();
+    let independent = !segments
+        .influence_region(leaving.interval())
+        .overlaps(segments.influence_region(incoming.interval()));
+    if independent {
+        host.ledger.incremental_cost(incoming) - host.ledger.decremental_cost(leaving)
+    } else {
+        let checkpoint = host.ledger.checkpoint();
+        let dec = host.ledger.unhost(leaving);
+        let inc = host.ledger.incremental_cost(incoming);
+        host.ledger.host(leaving);
+        host.ledger.restore_costs(checkpoint);
+        inc - dec
+    }
+}
+
+/// One accepted move, in acceptance order. Returned by
+/// [`LocalSearch::refine_traced`] so tests and benches can replay the
+/// trajectory against the clone-and-rescan oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchMove {
+    /// `vm` moved from server `from` to server `to`.
+    Relocate {
+        /// The relocated VM.
+        vm: VmId,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+        /// Accepted score (total-cost change, negative).
+        delta: f64,
+    },
+    /// `a` (on `server_a`) and `b` (on `server_b`) exchanged servers.
+    Swap {
+        /// First VM.
+        a: VmId,
+        /// Second VM.
+        b: VmId,
+        /// Server hosting `a` before the swap.
+        server_a: ServerId,
+        /// Server hosting `b` before the swap.
+        server_b: ServerId,
+        /// Accepted score (total-cost change, negative).
+        delta: f64,
+    },
 }
 
 /// First-improvement local search over relocate + swap moves.
@@ -115,6 +202,8 @@ impl Host {
 pub struct LocalSearch {
     max_rounds: usize,
     enable_swaps: bool,
+    ordered_targets: bool,
+    reference: bool,
 }
 
 impl Default for LocalSearch {
@@ -122,14 +211,39 @@ impl Default for LocalSearch {
         Self {
             max_rounds: 50,
             enable_swaps: true,
+            ordered_targets: false,
+            reference: false,
         }
     }
 }
 
 impl LocalSearch {
-    /// Creates the default search (relocate + swap, ≤ 50 rounds).
+    /// Creates the default search (relocate + swap, ≤ 50 rounds,
+    /// delta-scored, seed visit order).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The seed's clone-and-rescan evaluation, retained as the oracle
+    /// the delta-scored path is verified against (tests and the
+    /// `local_search` bench). Functionally equivalent to
+    /// [`LocalSearch::new`] up to certified floating-point score ties;
+    /// an order of magnitude slower.
+    pub fn reference() -> Self {
+        Self {
+            reference: true,
+            ..Self::default()
+        }
+    }
+
+    /// Visits relocation targets in ascending cached-cost order (cheap,
+    /// already-awake servers first) instead of server-id order. Usually
+    /// finds improving moves sooner; the first-improvement trajectory —
+    /// and therefore the local optimum reached — may legitimately differ
+    /// from the default order.
+    pub fn with_ordered_targets(mut self) -> Self {
+        self.ordered_targets = true;
+        self
     }
 
     /// Caps the number of full improvement rounds.
@@ -151,22 +265,41 @@ impl LocalSearch {
     /// [`AllocError::Placement`] if the input is incomplete, or if the
     /// final placement fails re-validation (would indicate a bug).
     pub fn refine<'p>(&self, base: &Assignment<'p>) -> AllocResult<Assignment<'p>> {
+        self.refine_traced(base).map(|(refined, _)| refined)
+    }
+
+    /// [`LocalSearch::refine`], additionally returning every accepted
+    /// move in acceptance order — the trace the property tests and the
+    /// `local_search` bench replay against the reference oracle.
+    pub fn refine_traced<'p>(
+        &self,
+        base: &Assignment<'p>,
+    ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
         let problem = base.problem();
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
         }
 
-        let mut hosts: Vec<Host> = problem
-            .servers()
-            .iter()
-            .map(|s| Host::new(*s))
-            .collect();
+        let mut hosts: Vec<Host> = problem.servers().iter().map(|s| Host::new(*s)).collect();
         let mut location: Vec<ServerId> = Vec::with_capacity(problem.vm_count());
         for (j, slot) in base.placement().iter().enumerate() {
             let server = slot.expect("complete");
             hosts[server.index()].add(problem.vms()[j]);
             location.push(server);
         }
+
+        // Spec classes for asleep-target pruning (exactly
+        // decision-preserving: twins of the first asleep class member
+        // give bit-identical fits and scores, and first-improvement
+        // visits that member first). The reference path skips pruning and
+        // ordering to stay bit-faithful to the seed implementation.
+        let prune = !self.reference;
+        let classes = spec_classes(problem.servers());
+        let mut class_seen: Vec<u64> = vec![u64::MAX; classes.count];
+        let mut scan: u64 = 0;
+        // Target visit order; stays the identity unless ordered_targets.
+        let mut order: Vec<usize> = (0..hosts.len()).collect();
+        let mut moves: Vec<SearchMove> = Vec::new();
 
         for _ in 0..self.max_rounds {
             let mut improved = false;
@@ -177,19 +310,51 @@ impl LocalSearch {
             for j in 0..problem.vm_count() {
                 let vm = problem.vms()[j];
                 let src = location[j];
-                let src_cost = hosts[src.index()].cost;
-                let src_without = hosts[src.index()].cost_without(vm.id());
-                for i in 0..hosts.len() {
+                // Score the departure once per VM: pure arithmetic on the
+                // fast path, the seed's two full rescans on the oracle.
+                let removal_gain = if self.reference {
+                    hosts[src.index()].cost_without(vm.id()) - hosts[src.index()].reference_cost()
+                } else {
+                    -hosts[src.index()].ledger.decremental_cost(&vm)
+                };
+                if self.ordered_targets && !self.reference {
+                    order.sort_unstable_by(|&x, &y| {
+                        hosts[x].cost().total_cmp(&hosts[y].cost()).then(x.cmp(&y))
+                    });
+                }
+                scan += 1;
+                for &i in &order {
                     let dst = ServerId(i as u32);
-                    if dst == src || !hosts[i].fits(&vm) {
+                    if dst == src {
                         continue;
                     }
-                    let delta =
-                        (src_without - src_cost) + (hosts[i].cost_with(&vm) - hosts[i].cost);
+                    if prune && hosts[i].vms.is_empty() {
+                        let class = classes.class_of[i];
+                        if class_seen[class] == scan {
+                            // A cheaper-or-equal asleep twin of the same
+                            // spec class was already scored this scan.
+                            continue;
+                        }
+                        class_seen[class] = scan;
+                    }
+                    if !hosts[i].fits(&vm) {
+                        continue;
+                    }
+                    let delta = if self.reference {
+                        removal_gain + (hosts[i].cost_with(&vm) - hosts[i].reference_cost())
+                    } else {
+                        removal_gain + hosts[i].ledger.incremental_cost(&vm)
+                    };
                     if delta < -1e-9 {
                         let v = hosts[src.index()].remove(vm.id());
                         hosts[i].add(v);
                         location[j] = dst;
+                        moves.push(SearchMove::Relocate {
+                            vm: vm.id(),
+                            from: src,
+                            to: dst,
+                            delta,
+                        });
                         improved = true;
                         break;
                     }
@@ -206,13 +371,25 @@ impl LocalSearch {
                         }
                         let va = problem.vms()[a];
                         let vb = problem.vms()[b];
-                        let ha = &hosts[sa.index()];
-                        let hb = &hosts[sb.index()];
-                        if !ha.fits_replacing(&vb, &va) || !hb.fits_replacing(&va, &vb) {
-                            continue;
-                        }
-                        let delta = (ha.cost_replacing(&vb, va.id()) - ha.cost)
-                            + (hb.cost_replacing(&va, vb.id()) - hb.cost);
+                        let delta = if self.reference {
+                            let ha = &hosts[sa.index()];
+                            let hb = &hosts[sb.index()];
+                            if !ha.reference_fits_replacing(&vb, &va)
+                                || !hb.reference_fits_replacing(&va, &vb)
+                            {
+                                continue;
+                            }
+                            (ha.cost_replacing(&vb, va.id()) - ha.reference_cost())
+                                + (hb.cost_replacing(&va, vb.id()) - hb.reference_cost())
+                        } else {
+                            let (ha, hb) = pair_mut(&mut hosts, sa.index(), sb.index());
+                            if !ha.ledger.fits_replacing(&vb, &va)
+                                || !hb.ledger.fits_replacing(&va, &vb)
+                            {
+                                continue;
+                            }
+                            swap_side_delta(ha, &va, &vb) + swap_side_delta(hb, &vb, &va)
+                        };
                         if delta < -1e-9 {
                             let va_owned = hosts[sa.index()].remove(va.id());
                             let vb_owned = hosts[sb.index()].remove(vb.id());
@@ -220,6 +397,13 @@ impl LocalSearch {
                             hosts[sb.index()].add(va_owned);
                             location[a] = sb;
                             location[b] = sa;
+                            moves.push(SearchMove::Swap {
+                                a: va.id(),
+                                b: vb.id(),
+                                server_a: sa,
+                                server_b: sb,
+                                delta,
+                            });
                             improved = true;
                         }
                     }
@@ -232,7 +416,9 @@ impl LocalSearch {
         }
 
         let placement: Vec<Option<ServerId>> = location.into_iter().map(Some).collect();
-        Assignment::from_placement(problem, &placement).map_err(AllocError::Placement)
+        let refined =
+            Assignment::from_placement(problem, &placement).map_err(AllocError::Placement)?;
+        Ok((refined, moves))
     }
 }
 
@@ -403,5 +589,68 @@ mod tests {
         let refined = LocalSearch::new().refine(&base).unwrap();
         assert!(refined.audit().is_ok());
         assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn fast_and_reference_agree() {
+        let p = problem();
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+            let (fast, fast_moves) = LocalSearch::new().refine_traced(&base).unwrap();
+            let (slow, slow_moves) = LocalSearch::reference().refine_traced(&base).unwrap();
+            assert_eq!(
+                fast_moves, slow_moves,
+                "seed {seed}: trajectories diverged (would need tie certification)"
+            );
+            assert_eq!(fast.placement(), slow.placement(), "seed {seed}");
+            assert!((fast.total_cost() - slow.total_cost()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ordered_targets_never_worsen() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        let refined = LocalSearch::new()
+            .with_ordered_targets()
+            .refine(&base)
+            .unwrap();
+        assert!(refined.audit().is_ok());
+        assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn traced_moves_replay_to_the_same_result() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(6);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        let (refined, moves) = LocalSearch::new().refine_traced(&base).unwrap();
+        assert!(!moves.is_empty(), "round-robin start should leave work");
+        let mut placement: Vec<Option<ServerId>> = base.placement().to_vec();
+        for m in &moves {
+            match *m {
+                SearchMove::Relocate { vm, from, to, delta } => {
+                    assert_eq!(placement[vm.index()], Some(from));
+                    assert!(delta < -1e-9);
+                    placement[vm.index()] = Some(to);
+                }
+                SearchMove::Swap {
+                    a,
+                    b,
+                    server_a,
+                    server_b,
+                    delta,
+                } => {
+                    assert_eq!(placement[a.index()], Some(server_a));
+                    assert_eq!(placement[b.index()], Some(server_b));
+                    assert!(delta < -1e-9);
+                    placement[a.index()] = Some(server_b);
+                    placement[b.index()] = Some(server_a);
+                }
+            }
+        }
+        assert_eq!(placement.as_slice(), refined.placement());
     }
 }

@@ -160,34 +160,17 @@ impl Miec {
                 .collect()
         });
 
-        // Spec classes for candidate pruning: servers with identical
-        // capacity, power model and transition cost are interchangeable
-        // while asleep — same `fits` verdict, same score — so per VM only
-        // the first (lowest-id) asleep member of each class is scored.
-        // The strict `<` below would pick exactly that member anyway, so
-        // placements are unchanged. Awake servers are always scored.
-        let specs = problem.servers();
-        let mut class_reps: Vec<usize> = Vec::new();
-        let class_of: Vec<usize> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let found = class_reps.iter().position(|&r| {
-                    let t = &specs[r];
-                    t.capacity() == s.capacity()
-                        && t.power() == s.power()
-                        && t.transition_cost() == s.transition_cost()
-                });
-                found.unwrap_or_else(|| {
-                    class_reps.push(i);
-                    class_reps.len() - 1
-                })
-            })
-            .collect();
+        // Spec classes for candidate pruning (see `crate::classes`): per
+        // VM only the first (lowest-id) asleep member of each class is
+        // scored. The strict `<` below would pick exactly that member
+        // anyway, so placements are unchanged. Awake servers are always
+        // scored.
+        let classes = crate::classes::spec_classes(problem.servers());
+        let class_of = &classes.class_of;
         // `class_scored[c] == step` marks class `c` as already represented
         // by an asleep server for the current VM (stamps avoid a per-VM
         // clear).
-        let mut class_scored: Vec<usize> = vec![usize::MAX; class_reps.len()];
+        let mut class_scored: Vec<usize> = vec![usize::MAX; classes.count];
 
         for (step, j) in problem.vms_by_start_time().into_iter().enumerate() {
             let vm = &problem.vms()[j];

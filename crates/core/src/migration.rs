@@ -14,18 +14,25 @@
 //! still hosting *running* VMs and asks whether migrating all of their
 //! remaining tails elsewhere — truncating the server's future
 //! obligations — yields a net energy gain after paying `μ × memory` per
-//! move. Gains are evaluated *exactly* (full per-server cost
-//! recomputation from usage profiles), so every committed move strictly
-//! reduces the audited total.
+//! move. Gains are evaluated *exactly* with the delta machinery of
+//! [`ServerLedger`]: the source's saving is the sum of realized
+//! `unhost_piece` returns (removal deltas) and every candidate target is
+//! scored with a pure `incremental_piece_cost` (insertion delta) — no
+//! fleet clones, no full-cost rescans inside the evaluation loop.
+//! Rejected evictions are rolled back through ledger checkpoints, so
+//! the cached per-server costs never drift. The seed's clone-and-rescan
+//! evaluation survives behind [`Consolidator::reference`] as the oracle
+//! the fast path is tested against.
 
 use crate::{AllocError, AllocResult};
 use esvm_simcore::energy::segment_cost;
 use esvm_simcore::{
-    Assignment, Interval, Resources, Schedule, SegmentSet, ServerId, ServerSpec, TimeUnit,
-    UsageProfile, VmId,
+    Assignment, Interval, LedgerCheckpoint, Resources, Schedule, SegmentSet, ServerId,
+    ServerLedger, ServerSpec, TimeUnit, UsageProfile, VmId,
 };
 
-/// Exact per-server energy evaluation from a usage profile.
+/// Exact per-server energy evaluation from a usage profile — the seed's
+/// clone-and-rescan evaluator, retained for the reference oracle path.
 #[derive(Debug, Clone)]
 struct ServerState {
     spec: ServerSpec,
@@ -89,6 +96,23 @@ impl ServerState {
     }
 }
 
+/// The tails of VMs whose current piece runs on `source` strictly past
+/// `t`: the candidate evictions at departure instant `t`.
+fn tails_on(
+    current: &[(ServerId, Interval)],
+    source: ServerId,
+    t: TimeUnit,
+) -> Vec<(VmId, Interval)> {
+    current
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &(server, piece))| {
+            (server == source && piece.contains(t) && piece.end() > t)
+                .then(|| (VmId(j as u32), Interval::new(t + 1, piece.end())))
+        })
+        .collect()
+}
+
 /// Offline consolidation pass: migrate running VMs off servers whose
 /// remaining obligations are no longer worth their idle power.
 ///
@@ -117,6 +141,7 @@ impl ServerState {
 pub struct Consolidator {
     migration_energy_per_gb: f64,
     min_gain: f64,
+    reference: bool,
 }
 
 impl Consolidator {
@@ -133,6 +158,18 @@ impl Consolidator {
         Self {
             migration_energy_per_gb,
             min_gain: 1e-6,
+            reference: false,
+        }
+    }
+
+    /// The seed's clone-and-rescan evaluation (fleet probe copies, full
+    /// segment rebuilds per candidate), retained as the oracle the
+    /// delta-scored path is tested against. Same greedy policy; an
+    /// order of magnitude slower on large fleets.
+    pub fn reference(migration_energy_per_gb: f64) -> Self {
+        Self {
+            reference: true,
+            ..Self::new(migration_energy_per_gb)
         }
     }
 
@@ -155,6 +192,131 @@ impl Consolidator {
     /// [`AllocError::Placement`] if the base assignment is incomplete
     /// (the pass needs full knowledge of every VM's placement).
     pub fn consolidate<'p>(&self, base: &Assignment<'p>) -> AllocResult<Schedule<'p>> {
+        if self.reference {
+            self.consolidate_reference(base)
+        } else {
+            self.consolidate_fast(base)
+        }
+    }
+
+    /// Departure instants of the problem's VMs, ascending and deduped.
+    fn departures(problem: &esvm_simcore::AllocationProblem) -> Vec<TimeUnit> {
+        let mut departures: Vec<TimeUnit> = problem.vms().iter().map(|v| v.end()).collect();
+        departures.sort_unstable();
+        departures.dedup();
+        departures
+    }
+
+    /// Delta-scored evaluation on [`ServerLedger`]s: savings realized by
+    /// transient `unhost_piece`, targets scored by pure insertion
+    /// deltas, rejected evictions rolled back via checkpoints.
+    fn consolidate_fast<'p>(&self, base: &Assignment<'p>) -> AllocResult<Schedule<'p>> {
+        let problem = base.problem();
+        if let Some(vm) = base.unplaced().next() {
+            return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
+        }
+
+        let mut schedule = Schedule::from_assignment(base, self.migration_energy_per_gb)
+            .map_err(AllocError::Placement)?;
+
+        let mut ledgers: Vec<ServerLedger> = problem
+            .servers()
+            .iter()
+            .map(|s| ServerLedger::new(*s))
+            .collect();
+        // Current (last) piece per VM: (server, interval).
+        let mut current: Vec<(ServerId, Interval)> = Vec::with_capacity(problem.vm_count());
+        for (j, slot) in base.placement().iter().enumerate() {
+            let server = slot.expect("checked complete");
+            let vm = &problem.vms()[j];
+            ledgers[server.index()].host_piece(vm.demand(), vm.interval());
+            current.push((server, vm.interval()));
+        }
+
+        for &t in &Self::departures(problem) {
+            for source in 0..problem.server_count() {
+                let tails = tails_on(&current, ServerId(source as u32), t);
+                if tails.is_empty() {
+                    continue;
+                }
+
+                // Evict the tails transiently; the realized returns sum
+                // to the exact run + idle + switch-on saving on the
+                // source (telescoping removal deltas).
+                let source_checkpoint = ledgers[source].checkpoint();
+                let mut saving = 0.0;
+                for &(vm, tail) in &tails {
+                    saving += ledgers[source].unhost_piece(problem.vms()[vm.index()].demand(), tail);
+                }
+
+                // Cheapest target per tail, scored by pure insertion
+                // delta. Chosen targets are hosted immediately so
+                // same-target tails stack; first-touch checkpoints allow
+                // an exact rollback if the eviction is rejected.
+                let mut touched: Vec<(usize, LedgerCheckpoint)> = Vec::new();
+                let mut moves: Vec<(VmId, Interval, ServerId)> = Vec::new();
+                let mut relocation_cost = 0.0;
+                let mut feasible = true;
+                for &(vm, tail) in &tails {
+                    let demand = problem.vms()[vm.index()].demand();
+                    let mut best: Option<(f64, usize)> = None;
+                    for (i, ledger) in ledgers.iter().enumerate() {
+                        if i == source || !ledger.fits_piece(demand, tail) {
+                            continue;
+                        }
+                        let delta = ledger.incremental_piece_cost(demand, tail);
+                        if best.is_none_or(|(d, _)| delta < d) {
+                            best = Some((delta, i));
+                        }
+                    }
+                    let Some((delta, target)) = best else {
+                        feasible = false;
+                        break;
+                    };
+                    if !touched.iter().any(|&(i, _)| i == target) {
+                        touched.push((target, ledgers[target].checkpoint()));
+                    }
+                    ledgers[target].host_piece(demand, tail);
+                    relocation_cost += delta + self.migration_energy_per_gb * demand.mem;
+                    moves.push((vm, tail, ServerId(target as u32)));
+                }
+
+                if !feasible || saving - relocation_cost <= self.min_gain {
+                    // Roll back: targets first, then re-host the tails on
+                    // the source; checkpoints restore the float
+                    // accumulators bit-exactly.
+                    for &(vm, tail, target) in moves.iter().rev() {
+                        ledgers[target.index()]
+                            .unhost_piece(problem.vms()[vm.index()].demand(), tail);
+                    }
+                    for &(i, checkpoint) in &touched {
+                        ledgers[i].restore_costs(checkpoint);
+                    }
+                    for &(vm, tail) in tails.iter().rev() {
+                        ledgers[source].host_piece(problem.vms()[vm.index()].demand(), tail);
+                    }
+                    ledgers[source].restore_costs(source_checkpoint);
+                    continue;
+                }
+
+                // Commit: the ledgers already reflect the eviction;
+                // mirror it on the schedule.
+                for &(vm, tail, target) in &moves {
+                    schedule
+                        .truncate_last_piece(vm, t)
+                        .map_err(AllocError::Placement)?;
+                    schedule
+                        .host(vm, target, tail)
+                        .map_err(AllocError::Placement)?;
+                    current[vm.index()] = (target, tail);
+                }
+            }
+        }
+        Ok(schedule)
+    }
+
+    /// The seed's clone-and-rescan pass (see [`Consolidator::reference`]).
+    fn consolidate_reference<'p>(&self, base: &Assignment<'p>) -> AllocResult<Schedule<'p>> {
         let problem = base.problem();
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
@@ -169,7 +331,6 @@ impl Consolidator {
             .iter()
             .map(|s| ServerState::new(*s))
             .collect();
-        // Current (last) piece per VM: (server, interval).
         let mut current: Vec<(ServerId, Interval)> = Vec::with_capacity(problem.vm_count());
         for (j, slot) in base.placement().iter().enumerate() {
             let server = slot.expect("checked complete");
@@ -178,23 +339,9 @@ impl Consolidator {
             current.push((server, vm.interval()));
         }
 
-        // Departure instants, ascending (skip the global last departure:
-        // nothing runs past it).
-        let mut departures: Vec<TimeUnit> = problem.vms().iter().map(|v| v.end()).collect();
-        departures.sort_unstable();
-        departures.dedup();
-
-        for &t in &departures {
+        for &t in &Self::departures(problem) {
             for source in 0..problem.server_count() {
-                let source_id = ServerId(source as u32);
-                // Tails of VMs running on `source` at t and beyond.
-                let tails: Vec<(VmId, Interval)> = (0..problem.vm_count())
-                    .filter_map(|j| {
-                        let (server, piece) = current[j];
-                        (server == source_id && piece.contains(t) && piece.end() > t)
-                            .then(|| (VmId(j as u32), Interval::new(t + 1, piece.end())))
-                    })
-                    .collect();
+                let tails = tails_on(&current, ServerId(source as u32), t);
                 if tails.is_empty() {
                     continue;
                 }
@@ -228,8 +375,7 @@ impl Consolidator {
                         feasible = false;
                         break;
                     };
-                    relocation_cost +=
-                        delta + self.migration_energy_per_gb * demand.mem;
+                    relocation_cost += delta + self.migration_energy_per_gb * demand.mem;
                     probe[target.index()].add(demand, tail);
                     moves.push((vm, tail, target));
                 }
@@ -363,6 +509,7 @@ mod tests {
             .unwrap();
         let base = esvm_simcore::Assignment::new(&p);
         assert!(Consolidator::new(1.0).consolidate(&base).is_err());
+        assert!(Consolidator::reference(1.0).consolidate(&base).is_err());
     }
 
     #[test]
@@ -391,5 +538,43 @@ mod tests {
         assert!(
             lazy.audit().unwrap().migrations <= eager.audit().unwrap().migrations
         );
+    }
+
+    #[test]
+    fn fast_and_reference_produce_the_same_schedule() {
+        // The delta-scored pass and the clone-and-rescan oracle make the
+        // same greedy decisions (both score exactly; divergence would
+        // require a floating-point tie at the min_gain threshold or in a
+        // target comparison, none of which these workloads exhibit).
+        for (vms, servers, ia, seed) in
+            [(60, 30, 2.0, 7), (40, 20, 2.0, 3), (50, 25, 3.0, 11), (80, 20, 1.5, 21)]
+        {
+            let problem = esvm_workload_config(vms, servers, ia, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = Ffps::new().allocate(&problem, &mut rng).unwrap();
+            for mu in [0.0, 1.0, 20.0] {
+                let fast = Consolidator::new(mu).consolidate(&base).unwrap();
+                let slow = Consolidator::reference(mu).consolidate(&base).unwrap();
+                let fa = fast.audit().unwrap();
+                let sa = slow.audit().unwrap();
+                assert_eq!(
+                    fa.migrations, sa.migrations,
+                    "seed {seed} μ={mu}: migration counts diverged"
+                );
+                assert!(
+                    (fa.total_cost - sa.total_cost).abs() < 1e-6,
+                    "seed {seed} μ={mu}: {} vs {}",
+                    fa.total_cost,
+                    sa.total_cost
+                );
+                for j in 0..problem.vm_count() {
+                    assert_eq!(
+                        fast.pieces_of(VmId(j as u32)),
+                        slow.pieces_of(VmId(j as u32)),
+                        "seed {seed} μ={mu}: vm {j} pieces diverged"
+                    );
+                }
+            }
+        }
     }
 }

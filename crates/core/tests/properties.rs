@@ -1,12 +1,130 @@
 //! Property-based tests of the allocation algorithms.
 
-use esvm_core::{AllocError, Allocator, AllocatorKind, Miec};
+use esvm_core::{
+    AllocError, Allocator, AllocatorKind, Consolidator, Ffps, LocalSearch, Miec, RoundRobin,
+    SearchMove,
+};
+use esvm_simcore::energy::full_cost;
 use esvm_simcore::{
     AllocationProblem, Assignment, Interval, PowerModel, Resources, ServerLedger, ServerSpec, Vm,
+    VmId,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Whether two accepted moves are the same *decision*, ignoring the
+/// recorded score: the delta-scored and clone-and-rescan evaluators
+/// compute the same value through different float arithmetic, so the
+/// `delta` fields legitimately differ in the last ulps.
+fn same_decision(a: &SearchMove, b: &SearchMove) -> bool {
+    match (a, b) {
+        (
+            SearchMove::Relocate { vm, from, to, .. },
+            SearchMove::Relocate {
+                vm: vm2,
+                from: from2,
+                to: to2,
+                ..
+            },
+        ) => vm == vm2 && from == from2 && to == to2,
+        (
+            SearchMove::Swap {
+                a: a1,
+                b: b1,
+                server_a: sa1,
+                server_b: sb1,
+                ..
+            },
+            SearchMove::Swap {
+                a: a2,
+                b: b2,
+                server_a: sa2,
+                server_b: sb2,
+                ..
+            },
+        ) => a1 == a2 && b1 == b2 && sa1 == sa2 && sb1 == sb2,
+        _ => false,
+    }
+}
+
+/// The clone-and-rescan score of `m` against explicit per-server VM
+/// lists: the ground truth every accepted move is checked against.
+fn oracle_move_delta(problem: &AllocationProblem, hosts: &[Vec<Vm>], m: &SearchMove) -> f64 {
+    let specs = problem.servers();
+    let cost = |i: usize, vms: &[Vm]| full_cost(&specs[i], vms);
+    match *m {
+        SearchMove::Relocate { vm, from, to, .. } => {
+            let v = problem.vms()[vm.index()];
+            let without: Vec<Vm> = hosts[from.index()]
+                .iter()
+                .filter(|x| x.id() != vm)
+                .copied()
+                .collect();
+            let mut with = hosts[to.index()].clone();
+            with.push(v);
+            (cost(from.index(), &without) - cost(from.index(), &hosts[from.index()]))
+                + (cost(to.index(), &with) - cost(to.index(), &hosts[to.index()]))
+        }
+        SearchMove::Swap {
+            a,
+            b,
+            server_a,
+            server_b,
+            ..
+        } => {
+            let (va, vb) = (problem.vms()[a.index()], problem.vms()[b.index()]);
+            let mut ra: Vec<Vm> = hosts[server_a.index()]
+                .iter()
+                .filter(|x| x.id() != a)
+                .copied()
+                .collect();
+            ra.push(vb);
+            let mut rb: Vec<Vm> = hosts[server_b.index()]
+                .iter()
+                .filter(|x| x.id() != b)
+                .copied()
+                .collect();
+            rb.push(va);
+            (cost(server_a.index(), &ra) - cost(server_a.index(), &hosts[server_a.index()]))
+                + (cost(server_b.index(), &rb) - cost(server_b.index(), &hosts[server_b.index()]))
+        }
+    }
+}
+
+/// Applies an accepted move to the explicit VM lists, mirroring the
+/// search's own bookkeeping (`swap_remove`, push) so the list orders —
+/// and therefore the float summation orders — stay identical.
+fn apply_move(hosts: &mut [Vec<Vm>], m: &SearchMove) {
+    let mut transfer = |vm: VmId, from: usize, to: usize| {
+        let idx = hosts[from].iter().position(|x| x.id() == vm).unwrap();
+        let v = hosts[from].swap_remove(idx);
+        hosts[to].push(v);
+    };
+    match *m {
+        SearchMove::Relocate { vm, from, to, .. } => transfer(vm, from.index(), to.index()),
+        SearchMove::Swap {
+            a,
+            b,
+            server_a,
+            server_b,
+            ..
+        } => {
+            transfer(a, server_a.index(), server_b.index());
+            transfer(b, server_b.index(), server_a.index());
+        }
+    }
+}
+
+/// Per-server VM lists for a complete assignment, in VM-index order —
+/// the same initial state `LocalSearch::refine_traced` builds.
+fn host_lists(problem: &AllocationProblem, base: &Assignment) -> Vec<Vec<Vm>> {
+    let mut hosts: Vec<Vec<Vm>> = vec![Vec::new(); problem.server_count()];
+    for (j, slot) in base.placement().iter().enumerate() {
+        hosts[slot.expect("complete").index()].push(problem.vms()[j]);
+    }
+    hosts
+}
 
 /// Certifies that the first VM two complete MIEC runs place differently
 /// was a genuine tie: replayed at the common state, both chosen servers
@@ -281,6 +399,113 @@ proptest! {
             }
             (Err(x), Err(y)) => prop_assert_eq!(x, y),
             _ => return Err(TestCaseError::fail("pruned and reference runs diverged".to_string())),
+        }
+    }
+
+    /// Every move the delta-scored local search accepts carries exactly
+    /// the score the clone-and-rescan oracle assigns it at that state,
+    /// and the accumulated deltas land on the refined total cost.
+    #[test]
+    fn local_search_deltas_match_rescan_oracle(problem in arb_problem(), seed in 0u64..1000) {
+        let Ok(base) = RoundRobin::new().allocate(&problem, &mut StdRng::seed_from_u64(seed))
+        else {
+            return Ok(());
+        };
+        let (refined, moves) = LocalSearch::new().refine_traced(&base).unwrap();
+        let mut hosts = host_lists(&problem, &base);
+        let mut total = base.total_cost();
+        for m in &moves {
+            let delta = match *m {
+                SearchMove::Relocate { delta, .. } | SearchMove::Swap { delta, .. } => delta,
+            };
+            prop_assert!(delta < -1e-9, "accepted a non-improving move: {:?}", m);
+            let oracle = oracle_move_delta(&problem, &hosts, m);
+            prop_assert!(
+                (delta - oracle).abs() < 1e-9,
+                "{:?}: delta {} vs rescan oracle {}",
+                m, delta, oracle
+            );
+            apply_move(&mut hosts, m);
+            total += delta;
+        }
+        prop_assert!(
+            (total - refined.total_cost()).abs() < 1e-6,
+            "accumulated {} vs audited {}",
+            total, refined.total_cost()
+        );
+    }
+
+    /// The delta-scored search takes exactly the same trajectory as the
+    /// retained clone-and-rescan oracle. The two arithmetics agree to
+    /// ~1e-9 on every score, so the only way the trajectories may
+    /// legitimately part is a score sitting at the −1e-9 acceptance
+    /// threshold, where last-ulp noise breaks the accept/skip decision
+    /// either way — any divergence must certify as such a tie.
+    #[test]
+    fn local_search_matches_reference_modulo_ties(problem in arb_problem(), seed in 0u64..1000) {
+        let Ok(base) = RoundRobin::new().allocate(&problem, &mut StdRng::seed_from_u64(seed))
+        else {
+            return Ok(());
+        };
+        let (fast, fast_moves) = LocalSearch::new().refine_traced(&base).unwrap();
+        let (slow, slow_moves) = LocalSearch::reference().refine_traced(&base).unwrap();
+        let prefix = fast_moves
+            .iter()
+            .zip(&slow_moves)
+            .take_while(|(a, b)| same_decision(a, b))
+            .count();
+        if prefix == fast_moves.len() && prefix == slow_moves.len() {
+            prop_assert_eq!(fast.placement(), slow.placement());
+            return Ok(());
+        }
+        // Replay the common prefix, then certify the divergence: of the
+        // two next accepted moves, the one at the earlier scan position
+        // was accepted by one evaluator and skipped by the other, so its
+        // true score must straddle the acceptance threshold.
+        let mut hosts = host_lists(&problem, &base);
+        for m in &fast_moves[..prefix] {
+            apply_move(&mut hosts, m);
+        }
+        let candidates: Vec<f64> = [fast_moves.get(prefix), slow_moves.get(prefix)]
+            .into_iter()
+            .flatten()
+            .map(|m| oracle_move_delta(&problem, &hosts, m))
+            .collect();
+        prop_assert!(
+            candidates.iter().any(|d| (d + 1e-9).abs() < 1e-8),
+            "divergence after {} moves is not an FP tie: next-move scores {:?}",
+            prefix, candidates
+        );
+    }
+
+    /// The delta-scored consolidation pass reaches the same schedule as
+    /// the clone-and-rescan oracle; when an FP tie at the `min_gain`
+    /// threshold lets them part, both still audit to nearly the same
+    /// cost and neither ever exceeds the unconsolidated baseline.
+    #[test]
+    fn consolidation_fast_matches_reference(problem in arb_problem(), seed in 0u64..1000) {
+        let Ok(base) = Ffps::new().allocate(&problem, &mut StdRng::seed_from_u64(seed))
+        else {
+            return Ok(());
+        };
+        let fast = Consolidator::new(1.0).consolidate(&base).unwrap();
+        let slow = Consolidator::reference(1.0).consolidate(&base).unwrap();
+        let fast_audit = fast.audit().unwrap();
+        let slow_audit = slow.audit().unwrap();
+        prop_assert!(fast_audit.total_cost <= base.total_cost() + 1e-6);
+        prop_assert!(slow_audit.total_cost <= base.total_cost() + 1e-6);
+        let same = (0..problem.vm_count())
+            .all(|j| fast.pieces_of(VmId(j as u32)) == slow.pieces_of(VmId(j as u32)));
+        if same {
+            prop_assert_eq!(fast_audit.migrations, slow_audit.migrations);
+            prop_assert!((fast_audit.total_cost - slow_audit.total_cost).abs() < 1e-6);
+        } else {
+            // A tied eviction decision shifts the total by ≈ min_gain.
+            prop_assert!(
+                (fast_audit.total_cost - slow_audit.total_cost).abs() < 1e-3,
+                "schedules diverged by more than a tie: {} vs {}",
+                fast_audit.total_cost, slow_audit.total_cost
+            );
         }
     }
 

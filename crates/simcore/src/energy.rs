@@ -21,7 +21,7 @@
 //! become if VM `j` were added?" once per candidate server per VM, so the
 //! evaluation must not rescan the whole VM set.
 
-use crate::{Interval, Resources, SegmentSet, ServerSpec, UsageProfile, Vm};
+use crate::{CoverageSet, Interval, Resources, SegmentSet, ServerSpec, UsageProfile, Vm};
 use serde::{Deserialize, Serialize};
 
 /// Energy cost of a set of busy segments on `spec`, per Eqs. (15)–(17)
@@ -86,11 +86,31 @@ pub struct ServerLedger {
     spec: ServerSpec,
     usage: UsageProfile,
     segments: SegmentSet,
+    /// Per-time-unit occupancy counts of the hosted pieces. `segments`
+    /// alone cannot undo a host (overlapping VMs merge); the counts say
+    /// which busy time a leaving VM frees. See [`CoverageSet`].
+    #[serde(default)]
+    coverage: CoverageSet,
     run_cost: f64,
     hosted: u32,
-    /// Cached `segments.busy_time()`, updated on every host.
+    /// Cached `segments.busy_time()`, updated on every host/unhost.
     busy_time: u64,
     /// Cached `Σ gap_cost(g)` over the interior gaps of `segments`.
+    gap_cost_sum: f64,
+}
+
+/// Snapshot of a [`ServerLedger`]'s floating-point cost accumulators.
+///
+/// A balanced `unhost`/`host` probe cycle restores all integer state
+/// (segments, coverage, busy time, hosted count) exactly, but the two
+/// `f64` accumulators (`run_cost`, `gap_cost_sum`) can pick up last-bit
+/// rounding residue per cycle. Refinement loops that probe thousands of
+/// hypothetical moves take a checkpoint first and
+/// [`ServerLedger::restore_costs`] after reverting, so the caches cannot
+/// drift from the rescan truth.
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerCheckpoint {
+    run_cost: f64,
     gap_cost_sum: f64,
 }
 
@@ -101,6 +121,7 @@ impl ServerLedger {
             spec,
             usage: UsageProfile::new(),
             segments: SegmentSet::new(),
+            coverage: CoverageSet::new(),
             run_cost: 0.0,
             hosted: 0,
             busy_time: 0,
@@ -194,8 +215,15 @@ impl ServerLedger {
         self.cost_with(vm) - (self.run_cost + segment_cost(&self.spec, &self.segments))
     }
 
-    /// Commits `vm` to this server, updating usage, segments and the
-    /// cached cost decomposition.
+    /// Run cost of a constant `demand` over `interval` — the piece-level
+    /// form of [`ServerSpec::run_cost`], bit-identical to it when the
+    /// piece is a whole VM.
+    fn piece_run_cost(&self, demand: Resources, interval: Interval) -> f64 {
+        self.spec.power_per_cpu_unit() * (demand.cpu * interval.len() as f64)
+    }
+
+    /// Commits `vm` to this server, updating usage, coverage, segments
+    /// and the cached cost decomposition.
     ///
     /// # Panics
     ///
@@ -203,14 +231,36 @@ impl ServerLedger {
     /// [`ServerLedger::fits`] first.
     pub fn host(&mut self, vm: &Vm) {
         debug_assert!(self.fits(vm), "hosting {vm} would violate capacity");
+        self.host_piece(vm.demand(), vm.interval());
+    }
+
+    /// Removes a previously hosted `vm`, updating usage, coverage,
+    /// segments and the cached cost decomposition, and returns the
+    /// realized cost decrease — exactly what
+    /// [`ServerLedger::decremental_cost`] predicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the VM's interval is not fully covered
+    /// (i.e. it was never hosted here).
+    pub fn unhost(&mut self, vm: &Vm) -> f64 {
+        self.unhost_piece(vm.demand(), vm.interval())
+    }
+
+    /// Piece-level [`ServerLedger::host`]: commits a constant `demand`
+    /// over `interval`. The migration layer hosts VM *tails* rather than
+    /// whole VMs, so the ledger accepts any (demand, interval) piece;
+    /// `hosted` counts outstanding pieces.
+    pub fn host_piece(&mut self, demand: Resources, interval: Interval) {
         let d = self
             .segments
-            .insertion_delta(vm.interval(), |len| self.spec.gap_cost(len));
+            .insertion_delta(interval, |len| self.spec.gap_cost(len));
         self.busy_time += d.busy_added;
         self.gap_cost_sum += d.gap_cost_delta;
-        self.usage.add(vm.interval(), vm.demand());
-        self.segments.insert(vm.interval());
-        self.run_cost += self.spec.run_cost(vm);
+        self.usage.add(interval, demand);
+        self.coverage.insert(interval);
+        self.segments.insert(interval);
+        self.run_cost += self.piece_run_cost(demand, interval);
         self.hosted += 1;
         debug_assert_eq!(self.busy_time, self.segments.busy_time());
         debug_assert!(
@@ -218,6 +268,149 @@ impl ServerLedger {
                 < 1e-6,
             "cached cost diverged from rescan"
         );
+    }
+
+    /// Piece-level [`ServerLedger::unhost`]: removes a previously hosted
+    /// piece and returns the realized cost decrease. `O(log n + touched)`
+    /// — the busy time the piece covered exclusively leaves the segment
+    /// set via [`SegmentSet::removal_delta`] arithmetic; no rescan.
+    pub fn unhost_piece(&mut self, demand: Resources, interval: Interval) -> f64 {
+        debug_assert!(self.hosted > 0, "unhost from an empty ledger");
+        debug_assert!(
+            self.coverage.covers(interval),
+            "unhosting a piece that was never hosted"
+        );
+        let mut freed = 0u64;
+        let mut gap_delta = 0.0;
+        let mut last = false;
+        // Score every exclusively-covered run against the pre-removal
+        // segments (the runs are separated by surviving busy time, so
+        // their deltas are exactly additive), then mutate.
+        for run in self.coverage.exclusive_runs(interval) {
+            let d = self
+                .segments
+                .removal_delta(run, |len| self.spec.gap_cost(len));
+            freed += d.busy_removed;
+            gap_delta += d.gap_cost_delta;
+            last |= d.last_segment;
+        }
+        for run in self.coverage.exclusive_runs(interval) {
+            self.segments.remove(run);
+        }
+        self.busy_time -= freed;
+        self.gap_cost_sum += gap_delta;
+        self.usage.remove(interval, demand);
+        self.coverage.remove(interval);
+        let run_cost = self.piece_run_cost(demand, interval);
+        self.run_cost -= run_cost;
+        self.hosted -= 1;
+        debug_assert_eq!(self.busy_time, self.segments.busy_time());
+        debug_assert!(
+            (self.cost() - (self.run_cost + segment_cost(&self.spec, &self.segments))).abs()
+                < 1e-6,
+            "cached cost diverged from rescan"
+        );
+        let refund = if last { self.spec.transition_cost() } else { 0.0 };
+        run_cost + self.spec.idle_cost(freed) - gap_delta + refund
+    }
+
+    /// Decremental cost of removing `vm` — how much the server's cost
+    /// drops when the VM leaves. The exact mirror of
+    /// [`ServerLedger::incremental_cost`], and the quantity the
+    /// local-search and migration layers combine into move scores
+    /// (`relocate = incremental(dst) − decremental(src)`).
+    ///
+    /// Computed from [`SegmentSet::removal_delta`] over the VM's
+    /// exclusively-covered runs: `O(log n + touched)` arithmetic with no
+    /// clone and no allocation. Always non-negative.
+    pub fn decremental_cost(&self, vm: &Vm) -> f64 {
+        self.decremental_piece_cost(vm.demand(), vm.interval())
+    }
+
+    /// Piece-level [`ServerLedger::decremental_cost`].
+    pub fn decremental_piece_cost(&self, demand: Resources, interval: Interval) -> f64 {
+        debug_assert!(
+            self.coverage.covers(interval),
+            "scoring removal of a piece that was never hosted"
+        );
+        let mut freed = 0u64;
+        let mut gap_delta = 0.0;
+        let mut last = false;
+        for run in self.coverage.exclusive_runs(interval) {
+            let d = self
+                .segments
+                .removal_delta(run, |len| self.spec.gap_cost(len));
+            freed += d.busy_removed;
+            gap_delta += d.gap_cost_delta;
+            last |= d.last_segment;
+        }
+        let refund = if last { self.spec.transition_cost() } else { 0.0 };
+        self.piece_run_cost(demand, interval) + self.spec.idle_cost(freed) - gap_delta + refund
+    }
+
+    /// Piece-level [`ServerLedger::incremental_cost`]: marginal cost of
+    /// hosting a constant `demand` over `interval`.
+    pub fn incremental_piece_cost(&self, demand: Resources, interval: Interval) -> f64 {
+        let d = self
+            .segments
+            .insertion_delta(interval, |len| self.spec.gap_cost(len));
+        let switch_on = if d.first_segment {
+            self.spec.transition_cost()
+        } else {
+            0.0
+        };
+        self.piece_run_cost(demand, interval)
+            + self.spec.idle_cost(d.busy_added)
+            + d.gap_cost_delta
+            + switch_on
+    }
+
+    /// Whether a constant `demand` over `interval` fits throughout.
+    pub fn fits_piece(&self, demand: Resources, interval: Interval) -> bool {
+        self.usage.fits(interval, demand, self.spec.capacity())
+    }
+
+    /// Whether `incoming` would fit if `outgoing` (hosted here) left
+    /// first — the swap feasibility check, evaluated in one pass over the
+    /// usage breakpoints with no clone.
+    pub fn fits_replacing(&self, incoming: &Vm, outgoing: &Vm) -> bool {
+        self.usage.fits_replacing(
+            incoming.interval(),
+            incoming.demand(),
+            outgoing.interval(),
+            outgoing.demand(),
+            self.spec.capacity(),
+        )
+    }
+
+    /// Reference implementation of [`ServerLedger::decremental_cost`]:
+    /// clones the coverage counts, rebuilds the post-removal segment set
+    /// and rescans both. Kept as the test/bench oracle the delta-based
+    /// scoring is checked against.
+    pub fn reference_decremental_cost(&self, vm: &Vm) -> f64 {
+        let mut coverage = self.coverage.clone();
+        coverage.remove(vm.interval());
+        let remaining = coverage.covered_segments();
+        self.spec.run_cost(vm) + segment_cost(&self.spec, &self.segments)
+            - segment_cost(&self.spec, &remaining)
+    }
+
+    /// Snapshots the floating-point cost accumulators; see
+    /// [`LedgerCheckpoint`].
+    pub fn checkpoint(&self) -> LedgerCheckpoint {
+        LedgerCheckpoint {
+            run_cost: self.run_cost,
+            gap_cost_sum: self.gap_cost_sum,
+        }
+    }
+
+    /// Restores the accumulators captured by
+    /// [`ServerLedger::checkpoint`]. Only valid after the hosted pieces
+    /// have been restored to their checkpointed state (probe cycles are
+    /// balanced); snaps away the per-cycle floating-point residue.
+    pub fn restore_costs(&mut self, checkpoint: LedgerCheckpoint) {
+        self.run_cost = checkpoint.run_cost;
+        self.gap_cost_sum = checkpoint.gap_cost_sum;
     }
 
     /// Spare capacity at time `t`.
@@ -384,6 +577,130 @@ mod tests {
             (empty.incremental_cost(&probe) - empty.reference_incremental_cost(&probe)).abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn unhost_realizes_predicted_decremental_cost() {
+        let mut ledger = ServerLedger::new(spec(120.0));
+        let vms = [
+            vm(0, 2.0, 3.0, 1, 8),
+            vm(1, 1.0, 1.0, 4, 12),
+            vm(2, 3.0, 2.0, 20, 25),
+            vm(3, 0.5, 0.5, 13, 19),
+        ];
+        for v in &vms {
+            ledger.host(v);
+        }
+        // Remove in an order that exercises overlap, bridging and the
+        // last-segment refund.
+        for v in [&vms[1], &vms[3], &vms[0], &vms[2]] {
+            let predicted = ledger.decremental_cost(v);
+            let oracle = ledger.reference_decremental_cost(v);
+            assert!(
+                (predicted - oracle).abs() < 1e-9,
+                "decremental {predicted} vs oracle {oracle} for {v}"
+            );
+            let before = ledger.cost();
+            let realized = ledger.unhost(v);
+            assert_eq!(realized, predicted, "unhost must realize the prediction");
+            assert!(
+                (ledger.cost() - (before - predicted)).abs() < 1e-9,
+                "cost after unhosting {v}"
+            );
+        }
+        assert_eq!(ledger.hosted_count(), 0);
+        assert_eq!(ledger.cost(), 0.0);
+        assert!(ledger.segments().is_empty());
+    }
+
+    #[test]
+    fn decremental_negates_incremental() {
+        let mut ledger = ServerLedger::new(spec(120.0));
+        ledger.host(&vm(0, 1.0, 1.0, 10, 20));
+        ledger.host(&vm(1, 1.0, 1.0, 40, 55));
+        for probe in [
+            vm(2, 1.0, 1.0, 1, 5),   // before the span
+            vm(3, 1.0, 1.0, 25, 30), // splits the gap
+            vm(4, 1.0, 1.0, 15, 45), // bridges both segments
+            vm(5, 1.0, 1.0, 12, 18), // fully shared busy time
+            vm(6, 1.0, 1.0, 60, 99), // after the span
+        ] {
+            let up = ledger.incremental_cost(&probe);
+            ledger.host(&probe);
+            let down = ledger.decremental_cost(&probe);
+            assert!(
+                (up - down).abs() < 1e-9,
+                "incremental {up} vs decremental {down} for {probe}"
+            );
+            ledger.unhost(&probe);
+        }
+        // Last-segment refund mirrors the first-segment charge.
+        let mut solo = ServerLedger::new(spec(120.0));
+        let only = vm(7, 1.0, 1.0, 5, 9);
+        let up = solo.incremental_cost(&only);
+        solo.host(&only);
+        assert!((solo.decremental_cost(&only) - up).abs() < 1e-9);
+        assert!((solo.unhost(&only) - up).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_unhost_round_trip_restores_state() {
+        let mut ledger = ServerLedger::new(spec(90.0));
+        ledger.host(&vm(0, 2.0, 3.0, 1, 8));
+        ledger.host(&vm(1, 1.0, 1.0, 30, 31));
+        let cost_before = ledger.cost();
+        let segments_before = ledger.segments().clone();
+        let checkpoint = ledger.checkpoint();
+        for probe in [vm(2, 1.0, 1.0, 5, 40), vm(3, 3.0, 2.0, 10, 25)] {
+            ledger.host(&probe);
+            ledger.unhost(&probe);
+            ledger.restore_costs(checkpoint);
+        }
+        assert_eq!(ledger.cost(), cost_before);
+        assert_eq!(ledger.segments(), &segments_before);
+        assert_eq!(ledger.hosted_count(), 2);
+    }
+
+    #[test]
+    fn fits_replacing_swap_feasibility() {
+        let mut ledger = ServerLedger::new(spec(10.0));
+        let resident = vm(0, 6.0, 6.0, 1, 10);
+        ledger.host(&resident);
+        ledger.host(&vm(1, 2.0, 2.0, 5, 6));
+        // 7 CPU only fits if the 6-CPU resident leaves first — but the
+        // 2-CPU VM still blocks t ∈ [5,6].
+        let wide = vm(2, 7.0, 1.0, 1, 10);
+        assert!(!ledger.fits(&wide));
+        assert!(ledger.fits_replacing(&wide, &resident));
+        let wider = vm(3, 9.0, 1.0, 1, 10);
+        assert!(!ledger.fits_replacing(&wider, &resident));
+        // Outside the freed interval the full usage applies.
+        let tail = vm(4, 7.0, 1.0, 8, 12);
+        assert!(ledger.fits_replacing(&tail, &resident));
+        let past = vm(5, 7.0, 1.0, 11, 12);
+        assert!(ledger.fits_replacing(&past, &resident));
+    }
+
+    #[test]
+    fn piece_level_api_matches_vm_level() {
+        let mut a = ServerLedger::new(spec(70.0));
+        let mut b = ServerLedger::new(spec(70.0));
+        let v = vm(0, 2.0, 1.0, 3, 14);
+        assert_eq!(
+            a.incremental_piece_cost(v.demand(), v.interval()),
+            a.incremental_cost(&v)
+        );
+        a.host(&v);
+        b.host_piece(v.demand(), v.interval());
+        assert_eq!(a.cost(), b.cost());
+        assert_eq!(
+            a.decremental_piece_cost(v.demand(), v.interval()),
+            a.decremental_cost(&v)
+        );
+        assert!(b.fits_piece(Resources::new(8.0, 19.0), Interval::new(1, 20)));
+        assert!(!b.fits_piece(Resources::new(8.1, 1.0), Interval::new(10, 11)));
+        assert_eq!(a.unhost(&v), b.unhost_piece(v.demand(), v.interval()));
+        assert_eq!(a.cost(), 0.0);
     }
 
     #[test]

@@ -68,13 +68,13 @@ pub mod energy;
 pub mod events;
 
 pub use assignment::{Assignment, AuditReport, EnergyBreakdown, ServerReport, UtilizationStats};
-pub use energy::ServerLedger;
+pub use energy::{LedgerCheckpoint, ServerLedger};
 pub use events::{replay, PowerTrace};
 pub use error::{Error, Result};
 pub use problem::{AllocationProblem, ProblemBuilder, ProblemStats};
 pub use resources::Resources;
 pub use schedule::{Piece, Schedule, ScheduleAudit};
-pub use segments::{InsertionDelta, Segment, SegmentSet};
+pub use segments::{CoverageSet, InsertionDelta, RemovalDelta, Segment, SegmentSet};
 pub use server::{PowerModel, ServerId, ServerSpec};
 pub use time::{Interval, TimeUnit};
 pub use timeline::UsageProfile;

@@ -66,6 +66,27 @@ pub struct InsertionDelta {
     pub merged: Interval,
 }
 
+/// How a removal would change a [`SegmentSet`], without performing it.
+///
+/// Produced by [`SegmentSet::removal_delta`] — the mirror of
+/// [`InsertionDelta`] for the offline refinement layer: local-search
+/// relocates/swaps and migration score "what does taking this interval
+/// *off* the server save?" as pure arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemovalDelta {
+    /// Decrease in total busy time (`busy_time` before − after).
+    pub busy_removed: u64,
+    /// Change in the sum of per-gap costs over interior gaps (after −
+    /// before), as priced by the closure given to
+    /// [`SegmentSet::removal_delta`]. Usually positive (removing busy
+    /// time opens or widens gaps) but can be negative when a boundary
+    /// segment disappears and its gap with it.
+    pub gap_cost_delta: f64,
+    /// Whether the removal empties the set — the last busy segment is
+    /// gone and the initial switch-on charge is refunded.
+    pub last_segment: bool,
+}
+
 /// Interior gap length between a segment ending at `prev_end` and the
 /// next one starting at `next_start` (canonical sets guarantee
 /// `next_start ≥ prev_end + 2`).
@@ -246,6 +267,151 @@ impl SegmentSet {
         }
     }
 
+    /// Indices `[lo, hi)` of the segments `interval` strictly overlaps
+    /// (adjacency does not count, unlike [`SegmentSet::merge_range`]).
+    fn overlap_range(&self, interval: Interval) -> (usize, usize) {
+        let lo = self
+            .segments
+            .partition_point(|&(_, e)| e < interval.start());
+        let hi = self
+            .segments
+            .partition_point(|&(s, _)| s <= interval.end());
+        (lo, hi)
+    }
+
+    /// Removes `interval` from the set (set subtraction): every busy time
+    /// unit inside `interval` becomes free, splitting or trimming the
+    /// segments it overlaps. `O(log n + overlapped)`.
+    pub fn remove(&mut self, interval: Interval) {
+        let (lo, hi) = self.overlap_range(interval);
+        if lo >= hi {
+            return;
+        }
+        let left = (self.segments[lo].0 < interval.start())
+            .then(|| (self.segments[lo].0, interval.start() - 1));
+        let right = (self.segments[hi - 1].1 > interval.end())
+            .then(|| (interval.end() + 1, self.segments[hi - 1].1));
+        match (left, right) {
+            (Some(l), Some(r)) => {
+                self.segments[lo] = l;
+                if hi - lo >= 2 {
+                    self.segments[lo + 1] = r;
+                    self.segments.drain(lo + 2..hi);
+                } else {
+                    self.segments.insert(lo + 1, r);
+                }
+            }
+            (Some(only), None) | (None, Some(only)) => {
+                self.segments[lo] = only;
+                self.segments.drain(lo + 1..hi);
+            }
+            (None, None) => {
+                self.segments.drain(lo..hi);
+            }
+        }
+    }
+
+    /// How removing `interval` (set subtraction, as
+    /// [`SegmentSet::remove`]) would change the set, with interior gaps
+    /// priced by `gap_cost`. The exact mirror of
+    /// [`SegmentSet::insertion_delta`]: probes only the overlapped
+    /// segments and their two outside neighbours — `O(log n +
+    /// overlapped)`, no allocation, no mutation.
+    ///
+    /// Together with the freed VM's run cost this is the exact
+    /// decremental energy cost the local-search and migration layers
+    /// maximise; see `ServerLedger::decremental_cost`.
+    pub fn removal_delta(
+        &self,
+        interval: Interval,
+        gap_cost: impl Fn(u64) -> f64,
+    ) -> RemovalDelta {
+        let (lo, hi) = self.overlap_range(interval);
+        if lo >= hi {
+            return RemovalDelta {
+                busy_removed: 0,
+                gap_cost_delta: 0.0,
+                last_segment: false,
+            };
+        }
+        let busy_removed: u64 = self.segments[lo..hi]
+            .iter()
+            .map(|&(s, e)| {
+                Interval::new(s, e)
+                    .intersection(interval)
+                    .map_or(0, |i| i.len())
+            })
+            .sum();
+        let mut delta = 0.0;
+        // Interior gaps between consecutive overlapped segments dissolve
+        // into the freed region.
+        for w in self.segments[lo..hi].windows(2) {
+            delta -= gap_cost(gap_len(w[0].1, w[1].0));
+        }
+        // Surviving remnants of the outermost overlapped segments.
+        let left_remnant = self.segments[lo].0 < interval.start();
+        let right_remnant = self.segments[hi - 1].1 > interval.end();
+        let left_neighbor = lo.checked_sub(1).map(|i| self.segments[i].1);
+        let right_neighbor = self.segments.get(hi).map(|&(s, _)| s);
+        // The freed region becomes one interior gap iff busy time
+        // survives on both sides of it (a remnant or an outside
+        // neighbour); otherwise it merges into free boundary time.
+        let left_end = if left_remnant {
+            Some(interval.start() - 1)
+        } else {
+            left_neighbor
+        };
+        let right_start = if right_remnant {
+            Some(interval.end() + 1)
+        } else {
+            right_neighbor
+        };
+        if let (Some(le), Some(rs)) = (left_end, right_start) {
+            delta += gap_cost(gap_len(le, rs));
+        }
+        // Old boundary gaps next to disappearing segment edges are
+        // absorbed (into the new gap above, or into boundary free time).
+        if !left_remnant {
+            if let Some(le) = left_neighbor {
+                delta -= gap_cost(gap_len(le, self.segments[lo].0));
+            }
+        }
+        if !right_remnant {
+            if let Some(rs) = right_neighbor {
+                delta -= gap_cost(gap_len(self.segments[hi - 1].1, rs));
+            }
+        }
+        RemovalDelta {
+            busy_removed,
+            gap_cost_delta: delta,
+            last_segment: lo == 0
+                && hi == self.segments.len()
+                && !left_remnant
+                && !right_remnant,
+        }
+    }
+
+    /// The closed time region whose busy/gap structure can change when
+    /// `interval` is inserted into or removed from this set: from just
+    /// after the nearest segment lying entirely left of `interval`'s
+    /// merge hull to just before the nearest segment entirely right of
+    /// it. Two edits whose influence regions do not overlap have exactly
+    /// additive cost deltas, which is what lets a swap be scored as four
+    /// independent deltas in the common case; when the set is empty on
+    /// one side the region is unbounded there (the first/last-segment
+    /// switch-on charge is global state).
+    pub fn influence_region(&self, interval: Interval) -> Interval {
+        let (lo, hi, _) = self.merge_range(interval);
+        let left = lo
+            .checked_sub(1)
+            .map_or(TimeUnit::MIN, |i| self.segments[i].1 + 1);
+        let right = self
+            .segments
+            .get(hi)
+            .map_or(TimeUnit::MAX, |&(s, _)| s - 1);
+        Interval::new(left, right)
+    }
+
     /// Iterates over the busy segments in time order.
     pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
         self.segments.iter().map(|&(s, e)| Interval::new(s, e))
@@ -283,6 +449,210 @@ impl SegmentSet {
         let mut copy = self.clone();
         copy.insert(interval);
         copy
+    }
+
+    /// A copy of the set with `interval` removed. Reference oracle for
+    /// [`SegmentSet::removal_delta`]-based scoring; the refinement hot
+    /// path never calls it.
+    pub fn with_removed(&self, interval: Interval) -> SegmentSet {
+        let mut copy = self.clone();
+        copy.remove(interval);
+        copy
+    }
+}
+
+/// Multiset of closed intervals with per-time-unit coverage counts —
+/// how many hosted VMs occupy each time unit of one server.
+///
+/// [`SegmentSet`] alone cannot *undo* an insertion: two VMs covering the
+/// same hour merge into one busy segment, and set subtraction would free
+/// time the other VM still needs. `CoverageSet` keeps the counts so that
+/// removing a VM frees exactly the time units it covered *exclusively*
+/// ([`CoverageSet::exclusive_runs`]), which is what
+/// `ServerLedger::decremental_cost` feeds to
+/// [`SegmentSet::removal_delta`].
+///
+/// Stored as a flat breakpoint map `(start, count)` sorted by start, the
+/// same layout as `UsageProfile` but with exact integer counts, so
+/// `remove` after `insert` restores the vector bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use esvm_simcore::{CoverageSet, Interval};
+/// let mut cov = CoverageSet::new();
+/// cov.insert(Interval::new(1, 10));
+/// cov.insert(Interval::new(4, 6));
+/// assert_eq!(cov.count_at(5), 2);
+/// // Removing [1,10] would free only what it covers alone:
+/// let runs: Vec<_> = cov.exclusive_runs(Interval::new(1, 10)).collect();
+/// assert_eq!(runs, vec![Interval::new(1, 3), Interval::new(7, 10)]);
+/// cov.remove(Interval::new(4, 6));
+/// cov.remove(Interval::new(1, 10));
+/// assert!(cov.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSet {
+    /// `(start, count)` breakpoints: the coverage count is `count` from
+    /// `start` until the next breakpoint (0 before the first). Counts of
+    /// adjacent breakpoints always differ, and no leading zero-count
+    /// breakpoints are kept, so the representation is canonical.
+    breakpoints: Vec<(TimeUnit, u32)>,
+}
+
+impl CoverageSet {
+    /// Creates an empty coverage map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no time unit is covered.
+    pub fn is_empty(&self) -> bool {
+        self.breakpoints.is_empty()
+    }
+
+    /// Number of stored breakpoints (diagnostic).
+    pub fn breakpoint_count(&self) -> usize {
+        self.breakpoints.len()
+    }
+
+    /// Coverage count at time `t`.
+    pub fn count_at(&self, t: TimeUnit) -> u32 {
+        let idx = self.breakpoints.partition_point(|&(s, _)| s <= t);
+        idx.checked_sub(1).map_or(0, |i| self.breakpoints[i].1)
+    }
+
+    /// Ensures a breakpoint exists exactly at `t`, carrying the count in
+    /// force there, and returns its index.
+    fn ensure_breakpoint(&mut self, t: TimeUnit) -> usize {
+        let idx = self.breakpoints.partition_point(|&(s, _)| s < t);
+        if self.breakpoints.get(idx).is_none_or(|&(s, _)| s != t) {
+            let carried = idx.checked_sub(1).map_or(0, |i| self.breakpoints[i].1);
+            self.breakpoints.insert(idx, (t, carried));
+        }
+        idx
+    }
+
+    /// Drops the breakpoint at index `idx` if it no longer changes the
+    /// count (equal to its predecessor's count, or a leading zero).
+    fn drop_if_redundant(&mut self, idx: usize) {
+        if let Some(&(_, count)) = self.breakpoints.get(idx) {
+            let prev = idx.checked_sub(1).map_or(0, |i| self.breakpoints[i].1);
+            if count == prev {
+                self.breakpoints.remove(idx);
+            }
+        }
+    }
+
+    /// Adds one covering interval: counts inside `interval` increase by
+    /// one. `O(log n + touched)`.
+    pub fn insert(&mut self, interval: Interval) {
+        let lo = self.ensure_breakpoint(interval.start());
+        let hi = self.ensure_breakpoint(interval.end() + 1);
+        for bp in &mut self.breakpoints[lo..hi] {
+            bp.1 += 1;
+        }
+        // An edited edge can land on its neighbour's count (e.g. raising
+        // a count-1 run that follows a count-2 run): canonicalize so the
+        // representation stays the unique one for these counts — which is
+        // what makes `remove` a bit-for-bit inverse.
+        self.drop_if_redundant(hi);
+        self.drop_if_redundant(lo);
+    }
+
+    /// Removes one covering interval previously [`CoverageSet::insert`]ed:
+    /// counts inside `interval` decrease by one. Exactly inverts the
+    /// matching insert — the breakpoint vector is restored bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if some time unit of `interval` is not
+    /// covered.
+    pub fn remove(&mut self, interval: Interval) {
+        let lo = self.ensure_breakpoint(interval.start());
+        let hi = self.ensure_breakpoint(interval.end() + 1);
+        for bp in &mut self.breakpoints[lo..hi] {
+            debug_assert!(bp.1 > 0, "removing uncovered time at {}", bp.0);
+            bp.1 -= 1;
+        }
+        // Only the two edited edges can have become redundant: interior
+        // breakpoints keep their relative differences. Higher index first
+        // so the lower one stays valid.
+        self.drop_if_redundant(hi);
+        self.drop_if_redundant(lo);
+    }
+
+    /// Whether every time unit of `interval` is covered at least once.
+    pub fn covers(&self, interval: Interval) -> bool {
+        let lo = self
+            .breakpoints
+            .partition_point(|&(s, _)| s <= interval.start());
+        if lo == 0 {
+            return false;
+        }
+        let hi = self
+            .breakpoints
+            .partition_point(|&(s, _)| s <= interval.end());
+        self.breakpoints[lo - 1..hi].iter().all(|&(_, c)| c > 0)
+    }
+
+    /// Maximal runs inside `interval` where the coverage count is exactly
+    /// one — the time a VM with that interval occupies *exclusively*, and
+    /// therefore the busy time freed when it leaves. Runs are clipped to
+    /// `interval`, disjoint, and in time order. `O(log n + touched)`, no
+    /// allocation.
+    pub fn exclusive_runs(&self, interval: Interval) -> impl Iterator<Item = Interval> + '_ {
+        let lo = self
+            .breakpoints
+            .partition_point(|&(s, _)| s <= interval.start())
+            .saturating_sub(1);
+        let mut idx = lo;
+        let n = self.breakpoints.len();
+        std::iter::from_fn(move || {
+            while idx < n {
+                let (start, count) = self.breakpoints[idx];
+                if start > interval.end() {
+                    return None;
+                }
+                let piece_end = self
+                    .breakpoints
+                    .get(idx + 1)
+                    .map_or(TimeUnit::MAX, |&(s, _)| s - 1);
+                idx += 1;
+                if count != 1 {
+                    continue;
+                }
+                let s = start.max(interval.start());
+                let e = piece_end.min(interval.end());
+                if s <= e {
+                    return Some(Interval::new(s, e));
+                }
+            }
+            None
+        })
+    }
+
+    /// The covered time as merged busy segments (reference/diagnostic:
+    /// rebuilds a [`SegmentSet`] from the counts).
+    pub fn covered_segments(&self) -> SegmentSet {
+        let mut set = SegmentSet::new();
+        let mut run_start: Option<TimeUnit> = None;
+        for (i, &(start, count)) in self.breakpoints.iter().enumerate() {
+            if count > 0 && run_start.is_none() {
+                run_start = Some(start);
+            }
+            if count == 0 {
+                if let Some(s) = run_start.take() {
+                    set.insert(Interval::new(s, start - 1));
+                }
+            }
+            if count > 0 && i + 1 == self.breakpoints.len() {
+                // Canonical maps end with a zero-count breakpoint, so
+                // this is unreachable; kept defensive.
+                set.insert(Interval::new(run_start.take().unwrap(), TimeUnit::MAX));
+            }
+        }
+        set
     }
 }
 
@@ -488,5 +858,180 @@ mod tests {
         assert_eq!(d.busy_added, 3);
         assert_eq!(d.gap_cost_delta, 0.0);
         assert_eq!(d.merged, Interval::new(2, 4));
+    }
+
+    #[test]
+    fn remove_splits_trims_and_clears() {
+        let mut s = set(&[(1, 10)]);
+        s.remove(Interval::new(4, 5));
+        assert_eq!(s, set(&[(1, 3), (6, 10)]));
+        s.remove(Interval::new(1, 3));
+        assert_eq!(s, set(&[(6, 10)]));
+        s.remove(Interval::new(9, 20));
+        assert_eq!(s, set(&[(6, 8)]));
+        s.remove(Interval::new(6, 8));
+        assert!(s.is_empty());
+        // No-ops: clear of every segment, or empty set.
+        let mut t = set(&[(5, 6)]);
+        t.remove(Interval::new(1, 3));
+        t.remove(Interval::new(8, 9));
+        assert_eq!(t, set(&[(5, 6)]));
+    }
+
+    #[test]
+    fn remove_spanning_multiple_segments() {
+        let mut s = set(&[(1, 4), (8, 12), (20, 25), (30, 31)]);
+        s.remove(Interval::new(3, 22));
+        assert_eq!(s, set(&[(1, 2), (23, 25), (30, 31)]));
+    }
+
+    fn check_removal_delta(s: &SegmentSet, interval: Interval) {
+        let d = s.removal_delta(interval, price);
+        let after = s.with_removed(interval);
+        assert_eq!(
+            d.busy_removed,
+            s.busy_time() - after.busy_time(),
+            "busy_removed wrong removing {interval} from {s}"
+        );
+        assert!(
+            (d.gap_cost_delta - (gap_sum(&after) - gap_sum(s))).abs() < 1e-9,
+            "gap_cost_delta wrong removing {interval} from {s}"
+        );
+        assert_eq!(
+            d.last_segment,
+            !s.is_empty() && after.is_empty(),
+            "last_segment wrong removing {interval} from {s}"
+        );
+    }
+
+    #[test]
+    fn removal_delta_matches_clone_oracle() {
+        let s = set(&[(10, 15), (20, 22), (30, 40), (50, 50)]);
+        for (a, b) in [
+            (1, 3),   // clear of the span: no-op
+            (12, 13), // splits the first segment
+            (10, 12), // trims a segment's head
+            (14, 17), // trims a segment's tail
+            (20, 22), // removes a whole interior segment
+            (10, 15), // removes the first segment: boundary gap vanishes
+            (50, 55), // removes the last segment
+            (13, 35), // spans three segments, remnants both sides
+            (16, 29), // covers one whole segment between two others
+            (5, 60),  // removes everything
+            (23, 29), // entirely inside a gap: no-op
+        ] {
+            check_removal_delta(&s, Interval::new(a, b));
+        }
+        check_removal_delta(&SegmentSet::new(), Interval::new(3, 7));
+        check_removal_delta(&set(&[(5, 6)]), Interval::new(5, 6));
+        check_removal_delta(&set(&[(0, 3)]), Interval::new(0, 1));
+    }
+
+    #[test]
+    fn removal_delta_negates_insertion_delta_for_disjoint_interval() {
+        // Inserting an interval that overlaps nothing, then removing it,
+        // must be an exact round trip of both deltas.
+        let s = set(&[(10, 15), (30, 40)]);
+        for (a, b) in [(1, 5), (17, 25), (20, 28), (50, 60), (17, 17)] {
+            let x = Interval::new(a, b);
+            let ins = s.insertion_delta(x, price);
+            let rem = s.with_inserted(x).removal_delta(x, price);
+            assert_eq!(ins.busy_added, rem.busy_removed, "{x}");
+            assert!(
+                (ins.gap_cost_delta + rem.gap_cost_delta).abs() < 1e-12,
+                "{x}: {} vs {}",
+                ins.gap_cost_delta,
+                rem.gap_cost_delta
+            );
+            assert_eq!(ins.first_segment, rem.last_segment, "{x}");
+        }
+    }
+
+    #[test]
+    fn influence_region_bounds() {
+        let s = set(&[(10, 15), (30, 40)]);
+        // Between the two segments, merging with neither.
+        assert_eq!(
+            s.influence_region(Interval::new(20, 22)),
+            Interval::new(16, 29)
+        );
+        // Touching the first segment: region still stops at the second.
+        assert_eq!(
+            s.influence_region(Interval::new(12, 18)),
+            Interval::new(0, 29)
+        );
+        // Past the last segment: unbounded right.
+        assert_eq!(
+            s.influence_region(Interval::new(50, 55)),
+            Interval::new(41, TimeUnit::MAX)
+        );
+        // Empty set: everything interacts (switch-on charge is global).
+        assert_eq!(
+            SegmentSet::new().influence_region(Interval::new(5, 6)),
+            Interval::new(0, TimeUnit::MAX)
+        );
+    }
+
+    #[test]
+    fn disjoint_influence_regions_have_additive_deltas() {
+        let s = set(&[(10, 15), (30, 40)]);
+        let remove = Interval::new(12, 13);
+        let insert = Interval::new(50, 60);
+        assert!(!s
+            .influence_region(remove)
+            .overlaps(s.influence_region(insert)));
+        let sum = s.removal_delta(remove, price).gap_cost_delta
+            + s.insertion_delta(insert, price).gap_cost_delta;
+        let mut seq = s.clone();
+        seq.remove(remove);
+        let true_delta = seq.insertion_delta(insert, price).gap_cost_delta
+            + s.removal_delta(remove, price).gap_cost_delta;
+        assert!((sum - true_delta).abs() < 1e-12);
+        // And the end state matches either order.
+        seq.insert(insert);
+        let mut other = s.clone();
+        other.insert(insert);
+        other.remove(remove);
+        assert_eq!(seq, other);
+    }
+
+    #[test]
+    fn coverage_counts_and_exclusive_runs() {
+        let mut cov = CoverageSet::new();
+        cov.insert(Interval::new(1, 10));
+        cov.insert(Interval::new(4, 6));
+        cov.insert(Interval::new(6, 12));
+        assert_eq!(cov.count_at(0), 0);
+        assert_eq!(cov.count_at(1), 1);
+        assert_eq!(cov.count_at(5), 2);
+        assert_eq!(cov.count_at(6), 3);
+        assert_eq!(cov.count_at(11), 1);
+        assert_eq!(cov.count_at(13), 0);
+        assert!(cov.covers(Interval::new(1, 12)));
+        assert!(!cov.covers(Interval::new(0, 3)));
+        assert!(!cov.covers(Interval::new(10, 13)));
+        // [4,10] is shared with the second and third VM.
+        let runs: Vec<_> = cov.exclusive_runs(Interval::new(1, 10)).collect();
+        assert_eq!(runs, vec![Interval::new(1, 3)]);
+        // Clipping: the exclusive tail [11,12] belongs to the third VM.
+        let runs: Vec<_> = cov.exclusive_runs(Interval::new(6, 12)).collect();
+        assert_eq!(runs, vec![Interval::new(11, 12)]);
+        assert_eq!(cov.covered_segments(), set(&[(1, 12)]));
+    }
+
+    #[test]
+    fn coverage_remove_exactly_inverts_insert() {
+        let mut cov = CoverageSet::new();
+        cov.insert(Interval::new(5, 20));
+        cov.insert(Interval::new(10, 12));
+        let snapshot = cov.clone();
+        cov.insert(Interval::new(8, 30));
+        assert_ne!(cov, snapshot);
+        cov.remove(Interval::new(8, 30));
+        assert_eq!(cov, snapshot, "remove must restore the exact breakpoints");
+        cov.remove(Interval::new(10, 12));
+        cov.remove(Interval::new(5, 20));
+        assert!(cov.is_empty());
+        assert_eq!(cov.breakpoint_count(), 0);
     }
 }

@@ -147,6 +147,52 @@ impl UsageProfile {
             .all(|&(_, u)| (u + demand).fits_within(capacity))
     }
 
+    /// Whether adding `demand` throughout `interval` keeps usage within
+    /// `capacity` in every time unit, assuming `freed_demand` (currently
+    /// part of this profile) leaves `freed_interval` first.
+    ///
+    /// This is the swap feasibility check ("does VM b fit here once VM a
+    /// is gone?") evaluated in one pass over the breakpoints — the
+    /// clone-then-`fits` probe the seed local search used, without the
+    /// clone. Within a piece the binding time unit is one *outside*
+    /// `freed_interval` (freeing only lowers usage), so each piece is
+    /// checked at its dominant value.
+    pub fn fits_replacing(
+        &self,
+        interval: Interval,
+        demand: Resources,
+        freed_interval: Interval,
+        freed_demand: Resources,
+        capacity: Resources,
+    ) -> bool {
+        let mut t = interval.start();
+        let mut idx = self.upper_bound(t);
+        loop {
+            let usage = match idx {
+                0 => Resources::ZERO,
+                i => self.breakpoints[i - 1].1,
+            };
+            let piece_end = self
+                .breakpoints
+                .get(idx)
+                .map_or(TimeUnit::MAX, |&(next, _)| next - 1)
+                .min(interval.end());
+            let freed = if freed_interval.contains(t) && freed_interval.contains(piece_end) {
+                freed_demand
+            } else {
+                Resources::ZERO
+            };
+            if !(usage + demand).saturating_sub(freed).fits_within(capacity) {
+                return false;
+            }
+            if piece_end >= interval.end() {
+                return true;
+            }
+            t = piece_end + 1;
+            idx += 1;
+        }
+    }
+
     /// Streams the maximal constant pieces `(interval, usage)` with
     /// non-zero usage, in time order, without materialising them.
     pub fn nonzero_pieces_iter(&self) -> impl Iterator<Item = (Interval, Resources)> + '_ {

@@ -3,7 +3,8 @@
 
 use esvm_simcore::energy::{full_cost, segment_cost};
 use esvm_simcore::{
-    Interval, PowerModel, Resources, SegmentSet, ServerLedger, ServerSpec, UsageProfile, Vm,
+    CoverageSet, Interval, PowerModel, Resources, SegmentSet, ServerLedger, ServerSpec,
+    UsageProfile, Vm,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -196,5 +197,197 @@ proptest! {
             prop_assert!(now >= prev - 1e-9, "cost dropped from {} to {}", prev, now);
             prev = now;
         }
+    }
+
+    /// `SegmentSet::remove` agrees with a naive per-time-unit set
+    /// subtraction, and canonical form is preserved.
+    #[test]
+    fn segment_remove_matches_naive_model(
+        inserts in proptest::collection::vec(arb_interval(), 0..15),
+        removes in proptest::collection::vec(arb_interval(), 0..10),
+    ) {
+        let mut set = SegmentSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for iv in &inserts {
+            set.insert(*iv);
+            model.extend(iv.iter());
+        }
+        for iv in &removes {
+            set.remove(*iv);
+            for t in iv.iter() {
+                model.remove(&t);
+            }
+            prop_assert_eq!(set.busy_time(), model.len() as u64);
+            for t in 0..260u32 {
+                prop_assert_eq!(set.contains(t), model.contains(&t), "t={}", t);
+            }
+            // Still disjoint, non-adjacent, sorted.
+            let segs: Vec<Interval> = set.iter().collect();
+            for w in segs.windows(2) {
+                prop_assert!(u64::from(w[0].end()) + 1 < u64::from(w[1].start()));
+            }
+        }
+    }
+
+    /// `removal_delta` predicts exactly what `remove` realizes: the busy
+    /// time freed, the gap-cost change, and whether the set empties.
+    #[test]
+    fn removal_delta_matches_clone_oracle(
+        inserts in proptest::collection::vec(arb_interval(), 0..15),
+        probe in arb_interval(),
+        alpha in 0u32..30,
+    ) {
+        let price = |len: u64| (len as f64).min(f64::from(alpha));
+        let total_gap = |s: &SegmentSet| s.gaps().map(|g| price(g.len())).sum::<f64>();
+        let mut set = SegmentSet::new();
+        for iv in &inserts {
+            set.insert(*iv);
+        }
+        let delta = set.removal_delta(probe, price);
+        let mut after = set.clone();
+        after.remove(probe);
+        prop_assert_eq!(delta.busy_removed, set.busy_time() - after.busy_time());
+        prop_assert!(
+            (delta.gap_cost_delta - (total_gap(&after) - total_gap(&set))).abs() < 1e-9,
+            "gap delta {} vs realized {}",
+            delta.gap_cost_delta,
+            total_gap(&after) - total_gap(&set)
+        );
+        prop_assert_eq!(delta.last_segment, !set.is_empty() && after.is_empty());
+        prop_assert_eq!(after, set.with_removed(probe));
+    }
+
+    /// For an interval disjoint from the set, `remove ∘ insert` is the
+    /// identity and `removal_delta` (on the grown set) exactly negates
+    /// `insertion_delta` (on the original).
+    #[test]
+    fn removal_delta_negates_insertion_delta(
+        inserts in proptest::collection::vec(arb_interval(), 0..12),
+        probe in arb_interval(),
+    ) {
+        let price = |len: u64| (len as f64).min(10.0);
+        let mut set = SegmentSet::new();
+        for iv in &inserts {
+            set.insert(*iv);
+        }
+        if probe.iter().any(|t| set.contains(t)) {
+            return Ok(()); // overlap: insertion is not invertible per se
+        }
+        let ins = set.insertion_delta(probe, price);
+        let mut grown = set.clone();
+        grown.insert(probe);
+        let rem = grown.removal_delta(probe, price);
+        prop_assert_eq!(ins.busy_added, rem.busy_removed);
+        prop_assert!(
+            (ins.gap_cost_delta + rem.gap_cost_delta).abs() < 1e-9,
+            "insert {} vs remove {}",
+            ins.gap_cost_delta,
+            rem.gap_cost_delta
+        );
+        prop_assert_eq!(ins.first_segment, rem.last_segment);
+        grown.remove(probe);
+        prop_assert_eq!(grown, set);
+    }
+
+    /// CoverageSet agrees with a naive per-time-unit counter, `remove`
+    /// is the exact inverse of `insert`, and the covered segments match
+    /// the naive support.
+    #[test]
+    fn coverage_remove_exactly_inverts_insert(
+        intervals in proptest::collection::vec(arb_interval(), 1..12),
+    ) {
+        let mut coverage = CoverageSet::new();
+        let mut counts = vec![0u32; 300];
+        let mut snapshots: Vec<CoverageSet> = Vec::new();
+        for iv in &intervals {
+            snapshots.push(coverage.clone());
+            coverage.insert(*iv);
+            for t in iv.iter() {
+                counts[t as usize] += 1;
+            }
+            for t in 0..260u32 {
+                prop_assert_eq!(coverage.count_at(t), counts[t as usize], "t={}", t);
+            }
+            let support = coverage.covered_segments();
+            for t in 0..260u32 {
+                prop_assert_eq!(support.contains(t), counts[t as usize] > 0, "t={}", t);
+            }
+        }
+        // Unwind in reverse: each remove restores the exact prior value.
+        for (iv, expected) in intervals.iter().zip(snapshots.iter()).rev() {
+            coverage.remove(*iv);
+            prop_assert_eq!(&coverage, expected);
+        }
+        prop_assert_eq!(coverage.breakpoint_count(), 0);
+    }
+
+    /// `exclusive_runs` returns exactly the maximal count-1 runs of an
+    /// inserted interval: the busy time only that piece is holding up.
+    #[test]
+    fn exclusive_runs_match_naive_counts(
+        intervals in proptest::collection::vec(arb_interval(), 1..10),
+    ) {
+        let mut coverage = CoverageSet::new();
+        let mut counts = vec![0u32; 300];
+        for iv in &intervals {
+            coverage.insert(*iv);
+            for t in iv.iter() {
+                counts[t as usize] += 1;
+            }
+        }
+        for iv in &intervals {
+            let mut exclusive: Vec<u32> =
+                iv.iter().filter(|&t| counts[t as usize] == 1).collect();
+            for run in coverage.exclusive_runs(*iv) {
+                prop_assert!(run.start() >= iv.start() && run.end() <= iv.end());
+                for t in run.iter() {
+                    prop_assert_eq!(counts[t as usize], 1, "t={}", t);
+                    prop_assert_eq!(exclusive.first(), Some(&t));
+                    exclusive.remove(0);
+                }
+            }
+            prop_assert!(exclusive.is_empty(), "missed units {:?}", exclusive);
+        }
+    }
+
+    /// `unhost` exactly realizes `decremental_cost`, which negates
+    /// `incremental_cost`; a host/unhost round trip plus a checkpoint
+    /// restore returns the ledger to its previous state bit-for-bit.
+    #[test]
+    fn ledger_unhost_inverts_host(
+        spec in arb_spec(),
+        vms in proptest::collection::vec((arb_interval(), 1u32..4, 1u32..4), 0..12),
+        probe in (arb_interval(), 1u32..4, 1u32..4),
+    ) {
+        let mut ledger = ServerLedger::new(spec);
+        let mut hosted: Vec<Vm> = Vec::new();
+        for (j, (iv, cpu, mem)) in vms.into_iter().enumerate() {
+            let vm = Vm::new(j as u32, Resources::new(f64::from(cpu), f64::from(mem)), iv);
+            if ledger.fits(&vm) {
+                ledger.host(&vm);
+                hosted.push(vm);
+            }
+        }
+        let (iv, cpu, mem) = probe;
+        let vm = Vm::new(99, Resources::new(f64::from(cpu), f64::from(mem)), iv);
+        if !ledger.fits(&vm) {
+            return Ok(());
+        }
+        let checkpoint = ledger.checkpoint();
+        let before = ledger.clone();
+
+        let inc = ledger.incremental_cost(&vm);
+        ledger.host(&vm);
+        let dec = ledger.decremental_cost(&vm);
+        prop_assert!((inc - dec).abs() < 1e-9, "inc {} vs dec {}", inc, dec);
+        let oracle = ledger.reference_decremental_cost(&vm);
+        prop_assert!((dec - oracle).abs() < 1e-9, "dec {} vs oracle {}", dec, oracle);
+
+        let realized = ledger.unhost(&vm);
+        prop_assert_eq!(realized, dec, "unhost must realize its prediction");
+        ledger.restore_costs(checkpoint);
+        prop_assert_eq!(ledger.segments(), before.segments());
+        prop_assert_eq!(ledger.cost().to_bits(), before.cost().to_bits());
+        prop_assert!((ledger.cost() - full_cost(ledger.spec(), &hosted)).abs() < 1e-6);
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, run the whole test suite, then regenerate
+# the two machine-readable perf records (BENCH_miec.json and
+# BENCH_localsearch.json) at their production scale points. The bench
+# functions assert optimised-vs-reference equivalence as they run, so a
+# perf regression or a scoring divergence fails this script, not just
+# slows it down.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+
+cargo bench -p esvm-bench --bench allocators -- miec_2000vms_500servers
+cargo bench -p esvm-bench --bench local_search -- local_search_500vms_100servers
+
+echo "tier1: OK"
