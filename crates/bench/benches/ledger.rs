@@ -50,10 +50,22 @@ fn bench_ledger(c: &mut Criterion) {
         let mid = 4 * (n as u32 / 2) + 3;
         let probe = Vm::new(n as u32, Resources::new(1.0, 1.0), Interval::new(mid, mid));
 
+        // The decomposition must reproduce cost() bit for bit (it is
+        // computed from the same integer gap caches).
+        let breakdown = ledger.energy_breakdown();
+        assert_eq!(
+            (breakdown.run + breakdown.idle + breakdown.transition).to_bits(),
+            ledger.cost().to_bits(),
+            "energy decomposition diverged from cost() at {n} segments"
+        );
+
         let mut group = c.benchmark_group(format!("ledger_{n}_segments"));
         group.sample_size(20);
         group.bench_function(BenchmarkId::from_parameter("fits"), |b| {
             b.iter(|| black_box(ledger.fits(black_box(&probe))))
+        });
+        group.bench_function(BenchmarkId::from_parameter("energy_breakdown"), |b| {
+            b.iter(|| black_box(ledger.energy_breakdown()))
         });
         group.bench_function(BenchmarkId::from_parameter("incremental_cost"), |b| {
             b.iter(|| black_box(ledger.incremental_cost(black_box(&probe))))

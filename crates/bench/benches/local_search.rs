@@ -5,26 +5,14 @@
 //! at the repository root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esvm_bench::{assert_no_regression, committed_bench_field, time_best, time_pair_best};
 use esvm_core::{Allocator, Consolidator, Ffps, LocalSearch, SearchMove};
+use esvm_obs::{DiscardSink, MetricsRegistry};
 use esvm_simcore::VmId;
 use esvm_workload::WorkloadConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Instant;
-
-/// Median wall-clock seconds over `runs` executions of `f`.
-fn time_median<F: FnMut() -> f64>(runs: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(f());
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
 
 /// Same accepted decision, ignoring the recorded score (the two
 /// evaluators' arithmetic differs in the last ulps).
@@ -50,6 +38,17 @@ fn same_decision(a: &SearchMove, b: &SearchMove) -> bool {
 fn bench_local_search_at_scale(c: &mut Criterion) {
     const VMS: usize = 500;
     const SERVERS: usize = 100;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_localsearch.json");
+    // Read the committed baselines before this run overwrites the record.
+    // The gates compare reference-normalized ratios, so machine-speed
+    // drift between the recording and the checking run cancels out.
+    let committed_ratio = committed_bench_field(path, "optimised_seconds")
+        .zip(committed_bench_field(path, "reference_seconds"))
+        .map(|(o, r)| o / r);
+    let committed_consolidation_ratio =
+        committed_bench_field(path, "consolidation_optimised_seconds")
+            .zip(committed_bench_field(path, "consolidation_reference_seconds"))
+            .map(|(o, r)| o / r);
     let problem = WorkloadConfig::new(VMS, SERVERS)
         .mean_interarrival(4.0)
         .generate(1)
@@ -62,6 +61,17 @@ fn bench_local_search_at_scale(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("optimised"), |b| {
         b.iter(|| {
             let refined = LocalSearch::new().refine(black_box(&base)).unwrap();
+            black_box(refined.total_cost())
+        })
+    });
+    // Metrics-on scale point: the same search with counters and
+    // histograms recording (events discarded).
+    group.bench_function(BenchmarkId::from_parameter("instrumented"), |b| {
+        b.iter(|| {
+            let metrics = MetricsRegistry::new();
+            let (refined, _) = LocalSearch::new()
+                .refine_observed(black_box(&base), &mut DiscardSink, &metrics)
+                .unwrap();
             black_box(refined.total_cost())
         })
     });
@@ -85,18 +95,55 @@ fn bench_local_search_at_scale(c: &mut Criterion) {
     );
     let improvement = 1.0 - fast.total_cost() / base.total_cost();
 
-    let optimised_s = time_median(5, || {
-        LocalSearch::new().refine(&base).unwrap().total_cost()
-    });
-    let reference_s = time_median(3, || {
-        LocalSearch::reference().refine(&base).unwrap().total_cost()
+    // One instrumented run: the move-scan counters that characterise
+    // this instance, plus a decision-equivalence check.
+    let search_metrics = MetricsRegistry::new();
+    let (observed, observed_moves) = LocalSearch::new()
+        .refine_observed(&base, &mut DiscardSink, &search_metrics)
+        .unwrap();
+    assert_eq!(
+        observed.placement(),
+        fast.placement(),
+        "instrumentation changed local-search placements at scale"
+    );
+    assert_eq!(observed_moves.len(), fast_moves.len());
+    let relocates_considered = search_metrics.counter("local_search.relocates_considered");
+    let swaps_considered = search_metrics.counter("local_search.swaps_considered");
+    let spec_class_pruned = search_metrics.counter("local_search.spec_class_pruned");
+    let swap_fastpath_hits = search_metrics.counter("local_search.swap_fastpath_hits");
+
+    // Optimised and reference timed interleaved: their ratio is what
+    // the regression gate compares across runs.
+    let pair = time_pair_best(
+        6,
+        || LocalSearch::new().refine(&base).unwrap().total_cost(),
+        || LocalSearch::reference().refine(&base).unwrap().total_cost(),
+    );
+    let (optimised_s, reference_s) = (pair.best_f, pair.best_g);
+    let instrumented_s = time_best(7, || {
+        let metrics = MetricsRegistry::new();
+        let (refined, _) = LocalSearch::new()
+            .refine_observed(&base, &mut DiscardSink, &metrics)
+            .unwrap();
+        refined.total_cost()
     });
     let speedup = reference_s / optimised_s;
+    let instrumentation_overhead = instrumented_s / optimised_s - 1.0;
     println!(
         "local search @ {VMS} VMs / {SERVERS} servers: optimised {optimised_s:.3} s, \
-         reference {reference_s:.3} s, {speedup:.1}x ({} moves, {:.1}% saved)",
+         instrumented {instrumented_s:.3} s ({:+.1}%), reference {reference_s:.3} s, \
+         {speedup:.1}x ({} moves, {:.1}% saved)",
+        instrumentation_overhead * 100.0,
         fast_moves.len(),
         improvement * 100.0
+    );
+    // 5% acceptance margin widened by the ratio noise this run observed
+    // (per-round spread of optimised/reference).
+    assert_no_regression(
+        "local search optimised/reference ratio (no-op sink)",
+        optimised_s / reference_s,
+        committed_ratio,
+        0.05 + pair.ratio_noise,
     );
 
     // Consolidation pass, same treatment.
@@ -114,33 +161,52 @@ fn bench_local_search_at_scale(c: &mut Criterion) {
         consolidation_rel < 1e-6,
         "optimised and reference consolidation costs diverged: rel diff {consolidation_rel:e}"
     );
-    let consolidation_optimised_s = time_median(5, || {
-        Consolidator::new(2.0)
-            .consolidate(&base)
-            .unwrap()
-            .audit()
-            .unwrap()
-            .total_cost
-    });
-    let consolidation_reference_s = time_median(3, || {
-        Consolidator::reference(2.0)
-            .consolidate(&base)
-            .unwrap()
-            .audit()
-            .unwrap()
-            .total_cost
-    });
+    let consolidation_pair = time_pair_best(
+        11,
+        || {
+            Consolidator::new(2.0)
+                .consolidate(&base)
+                .unwrap()
+                .audit()
+                .unwrap()
+                .total_cost
+        },
+        || {
+            Consolidator::reference(2.0)
+                .consolidate(&base)
+                .unwrap()
+                .audit()
+                .unwrap()
+                .total_cost
+        },
+    );
+    let (consolidation_optimised_s, consolidation_reference_s) =
+        (consolidation_pair.best_f, consolidation_pair.best_g);
     let consolidation_speedup = consolidation_reference_s / consolidation_optimised_s;
     println!(
         "consolidation @ {VMS} VMs / {SERVERS} servers: optimised {consolidation_optimised_s:.3} s, \
          reference {consolidation_reference_s:.3} s, {consolidation_speedup:.1}x"
     );
+    assert_no_regression(
+        "consolidation optimised/reference ratio (no-op sink)",
+        consolidation_optimised_s / consolidation_reference_s,
+        committed_consolidation_ratio,
+        0.05 + consolidation_pair.ratio_noise,
+    );
+
+    // Instrumented consolidation run for the eviction counters.
+    let consolidator_metrics = MetricsRegistry::new();
+    Consolidator::new(2.0)
+        .consolidate_observed(&base, &mut DiscardSink, &consolidator_metrics)
+        .unwrap();
+    let evictions_committed =
+        consolidator_metrics.counter("consolidator.evictions_committed");
+    let consolidator_migrations = consolidator_metrics.counter("consolidator.migrations");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"local_search_refinement\",\n  \"vms\": {VMS},\n  \"servers\": {SERVERS},\n  \"workload_seed\": 1,\n  \"mean_interarrival\": 4.0,\n  \"optimised_seconds\": {optimised_s:.6},\n  \"reference_seconds\": {reference_s:.6},\n  \"speedup\": {speedup:.2},\n  \"moves_accepted\": {moves},\n  \"refinement_improvement\": {improvement:.6},\n  \"trajectory_equivalent\": {trajectory_equivalent},\n  \"placements_identical\": {placements_identical},\n  \"consolidation_optimised_seconds\": {consolidation_optimised_s:.6},\n  \"consolidation_reference_seconds\": {consolidation_reference_s:.6},\n  \"consolidation_speedup\": {consolidation_speedup:.2},\n  \"consolidation_schedules_identical\": {schedules_identical},\n  \"consolidation_cost_rel_diff\": {consolidation_rel:.3e}\n}}\n",
+        "{{\n  \"benchmark\": \"local_search_refinement\",\n  \"vms\": {VMS},\n  \"servers\": {SERVERS},\n  \"workload_seed\": 1,\n  \"mean_interarrival\": 4.0,\n  \"optimised_seconds\": {optimised_s:.6},\n  \"instrumented_seconds\": {instrumented_s:.6},\n  \"instrumentation_overhead\": {instrumentation_overhead:.4},\n  \"reference_seconds\": {reference_s:.6},\n  \"speedup\": {speedup:.2},\n  \"moves_accepted\": {moves},\n  \"relocates_considered\": {relocates_considered},\n  \"swaps_considered\": {swaps_considered},\n  \"spec_class_pruned\": {spec_class_pruned},\n  \"swap_fastpath_hits\": {swap_fastpath_hits},\n  \"refinement_improvement\": {improvement:.6},\n  \"trajectory_equivalent\": {trajectory_equivalent},\n  \"placements_identical\": {placements_identical},\n  \"consolidation_optimised_seconds\": {consolidation_optimised_s:.6},\n  \"consolidation_reference_seconds\": {consolidation_reference_s:.6},\n  \"consolidation_speedup\": {consolidation_speedup:.2},\n  \"consolidator_evictions_committed\": {evictions_committed},\n  \"consolidator_migrations\": {consolidator_migrations},\n  \"consolidation_schedules_identical\": {schedules_identical},\n  \"consolidation_cost_rel_diff\": {consolidation_rel:.3e}\n}}\n",
         moves = fast_moves.len(),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_localsearch.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");
     }

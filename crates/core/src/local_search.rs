@@ -19,6 +19,7 @@
 
 use crate::classes::spec_classes;
 use crate::{AllocError, AllocResult, Allocator};
+use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
 use esvm_simcore::energy::full_cost;
 use esvm_simcore::{
     AllocationProblem, Assignment, ServerId, ServerLedger, ServerSpec, Vm, VmId,
@@ -128,21 +129,28 @@ fn pair_mut(hosts: &mut [Host], a: usize, b: usize) -> (&mut Host, &mut Host) {
 /// current segment set are disjoint, the removal and insertion deltas
 /// are exactly additive and the score is pure arithmetic; otherwise the
 /// ledger is probed transiently (unhost, score, rehost — integer state
-/// round-trips exactly, the float accumulators are checkpointed).
-fn swap_side_delta(host: &mut Host, leaving: &Vm, incoming: &Vm) -> f64 {
+/// round-trips exactly, the float accumulator is checkpointed).
+///
+/// The boolean reports which path evaluated the side (`true` = the
+/// influence-region fast path), so instrumented callers can count
+/// fast-path hits vs checkpointed probe rollbacks.
+fn swap_side_delta(host: &mut Host, leaving: &Vm, incoming: &Vm) -> (f64, bool) {
     let segments = host.ledger.segments();
     let independent = !segments
         .influence_region(leaving.interval())
         .overlaps(segments.influence_region(incoming.interval()));
     if independent {
-        host.ledger.incremental_cost(incoming) - host.ledger.decremental_cost(leaving)
+        (
+            host.ledger.incremental_cost(incoming) - host.ledger.decremental_cost(leaving),
+            true,
+        )
     } else {
         let checkpoint = host.ledger.checkpoint();
         let dec = host.ledger.unhost(leaving);
         let inc = host.ledger.incremental_cost(incoming);
         host.ledger.host(leaving);
         host.ledger.restore_costs(checkpoint);
-        inc - dec
+        (inc - dec, false)
     }
 }
 
@@ -275,6 +283,26 @@ impl LocalSearch {
         &self,
         base: &Assignment<'p>,
     ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
+        self.refine_observed(base, &mut NoopSink, &MetricsRegistry::new())
+    }
+
+    /// [`LocalSearch::refine_traced`] with observability: every accepted
+    /// move is emitted as a `local_search.relocate` / `local_search.swap`
+    /// event, and the scan tallies (moves considered / accepted /
+    /// rejected, spec-class pruned targets, influence-region fast-path
+    /// hits vs checkpointed probe rollbacks) land in `metrics`. With the
+    /// default [`NoopSink`] the instrumentation compiles away and this
+    /// *is* the uninstrumented search.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalSearch::refine`].
+    pub fn refine_observed<'p, S: EventSink>(
+        &self,
+        base: &Assignment<'p>,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
         let problem = base.problem();
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
@@ -300,9 +328,21 @@ impl LocalSearch {
         // Target visit order; stays the identity unless ordered_targets.
         let mut order: Vec<usize> = (0..hosts.len()).collect();
         let mut moves: Vec<SearchMove> = Vec::new();
+        // Hot-loop tallies; flushed to `metrics` once after the search.
+        let mut rounds = 0u64;
+        let mut relocates_considered = 0u64;
+        let mut relocates_accepted = 0u64;
+        let mut swaps_considered = 0u64;
+        let mut swaps_accepted = 0u64;
+        let mut pruned_targets = 0u64;
+        let mut fastpath_hits = 0u64;
+        let mut probe_rollbacks = 0u64;
 
         for _ in 0..self.max_rounds {
             let mut improved = false;
+            if S::ENABLED {
+                rounds += 1;
+            }
 
             // Relocate moves. (Index loop: the body needs `location[j]`
             // both read and written while `hosts` is borrowed mutably.)
@@ -333,6 +373,9 @@ impl LocalSearch {
                         if class_seen[class] == scan {
                             // A cheaper-or-equal asleep twin of the same
                             // spec class was already scored this scan.
+                            if S::ENABLED {
+                                pruned_targets += 1;
+                            }
                             continue;
                         }
                         class_seen[class] = scan;
@@ -345,6 +388,9 @@ impl LocalSearch {
                     } else {
                         removal_gain + hosts[i].ledger.incremental_cost(&vm)
                     };
+                    if S::ENABLED {
+                        relocates_considered += 1;
+                    }
                     if delta < -1e-9 {
                         let v = hosts[src.index()].remove(vm.id());
                         hosts[i].add(v);
@@ -356,6 +402,19 @@ impl LocalSearch {
                             delta,
                         });
                         improved = true;
+                        if S::ENABLED {
+                            relocates_accepted += 1;
+                            metrics.observe("local_search.accepted_delta", -delta);
+                            sink.emit(&Event {
+                                name: "local_search.relocate",
+                                fields: &[
+                                    ("vm", FieldValue::U64(vm.id().index() as u64)),
+                                    ("from", FieldValue::U64(src.index() as u64)),
+                                    ("to", FieldValue::U64(dst.index() as u64)),
+                                    ("delta", FieldValue::F64(delta)),
+                                ],
+                            });
+                        }
                         break;
                     }
                 }
@@ -388,8 +447,22 @@ impl LocalSearch {
                             {
                                 continue;
                             }
-                            swap_side_delta(ha, &va, &vb) + swap_side_delta(hb, &vb, &va)
+                            let (da, fast_a) = swap_side_delta(ha, &va, &vb);
+                            let (db, fast_b) = swap_side_delta(hb, &vb, &va);
+                            if S::ENABLED {
+                                for fast in [fast_a, fast_b] {
+                                    if fast {
+                                        fastpath_hits += 1;
+                                    } else {
+                                        probe_rollbacks += 1;
+                                    }
+                                }
+                            }
+                            da + db
                         };
+                        if S::ENABLED {
+                            swaps_considered += 1;
+                        }
                         if delta < -1e-9 {
                             let va_owned = hosts[sa.index()].remove(va.id());
                             let vb_owned = hosts[sb.index()].remove(vb.id());
@@ -405,6 +478,20 @@ impl LocalSearch {
                                 delta,
                             });
                             improved = true;
+                            if S::ENABLED {
+                                swaps_accepted += 1;
+                                metrics.observe("local_search.accepted_delta", -delta);
+                                sink.emit(&Event {
+                                    name: "local_search.swap",
+                                    fields: &[
+                                        ("a", FieldValue::U64(va.id().index() as u64)),
+                                        ("b", FieldValue::U64(vb.id().index() as u64)),
+                                        ("server_a", FieldValue::U64(sa.index() as u64)),
+                                        ("server_b", FieldValue::U64(sb.index() as u64)),
+                                        ("delta", FieldValue::F64(delta)),
+                                    ],
+                                });
+                            }
                         }
                     }
                 }
@@ -413,6 +500,22 @@ impl LocalSearch {
             if !improved {
                 break;
             }
+        }
+
+        if S::ENABLED {
+            metrics.add("local_search.rounds", rounds);
+            metrics.add("local_search.relocates_considered", relocates_considered);
+            metrics.add("local_search.relocates_accepted", relocates_accepted);
+            metrics.add(
+                "local_search.relocates_rejected",
+                relocates_considered - relocates_accepted,
+            );
+            metrics.add("local_search.swaps_considered", swaps_considered);
+            metrics.add("local_search.swaps_accepted", swaps_accepted);
+            metrics.add("local_search.swaps_rejected", swaps_considered - swaps_accepted);
+            metrics.add("local_search.spec_class_pruned", pruned_targets);
+            metrics.add("local_search.swap_fastpath_hits", fastpath_hits);
+            metrics.add("local_search.swap_probe_rollbacks", probe_rollbacks);
         }
 
         let placement: Vec<Option<ServerId>> = location.into_iter().map(Some).collect();
@@ -550,6 +653,42 @@ mod tests {
             .refine(&base)
             .unwrap();
         assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn observed_refinement_matches_plain_and_reports_counts() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        let plain = LocalSearch::new().refine(&base).unwrap();
+
+        let mut sink = esvm_obs::MemorySink::default();
+        let metrics = MetricsRegistry::new();
+        let (observed, moves) = LocalSearch::new()
+            .refine_observed(&base, &mut sink, &metrics)
+            .unwrap();
+
+        // Instrumentation must not change any decision.
+        assert_eq!(observed.placement(), plain.placement());
+        assert_eq!(observed.total_cost().to_bits(), plain.total_cost().to_bits());
+
+        let accepted = metrics.counter("local_search.relocates_accepted")
+            + metrics.counter("local_search.swaps_accepted");
+        assert_eq!(accepted, moves.len() as u64);
+        assert!(metrics.counter("local_search.rounds") >= 1);
+        assert!(
+            metrics.counter("local_search.relocates_considered")
+                >= metrics.counter("local_search.relocates_accepted")
+        );
+        let h = metrics.histogram("local_search.accepted_delta").unwrap();
+        assert_eq!(h.count, moves.len() as u64);
+        assert!(h.min > 0.0, "accepted improvements are recorded as positive gains");
+        // One event line per accepted move.
+        assert_eq!(sink.lines.len(), moves.len());
+        assert!(sink.lines.iter().all(|l| {
+            l.starts_with("{\"event\":\"local_search.relocate\"")
+                || l.starts_with("{\"event\":\"local_search.swap\"")
+        }));
     }
 
     #[test]

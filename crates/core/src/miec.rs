@@ -1,6 +1,7 @@
 //! The paper's heuristic: Minimum Incremental Energy Cost (MIEC).
 
 use crate::{AllocError, AllocResult, Allocator};
+use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
 use esvm_simcore::{AllocationProblem, Assignment, ServerId, ServerLedger};
 use rand::RngCore;
 
@@ -136,13 +137,26 @@ impl Miec {
 impl Miec {
     /// The shared placement loop. In admission mode an unplaceable VM is
     /// rejected and the run continues; otherwise it aborts.
-    fn run<'p>(
+    ///
+    /// Generic over the event sink: with the default [`NoopSink`]
+    /// (`S::ENABLED == false`) every instrumentation block is a
+    /// compile-time-dead branch and the monomorphised loop is the
+    /// uninstrumented code.
+    fn run<'p, S: EventSink>(
         &self,
         problem: &'p AllocationProblem,
         admit: bool,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
         let mut assignment = Assignment::new(problem);
         let mut rejected = Vec::new();
+        // Hot-loop tallies stay in registers; flushed to `metrics` once
+        // after the placement loop.
+        let mut candidates_total = 0u64;
+        let mut pruned_total = 0u64;
+        let mut unfit_total = 0u64;
+        let mut fp_ties_total = 0u64;
 
         // Shadow ledgers with α = 0 for the ablation variant's scoring.
         let mut shadow: Option<Vec<ServerLedger>> = self.ignore_transition_costs.then(|| {
@@ -176,6 +190,8 @@ impl Miec {
             let vm = &problem.vms()[j];
             let scoring = self.scoring_vm(vm);
             let mut best: Option<(f64, ServerId)> = None;
+            let mut candidates = 0u64;
+            let mut pruned = 0u64;
             for i in 0..problem.server_count() {
                 let sid = ServerId(i as u32);
                 let real = assignment.ledger(sid);
@@ -184,11 +200,17 @@ impl Miec {
                     if class_scored[class] == step {
                         // A lower-id asleep server of the same spec class
                         // already stood in for this one.
+                        if S::ENABLED {
+                            pruned += 1;
+                        }
                         continue;
                     }
                     class_scored[class] = step;
                 }
                 if !real.fits(vm) {
+                    if S::ENABLED {
+                        unfit_total += 1;
+                    }
                     continue;
                 }
                 let delta = match &shadow {
@@ -199,23 +221,83 @@ impl Miec {
                     None if self.reference => real.reference_incremental_cost(&scoring),
                     None => real.incremental_cost(&scoring),
                 };
+                if S::ENABLED {
+                    candidates += 1;
+                    // An exact score tie: the strict `<` below resolves
+                    // it to the lowest server id — the decisions the
+                    // equivalence benches certify as FP ties.
+                    if best.is_some_and(|(cost, _)| delta == cost) {
+                        fp_ties_total += 1;
+                    }
+                }
                 // Strict `<` keeps the lowest server id on ties.
                 if best.is_none_or(|(cost, _)| delta < cost) {
                     best = Some((delta, sid));
                 }
             }
+            if S::ENABLED {
+                candidates_total += candidates;
+                pruned_total += pruned;
+            }
             match best {
-                Some((_, sid)) => {
+                Some((delta, sid)) => {
                     assignment.place(vm.id(), sid)?;
                     if let Some(ledgers) = shadow.as_mut() {
                         ledgers[sid.index()].host(vm);
                     }
+                    if S::ENABLED {
+                        metrics.observe("miec.placement_delta", delta);
+                        sink.emit(&Event {
+                            name: "miec.place",
+                            fields: &[
+                                ("vm", FieldValue::U64(vm.id().index() as u64)),
+                                ("server", FieldValue::U64(sid.index() as u64)),
+                                ("delta", FieldValue::F64(delta)),
+                                ("candidates", FieldValue::U64(candidates)),
+                                ("pruned", FieldValue::U64(pruned)),
+                            ],
+                        });
+                    }
                 }
-                None if admit => rejected.push(vm.id()),
+                None if admit => {
+                    if S::ENABLED {
+                        sink.emit(&Event {
+                            name: "miec.reject",
+                            fields: &[("vm", FieldValue::U64(vm.id().index() as u64))],
+                        });
+                    }
+                    rejected.push(vm.id());
+                }
                 None => return Err(AllocError::NoFeasibleServer(vm.id())),
             }
         }
+        if S::ENABLED {
+            let placed = problem.vm_count() as u64 - rejected.len() as u64;
+            metrics.add("miec.vms_placed", placed);
+            metrics.add("miec.vms_rejected", rejected.len() as u64);
+            metrics.add("miec.candidates_considered", candidates_total);
+            metrics.add("miec.spec_class_pruned", pruned_total);
+            metrics.add("miec.unfit_skipped", unfit_total);
+            metrics.add("miec.fp_ties", fp_ties_total);
+        }
         Ok((assignment, rejected))
+    }
+
+    /// Observed variant of [`Allocator::allocate`]: identical placement
+    /// decisions, with a `miec.place` event per VM emitted to `sink` and
+    /// the scan tallies (candidates considered, spec-class pruned, exact
+    /// FP ties, unfit skips) accumulated into `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Allocator::allocate`].
+    pub fn allocate_observed<'p, S: EventSink>(
+        &self,
+        problem: &'p AllocationProblem,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<Assignment<'p>> {
+        self.run(problem, false, sink, metrics).map(|(a, _)| a)
     }
 
     /// Allocation with admission control: unplaceable VMs are rejected
@@ -231,7 +313,7 @@ impl Miec {
         &self,
         problem: &'p AllocationProblem,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
-        self.run(problem, true)
+        self.run(problem, true, &mut NoopSink, &MetricsRegistry::new())
     }
 }
 
@@ -255,7 +337,8 @@ impl Allocator for Miec {
         problem: &'p AllocationProblem,
         _rng: &mut dyn RngCore,
     ) -> AllocResult<Assignment<'p>> {
-        self.run(problem, false).map(|(a, _)| a)
+        self.run(problem, false, &mut NoopSink, &MetricsRegistry::new())
+            .map(|(a, _)| a)
     }
 }
 
@@ -459,6 +542,37 @@ mod tests {
         assert_eq!(fast.placement(), slow.placement());
         assert_eq!(fast.server_of(VmId(0)), Some(ServerId(0)));
         assert_eq!(Miec::reference().name(), "miec-reference");
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_reports_scan_counts() {
+        use esvm_obs::MemorySink;
+        let mut b = ProblemBuilder::new();
+        for _ in 0..3 {
+            b = b.server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0);
+        }
+        let p = b
+            .server(Resources::new(4.0, 8.0), PowerModel::new(60.0, 120.0), 20.0)
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(2.0, 4.0), Interval::new(3, 12))
+            .vm(Resources::new(2.0, 4.0), Interval::new(20, 25))
+            .build()
+            .unwrap();
+        let plain = Miec::new().allocate(&p, &mut rng()).unwrap();
+        let mut sink = MemorySink::new();
+        let metrics = esvm_obs::MetricsRegistry::new();
+        let observed = Miec::new().allocate_observed(&p, &mut sink, &metrics).unwrap();
+        assert_eq!(plain.placement(), observed.placement());
+        assert_eq!(metrics.counter("miec.vms_placed"), 3);
+        assert_eq!(metrics.counter("miec.vms_rejected"), 0);
+        // 3 VMs over ≤ 4 servers, with the three identical servers
+        // pruned down to one representative while asleep.
+        assert!(metrics.counter("miec.candidates_considered") >= 3);
+        assert!(metrics.counter("miec.spec_class_pruned") >= 2);
+        assert_eq!(metrics.histogram("miec.placement_delta").unwrap().count, 3);
+        // One miec.place event per VM, in placement order.
+        assert_eq!(sink.lines.len(), 3);
+        assert!(sink.lines.iter().all(|l| l.contains("\"event\":\"miec.place\"")));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! the fast path is tested against.
 
 use crate::{AllocError, AllocResult};
+use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
 use esvm_simcore::energy::segment_cost;
 use esvm_simcore::{
     Assignment, Interval, LedgerCheckpoint, Resources, Schedule, SegmentSet, ServerId,
@@ -192,10 +193,31 @@ impl Consolidator {
     /// [`AllocError::Placement`] if the base assignment is incomplete
     /// (the pass needs full knowledge of every VM's placement).
     pub fn consolidate<'p>(&self, base: &Assignment<'p>) -> AllocResult<Schedule<'p>> {
+        self.consolidate_observed(base, &mut NoopSink, &MetricsRegistry::new())
+    }
+
+    /// [`Consolidator::consolidate`] with telemetry: eviction decisions
+    /// are counted into `metrics` (`consolidator.*` counters and the
+    /// `consolidator.eviction_net_gain` histogram) and every committed
+    /// eviction emits a `consolidator.evict` event into `sink`.
+    ///
+    /// With [`esvm_obs::NoopSink`] this monomorphizes to exactly the
+    /// uninstrumented pass. The reference oracle path is never
+    /// instrumented (it exists only for equivalence testing).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Consolidator::consolidate`].
+    pub fn consolidate_observed<'p, S: EventSink>(
+        &self,
+        base: &Assignment<'p>,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<Schedule<'p>> {
         if self.reference {
             self.consolidate_reference(base)
         } else {
-            self.consolidate_fast(base)
+            self.consolidate_fast(base, sink, metrics)
         }
     }
 
@@ -210,7 +232,12 @@ impl Consolidator {
     /// Delta-scored evaluation on [`ServerLedger`]s: savings realized by
     /// transient `unhost_piece`, targets scored by pure insertion
     /// deltas, rejected evictions rolled back via checkpoints.
-    fn consolidate_fast<'p>(&self, base: &Assignment<'p>) -> AllocResult<Schedule<'p>> {
+    fn consolidate_fast<'p, S: EventSink>(
+        &self,
+        base: &Assignment<'p>,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<Schedule<'p>> {
         let problem = base.problem();
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
@@ -233,11 +260,23 @@ impl Consolidator {
             current.push((server, vm.interval()));
         }
 
+        let mut departure_events = 0u64;
+        let mut evictions_proposed = 0u64;
+        let mut evictions_committed = 0u64;
+        let mut evictions_rolled_back = 0u64;
+        let mut migrations = 0u64;
+
         for &t in &Self::departures(problem) {
+            if S::ENABLED {
+                departure_events += 1;
+            }
             for source in 0..problem.server_count() {
                 let tails = tails_on(&current, ServerId(source as u32), t);
                 if tails.is_empty() {
                     continue;
+                }
+                if S::ENABLED {
+                    evictions_proposed += 1;
                 }
 
                 // Evict the tails transiently; the realized returns sum
@@ -282,6 +321,9 @@ impl Consolidator {
                 }
 
                 if !feasible || saving - relocation_cost <= self.min_gain {
+                    if S::ENABLED {
+                        evictions_rolled_back += 1;
+                    }
                     // Roll back: targets first, then re-host the tails on
                     // the source; checkpoints restore the float
                     // accumulators bit-exactly.
@@ -301,6 +343,21 @@ impl Consolidator {
 
                 // Commit: the ledgers already reflect the eviction;
                 // mirror it on the schedule.
+                if S::ENABLED {
+                    evictions_committed += 1;
+                    migrations += moves.len() as u64;
+                    metrics.observe("consolidator.eviction_net_gain", saving - relocation_cost);
+                    sink.emit(&Event {
+                        name: "consolidator.evict",
+                        fields: &[
+                            ("t", FieldValue::U64(u64::from(t))),
+                            ("source", FieldValue::U64(source as u64)),
+                            ("tails", FieldValue::U64(tails.len() as u64)),
+                            ("saving", FieldValue::F64(saving)),
+                            ("relocation_cost", FieldValue::F64(relocation_cost)),
+                        ],
+                    });
+                }
                 for &(vm, tail, target) in &moves {
                     schedule
                         .truncate_last_piece(vm, t)
@@ -311,6 +368,14 @@ impl Consolidator {
                     current[vm.index()] = (target, tail);
                 }
             }
+        }
+
+        if S::ENABLED {
+            metrics.add("consolidator.departure_events", departure_events);
+            metrics.add("consolidator.evictions_proposed", evictions_proposed);
+            metrics.add("consolidator.evictions_committed", evictions_committed);
+            metrics.add("consolidator.evictions_rolled_back", evictions_rolled_back);
+            metrics.add("consolidator.migrations", migrations);
         }
         Ok(schedule)
     }
@@ -538,6 +603,46 @@ mod tests {
         assert!(
             lazy.audit().unwrap().migrations <= eager.audit().unwrap().migrations
         );
+    }
+
+    #[test]
+    fn observed_consolidation_matches_plain_and_counts_migrations() {
+        let problem = esvm_workload_config(60, 30, 2.0, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = Ffps::new().allocate(&problem, &mut rng).unwrap();
+        let plain = Consolidator::new(2.0).consolidate(&base).unwrap();
+
+        let mut sink = esvm_obs::MemorySink::default();
+        let metrics = MetricsRegistry::new();
+        let observed = Consolidator::new(2.0)
+            .consolidate_observed(&base, &mut sink, &metrics)
+            .unwrap();
+
+        // Instrumentation must not change any decision.
+        for j in 0..problem.vm_count() {
+            assert_eq!(
+                observed.pieces_of(VmId(j as u32)),
+                plain.pieces_of(VmId(j as u32))
+            );
+        }
+        let audit = observed.audit().unwrap();
+        assert_eq!(metrics.counter("consolidator.migrations"), audit.migrations as u64);
+        let committed = metrics.counter("consolidator.evictions_committed");
+        let rolled_back = metrics.counter("consolidator.evictions_rolled_back");
+        assert_eq!(
+            committed + rolled_back,
+            metrics.counter("consolidator.evictions_proposed")
+        );
+        assert!(metrics.counter("consolidator.departure_events") >= 1);
+        let gains = metrics.histogram("consolidator.eviction_net_gain").unwrap();
+        assert_eq!(gains.count, committed);
+        assert!(gains.min > 0.0, "committed evictions always clear min_gain");
+        // One event line per committed eviction.
+        assert_eq!(sink.lines.len(), committed as usize);
+        assert!(sink
+            .lines
+            .iter()
+            .all(|l| l.starts_with("{\"event\":\"consolidator.evict\"")));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Name-based registry of all allocation algorithms.
 
 use crate::{
-    Allocator, BestFit, Ffps, FirstFit, LocalSearch, LowestIdlePower, Miec, Random, Refined,
-    RoundRobin,
+    AllocResult, Allocator, BestFit, Ffps, FirstFit, LocalSearch, LowestIdlePower, Miec, Random,
+    Refined, RoundRobin,
 };
+use esvm_obs::{EventSink, MetricsRegistry};
+use esvm_simcore::{AllocationProblem, Assignment};
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -105,6 +108,48 @@ impl AllocatorKind {
             AllocatorKind::Random => Box::new(Random::new()),
         }
     }
+
+    /// Builds and runs the allocator with telemetry: instrumented kinds
+    /// (the MIEC family and the local-search wrappers) record decision
+    /// counters and histograms into `metrics` and stream per-decision
+    /// events into `sink`; the simple baselines run uninstrumented and
+    /// record nothing. Placements are identical to
+    /// [`AllocatorKind::build`] + [`Allocator::allocate`] with the same
+    /// `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Allocator::allocate`].
+    pub fn allocate_observed<'p, S: EventSink>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<Assignment<'p>> {
+        match self {
+            AllocatorKind::Miec => Miec::new().allocate_observed(problem, sink, metrics),
+            AllocatorKind::MiecNoAlpha => {
+                Miec::ignoring_transition_costs().allocate_observed(problem, sink, metrics)
+            }
+            AllocatorKind::MiecBlindDuration => {
+                Miec::with_assumed_duration(5).allocate_observed(problem, sink, metrics)
+            }
+            AllocatorKind::MiecLocalSearch => {
+                let base = Miec::new().allocate_observed(problem, sink, metrics)?;
+                LocalSearch::new()
+                    .refine_observed(&base, sink, metrics)
+                    .map(|(refined, _)| refined)
+            }
+            AllocatorKind::FfpsLocalSearch => {
+                let base = Ffps::new().allocate(problem, rng)?;
+                LocalSearch::new()
+                    .refine_observed(&base, sink, metrics)
+                    .map(|(refined, _)| refined)
+            }
+            _ => self.build().allocate(problem, rng),
+        }
+    }
 }
 
 impl fmt::Display for AllocatorKind {
@@ -167,6 +212,47 @@ mod tests {
         assert_eq!(names.len(), AllocatorKind::ALL.len());
         for name in ["miec-blind", "miec-ls", "ffps-ls"] {
             assert!(names.contains(name), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn observed_allocation_matches_build_allocate_for_every_kind() {
+        use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let mut b = ProblemBuilder::new();
+        for i in 0..5 {
+            let scale = 1.0 + (i % 2) as f64;
+            b = b.server(
+                Resources::new(8.0 * scale, 16.0 * scale),
+                PowerModel::new(40.0 * scale, 100.0 * scale),
+                60.0 * scale,
+            );
+        }
+        for j in 0..10u32 {
+            b = b.vm(
+                Resources::new(1.0 + f64::from(j % 3), 2.0 + f64::from(j % 4)),
+                Interval::with_len(1 + j, 3 + (j % 4)),
+            );
+        }
+        let p = b.build().unwrap();
+
+        for kind in AllocatorKind::ALL {
+            let mut rng = StdRng::seed_from_u64(9);
+            let plain = kind.build().allocate(&p, &mut rng).unwrap();
+
+            let mut sink = esvm_obs::MemorySink::new();
+            let metrics = MetricsRegistry::new();
+            let mut rng = StdRng::seed_from_u64(9);
+            let observed = kind
+                .allocate_observed(&p, &mut rng, &mut sink, &metrics)
+                .unwrap();
+            assert_eq!(observed.placement(), plain.placement(), "{kind}");
+            assert_eq!(
+                observed.total_cost().to_bits(),
+                plain.total_cost().to_bits(),
+                "{kind}"
+            );
         }
     }
 

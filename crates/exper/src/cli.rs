@@ -91,6 +91,13 @@ options (compare):
 
 options (exact):
   --vms N (default 4) --servers N (default 2) --seed N (default 0)
+
+options (telemetry, compare/solve):
+  --metrics-out F   run one instrumented pass per algorithm and write
+                    its decision metrics as CSV (a summary table is
+                    also appended to the output)
+  --events-out F    stream the per-decision events of that pass as
+                    JSON lines (one object per placement / move)
 ";
 
 /// Flag accumulator.
@@ -113,6 +120,8 @@ struct Flags {
     trace: Option<String>,
     target: Option<f64>,
     sizes: Option<Vec<usize>>,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -180,6 +189,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 )
             }
             "--out" => flags.out = Some(value("--out")?),
+            "--metrics-out" => flags.metrics_out = Some(value("--metrics-out")?),
+            "--events-out" => flags.events_out = Some(value("--events-out")?),
             "--target" => {
                 flags.target = Some(
                     value("--target")?
@@ -378,6 +389,88 @@ fn dispatch(command: &str, flags: &Flags, opts: &ExpOptions) -> Result<String, C
     }
 }
 
+/// One instrumented run per algorithm on `problem`: decision metrics
+/// become rows of `table`, per-decision events stream into `sink`, and
+/// the audited energy decomposition is exported as `energy.*` gauges.
+fn telemetry_rows<S: esvm_obs::EventSink>(
+    problem: &esvm_simcore::AllocationProblem,
+    algos: &[AllocatorKind],
+    seed: u64,
+    sink: &mut S,
+    table: &mut Table,
+) -> Result<(), CliError> {
+    use esvm_obs::{Event, FieldValue, MetricsRegistry};
+    use rand::SeedableRng;
+    for &algo in algos {
+        sink.emit(&Event {
+            name: "run.start",
+            fields: &[
+                ("algo", FieldValue::Str(algo.name())),
+                ("seed", FieldValue::U64(seed)),
+            ],
+        });
+        let metrics = MetricsRegistry::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let assignment = algo
+            .allocate_observed(problem, &mut rng, sink, &metrics)
+            .map_err(|error| RunError::Alloc { algo, seed, error })?;
+        let report = assignment.audit().map_err(RunError::Audit)?;
+        metrics.set_gauge("energy.run", report.breakdown.run);
+        metrics.set_gauge("energy.idle", report.breakdown.idle);
+        metrics.set_gauge("energy.transition", report.breakdown.transition);
+        metrics.set_gauge("energy.total", report.total_cost);
+        for (name, value) in metrics.snapshot() {
+            table.row(vec![
+                algo.name().to_owned(),
+                name,
+                value.kind().to_owned(),
+                value.render(),
+            ]);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the `--metrics-out` / `--events-out` telemetry section (an
+/// empty string when neither flag is set): a metric summary table for
+/// one instrumented run per algorithm, plus the side files.
+fn telemetry_section(
+    problem: &esvm_simcore::AllocationProblem,
+    algos: &[AllocatorKind],
+    seed: u64,
+    flags: &Flags,
+) -> Result<String, CliError> {
+    if flags.metrics_out.is_none() && flags.events_out.is_none() {
+        return Ok(String::new());
+    }
+    let mut table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
+    match &flags.events_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+            let mut sink = esvm_obs::JsonlWriter::new(std::io::BufWriter::new(file));
+            telemetry_rows(problem, algos, seed, &mut sink, &mut table)?;
+            sink.finish()
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        }
+        None => {
+            telemetry_rows(problem, algos, seed, &mut esvm_obs::DiscardSink, &mut table)?;
+        }
+    }
+    let mut out = format!(
+        "\n\ntelemetry — one instrumented run per algorithm (seed {seed})\n\n{table}"
+    );
+    if let Some(path) = &flags.metrics_out {
+        std::fs::write(path, table.to_csv())
+            .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    if let Some(path) = &flags.events_out {
+        out.push_str(&format!("events written to {path}\n"));
+    }
+    Ok(out)
+}
+
 fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
     let config = workload_from(flags);
     let vms = config.vm_count_value();
@@ -443,6 +536,13 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
                 "\nmiec saving significance (paired sign-flip permutation): p = {p:.4}\n"
             ));
         }
+    }
+    if flags.metrics_out.is_some() || flags.events_out.is_some() {
+        let seed = flags.seed.unwrap_or(0);
+        let problem = config
+            .generate(seed)
+            .map_err(|e| CliError::Run(RunError::Generate(e)))?;
+        out.push_str(&telemetry_section(&problem, &algos, seed, flags)?);
     }
     Ok(out)
 }
@@ -591,7 +691,7 @@ fn run_solve(flags: &Flags) -> Result<String, CliError> {
         "transition",
         "cpu util (%)",
     ]);
-    for kind in algos {
+    for &kind in &algos {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let assignment = kind
@@ -608,7 +708,7 @@ fn run_solve(flags: &Flags) -> Result<String, CliError> {
             format!("{:.1}", report.utilization.avg_cpu * 100.0),
         ]);
     }
-    Ok(format!(
+    let mut out = format!(
         "trace {path}: {} VMs on {} servers, horizon {}
 
 {}",
@@ -616,7 +716,9 @@ fn run_solve(flags: &Flags) -> Result<String, CliError> {
         problem.server_count(),
         problem.horizon(),
         table
-    ))
+    );
+    out.push_str(&telemetry_section(&problem, &algos, seed, flags)?);
+    Ok(out)
 }
 
 fn run_exact(flags: &Flags) -> Result<String, CliError> {
@@ -745,6 +847,52 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("m1.small"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_flags_write_metrics_and_events() {
+        let dir = std::env::temp_dir();
+        let metrics_path = dir.join("esvm_cli_metrics_test.csv");
+        let events_path = dir.join("esvm_cli_events_test.jsonl");
+        let out = run(&args(&[
+            "compare",
+            "--vms",
+            "20",
+            "--servers",
+            "10",
+            "--seeds",
+            "2",
+            "--algos",
+            "miec,miec-ls",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--events-out",
+            events_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("telemetry"), "{out}");
+        assert!(out.contains("miec.vms_placed"), "{out}");
+        assert!(out.contains("local_search.rounds"), "{out}");
+        assert!(out.contains("energy.total"), "{out}");
+
+        let csv = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(csv.starts_with("algorithm,metric,kind,value"), "{csv}");
+        assert!(csv.contains("miec.candidates_considered,counter"), "{csv}");
+        assert!(csv.contains("energy.transition,gauge"), "{csv}");
+
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        let lines: Vec<&str> = events.lines().collect();
+        // One run.start marker per algorithm, then its decision events.
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.starts_with("{\"event\":\"run.start\""))
+                .count(),
+            2
+        );
+        assert!(lines.iter().any(|l| l.starts_with("{\"event\":\"miec.place\"")));
+        std::fs::remove_file(&metrics_path).ok();
+        std::fs::remove_file(&events_path).ok();
     }
 
     #[test]

@@ -60,6 +60,45 @@ fn escape(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
 }
 
+/// Mean per-term energy decomposition (Eq. 7: run + idle + transition)
+/// of the headline contenders at one representative sweep point.
+fn energy_decomposition(opts: &ExpOptions) -> Result<Table, RunError> {
+    use esvm_core::AllocatorKind;
+    use esvm_workload::WorkloadConfig;
+    let (vms, servers) = if opts.quick { (40, 20) } else { (100, 50) };
+    let config = WorkloadConfig::new(vms, servers).mean_interarrival(4.0);
+    let algos = [
+        AllocatorKind::Miec,
+        AllocatorKind::MiecNoAlpha,
+        AllocatorKind::Ffps,
+    ];
+    let point = crate::runner::MonteCarlo::new(opts.seeds, opts.threads)
+        .compare(&config, &algos)?;
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean total",
+        "run",
+        "idle",
+        "transition",
+        "idle share (%)",
+        "transition share (%)",
+    ]);
+    for &algo in &algos {
+        let (run, idle, transition) = point.mean_breakdown(algo);
+        let total = run + idle + transition;
+        table.row(vec![
+            algo.name().to_owned(),
+            format!("{total:.0}"),
+            format!("{run:.0}"),
+            format!("{idle:.0}"),
+            format!("{transition:.0}"),
+            format!("{:.1}", idle / total * 100.0),
+            format!("{:.1}", transition / total * 100.0),
+        ]);
+    }
+    Ok(table)
+}
+
 /// Builds the full report.
 ///
 /// # Errors
@@ -98,6 +137,11 @@ pub fn html_report(opts: &ExpOptions) -> Result<String, RunError> {
         &mut html,
         "Table II — the types of resource capacities and power consumption parameters of servers",
         &experiments::table2(),
+    );
+    push_table(
+        &mut html,
+        "Energy decomposition — Eq. 7 terms (run / idle / transition) per algorithm",
+        &energy_decomposition(opts)?,
     );
 
     for f in [
@@ -148,7 +192,17 @@ mod tests {
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.ends_with("</html>"));
         for needle in [
-            "Table I", "Table II", "Fig. 2", "Fig. 5", "Fig. 9", "E1", "E2", "E3", "<svg",
+            "Table I",
+            "Table II",
+            "Energy decomposition",
+            "transition share",
+            "Fig. 2",
+            "Fig. 5",
+            "Fig. 9",
+            "E1",
+            "E2",
+            "E3",
+            "<svg",
             "Adj.R²",
         ] {
             assert!(html.contains(needle), "missing {needle}");

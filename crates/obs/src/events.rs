@@ -1,0 +1,261 @@
+//! Structured decision events and the sinks that receive them.
+//!
+//! An [`Event`] is a name plus a flat list of typed, named fields, all
+//! borrowed — constructing one allocates nothing. Algorithms emit
+//! events through a generic `S: EventSink` parameter and guard each
+//! emission with `if S::ENABLED { ... }`; with [`NoopSink`] the guard
+//! is a compile-time `false` and the whole block is removed by
+//! monomorphisation.
+
+use std::io::{self, Write};
+
+/// A single typed field value carried by an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Unsigned integer (ids, counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number (costs, deltas). Non-finite values encode
+    /// as JSON `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Borrowed string (names, labels).
+    Str(&'a str),
+}
+
+/// A structured event: a dot-namespaced name (`"miec.place"`) plus an
+/// ordered list of named fields.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Event name, dot-namespaced by emitting subsystem.
+    pub name: &'a str,
+    /// Ordered `(key, value)` fields.
+    pub fields: &'a [(&'a str, FieldValue<'a>)],
+}
+
+/// Destination for structured decision events.
+///
+/// Implementations with `ENABLED = true` receive every event; the
+/// [`NoopSink`] sets `ENABLED = false`, and instrumented call sites
+/// guard both event construction and metric updates behind this
+/// constant so the disabled instantiation compiles to the
+/// uninstrumented code.
+pub trait EventSink {
+    /// Whether this sink (and the metrics attached to the same
+    /// instrumented call) records anything at all.
+    const ENABLED: bool = true;
+
+    /// Records one event.
+    fn emit(&mut self, event: &Event<'_>);
+}
+
+/// The allocation-free default sink: statically disabled, never called.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: &Event<'_>) {}
+}
+
+/// An enabled sink that drops every event. Instrumentation (counters,
+/// histograms) still runs — use this when metrics are wanted but an
+/// event trace is not.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiscardSink;
+
+impl EventSink for DiscardSink {
+    #[inline(always)]
+    fn emit(&mut self, _event: &Event<'_>) {}
+}
+
+/// Captures events as encoded JSON lines in memory. Intended for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// One JSON object per emitted event, in emission order.
+    pub lines: Vec<String>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event<'_>) {
+        self.lines.push(encode_json(event));
+    }
+}
+
+/// Streams events as JSON Lines (one object per line) to any
+/// [`Write`] destination. Wrap files in a `BufWriter`; the writer
+/// itself does not buffer.
+///
+/// I/O errors are latched rather than panicking mid-algorithm: the
+/// first error stops further writes and is surfaced by
+/// [`JsonlWriter::finish`].
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        Self { writer, written: 0, error: None }
+    }
+
+    /// Number of events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O
+    /// error encountered while emitting.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> EventSink for JsonlWriter<W> {
+    fn emit(&mut self, event: &Event<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = encode_json(event);
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Encodes `event` as a single JSON object (no trailing newline):
+/// `{"event":"miec.place","vm":3,"delta":12.5}`.
+pub fn encode_json(event: &Event<'_>) -> String {
+    let mut out = String::with_capacity(32 + 16 * event.fields.len());
+    out.push_str("{\"event\":");
+    push_json_string(&mut out, event.name);
+    for (key, value) in event.fields {
+        out.push(',');
+        push_json_string(&mut out, key);
+        out.push(':');
+        push_json_value(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+fn push_json_value(out: &mut String, value: &FieldValue<'_>) {
+    use std::fmt::Write as _;
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        FieldValue::Str(s) => push_json_string(out, s),
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample<'a>(fields: &'a [(&'a str, FieldValue<'a>)]) -> Event<'a> {
+        Event { name: "test.event", fields }
+    }
+
+    #[test]
+    fn encodes_every_field_type() {
+        let fields = [
+            ("u", FieldValue::U64(7)),
+            ("i", FieldValue::I64(-3)),
+            ("f", FieldValue::F64(2.5)),
+            ("b", FieldValue::Bool(true)),
+            ("s", FieldValue::Str("miec")),
+        ];
+        assert_eq!(
+            encode_json(&sample(&fields)),
+            r#"{"event":"test.event","u":7,"i":-3,"f":2.5,"b":true,"s":"miec"}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite_floats() {
+        let fields = [
+            ("q", FieldValue::Str("a\"b\\c\nd")),
+            ("nan", FieldValue::F64(f64::NAN)),
+            ("inf", FieldValue::F64(f64::INFINITY)),
+        ];
+        assert_eq!(
+            encode_json(&sample(&fields)),
+            r#"{"event":"test.event","q":"a\"b\\c\nd","nan":null,"inf":null}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_writer_streams_one_line_per_event() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.emit(&sample(&[("n", FieldValue::U64(1))]));
+        sink.emit(&sample(&[("n", FieldValue::U64(2))]));
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with(r#""n":1}"#) && lines[1].ends_with(r#""n":2}"#));
+    }
+
+    #[test]
+    fn noop_sink_is_statically_disabled() {
+        assert!(!<NoopSink as EventSink>::ENABLED);
+        assert!(<DiscardSink as EventSink>::ENABLED);
+        assert!(<MemorySink as EventSink>::ENABLED);
+    }
+
+    #[test]
+    fn memory_sink_captures_lines() {
+        let mut sink = MemorySink::new();
+        sink.emit(&sample(&[("x", FieldValue::Bool(false))]));
+        assert_eq!(sink.lines, vec![r#"{"event":"test.event","x":false}"#.to_owned()]);
+    }
+}

@@ -1,0 +1,40 @@
+//! In-house observability layer for the esvm workspace.
+//!
+//! The paper's objective (Eq. 7) is a sum of three physically distinct
+//! terms — run, idle and transition energy — and the allocation layers
+//! (MIEC candidate scanning, local-search refinement, migration
+//! consolidation) make thousands of micro-decisions per run. This crate
+//! provides the two primitives the rest of the workspace uses to make
+//! both visible without perturbing the hot paths:
+//!
+//! * a [`MetricsRegistry`] holding named counters, gauges and
+//!   fixed-bucket histograms, with RAII [`SpanTimer`]s for wall-clock
+//!   phases;
+//! * a structured [`EventSink`] trait for per-decision records, with a
+//!   [`JsonlWriter`] for machine-readable traces and an allocation-free
+//!   [`NoopSink`] default.
+//!
+//! Instrumented algorithms are generic over `S: EventSink` and guard
+//! every counter increment and event construction behind the associated
+//! constant [`EventSink::ENABLED`]. Monomorphisation then compiles the
+//! `NoopSink` instantiation down to the uninstrumented code — the
+//! disabled path has literally zero observability instructions, which
+//! the `ledger` and `local_search` benches pin against the recorded
+//! PR 2 numbers.
+//!
+//! The crate is dependency-free (the workspace builds offline) and
+//! deliberately single-threaded: the registry uses interior mutability
+//! via `RefCell` so call sites can share it immutably, and is therefore
+//! not `Sync`. Experiment code instruments one representative seeded run
+//! per configuration rather than the multi-threaded Monte-Carlo sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+
+pub use events::{
+    encode_json, DiscardSink, Event, EventSink, FieldValue, JsonlWriter, MemorySink, NoopSink,
+};
+pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, SpanTimer};

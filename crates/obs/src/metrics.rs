@@ -1,0 +1,335 @@
+//! Metrics registry: named counters, gauges and fixed-bucket
+//! histograms, plus RAII span timers.
+//!
+//! The registry uses interior mutability (`RefCell`) so that a single
+//! shared `&MetricsRegistry` can be threaded through call layers
+//! without fighting the borrow checker; it is consequently not `Sync`
+//! and is meant for single-threaded instrumented runs.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Default histogram bucket upper bounds: decades from `1e-9` to
+/// `1e9`, a spread wide enough for both span timers (seconds) and
+/// energy deltas (watt-units).
+pub const DEFAULT_BUCKETS: [f64; 19] = [
+    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6,
+    1e7, 1e8, 1e9,
+];
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one overflow bucket collects everything above the last
+/// bound.
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Aggregate view of a histogram, for rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A named metric value, as returned by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins measurement.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramSummary),
+}
+
+impl MetricValue {
+    /// Short kind label (`"counter"` / `"gauge"` / `"histogram"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Human-readable rendering of the value alone.
+    pub fn render(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => format!("{v:.6}"),
+            MetricValue::Histogram(h) => format!(
+                "n={} mean={:.6} min={:.6} max={:.6}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Registry of named counters, gauges and fixed-bucket histograms.
+///
+/// Metric names are dot-namespaced by subsystem (`miec.candidates`,
+/// `local_search.relocates_accepted`) and never contain commas, so they
+/// embed safely in the CSV renderings of `esvm-analysis` tables.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RefCell<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry. Allocates nothing until the first metric is
+    /// recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(c) = inner.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            inner.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(g) = inner.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            inner.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Records `value` in the histogram `name`, creating it with
+    /// [`DEFAULT_BUCKETS`] if needed.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, &DEFAULT_BUCKETS, value);
+    }
+
+    /// Records `value` in the histogram `name`, creating it with the
+    /// given inclusive upper `buckets` if it does not exist yet (the
+    /// bounds of an existing histogram are kept).
+    pub fn observe_with(&self, name: &str, buckets: &[f64], value: f64) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(h) = inner.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new(buckets);
+            h.record(value);
+            inner.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Starts an RAII span timer; its wall-clock duration in seconds is
+    /// recorded into the histogram `name` when the returned guard
+    /// drops.
+    pub fn span(&self, name: &str) -> SpanTimer<'_> {
+        SpanTimer { registry: self, name: name.to_owned(), start: Instant::now() }
+    }
+
+    /// Current value of the counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of the gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    /// Summary of the histogram `name`, if any value was recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.inner.borrow().histograms.get(name).map(Histogram::summary)
+    }
+
+    /// True when no metric of any kind has been recorded.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.counters.is_empty() && inner.gauges.is_empty() && inner.histograms.is_empty()
+    }
+
+    /// Every metric, sorted by name within kind (counters, then gauges,
+    /// then histograms).
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let inner = self.inner.borrow();
+        let mut rows = Vec::with_capacity(
+            inner.counters.len() + inner.gauges.len() + inner.histograms.len(),
+        );
+        for (name, v) in &inner.counters {
+            rows.push((name.clone(), MetricValue::Counter(*v)));
+        }
+        for (name, v) in &inner.gauges {
+            rows.push((name.clone(), MetricValue::Gauge(*v)));
+        }
+        for (name, h) in &inner.histograms {
+            rows.push((name.clone(), MetricValue::Histogram(h.summary())));
+        }
+        rows
+    }
+
+    /// Plain-text rendering: one aligned `name kind value` line per
+    /// metric.
+    pub fn render(&self) -> String {
+        let rows = self.snapshot();
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in rows {
+            let _ = writeln!(out, "{name:<width$}  {:<9}  {}", value.kind(), value.render());
+        }
+        out
+    }
+}
+
+/// RAII wall-clock timer handed out by [`MetricsRegistry::span`];
+/// records elapsed seconds into its histogram on drop.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    registry: &'a MetricsRegistry,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.registry.observe(&self.name, self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.add("a.hits", 2);
+        m.add("a.hits", 3);
+        assert_eq!(m.counter("a.hits"), 5);
+        assert_eq!(m.counter("a.misses"), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("energy.total", 1.0);
+        m.set_gauge("energy.total", 4.5);
+        assert_eq!(m.gauge("energy.total"), Some(4.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_summary() {
+        let m = MetricsRegistry::new();
+        for v in [0.5, 1.0, 2.0, 1000.0] {
+            m.observe_with("d", &[1.0, 10.0, 100.0], v);
+        }
+        let h = m.histogram("d").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1003.5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean() - 250.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.record(1.0); // first bucket (<= 1.0)
+        h.record(1.5); // second bucket
+        h.record(9.0); // overflow
+        assert_eq!(h.counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let m = MetricsRegistry::new();
+        {
+            let _t = m.span("phase.seconds");
+        }
+        let h = m.histogram("phase.seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_orders_counters_gauges_histograms() {
+        let m = MetricsRegistry::new();
+        m.observe("h.x", 1.0);
+        m.add("c.b", 1);
+        m.add("c.a", 1);
+        m.set_gauge("g.y", 2.0);
+        let names: Vec<String> = m.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["c.a", "c.b", "g.y", "h.x"]);
+        assert!(m.render().contains("counter"));
+    }
+}

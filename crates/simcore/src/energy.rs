@@ -21,7 +21,9 @@
 //! become if VM `j` were added?" once per candidate server per VM, so the
 //! evaluation must not rescan the whole VM set.
 
-use crate::{CoverageSet, Interval, Resources, SegmentSet, ServerSpec, UsageProfile, Vm};
+use crate::{
+    CoverageSet, EnergyBreakdown, Interval, Resources, SegmentSet, ServerSpec, UsageProfile, Vm,
+};
 use serde::{Deserialize, Serialize};
 
 /// Energy cost of a set of busy segments on `spec`, per Eqs. (15)–(17)
@@ -61,13 +63,20 @@ pub fn transition_count(spec: &ServerSpec, segments: &SegmentSet) -> u64 {
 /// Live energy/occupancy state of one server during allocation.
 ///
 /// Tracks the hosted VMs' usage profile (for capacity checks), the merged
-/// busy segments, the accumulated run cost, and a cached decomposition of
-/// the segment cost (total busy time plus the sum of interior gap costs),
-/// maintained incrementally on every [`ServerLedger::host`]. This makes
-/// [`ServerLedger::cost`] O(1) and lets
+/// busy segments, the accumulated run cost, and a cached *integer*
+/// decomposition of the segment cost (total busy time, kept-on gap time,
+/// switch-off gap count), maintained incrementally on every
+/// [`ServerLedger::host`]. This makes [`ServerLedger::cost`] O(1) and lets
 /// [`ServerLedger::incremental_cost`] score a hypothetical placement as
 /// pure arithmetic over a [`SegmentSet::insertion_delta`] — no clone, no
 /// rescan of resident segments.
+///
+/// Because everything except the run-cost accumulator is cached as
+/// integers, [`ServerLedger::cost`] is *defined* as the left-to-right sum
+/// of the [`ServerLedger::energy_breakdown`] terms — the Eq. 7
+/// decomposition identity `run + idle + transition == cost()` holds
+/// bit-for-bit, by construction, at every point of any host/unhost
+/// history.
 ///
 /// # Example
 ///
@@ -95,23 +104,28 @@ pub struct ServerLedger {
     hosted: u32,
     /// Cached `segments.busy_time()`, updated on every host/unhost.
     busy_time: u64,
-    /// Cached `Σ gap_cost(g)` over the interior gaps of `segments`.
-    gap_cost_sum: f64,
+    /// Cached total length of the interior gaps the switch-off policy
+    /// keeps idling through (`!switches_off_for_gap`). Together with
+    /// `busy_time` this is the total active time priced at `P_idle`.
+    #[serde(default)]
+    kept_on_gap_units: u64,
+    /// Cached count of the interior gaps the switch-off policy sleeps
+    /// through; each one costs a fresh `α` switch-on.
+    #[serde(default)]
+    off_gaps: u64,
 }
 
-/// Snapshot of a [`ServerLedger`]'s floating-point cost accumulators.
+/// Snapshot of a [`ServerLedger`]'s floating-point cost accumulator.
 ///
 /// A balanced `unhost`/`host` probe cycle restores all integer state
-/// (segments, coverage, busy time, hosted count) exactly, but the two
-/// `f64` accumulators (`run_cost`, `gap_cost_sum`) can pick up last-bit
-/// rounding residue per cycle. Refinement loops that probe thousands of
-/// hypothetical moves take a checkpoint first and
-/// [`ServerLedger::restore_costs`] after reverting, so the caches cannot
-/// drift from the rescan truth.
+/// (segments, coverage, busy time, gap caches, hosted count) exactly, but
+/// the `f64` run-cost accumulator can pick up last-bit rounding residue
+/// per cycle. Refinement loops that probe thousands of hypothetical moves
+/// take a checkpoint first and [`ServerLedger::restore_costs`] after
+/// reverting, so the cache cannot drift from the rescan truth.
 #[derive(Debug, Clone, Copy)]
 pub struct LedgerCheckpoint {
     run_cost: f64,
-    gap_cost_sum: f64,
 }
 
 impl ServerLedger {
@@ -125,7 +139,8 @@ impl ServerLedger {
             run_cost: 0.0,
             hosted: 0,
             busy_time: 0,
-            gap_cost_sum: 0.0,
+            kept_on_gap_units: 0,
+            off_gaps: 0,
         }
     }
 
@@ -163,16 +178,47 @@ impl ServerLedger {
 
     /// Current total cost of this server (Eq. 17 + initial switch-on).
     ///
-    /// O(1): served from the incrementally maintained busy-time and
-    /// gap-cost caches rather than a rescan of the segments.
+    /// O(1): served from the incrementally maintained integer caches
+    /// rather than a rescan of the segments. Defined as the
+    /// left-to-right sum of the [`ServerLedger::energy_breakdown`]
+    /// terms, so `breakdown.total() == cost()` holds bit-for-bit.
     pub fn cost(&self) -> f64 {
+        self.energy_breakdown().total()
+    }
+
+    /// Eq. 7 decomposition of [`ServerLedger::cost`] into its three
+    /// physical terms:
+    ///
+    /// * `run` — `Σ W_ij`, the accumulated run cost of the hosted VMs;
+    /// * `idle` — `P_idle` times the active time (busy segments plus
+    ///   the interior gaps too short to be worth sleeping through);
+    /// * `transition` — `α` times [`ServerLedger::transition_count`].
+    ///
+    /// The identity `run + idle + transition == cost()` is exact
+    /// (bit-for-bit): `cost()` is computed *from* this decomposition,
+    /// whose non-run terms are each a single product over integer
+    /// caches.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
         if self.segments.is_empty() {
-            return self.run_cost;
+            return EnergyBreakdown { run: self.run_cost, idle: 0.0, transition: 0.0 };
         }
-        let segment = self.spec.idle_cost(self.busy_time)
-            + self.gap_cost_sum
-            + self.spec.transition_cost();
-        self.run_cost + segment
+        EnergyBreakdown {
+            run: self.run_cost,
+            idle: self.spec.idle_cost(self.busy_time + self.kept_on_gap_units),
+            transition: self.spec.transition_cost() * (1 + self.off_gaps) as f64,
+        }
+    }
+
+    /// Number of switch-on transitions the switch-off policy performs on
+    /// this server: one initial power-on plus one per interior gap it
+    /// sleeps through. O(1), and always equal to the free function
+    /// [`transition_count`] over [`ServerLedger::segments`].
+    pub fn transition_count(&self) -> u64 {
+        if self.segments.is_empty() {
+            0
+        } else {
+            1 + self.off_gaps
+        }
     }
 
     /// Cost the server would have if `vm` were placed on it, without
@@ -222,6 +268,55 @@ impl ServerLedger {
         self.spec.power_per_cpu_unit() * (demand.cpu * interval.len() as f64)
     }
 
+    /// Length contribution of a gap the switch-off policy idles through
+    /// (0 when it sleeps). Used as an integer-valued gap measure for
+    /// [`SegmentSet::insertion_delta`]/[`SegmentSet::removal_delta`]:
+    /// every value and every partial sum is an exact small integer in
+    /// `f64`, so the resulting delta is exact.
+    fn kept_on_units(&self, len: u64) -> f64 {
+        if self.spec.switches_off_for_gap(len) {
+            0.0
+        } else {
+            len as f64
+        }
+    }
+
+    /// Indicator of a gap the switch-off policy sleeps through. Exact
+    /// integer-valued gap measure, like [`ServerLedger::kept_on_units`].
+    fn off_gap(&self, len: u64) -> f64 {
+        if self.spec.switches_off_for_gap(len) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Applies an exactly-integer-valued `f64` delta to a `u64` cache.
+    fn apply_int_delta(value: u64, delta: f64) -> u64 {
+        debug_assert!(delta.fract() == 0.0, "gap-measure delta {delta} is not an integer");
+        let next = value as i64 + delta as i64;
+        debug_assert!(next >= 0, "gap-measure cache went negative: {value} {delta:+}");
+        next as u64
+    }
+
+    /// Debug check: the integer gap caches match a rescan of the
+    /// segment set. (Compiled in all profiles — `debug_assert!` still
+    /// type-checks its condition in release builds.)
+    fn gap_caches_match_rescan(&self) -> bool {
+        let kept: u64 = self
+            .segments
+            .gaps()
+            .filter(|g| !self.spec.switches_off_for_gap(g.len()))
+            .map(|g| g.len())
+            .sum();
+        let off = self
+            .segments
+            .gaps()
+            .filter(|g| self.spec.switches_off_for_gap(g.len()))
+            .count() as u64;
+        self.kept_on_gap_units == kept && self.off_gaps == off
+    }
+
     /// Commits `vm` to this server, updating usage, coverage, segments
     /// and the cached cost decomposition.
     ///
@@ -252,17 +347,22 @@ impl ServerLedger {
     /// whole VMs, so the ledger accepts any (demand, interval) piece;
     /// `hosted` counts outstanding pieces.
     pub fn host_piece(&mut self, demand: Resources, interval: Interval) {
+        // Two integer-valued gap measures collected in a single delta
+        // walk: they maintain the caches exactly, which is what makes
+        // the Eq. 7 decomposition (and cost()) history-independent.
         let d = self
             .segments
-            .insertion_delta(interval, |len| self.spec.gap_cost(len));
+            .insertion_delta(interval, |len| (self.kept_on_units(len), self.off_gap(len)));
         self.busy_time += d.busy_added;
-        self.gap_cost_sum += d.gap_cost_delta;
+        self.kept_on_gap_units = Self::apply_int_delta(self.kept_on_gap_units, d.gap_cost_delta.0);
+        self.off_gaps = Self::apply_int_delta(self.off_gaps, d.gap_cost_delta.1);
         self.usage.add(interval, demand);
         self.coverage.insert(interval);
         self.segments.insert(interval);
         self.run_cost += self.piece_run_cost(demand, interval);
         self.hosted += 1;
         debug_assert_eq!(self.busy_time, self.segments.busy_time());
+        debug_assert!(self.gap_caches_match_rescan(), "gap caches diverged from rescan");
         debug_assert!(
             (self.cost() - (self.run_cost + segment_cost(&self.spec, &self.segments))).abs()
                 < 1e-6,
@@ -282,29 +382,38 @@ impl ServerLedger {
         );
         let mut freed = 0u64;
         let mut gap_delta = 0.0;
+        let mut kept_delta = 0.0;
+        let mut off_delta = 0.0;
         let mut last = false;
         // Score every exclusively-covered run against the pre-removal
         // segments (the runs are separated by surviving busy time, so
-        // their deltas are exactly additive), then mutate.
+        // their deltas are exactly additive), then mutate. One delta
+        // walk per run collects the priced measure (feeding the
+        // realized-decrease return value) together with the two
+        // integer-valued measures maintaining the decomposition caches.
         for run in self.coverage.exclusive_runs(interval) {
-            let d = self
-                .segments
-                .removal_delta(run, |len| self.spec.gap_cost(len));
+            let d = self.segments.removal_delta(run, |len| {
+                (self.spec.gap_cost(len), self.kept_on_units(len), self.off_gap(len))
+            });
             freed += d.busy_removed;
-            gap_delta += d.gap_cost_delta;
+            gap_delta += d.gap_cost_delta.0;
+            kept_delta += d.gap_cost_delta.1;
+            off_delta += d.gap_cost_delta.2;
             last |= d.last_segment;
         }
         for run in self.coverage.exclusive_runs(interval) {
             self.segments.remove(run);
         }
         self.busy_time -= freed;
-        self.gap_cost_sum += gap_delta;
+        self.kept_on_gap_units = Self::apply_int_delta(self.kept_on_gap_units, kept_delta);
+        self.off_gaps = Self::apply_int_delta(self.off_gaps, off_delta);
         self.usage.remove(interval, demand);
         self.coverage.remove(interval);
         let run_cost = self.piece_run_cost(demand, interval);
         self.run_cost -= run_cost;
         self.hosted -= 1;
         debug_assert_eq!(self.busy_time, self.segments.busy_time());
+        debug_assert!(self.gap_caches_match_rescan(), "gap caches diverged from rescan");
         debug_assert!(
             (self.cost() - (self.run_cost + segment_cost(&self.spec, &self.segments))).abs()
                 < 1e-6,
@@ -395,22 +504,20 @@ impl ServerLedger {
             - segment_cost(&self.spec, &remaining)
     }
 
-    /// Snapshots the floating-point cost accumulators; see
-    /// [`LedgerCheckpoint`].
+    /// Snapshots the floating-point run-cost accumulator; see
+    /// [`LedgerCheckpoint`]. (The segment-cost caches are integers and
+    /// round-trip balanced probe cycles exactly, so only the run cost
+    /// needs checkpointing.)
     pub fn checkpoint(&self) -> LedgerCheckpoint {
-        LedgerCheckpoint {
-            run_cost: self.run_cost,
-            gap_cost_sum: self.gap_cost_sum,
-        }
+        LedgerCheckpoint { run_cost: self.run_cost }
     }
 
-    /// Restores the accumulators captured by
+    /// Restores the accumulator captured by
     /// [`ServerLedger::checkpoint`]. Only valid after the hosted pieces
     /// have been restored to their checkpointed state (probe cycles are
     /// balanced); snaps away the per-cycle floating-point residue.
     pub fn restore_costs(&mut self, checkpoint: LedgerCheckpoint) {
         self.run_cost = checkpoint.run_cost;
-        self.gap_cost_sum = checkpoint.gap_cost_sum;
     }
 
     /// Spare capacity at time `t`.
@@ -710,6 +817,60 @@ mod tests {
         assert!(!ledger.fits(&vm(1, 5.0, 1.0, 5, 6)));
         assert!(ledger.fits(&vm(1, 4.0, 1.0, 5, 6)));
         assert!(ledger.fits(&vm(1, 5.0, 1.0, 11, 12)));
+    }
+
+    #[test]
+    fn breakdown_identity_is_bit_exact() {
+        // α = 250, P_idle = 100: gap of 2 idles, gap of 3 sleeps.
+        let mut ledger = ServerLedger::new(spec(250.0));
+        ledger.host(&vm(0, 1.0, 1.0, 1, 2));
+        ledger.host(&vm(1, 1.0, 1.0, 5, 6)); // kept-on gap [3,4]
+        ledger.host(&vm(2, 1.0, 1.0, 10, 11)); // off gap [7,9]
+        let b = ledger.energy_breakdown();
+        assert_eq!(b.run + b.idle + b.transition, ledger.cost());
+        assert_eq!(b.total(), ledger.cost());
+        // run: 3 VMs × 20 W/CU × 1 CU × 2 units; idle: (6 busy + 2 kept)
+        // × 100; transition: 2 × 250.
+        assert_eq!(b.run, 120.0);
+        assert_eq!(b.idle, 800.0);
+        assert_eq!(b.transition, 500.0);
+        assert_eq!(ledger.transition_count(), 2);
+    }
+
+    #[test]
+    fn ledger_transition_count_matches_free_function() {
+        let s = spec(250.0);
+        let mut ledger = ServerLedger::new(s);
+        assert_eq!(ledger.transition_count(), 0);
+        let vms = [
+            vm(0, 1.0, 1.0, 1, 2),
+            vm(1, 1.0, 1.0, 5, 6),
+            vm(2, 1.0, 1.0, 10, 11),
+            vm(3, 1.0, 1.0, 3, 4), // closes the kept-on gap
+        ];
+        for v in &vms {
+            ledger.host(v);
+            assert_eq!(
+                ledger.transition_count(),
+                transition_count(&s, ledger.segments()),
+                "after hosting {v}"
+            );
+        }
+        for v in &vms {
+            ledger.unhost(v);
+            assert_eq!(
+                ledger.transition_count(),
+                transition_count(&s, ledger.segments()),
+                "after unhosting {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        let ledger = ServerLedger::new(spec(50.0));
+        let b = ledger.energy_breakdown();
+        assert_eq!((b.run, b.idle, b.transition), (0.0, 0.0, 0.0));
     }
 
     #[test]

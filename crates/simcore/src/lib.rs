@@ -74,7 +74,7 @@ pub use error::{Error, Result};
 pub use problem::{AllocationProblem, ProblemBuilder, ProblemStats};
 pub use resources::Resources;
 pub use schedule::{Piece, Schedule, ScheduleAudit};
-pub use segments::{CoverageSet, InsertionDelta, RemovalDelta, Segment, SegmentSet};
+pub use segments::{CoverageSet, GapMeasure, InsertionDelta, RemovalDelta, Segment, SegmentSet};
 pub use server::{PowerModel, ServerId, ServerSpec};
 pub use time::{Interval, TimeUnit};
 pub use timeline::UsageProfile;

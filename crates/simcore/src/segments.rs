@@ -53,12 +53,12 @@ impl fmt::Display for Segment {
 /// power parameters this yields the exact change in segment energy cost
 /// as pure arithmetic — no clone, no rescan of the resident segments.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct InsertionDelta {
+pub struct InsertionDelta<M = f64> {
     /// Increase in total busy time (`busy_time` after − before).
     pub busy_added: u64,
     /// Change in the sum of per-gap costs over interior gaps, as priced
     /// by the closure given to [`SegmentSet::insertion_delta`].
-    pub gap_cost_delta: f64,
+    pub gap_cost_delta: M,
     /// Whether the set was empty, i.e. this insertion creates the first
     /// busy segment (the initial switch-on).
     pub first_segment: bool,
@@ -73,7 +73,7 @@ pub struct InsertionDelta {
 /// relocates/swaps and migration score "what does taking this interval
 /// *off* the server save?" as pure arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RemovalDelta {
+pub struct RemovalDelta<M = f64> {
     /// Decrease in total busy time (`busy_time` before − after).
     pub busy_removed: u64,
     /// Change in the sum of per-gap costs over interior gaps (after −
@@ -81,7 +81,7 @@ pub struct RemovalDelta {
     /// [`SegmentSet::removal_delta`]. Usually positive (removing busy
     /// time opens or widens gaps) but can be negative when a boundary
     /// segment disappears and its gap with it.
-    pub gap_cost_delta: f64,
+    pub gap_cost_delta: M,
     /// Whether the removal empties the set — the last busy segment is
     /// gone and the initial switch-on charge is refunded.
     pub last_segment: bool,
@@ -93,6 +93,53 @@ pub struct RemovalDelta {
 fn gap_len(prev_end: TimeUnit, next_start: TimeUnit) -> u64 {
     debug_assert!(u64::from(prev_end) + 1 < u64::from(next_start));
     u64::from(next_start) - u64::from(prev_end) - 1
+}
+
+/// Output of a gap measure usable with [`SegmentSet::insertion_delta`]
+/// and [`SegmentSet::removal_delta`]. The delta walk combines per-gap
+/// measure values linearly, so any type with zero / add / sub works:
+/// `f64` for a priced delta, or a tuple of `f64`s to collect several
+/// measures in a single walk (the ledger's cost-decomposition caches
+/// ride along with the priced delta this way, at one walk per edit).
+pub trait GapMeasure: Copy {
+    /// The additive identity.
+    const ZERO: Self;
+    /// Componentwise addition.
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+    /// Componentwise subtraction.
+    #[must_use]
+    fn sub(self, rhs: Self) -> Self;
+}
+
+impl GapMeasure for f64 {
+    const ZERO: Self = 0.0;
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+}
+
+impl GapMeasure for (f64, f64) {
+    const ZERO: Self = (0.0, 0.0);
+    fn add(self, rhs: Self) -> Self {
+        (self.0 + rhs.0, self.1 + rhs.1)
+    }
+    fn sub(self, rhs: Self) -> Self {
+        (self.0 - rhs.0, self.1 - rhs.1)
+    }
+}
+
+impl GapMeasure for (f64, f64, f64) {
+    const ZERO: Self = (0.0, 0.0, 0.0);
+    fn add(self, rhs: Self) -> Self {
+        (self.0 + rhs.0, self.1 + rhs.1, self.2 + rhs.2)
+    }
+    fn sub(self, rhs: Self) -> Self {
+        (self.0 - rhs.0, self.1 - rhs.1, self.2 - rhs.2)
+    }
 }
 
 /// A canonical set of disjoint, non-adjacent closed intervals — the busy
@@ -209,20 +256,20 @@ impl SegmentSet {
     /// Together with the run cost of the inserted VM this is the exact
     /// incremental energy cost the MIEC heuristic minimises; see
     /// `ServerLedger::incremental_cost`.
-    pub fn insertion_delta(
+    pub fn insertion_delta<M: GapMeasure>(
         &self,
         interval: Interval,
-        gap_cost: impl Fn(u64) -> f64,
-    ) -> InsertionDelta {
+        gap_cost: impl Fn(u64) -> M,
+    ) -> InsertionDelta<M> {
         let (lo, hi, merged) = self.merge_range(interval);
         let absorbed: u64 = self.segments[lo..hi]
             .iter()
             .map(|&(s, e)| Interval::new(s, e).len())
             .sum();
-        let mut delta = 0.0;
+        let mut delta = M::ZERO;
         // Interior gaps between consecutive absorbed segments become busy.
         for w in self.segments[lo..hi].windows(2) {
-            delta -= gap_cost(gap_len(w[0].1, w[1].0));
+            delta = delta.sub(gap_cost(gap_len(w[0].1, w[1].0)));
         }
         if lo < hi {
             // The hull may extend past the outermost absorbed segments,
@@ -232,7 +279,7 @@ impl SegmentSet {
                 let old = gap_len(left_end, self.segments[lo].0);
                 let new = gap_len(left_end, merged.start());
                 if new != old {
-                    delta += gap_cost(new) - gap_cost(old);
+                    delta = delta.add(gap_cost(new)).sub(gap_cost(old));
                 }
             }
             if hi < self.segments.len() {
@@ -240,7 +287,7 @@ impl SegmentSet {
                 let old = gap_len(self.segments[hi - 1].1, right_start);
                 let new = gap_len(merged.end(), right_start);
                 if new != old {
-                    delta += gap_cost(new) - gap_cost(old);
+                    delta = delta.add(gap_cost(new)).sub(gap_cost(old));
                 }
             }
         } else {
@@ -250,12 +297,13 @@ impl SegmentSet {
             let right = self.segments.get(lo).map(|&(s, _)| s);
             match (left, right) {
                 (Some(le), Some(rs)) => {
-                    delta += gap_cost(gap_len(le, merged.start()))
-                        + gap_cost(gap_len(merged.end(), rs))
-                        - gap_cost(gap_len(le, rs));
+                    delta = delta
+                        .add(gap_cost(gap_len(le, merged.start())))
+                        .add(gap_cost(gap_len(merged.end(), rs)))
+                        .sub(gap_cost(gap_len(le, rs)));
                 }
-                (Some(le), None) => delta += gap_cost(gap_len(le, merged.start())),
-                (None, Some(rs)) => delta += gap_cost(gap_len(merged.end(), rs)),
+                (Some(le), None) => delta = delta.add(gap_cost(gap_len(le, merged.start()))),
+                (None, Some(rs)) => delta = delta.add(gap_cost(gap_len(merged.end(), rs))),
                 (None, None) => {}
             }
         }
@@ -321,16 +369,16 @@ impl SegmentSet {
     /// Together with the freed VM's run cost this is the exact
     /// decremental energy cost the local-search and migration layers
     /// maximise; see `ServerLedger::decremental_cost`.
-    pub fn removal_delta(
+    pub fn removal_delta<M: GapMeasure>(
         &self,
         interval: Interval,
-        gap_cost: impl Fn(u64) -> f64,
-    ) -> RemovalDelta {
+        gap_cost: impl Fn(u64) -> M,
+    ) -> RemovalDelta<M> {
         let (lo, hi) = self.overlap_range(interval);
         if lo >= hi {
             return RemovalDelta {
                 busy_removed: 0,
-                gap_cost_delta: 0.0,
+                gap_cost_delta: M::ZERO,
                 last_segment: false,
             };
         }
@@ -342,11 +390,11 @@ impl SegmentSet {
                     .map_or(0, |i| i.len())
             })
             .sum();
-        let mut delta = 0.0;
+        let mut delta = M::ZERO;
         // Interior gaps between consecutive overlapped segments dissolve
         // into the freed region.
         for w in self.segments[lo..hi].windows(2) {
-            delta -= gap_cost(gap_len(w[0].1, w[1].0));
+            delta = delta.sub(gap_cost(gap_len(w[0].1, w[1].0)));
         }
         // Surviving remnants of the outermost overlapped segments.
         let left_remnant = self.segments[lo].0 < interval.start();
@@ -367,18 +415,18 @@ impl SegmentSet {
             right_neighbor
         };
         if let (Some(le), Some(rs)) = (left_end, right_start) {
-            delta += gap_cost(gap_len(le, rs));
+            delta = delta.add(gap_cost(gap_len(le, rs)));
         }
         // Old boundary gaps next to disappearing segment edges are
         // absorbed (into the new gap above, or into boundary free time).
         if !left_remnant {
             if let Some(le) = left_neighbor {
-                delta -= gap_cost(gap_len(le, self.segments[lo].0));
+                delta = delta.sub(gap_cost(gap_len(le, self.segments[lo].0)));
             }
         }
         if !right_remnant {
             if let Some(rs) = right_neighbor {
-                delta -= gap_cost(gap_len(self.segments[hi - 1].1, rs));
+                delta = delta.sub(gap_cost(gap_len(self.segments[hi - 1].1, rs)));
             }
         }
         RemovalDelta {

@@ -390,4 +390,74 @@ proptest! {
         prop_assert_eq!(ledger.cost().to_bits(), before.cost().to_bits());
         prop_assert!((ledger.cost() - full_cost(ledger.spec(), &hosted)).abs() < 1e-6);
     }
+
+    /// The per-server energy decomposition reproduces `cost()` bit for
+    /// bit across random host / unhost / checkpoint-restore sequences,
+    /// and every term matches an independent rescan of the segments.
+    #[test]
+    fn energy_breakdown_reproduces_cost_bit_for_bit(
+        spec in arb_spec(),
+        vms in proptest::collection::vec((arb_interval(), 1u32..4, 1u32..4, 0u32..4), 0..16),
+    ) {
+        let mut ledger = ServerLedger::new(spec);
+        let mut resident: Vec<Vm> = Vec::new();
+        for (j, (iv, cpu, mem, action)) in vms.into_iter().enumerate() {
+            let vm = Vm::new(j as u32, Resources::new(f64::from(cpu), f64::from(mem)), iv);
+            match action {
+                // Mostly host; sometimes unhost a resident VM or run a
+                // host/unhost probe bracketed by checkpoint-restore.
+                0 | 1 => {
+                    if ledger.fits(&vm) {
+                        ledger.host(&vm);
+                        resident.push(vm);
+                    }
+                }
+                2 => {
+                    if let Some(victim) = resident.pop() {
+                        ledger.unhost(&victim);
+                    }
+                }
+                _ => {
+                    if ledger.fits(&vm) {
+                        let checkpoint = ledger.checkpoint();
+                        ledger.host(&vm);
+                        ledger.unhost(&vm);
+                        ledger.restore_costs(checkpoint);
+                    }
+                }
+            }
+
+            let b = ledger.energy_breakdown();
+            // The headline identity, exact to the last bit.
+            prop_assert_eq!(
+                (b.run + b.idle + b.transition).to_bits(),
+                ledger.cost().to_bits()
+            );
+            prop_assert_eq!(b.total().to_bits(), ledger.cost().to_bits());
+
+            // Each term against an independent rescan of the segments.
+            let segments = ledger.segments();
+            let kept_on: u64 = segments
+                .gaps()
+                .filter(|g| !ledger.spec().switches_off_for_gap(g.len()))
+                .map(|g| g.len())
+                .sum();
+            let off_gaps = segments
+                .gaps()
+                .filter(|g| ledger.spec().switches_off_for_gap(g.len()))
+                .count() as u64;
+            let expected_transitions =
+                if segments.is_empty() { 0 } else { 1 + off_gaps };
+            prop_assert_eq!(ledger.transition_count(), expected_transitions);
+            prop_assert_eq!(b.run.to_bits(), ledger.run_cost().to_bits());
+            prop_assert_eq!(
+                b.idle.to_bits(),
+                ledger.spec().idle_cost(segments.busy_time() + kept_on).to_bits()
+            );
+            prop_assert_eq!(
+                b.transition.to_bits(),
+                (ledger.spec().transition_cost() * expected_transitions as f64).to_bits()
+            );
+        }
+    }
 }
