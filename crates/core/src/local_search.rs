@@ -20,12 +20,14 @@
 use crate::classes::spec_classes;
 use crate::{AllocError, AllocResult, Allocator};
 use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
+use esvm_par::Parallelism;
 use esvm_simcore::energy::full_cost;
 use esvm_simcore::{
     AllocationProblem, Assignment, ServerId, ServerLedger, ServerSpec, Vm, VmId,
 };
 use rand::RngCore;
 use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
 
 /// Per-server evaluation state for the search: a delta-scored
 /// [`ServerLedger`] plus the hosted VM list with an id → slot map so
@@ -212,6 +214,7 @@ pub struct LocalSearch {
     enable_swaps: bool,
     ordered_targets: bool,
     reference: bool,
+    par: Parallelism,
 }
 
 impl Default for LocalSearch {
@@ -221,6 +224,7 @@ impl Default for LocalSearch {
             enable_swaps: true,
             ordered_targets: false,
             reference: false,
+            par: Parallelism::sequential(),
         }
     }
 }
@@ -266,6 +270,26 @@ impl LocalSearch {
         self
     }
 
+    /// Scores relocate/swap candidate shards on `par.threads()` threads.
+    /// The accepted-move trajectory — and therefore the refined
+    /// placement, cost, and energy breakdown — is **bit-identical** for
+    /// every thread count: shards are scored read-only, reduced in visit
+    /// order, and the state-mutating checkpointed probe path stays on
+    /// the conductor thread (see DESIGN.md "Concurrency model").
+    ///
+    /// Ignored by [`LocalSearch::reference`]: the oracle stays on the
+    /// seed's sequential clone-and-rescan path unconditionally, so there
+    /// is always a bit-faithful baseline to differential-test against.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The configured thread-count policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
     /// Refines a complete assignment; the result never costs more.
     ///
     /// # Errors
@@ -306,6 +330,9 @@ impl LocalSearch {
         let problem = base.problem();
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
+        }
+        if self.par.threads() > 1 && !self.reference {
+            return self.refine_parallel(base, sink, metrics);
         }
 
         let mut hosts: Vec<Host> = problem.servers().iter().map(|s| Host::new(*s)).collect();
@@ -518,6 +545,466 @@ impl LocalSearch {
             metrics.add("local_search.swap_probe_rollbacks", probe_rollbacks);
         }
 
+        let placement: Vec<Option<ServerId>> = location.into_iter().map(Some).collect();
+        let refined =
+            Assignment::from_placement(problem, &placement).map_err(AllocError::Placement)?;
+        Ok((refined, moves))
+    }
+
+    /// The parallel twin of the fast path of
+    /// [`LocalSearch::refine_observed`]: relocate targets and swap
+    /// partners are scored read-only on pool shards and reduced in
+    /// visit order, preserving first-improvement semantics exactly.
+    ///
+    /// Determinism contract (see DESIGN.md "Concurrency model"):
+    ///
+    /// * **Relocate** — the conductor builds the pruned target list in
+    ///   visit order; each chunk reports the *first* improving target
+    ///   of its shard; the reduction takes the first entry in ascending
+    ///   chunk order — the exact target the sequential scan's `break`
+    ///   accepts, with the identical delta (pure `&self` arithmetic on
+    ///   the same ledger state).
+    /// * **Swap** — for a fixed `a`, partners `b` are scored in
+    ///   batches. A shard resolves a pair itself only when both sides
+    ///   take the influence-region fast path (read-only); any pair
+    ///   needing a checkpointed probe is reported back and resolved on
+    ///   the conductor, in visit order, with `&mut` access — probes
+    ///   never run concurrently. Acceptance invalidates all later
+    ///   speculative entries: the batch restarts at `b + 1` under the
+    ///   new state, which is exactly where the sequential inner loop
+    ///   continues.
+    ///
+    /// Counter semantics: relocate tallies and `spec_class_pruned` are
+    /// identical to the sequential run (post-acceptance shard work is
+    /// discarded from the counts). Swap `considered`/`fastpath` tallies
+    /// can slightly overcount within the accepting shard (speculative
+    /// scoring past the accepted pair) — diagnostic, not part of the
+    /// equality contract; placements, costs, and the move trace are.
+    fn refine_parallel<'p, S: EventSink>(
+        &self,
+        base: &Assignment<'p>,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
+        enum Job {
+            Idle,
+            Relocate {
+                vm: Vm,
+                removal_gain: f64,
+                /// Pruned target server ids, in visit order.
+                targets: Vec<u32>,
+            },
+            Swap {
+                va: Vm,
+                sa: ServerId,
+                /// Shard item `k` maps to partner `b = b_from + k`.
+                b_from: usize,
+            },
+        }
+        struct State {
+            hosts: Vec<Host>,
+            location: Vec<ServerId>,
+            job: Job,
+        }
+        /// Shard verdicts, ascending `k`: `Some(delta)` is an improving
+        /// move the shard fully scored; `None` is a pair needing the
+        /// conductor's checkpointed probe.
+        #[derive(Default)]
+        struct ChunkOut {
+            entries: Vec<(u32, Option<f64>)>,
+            considered: u64,
+            fast_sides: u64,
+        }
+
+        let problem = base.problem();
+        let mut hosts: Vec<Host> = problem.servers().iter().map(|s| Host::new(*s)).collect();
+        let mut location: Vec<ServerId> = Vec::with_capacity(problem.vm_count());
+        for (j, slot) in base.placement().iter().enumerate() {
+            let server = slot.expect("complete");
+            hosts[server.index()].add(problem.vms()[j]);
+            location.push(server);
+        }
+        let state = RwLock::new(State {
+            hosts,
+            location,
+            job: Job::Idle,
+        });
+        let n_vms = problem.vm_count();
+        let n_servers = problem.server_count();
+        let slots: Vec<Mutex<ChunkOut>> = (0..self.par.max_chunks(n_vms.max(n_servers)))
+            .map(|_| Mutex::new(ChunkOut::default()))
+            .collect();
+        let instrumented = S::ENABLED;
+
+        let worker = |chunk: usize, range: std::ops::Range<usize>| {
+            let st = state.read().expect("local search state lock poisoned");
+            let mut out = ChunkOut::default();
+            match &st.job {
+                Job::Idle => {}
+                Job::Relocate {
+                    vm,
+                    removal_gain,
+                    targets,
+                } => {
+                    for k in range {
+                        let host = &st.hosts[targets[k] as usize];
+                        if !host.fits(vm) {
+                            continue;
+                        }
+                        let delta = removal_gain + host.ledger.incremental_cost(vm);
+                        if instrumented {
+                            out.considered += 1;
+                        }
+                        if delta < -1e-9 {
+                            // First improvement ends the shard: later
+                            // targets are unreachable sequentially too.
+                            out.entries.push((k as u32, Some(delta)));
+                            break;
+                        }
+                    }
+                }
+                Job::Swap { va, sa, b_from } => {
+                    for k in range {
+                        let b = b_from + k;
+                        let sb = st.location[b];
+                        if sb == *sa {
+                            continue;
+                        }
+                        let vb = problem.vms()[b];
+                        let ha = &st.hosts[sa.index()];
+                        let hb = &st.hosts[sb.index()];
+                        if !ha.ledger.fits_replacing(&vb, va)
+                            || !hb.ledger.fits_replacing(va, &vb)
+                        {
+                            continue;
+                        }
+                        let seg_a = ha.ledger.segments();
+                        let seg_b = hb.ledger.segments();
+                        let independent = !seg_a
+                            .influence_region(va.interval())
+                            .overlaps(seg_a.influence_region(vb.interval()))
+                            && !seg_b
+                                .influence_region(vb.interval())
+                                .overlaps(seg_b.influence_region(va.interval()));
+                        if independent {
+                            let da = ha.ledger.incremental_cost(&vb)
+                                - ha.ledger.decremental_cost(va);
+                            let db = hb.ledger.incremental_cost(va)
+                                - hb.ledger.decremental_cost(&vb);
+                            if instrumented {
+                                out.considered += 1;
+                                out.fast_sides += 2;
+                            }
+                            if da + db < -1e-9 {
+                                out.entries.push((k as u32, Some(da + db)));
+                                break;
+                            }
+                        } else {
+                            // Probes mutate the ledger; defer to the
+                            // conductor. Keep scanning: if the probe
+                            // rejects, later pairs are still needed.
+                            out.entries.push((k as u32, None));
+                        }
+                    }
+                }
+            }
+            *slots[chunk].lock().expect("local search chunk slot poisoned") = out;
+        };
+
+        let classes = spec_classes(problem.servers());
+        let (moves, stats) = esvm_par::scope(self.par, worker, |pool| {
+            let mut class_seen: Vec<u64> = vec![u64::MAX; classes.count];
+            let mut scan: u64 = 0;
+            let mut order: Vec<usize> = (0..n_servers).collect();
+            // `pruned_prefix[k]`: asleep twins pruned before target `k`
+            // in visit order — the sequential scan stops counting at its
+            // acceptance `break`, so the tally must too.
+            let mut pruned_prefix: Vec<u64> = Vec::with_capacity(n_servers);
+            let mut moves: Vec<SearchMove> = Vec::new();
+            let mut rounds = 0u64;
+            let mut relocates_considered = 0u64;
+            let mut relocates_accepted = 0u64;
+            let mut swaps_considered = 0u64;
+            let mut swaps_accepted = 0u64;
+            let mut pruned_targets = 0u64;
+            let mut fastpath_hits = 0u64;
+            let mut probe_rollbacks = 0u64;
+
+            for _ in 0..self.max_rounds {
+                let mut improved = false;
+                if S::ENABLED {
+                    rounds += 1;
+                }
+
+                // Relocate moves: one generation per VM.
+                for j in 0..n_vms {
+                    let vm = problem.vms()[j];
+                    let (src, n_targets);
+                    {
+                        // Workers are quiescent between dispatches, so
+                        // the write lock is uncontended by construction.
+                        let mut st = state.write().expect("state lock poisoned");
+                        let st = &mut *st;
+                        src = st.location[j];
+                        let removal_gain =
+                            -st.hosts[src.index()].ledger.decremental_cost(&vm);
+                        if self.ordered_targets {
+                            let hosts = &st.hosts;
+                            order.sort_unstable_by(|&x, &y| {
+                                hosts[x].cost().total_cmp(&hosts[y].cost()).then(x.cmp(&y))
+                            });
+                        }
+                        scan += 1;
+                        let mut targets = match std::mem::replace(&mut st.job, Job::Idle) {
+                            Job::Relocate { targets, .. } => targets,
+                            _ => Vec::with_capacity(n_servers),
+                        };
+                        targets.clear();
+                        pruned_prefix.clear();
+                        let mut vm_pruned = 0u64;
+                        for &i in &order {
+                            if i == src.index() {
+                                continue;
+                            }
+                            if st.hosts[i].vms.is_empty() {
+                                let class = classes.class_of[i];
+                                if class_seen[class] == scan {
+                                    if S::ENABLED {
+                                        vm_pruned += 1;
+                                    }
+                                    continue;
+                                }
+                                class_seen[class] = scan;
+                            }
+                            if S::ENABLED {
+                                pruned_prefix.push(vm_pruned);
+                            }
+                            targets.push(i as u32);
+                        }
+                        if S::ENABLED {
+                            // Sentinel: prunes seen by a full (no-accept)
+                            // scan, including trailing ones.
+                            pruned_prefix.push(vm_pruned);
+                        }
+                        n_targets = targets.len();
+                        st.job = Job::Relocate {
+                            vm,
+                            removal_gain,
+                            targets,
+                        };
+                    }
+                    pool.dispatch(n_targets);
+                    let (_, n_chunks) = self.par.chunking(n_targets);
+                    let mut accept: Option<(usize, f64)> = None;
+                    for slot in &slots[..n_chunks] {
+                        let out = slot.lock().expect("chunk slot poisoned");
+                        if S::ENABLED {
+                            relocates_considered += out.considered;
+                        }
+                        if let Some(&(k, Some(delta))) = out.entries.first() {
+                            accept = Some((k as usize, delta));
+                            // Later shards' work is speculative past the
+                            // first improvement; drop it from the tallies
+                            // to match the sequential scan exactly.
+                            break;
+                        }
+                    }
+                    if S::ENABLED {
+                        pruned_targets += match accept {
+                            Some((k, _)) => pruned_prefix[k],
+                            None => *pruned_prefix.last().expect("sentinel"),
+                        };
+                    }
+                    if let Some((k, delta)) = accept {
+                        let mut st = state.write().expect("state lock poisoned");
+                        let st = &mut *st;
+                        let dst_index = match &st.job {
+                            Job::Relocate { targets, .. } => targets[k] as usize,
+                            _ => unreachable!("job still holds this VM's targets"),
+                        };
+                        let dst = ServerId(dst_index as u32);
+                        let v = st.hosts[src.index()].remove(vm.id());
+                        st.hosts[dst_index].add(v);
+                        st.location[j] = dst;
+                        moves.push(SearchMove::Relocate {
+                            vm: vm.id(),
+                            from: src,
+                            to: dst,
+                            delta,
+                        });
+                        improved = true;
+                        if S::ENABLED {
+                            relocates_accepted += 1;
+                            metrics.observe("local_search.accepted_delta", -delta);
+                            sink.emit(&Event {
+                                name: "local_search.relocate",
+                                fields: &[
+                                    ("vm", FieldValue::U64(vm.id().index() as u64)),
+                                    ("from", FieldValue::U64(src.index() as u64)),
+                                    ("to", FieldValue::U64(dst.index() as u64)),
+                                    ("delta", FieldValue::F64(delta)),
+                                ],
+                            });
+                        }
+                    }
+                }
+
+                // Swap moves: batches of partners for each fixed `a`.
+                if self.enable_swaps {
+                    for a in 0..n_vms {
+                        let va = problem.vms()[a];
+                        let mut b_from = a + 1;
+                        while b_from < n_vms {
+                            let sa;
+                            {
+                                let mut st = state.write().expect("state lock poisoned");
+                                // Re-read per batch: an accepted swap
+                                // moves `a` to a new server.
+                                sa = st.location[a];
+                                st.job = Job::Swap { va, sa, b_from };
+                            }
+                            let n_items = n_vms - b_from;
+                            pool.dispatch(n_items);
+                            let (_, n_chunks) = self.par.chunking(n_items);
+                            let mut accepted: Option<(usize, f64)> = None;
+                            'chunks: for slot in &slots[..n_chunks] {
+                                let out = slot.lock().expect("chunk slot poisoned");
+                                if S::ENABLED {
+                                    swaps_considered += out.considered;
+                                    fastpath_hits += out.fast_sides;
+                                }
+                                for &(k, verdict) in &out.entries {
+                                    let b = b_from + k as usize;
+                                    match verdict {
+                                        Some(delta) => {
+                                            accepted = Some((b, delta));
+                                            break 'chunks;
+                                        }
+                                        None => {
+                                            // Checkpointed probe, conductor
+                                            // only — never concurrent.
+                                            let mut st = state
+                                                .write()
+                                                .expect("state lock poisoned");
+                                            let st = &mut *st;
+                                            let sb = st.location[b];
+                                            let vb = problem.vms()[b];
+                                            let (ha, hb) = pair_mut(
+                                                &mut st.hosts,
+                                                sa.index(),
+                                                sb.index(),
+                                            );
+                                            let (da, fast_a) =
+                                                swap_side_delta(ha, &va, &vb);
+                                            let (db, fast_b) =
+                                                swap_side_delta(hb, &vb, &va);
+                                            if S::ENABLED {
+                                                swaps_considered += 1;
+                                                for fast in [fast_a, fast_b] {
+                                                    if fast {
+                                                        fastpath_hits += 1;
+                                                    } else {
+                                                        probe_rollbacks += 1;
+                                                    }
+                                                }
+                                            }
+                                            if da + db < -1e-9 {
+                                                accepted = Some((b, da + db));
+                                                break 'chunks;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            match accepted {
+                                Some((b, delta)) => {
+                                    let mut st =
+                                        state.write().expect("state lock poisoned");
+                                    let st = &mut *st;
+                                    let sb = st.location[b];
+                                    let vb = problem.vms()[b];
+                                    let va_owned = st.hosts[sa.index()].remove(va.id());
+                                    let vb_owned = st.hosts[sb.index()].remove(vb.id());
+                                    st.hosts[sa.index()].add(vb_owned);
+                                    st.hosts[sb.index()].add(va_owned);
+                                    st.location[a] = sb;
+                                    st.location[b] = sa;
+                                    moves.push(SearchMove::Swap {
+                                        a: va.id(),
+                                        b: vb.id(),
+                                        server_a: sa,
+                                        server_b: sb,
+                                        delta,
+                                    });
+                                    improved = true;
+                                    if S::ENABLED {
+                                        swaps_accepted += 1;
+                                        metrics
+                                            .observe("local_search.accepted_delta", -delta);
+                                        sink.emit(&Event {
+                                            name: "local_search.swap",
+                                            fields: &[
+                                                ("a", FieldValue::U64(va.id().index() as u64)),
+                                                ("b", FieldValue::U64(vb.id().index() as u64)),
+                                                (
+                                                    "server_a",
+                                                    FieldValue::U64(sa.index() as u64),
+                                                ),
+                                                (
+                                                    "server_b",
+                                                    FieldValue::U64(sb.index() as u64),
+                                                ),
+                                                ("delta", FieldValue::F64(delta)),
+                                            ],
+                                        });
+                                    }
+                                    // Resume exactly where the sequential
+                                    // inner loop continues, under the new
+                                    // state.
+                                    b_from = b + 1;
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                }
+
+                if !improved {
+                    break;
+                }
+            }
+
+            if S::ENABLED {
+                metrics.add("local_search.rounds", rounds);
+                metrics.add("local_search.relocates_considered", relocates_considered);
+                metrics.add("local_search.relocates_accepted", relocates_accepted);
+                metrics.add(
+                    "local_search.relocates_rejected",
+                    relocates_considered - relocates_accepted,
+                );
+                metrics.add("local_search.swaps_considered", swaps_considered);
+                metrics.add("local_search.swaps_accepted", swaps_accepted);
+                metrics.add(
+                    "local_search.swaps_rejected",
+                    swaps_considered.saturating_sub(swaps_accepted),
+                );
+                metrics.add("local_search.spec_class_pruned", pruned_targets);
+                metrics.add("local_search.swap_fastpath_hits", fastpath_hits);
+                metrics.add("local_search.swap_probe_rollbacks", probe_rollbacks);
+            }
+            (moves, pool.stats())
+        });
+        if S::ENABLED {
+            metrics.add("local_search.par.generations", stats.generations);
+            metrics.add("local_search.par.chunks", stats.chunks);
+            metrics.add("local_search.par.steals", stats.steals);
+            metrics.set_gauge("local_search.par.imbalance", stats.imbalance);
+        }
+
+        let location = state
+            .into_inner()
+            .expect("state lock poisoned")
+            .location;
         let placement: Vec<Option<ServerId>> = location.into_iter().map(Some).collect();
         let refined =
             Assignment::from_placement(problem, &placement).map_err(AllocError::Placement)?;
@@ -758,6 +1245,91 @@ mod tests {
             .unwrap();
         assert!(refined.audit().is_ok());
         assert!(refined.total_cost() <= base.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn parallel_refinement_matches_sequential_trajectory() {
+        let p = problem();
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+            let (sequential, seq_moves) = LocalSearch::new().refine_traced(&base).unwrap();
+            for threads in [2usize, 4, 8] {
+                let (parallel, par_moves) = LocalSearch::new()
+                    .with_parallelism(Parallelism::new(threads))
+                    .refine_traced(&base)
+                    .unwrap();
+                assert_eq!(seq_moves, par_moves, "seed {seed} threads {threads}");
+                assert_eq!(sequential.placement(), parallel.placement());
+                assert_eq!(
+                    sequential.total_cost().to_bits(),
+                    parallel.total_cost().to_bits(),
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_variants_preserve_trajectories_too() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        for make in [
+            || LocalSearch::new().with_ordered_targets(),
+            || LocalSearch::new().relocate_only(),
+            || LocalSearch::new().with_max_rounds(2),
+        ] as [fn() -> LocalSearch; 3]
+        {
+            let (sequential, seq_moves) = make().refine_traced(&base).unwrap();
+            let (parallel, par_moves) = make()
+                .with_parallelism(Parallelism::new(4))
+                .refine_traced(&base)
+                .unwrap();
+            assert_eq!(seq_moves, par_moves);
+            assert_eq!(sequential.placement(), parallel.placement());
+        }
+        // The reference oracle ignores the parallelism knob entirely.
+        let (slow, slow_moves) = LocalSearch::reference().refine_traced(&base).unwrap();
+        let (slow_par, slow_par_moves) = LocalSearch::reference()
+            .with_parallelism(Parallelism::new(4))
+            .refine_traced(&base)
+            .unwrap();
+        assert_eq!(slow_moves, slow_par_moves);
+        assert_eq!(slow.placement(), slow_par.placement());
+    }
+
+    #[test]
+    fn parallel_relocate_counters_match_sequential() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        let seq_metrics = MetricsRegistry::new();
+        let par_metrics = MetricsRegistry::new();
+        LocalSearch::new()
+            .refine_observed(&base, &mut esvm_obs::MemorySink::new(), &seq_metrics)
+            .unwrap();
+        LocalSearch::new()
+            .with_parallelism(Parallelism::new(4))
+            .refine_observed(&base, &mut esvm_obs::MemorySink::new(), &par_metrics)
+            .unwrap();
+        // Relocate tallies are exact under parallelism; swap tallies may
+        // overcount speculative shard work and are not compared.
+        for name in [
+            "local_search.rounds",
+            "local_search.relocates_considered",
+            "local_search.relocates_accepted",
+            "local_search.relocates_rejected",
+            "local_search.spec_class_pruned",
+            "local_search.swaps_accepted",
+        ] {
+            assert_eq!(
+                seq_metrics.counter(name),
+                par_metrics.counter(name),
+                "{name}"
+            );
+        }
+        assert!(par_metrics.counter("local_search.par.generations") > 0);
     }
 
     #[test]

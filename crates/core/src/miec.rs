@@ -2,8 +2,10 @@
 
 use crate::{AllocError, AllocResult, Allocator};
 use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
+use esvm_par::Parallelism;
 use esvm_simcore::{AllocationProblem, Assignment, ServerId, ServerLedger};
 use rand::RngCore;
+use std::sync::{Mutex, RwLock};
 
 /// The heuristic of Section III.
 ///
@@ -51,6 +53,7 @@ pub struct Miec {
     assumed_duration: Option<u32>,
     reference: bool,
     unpruned: bool,
+    par: Parallelism,
 }
 
 impl Miec {
@@ -120,6 +123,22 @@ impl Miec {
         }
     }
 
+    /// Scores candidate shards on `par.threads()` threads. Placements,
+    /// costs, and energy breakdowns are **bit-identical** for every
+    /// thread count: candidate scoring is read-only over replicated
+    /// ledgers, and the argmin reduction merges chunk minima in
+    /// ascending server-id order with the same strict `<` (Eq. 7
+    /// lowest-id tie-breaking) as the sequential scan.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The configured thread-count policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
     /// The interval used for *scoring* `vm` (the true one, unless a
     /// duration assumption is configured).
     fn scoring_vm(&self, vm: &esvm_simcore::Vm) -> esvm_simcore::Vm {
@@ -149,6 +168,9 @@ impl Miec {
         sink: &mut S,
         metrics: &MetricsRegistry,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
+        if self.par.threads() > 1 {
+            return self.run_parallel(problem, admit, sink, metrics);
+        }
         let mut assignment = Assignment::new(problem);
         let mut rejected = Vec::new();
         // Hot-loop tallies stay in registers; flushed to `metrics` once
@@ -279,6 +301,256 @@ impl Miec {
             metrics.add("miec.spec_class_pruned", pruned_total);
             metrics.add("miec.unfit_skipped", unfit_total);
             metrics.add("miec.fp_ties", fp_ties_total);
+        }
+        Ok((assignment, rejected))
+    }
+
+    /// The parallel twin of [`Miec::run`]: per VM, the candidate list is
+    /// built sequentially on the conductor (pruning stamps are order-
+    /// sensitive), then `incremental_cost` shards are scored on the pool
+    /// and reduced to the sequential argmin.
+    ///
+    /// Determinism contract (see DESIGN.md "Concurrency model"): worker
+    /// chunks are **read-only** over ledgers replicated from the
+    /// assignment (hosted in the same VM order, hence bit-identical
+    /// float state), each chunk folds its own strict-`<` minimum over
+    /// ascending server ids, and the conductor merges chunk minima in
+    /// ascending chunk order with strict `<` — so the winner, including
+    /// Eq. 7 lowest-id tie-breaking, is bit-for-bit the sequential
+    /// pick. The assignment is then rebuilt by replaying the placements
+    /// in start-time order, the exact construction the sequential loop
+    /// performs.
+    ///
+    /// Counter semantics: `vms_placed/rejected`, `candidates_considered`,
+    /// `spec_class_pruned`, and `unfit_skipped` are identical to the
+    /// sequential run. `fp_ties` counts ties against chunk-local minima
+    /// (merged in order) rather than the sequential running best, so it
+    /// can undercount ties against bests that a later candidate
+    /// displaces; it is diagnostic, not part of the equality contract.
+    fn run_parallel<'p, S: EventSink>(
+        &self,
+        problem: &'p AllocationProblem,
+        admit: bool,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+    ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
+        struct Job {
+            /// Replica of the assignment's ledgers (same host order →
+            /// bit-identical state); `fits` and real-cost scoring.
+            real: Vec<ServerLedger>,
+            /// α = 0 replica for the ablation variant's scoring.
+            shadow: Option<Vec<ServerLedger>>,
+            /// Server indices surviving spec-class pruning for the
+            /// current VM, ascending.
+            candidates: Vec<u32>,
+            /// `(true vm, scoring vm)` for the current generation.
+            vm: Option<(esvm_simcore::Vm, esvm_simcore::Vm)>,
+        }
+        #[derive(Clone, Copy, Default)]
+        struct ChunkResult {
+            /// Chunk-local strict-`<` minimum `(delta, server id)`.
+            best: Option<(f64, u32)>,
+            /// Candidates in this chunk tying the chunk-local best.
+            ties_at_best: u64,
+            unfit: u64,
+            scored: u64,
+        }
+
+        let job = RwLock::new(Job {
+            real: problem.servers().iter().map(|s| ServerLedger::new(*s)).collect(),
+            shadow: self.ignore_transition_costs.then(|| {
+                problem
+                    .servers()
+                    .iter()
+                    .map(|s| {
+                        ServerLedger::new(esvm_simcore::ServerSpec::new(
+                            s.id(),
+                            s.capacity(),
+                            *s.power(),
+                            0.0,
+                        ))
+                    })
+                    .collect()
+            }),
+            candidates: Vec::with_capacity(problem.server_count()),
+            vm: None,
+        });
+        let slots: Vec<Mutex<ChunkResult>> = (0..self.par.max_chunks(problem.server_count()))
+            .map(|_| Mutex::new(ChunkResult::default()))
+            .collect();
+        let reference = self.reference;
+        let instrumented = S::ENABLED;
+
+        let worker = |chunk: usize, range: std::ops::Range<usize>| {
+            let job = job.read().expect("miec job lock poisoned");
+            let (vm, scoring) = job.vm.expect("dispatch without a job VM");
+            let mut out = ChunkResult::default();
+            for k in range {
+                let i = job.candidates[k] as usize;
+                if !job.real[i].fits(&vm) {
+                    out.unfit += 1;
+                    continue;
+                }
+                let delta = match (&job.shadow, reference) {
+                    (Some(ledgers), true) => ledgers[i].reference_incremental_cost(&scoring),
+                    (Some(ledgers), false) => ledgers[i].incremental_cost(&scoring),
+                    (None, true) => job.real[i].reference_incremental_cost(&scoring),
+                    (None, false) => job.real[i].incremental_cost(&scoring),
+                };
+                if instrumented {
+                    out.scored += 1;
+                    match out.best {
+                        Some((cost, _)) if delta == cost => out.ties_at_best += 1,
+                        Some((cost, _)) if delta < cost => out.ties_at_best = 0,
+                        _ => {}
+                    }
+                }
+                // Strict `<`: within a chunk the lowest server id wins
+                // ties, exactly like the sequential left-to-right scan.
+                if out.best.is_none_or(|(cost, _)| delta < cost) {
+                    out.best = Some((delta, job.candidates[k]));
+                }
+            }
+            *slots[chunk].lock().expect("miec chunk slot poisoned") = out;
+        };
+
+        let classes = crate::classes::spec_classes(problem.servers());
+        let class_of = &classes.class_of;
+        let ordered_vms = problem.vms_by_start_time();
+
+        let run = esvm_par::scope(self.par, worker, |pool| -> AllocResult<_> {
+            let mut placement: Vec<Option<ServerId>> = vec![None; problem.vm_count()];
+            let mut rejected = Vec::new();
+            let mut candidates_total = 0u64;
+            let mut pruned_total = 0u64;
+            let mut unfit_total = 0u64;
+            let mut fp_ties_total = 0u64;
+            let mut class_scored: Vec<usize> = vec![usize::MAX; classes.count];
+
+            for (step, &j) in ordered_vms.iter().enumerate() {
+                let vm = &problem.vms()[j];
+                let n_candidates;
+                let mut vm_pruned = 0u64;
+                {
+                    // Safe to mutate: `dispatch` quiesced all workers
+                    // before returning, so no reader holds the lock.
+                    let mut job = job.write().expect("miec job lock poisoned");
+                    let job = &mut *job;
+                    job.candidates.clear();
+                    for i in 0..problem.server_count() {
+                        if !self.unpruned && job.real[i].hosted_count() == 0 {
+                            let class = class_of[i];
+                            if class_scored[class] == step {
+                                if S::ENABLED {
+                                    vm_pruned += 1;
+                                }
+                                continue;
+                            }
+                            class_scored[class] = step;
+                        }
+                        job.candidates.push(i as u32);
+                    }
+                    job.vm = Some((*vm, self.scoring_vm(vm)));
+                    n_candidates = job.candidates.len();
+                    if S::ENABLED {
+                        pruned_total += vm_pruned;
+                    }
+                }
+                pool.dispatch(n_candidates);
+                // Merge chunk minima in ascending chunk order — chunk c's
+                // server ids all precede chunk c+1's, so strict `<` here
+                // reproduces the sequential fold, ties and all.
+                let (_, n_chunks) = self.par.chunking(n_candidates);
+                let mut best: Option<(f64, u32)> = None;
+                let mut candidates = 0u64;
+                for slot in &slots[..n_chunks] {
+                    let out = *slot.lock().expect("miec chunk slot poisoned");
+                    if S::ENABLED {
+                        candidates += out.scored;
+                        unfit_total += out.unfit;
+                        if let (Some((delta, _)), Some((cost, _))) = (out.best, best) {
+                            if delta == cost {
+                                // The chunk best itself ties the global
+                                // best, plus its in-chunk ties.
+                                fp_ties_total += out.ties_at_best + 1;
+                            } else if delta < cost {
+                                fp_ties_total += out.ties_at_best;
+                            }
+                        } else if let (Some(_), None) = (out.best, best) {
+                            fp_ties_total += out.ties_at_best;
+                        }
+                    }
+                    if let Some((delta, sid)) = out.best {
+                        if best.is_none_or(|(cost, _)| delta < cost) {
+                            best = Some((delta, sid));
+                        }
+                    }
+                }
+                if S::ENABLED {
+                    candidates_total += candidates;
+                }
+                match best {
+                    Some((delta, sid)) => {
+                        let mut job = job.write().expect("miec job lock poisoned");
+                        let job = &mut *job;
+                        job.real[sid as usize].host(vm);
+                        if let Some(ledgers) = job.shadow.as_mut() {
+                            ledgers[sid as usize].host(vm);
+                        }
+                        placement[vm.id().index()] = Some(ServerId(sid));
+                        if S::ENABLED {
+                            metrics.observe("miec.placement_delta", delta);
+                            sink.emit(&Event {
+                                name: "miec.place",
+                                fields: &[
+                                    ("vm", FieldValue::U64(vm.id().index() as u64)),
+                                    ("server", FieldValue::U64(u64::from(sid))),
+                                    ("delta", FieldValue::F64(delta)),
+                                    ("candidates", FieldValue::U64(candidates)),
+                                    ("pruned", FieldValue::U64(vm_pruned)),
+                                ],
+                            });
+                        }
+                    }
+                    None if admit => {
+                        if S::ENABLED {
+                            sink.emit(&Event {
+                                name: "miec.reject",
+                                fields: &[("vm", FieldValue::U64(vm.id().index() as u64))],
+                            });
+                        }
+                        rejected.push(vm.id());
+                    }
+                    None => return Err(AllocError::NoFeasibleServer(vm.id())),
+                }
+            }
+            if S::ENABLED {
+                let placed = problem.vm_count() as u64 - rejected.len() as u64;
+                metrics.add("miec.vms_placed", placed);
+                metrics.add("miec.vms_rejected", rejected.len() as u64);
+                metrics.add("miec.candidates_considered", candidates_total);
+                metrics.add("miec.spec_class_pruned", pruned_total);
+                metrics.add("miec.unfit_skipped", unfit_total);
+                metrics.add("miec.fp_ties", fp_ties_total);
+                let stats = pool.stats();
+                metrics.add("miec.par.generations", stats.generations);
+                metrics.add("miec.par.chunks", stats.chunks);
+                metrics.add("miec.par.steals", stats.steals);
+                metrics.set_gauge("miec.par.imbalance", stats.imbalance);
+            }
+            Ok((placement, rejected))
+        });
+        let (placement, rejected) = run?;
+
+        // Rebuild the assignment by replaying placements in start-time
+        // order — the exact sequence of `place` calls the sequential
+        // loop performs, so the ledgers' float state is bit-identical.
+        let mut assignment = Assignment::new(problem);
+        for &j in &ordered_vms {
+            let vm = &problem.vms()[j];
+            if let Some(sid) = placement[vm.id().index()] {
+                assignment.place(vm.id(), sid)?;
+            }
         }
         Ok((assignment, rejected))
     }
@@ -573,6 +845,87 @@ mod tests {
         // One miec.place event per VM, in placement order.
         assert_eq!(sink.lines.len(), 3);
         assert!(sink.lines.iter().all(|l| l.contains("\"event\":\"miec.place\"")));
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        use esvm_par::Parallelism;
+        let mut b = ProblemBuilder::new();
+        for i in 0..6 {
+            b = b.server(
+                Resources::new(8.0, 16.0),
+                PowerModel::new(100.0 + f64::from(i), 200.0),
+                50.0,
+            );
+        }
+        let p = b
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(6.0, 12.0), Interval::new(2, 9))
+            .vm(Resources::new(3.0, 4.0), Interval::new(4, 15))
+            .vm(Resources::new(2.0, 2.0), Interval::new(20, 25))
+            .vm(Resources::new(5.0, 8.0), Interval::new(5, 12))
+            .build()
+            .unwrap();
+        for make in [
+            Miec::new,
+            Miec::reference,
+            Miec::ignoring_transition_costs,
+            || Miec::with_assumed_duration(3),
+            || Miec::new().without_pruning(),
+        ] as [fn() -> Miec; 5]
+        {
+            let sequential = make().allocate(&p, &mut rng()).unwrap();
+            for threads in [2usize, 4, 8] {
+                let parallel = make()
+                    .with_parallelism(Parallelism::new(threads))
+                    .allocate(&p, &mut rng())
+                    .unwrap();
+                assert_eq!(sequential.placement(), parallel.placement());
+                assert_eq!(
+                    sequential.total_cost().to_bits(),
+                    parallel.total_cost().to_bits(),
+                    "{} threads={threads}",
+                    make().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_observed_counters_match_sequential() {
+        use esvm_par::Parallelism;
+        let mut b = ProblemBuilder::new();
+        for _ in 0..4 {
+            b = b.server(Resources::new(8.0, 16.0), PowerModel::new(100.0, 200.0), 50.0);
+        }
+        let p = b
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(2.0, 4.0), Interval::new(3, 12))
+            .vm(Resources::new(2.0, 4.0), Interval::new(20, 25))
+            .build()
+            .unwrap();
+        let seq_metrics = esvm_obs::MetricsRegistry::new();
+        let par_metrics = esvm_obs::MetricsRegistry::new();
+        let a = Miec::new()
+            .allocate_observed(&p, &mut esvm_obs::MemorySink::new(), &seq_metrics)
+            .unwrap();
+        let b = Miec::new()
+            .with_parallelism(Parallelism::new(4))
+            .allocate_observed(&p, &mut esvm_obs::MemorySink::new(), &par_metrics)
+            .unwrap();
+        assert_eq!(a.placement(), b.placement());
+        for name in [
+            "miec.vms_placed",
+            "miec.vms_rejected",
+            "miec.candidates_considered",
+            "miec.spec_class_pruned",
+            "miec.unfit_skipped",
+        ] {
+            assert_eq!(seq_metrics.counter(name), par_metrics.counter(name), "{name}");
+        }
+        // Pool counters only exist on the parallel run.
+        assert!(par_metrics.counter("miec.par.generations") >= 3);
+        assert_eq!(seq_metrics.counter("miec.par.generations"), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::{experiments, Figure};
 use esvm_analysis::Table;
 use esvm_core::AllocatorKind;
 use esvm_ilp::Formulation;
+use esvm_par::Parallelism;
 use esvm_workload::WorkloadConfig;
 use std::fmt;
 
@@ -78,7 +79,11 @@ commands:
 
 options (figures):
   --seeds N         Monte-Carlo seeds per point (default 50)
-  --threads N       worker threads (default: all cores)
+  --threads N       worker threads fanning seeds out (default: all
+                    cores, or ESVM_THREADS when set)
+  --algo-threads N  threads inside each allocator's scoring loops
+                    (default: ESVM_THREADS, else 1; results are
+                    bit-identical for every value)
   --quick           scaled-down VM counts and 6 seeds
   --csv             emit CSV instead of aligned tables
 
@@ -98,6 +103,8 @@ options (telemetry, compare/solve):
                     also appended to the output)
   --events-out F    stream the per-decision events of that pass as
                     JSON lines (one object per placement / move)
+  --force           allow --metrics-out / --events-out to overwrite
+                    an existing file (refused by default)
 ";
 
 /// Flag accumulator.
@@ -122,6 +129,17 @@ struct Flags {
     sizes: Option<Vec<usize>>,
     metrics_out: Option<String>,
     events_out: Option<String>,
+    force: bool,
+    algo_threads: Option<usize>,
+}
+
+impl Flags {
+    /// The thread policy for each allocator's scoring loops:
+    /// `--algo-threads` wins, otherwise the `ESVM_THREADS` default.
+    fn algo_parallelism(&self) -> Parallelism {
+        self.algo_threads
+            .map_or_else(Parallelism::from_env, Parallelism::new)
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -151,6 +169,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--quick" => flags.quick = true,
             "--csv" => flags.csv = true,
+            "--force" => flags.force = true,
+            "--algo-threads" => {
+                flags.algo_threads = Some(
+                    value("--algo-threads")?
+                        .parse()
+                        .map_err(|_| usage("--algo-threads must be an integer".into()))?,
+                )
+            }
             "--standard-vms" => flags.standard_vms = true,
             "--small-servers" => flags.small_servers = true,
             "--vms" => {
@@ -396,6 +422,7 @@ fn telemetry_rows<S: esvm_obs::EventSink>(
     problem: &esvm_simcore::AllocationProblem,
     algos: &[AllocatorKind],
     seed: u64,
+    par: Parallelism,
     sink: &mut S,
     table: &mut Table,
 ) -> Result<(), CliError> {
@@ -412,7 +439,7 @@ fn telemetry_rows<S: esvm_obs::EventSink>(
         let metrics = MetricsRegistry::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let assignment = algo
-            .allocate_observed(problem, &mut rng, sink, &metrics)
+            .allocate_observed_with(problem, &mut rng, sink, &metrics, par)
             .map_err(|error| RunError::Alloc { algo, seed, error })?;
         let report = assignment.audit().map_err(RunError::Audit)?;
         metrics.set_gauge("energy.run", report.breakdown.run);
@@ -443,18 +470,38 @@ fn telemetry_section(
     if flags.metrics_out.is_none() && flags.events_out.is_none() {
         return Ok(String::new());
     }
+    // Refuse to clobber telemetry from a previous run unless asked to:
+    // a silently overwritten metrics file is an easy way to compare an
+    // algorithm against itself.
+    if !flags.force {
+        for path in [&flags.metrics_out, &flags.events_out].into_iter().flatten() {
+            if std::path::Path::new(path).exists() {
+                return Err(CliError::Usage(format!(
+                    "refusing to overwrite existing file {path:?} (pass --force to allow)"
+                )));
+            }
+        }
+    }
+    let par = flags.algo_parallelism();
     let mut table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
     match &flags.events_out {
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
             let mut sink = esvm_obs::JsonlWriter::new(std::io::BufWriter::new(file));
-            telemetry_rows(problem, algos, seed, &mut sink, &mut table)?;
+            telemetry_rows(problem, algos, seed, par, &mut sink, &mut table)?;
             sink.finish()
                 .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
         }
         None => {
-            telemetry_rows(problem, algos, seed, &mut esvm_obs::DiscardSink, &mut table)?;
+            telemetry_rows(
+                problem,
+                algos,
+                seed,
+                par,
+                &mut esvm_obs::DiscardSink,
+                &mut table,
+            )?;
         }
     }
     let mut out = format!(
@@ -479,7 +526,9 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
         .algos
         .clone()
         .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
-    let point = MonteCarlo::new(opts.seeds, opts.threads).compare(&config, &algos)?;
+    let point = MonteCarlo::new(opts.seeds, opts.threads)
+        .with_algo_parallelism(flags.algo_parallelism())
+        .compare(&config, &algos)?;
 
     let mut table = Table::new(vec![
         "algorithm",
@@ -625,8 +674,8 @@ fn run_plan(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
             .map(|d| (vms / d).max(1))
             .collect()
     });
-    let planner =
-        crate::planner::CapacityPlanner::new(template, target, opts.seeds.clamp(2, 20));
+    let planner = crate::planner::CapacityPlanner::new(template, target, opts.seeds.clamp(2, 20))
+        .with_parallelism(Parallelism::new(opts.threads));
     let plan = planner.plan(sizes)?;
     let verdict = match plan.recommended {
         Some(p) => format!(
@@ -893,6 +942,73 @@ mod tests {
         assert!(lines.iter().any(|l| l.starts_with("{\"event\":\"miec.place\"")));
         std::fs::remove_file(&metrics_path).ok();
         std::fs::remove_file(&events_path).ok();
+    }
+
+    #[test]
+    fn telemetry_out_refuses_to_overwrite_without_force() {
+        let path = std::env::temp_dir().join("esvm_cli_overwrite_test.csv");
+        let path_str = path.to_str().unwrap().to_owned();
+        std::fs::write(&path, "precious data from an earlier run\n").unwrap();
+        let base = [
+            "compare", "--vms", "12", "--servers", "6", "--seeds", "2", "--algos", "miec",
+            "--metrics-out", &path_str,
+        ];
+
+        let err = run(&args(&base)).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("refusing to overwrite")
+                && msg.contains("--force")),
+            "{err}"
+        );
+        // The existing file is untouched after the refusal.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "precious data from an earlier run\n"
+        );
+
+        let mut forced: Vec<&str> = base.to_vec();
+        forced.push("--force");
+        let out = run(&args(&forced)).unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("algorithm,metric,kind,value"), "{csv}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fresh_telemetry_out_needs_no_force() {
+        let path = std::env::temp_dir().join("esvm_cli_fresh_out_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        let out = run(&args(&[
+            "compare", "--vms", "12", "--servers", "6", "--seeds", "2", "--algos", "miec",
+            "--events-out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("events written"), "{out}");
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_figure_name_yields_usage() {
+        for bad in ["fig1", "fig10", "figure2", "fig"] {
+            let err = run(&args(&[bad])).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Usage(msg) if msg.contains("unknown command")),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn algo_threads_flag_is_parsed_and_validated() {
+        let err = run(&args(&["fig2", "--algo-threads", "many"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let out = run(&args(&[
+            "compare", "--vms", "12", "--servers", "6", "--seeds", "2", "--algo-threads", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("mean cost"), "{out}");
     }
 
     #[test]

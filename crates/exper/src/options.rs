@@ -50,9 +50,22 @@ impl Default for ExpOptions {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
+    threads_from(std::env::var("ESVM_THREADS").ok().as_deref())
+}
+
+/// The policy behind the default thread count, factored out of the
+/// environment for testability: `ESVM_THREADS=N` (N ≥ 1) pins the
+/// count, while `0`, unset, or unparsable values mean "all cores" —
+/// mirroring [`esvm_par::Parallelism::parse_env`] except that the
+/// experiment fan-out defaults to full parallelism rather than
+/// sequential (seeds are independent, so this is always safe).
+fn threads_from(env: Option<&str>) -> usize {
+    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4),
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +80,18 @@ mod tests {
         assert!(o.threads >= 1);
         assert_eq!(o.scale_vms(300), 300);
         assert_eq!(ExpOptions::default(), o);
+    }
+
+    #[test]
+    fn esvm_threads_policy() {
+        let all_cores = threads_from(None);
+        assert!(all_cores >= 1);
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 2 ")), 2);
+        // 0 and garbage both fall back to all cores.
+        assert_eq!(threads_from(Some("0")), all_cores);
+        assert_eq!(threads_from(Some("lots")), all_cores);
+        assert_eq!(threads_from(Some("")), all_cores);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::runner::RunError;
 use esvm_analysis::Table;
 use esvm_core::{AllocatorKind, Miec};
+use esvm_par::{par_map, Parallelism};
 use esvm_workload::WorkloadConfig;
 
 /// One fleet size on the frontier.
@@ -67,41 +68,62 @@ impl CapacityPlan {
     }
 }
 
+/// Hard ceiling on the seed count: beyond this the sweep would take
+/// days, and `seed * sizes` bookkeeping could overflow downstream
+/// aggregation.
+pub const MAX_PLANNER_SEEDS: u64 = 1_000_000;
+
 /// Sweeps fleet sizes for a workload template.
 #[derive(Debug, Clone)]
 pub struct CapacityPlanner {
     template: WorkloadConfig,
     target: f64,
     seeds: u64,
+    par: Parallelism,
 }
 
 impl CapacityPlanner {
     /// Creates a planner for the given workload template (its server
     /// count is ignored — the sweep overrides it) and admission target.
     ///
+    /// The per-fleet-size evaluation fans its seeds out over the
+    /// [`Parallelism::from_env`] thread policy; override it with
+    /// [`with_parallelism`](Self::with_parallelism). Results are
+    /// bit-identical for every thread count.
+    ///
     /// # Panics
     ///
-    /// Panics unless `target ∈ (0, 1]` and `seeds ≥ 1`.
+    /// Panics unless `target ∈ (0, 1]` and
+    /// `1 ≤ seeds ≤ MAX_PLANNER_SEEDS`.
     pub fn new(template: WorkloadConfig, target: f64, seeds: u64) -> Self {
         assert!(
             target > 0.0 && target <= 1.0,
             "admission target must be in (0, 1]"
         );
         assert!(seeds >= 1, "need at least one seed");
+        assert!(
+            seeds <= MAX_PLANNER_SEEDS,
+            "seed count {seeds} exceeds the planner cap of {MAX_PLANNER_SEEDS}"
+        );
         Self {
             template,
             target,
             seeds,
+            par: Parallelism::from_env(),
         }
+    }
+
+    /// Overrides the thread policy used to fan seeds out per fleet size.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// Evaluates one fleet size.
     fn evaluate(&self, servers: usize) -> Result<FrontierPoint, RunError> {
         let config = self.template.clone().with_server_count(servers);
-        let mut admitted = 0.0;
-        let mut energy = 0.0;
-        let mut work = 0.0;
-        for seed in 0..self.seeds {
+        let seeds: Vec<u64> = (0..self.seeds).collect();
+        let runs = par_map(self.par, &seeds, |_i, &seed| -> Result<_, RunError> {
             let problem = config.generate(seed)?;
             let (assignment, rejected) =
                 Miec::new()
@@ -111,15 +133,27 @@ impl CapacityPlanner {
                         seed,
                         error,
                     })?;
-            admitted += 1.0 - rejected.len() as f64 / problem.vm_count().max(1) as f64;
-            energy += assignment.total_cost();
-            work += assignment
+            let admitted = 1.0 - rejected.len() as f64 / problem.vm_count().max(1) as f64;
+            let energy = assignment.total_cost();
+            let work = assignment
                 .placement()
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| s.is_some())
                 .map(|(j, _)| problem.vms()[j].cpu_time())
                 .sum::<f64>();
+            Ok((admitted, energy, work))
+        });
+        // Fold in seed order so both the sums and the reported error
+        // (first failing seed) are independent of the thread count.
+        let mut admitted = 0.0;
+        let mut energy = 0.0;
+        let mut work = 0.0;
+        for run in runs {
+            let (a, e, w) = run?;
+            admitted += a;
+            energy += e;
+            work += w;
         }
         let n = self.seeds as f64;
         Ok(FrontierPoint {
@@ -212,5 +246,62 @@ mod tests {
     #[should_panic(expected = "admission target")]
     fn invalid_target_is_rejected() {
         let _ = CapacityPlanner::new(template(), 1.5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission target")]
+    fn zero_target_is_rejected() {
+        let _ = CapacityPlanner::new(template(), 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission target")]
+    fn nan_target_is_rejected() {
+        let _ = CapacityPlanner::new(template(), f64::NAN, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one seed")]
+    fn zero_seeds_are_rejected() {
+        let _ = CapacityPlanner::new(template(), 0.9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the planner cap")]
+    fn seed_overflow_is_rejected() {
+        let _ = CapacityPlanner::new(template(), 0.9, MAX_PLANNER_SEEDS + 1);
+    }
+
+    #[test]
+    fn generation_errors_propagate_deterministically() {
+        // One giant VM type on tiny servers: generation itself fails.
+        let bad = WorkloadConfig::new(10, 1)
+            .vm_types(vec![catalog::VM_TYPES[6]])
+            .server_types(vec![catalog::SERVER_TYPES[0]]);
+        let seq = CapacityPlanner::new(bad.clone(), 0.9, 4)
+            .with_parallelism(Parallelism::sequential())
+            .plan(vec![2])
+            .unwrap_err();
+        let par = CapacityPlanner::new(bad, 0.9, 4)
+            .with_parallelism(Parallelism::new(4))
+            .plan(vec![2])
+            .unwrap_err();
+        assert!(matches!(seq, RunError::Generate(_)), "{seq:?}");
+        assert_eq!(seq, par, "error must not depend on the thread count");
+    }
+
+    #[test]
+    fn plan_is_independent_of_thread_count() {
+        let seq = CapacityPlanner::new(template(), 0.9, 4)
+            .with_parallelism(Parallelism::sequential())
+            .plan(vec![2, 6, 20])
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let par = CapacityPlanner::new(template(), 0.9, 4)
+                .with_parallelism(Parallelism::new(threads))
+                .plan(vec![2, 6, 20])
+                .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 }

@@ -11,12 +11,12 @@
 use esvm_analysis::metrics::mean_energy_reduction_ratio;
 use esvm_analysis::Summary;
 use esvm_core::AllocatorKind;
+use esvm_par::{par_map, Parallelism};
 use esvm_simcore::AuditReport;
 use esvm_workload::{GenerateError, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
-use std::sync::Mutex;
 
 /// Errors from a Monte-Carlo run.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,7 +180,9 @@ pub fn run_once(
     seed: u64,
 ) -> Result<AuditReport, RunError> {
     let problem = config.generate(seed)?;
-    let allocator = algo.build();
+    // Honors `ESVM_THREADS` for the allocator's scoring loops;
+    // placements are bit-identical for every thread count.
+    let allocator = algo.build_with(Parallelism::from_env());
     let mut rng = algo_rng(seed, 0, algo);
     let assignment = allocator
         .allocate(&problem, &mut rng)
@@ -207,7 +209,7 @@ pub fn run_once_observed<S: esvm_obs::EventSink>(
     let problem = config.generate(seed)?;
     let mut rng = algo_rng(seed, 0, algo);
     let assignment = algo
-        .allocate_observed(&problem, &mut rng, sink, metrics)
+        .allocate_observed_with(&problem, &mut rng, sink, metrics, Parallelism::from_env())
         .map_err(|error| RunError::Alloc { algo, seed, error })?;
     let report = assignment.audit().map_err(RunError::Audit)?;
     metrics.set_gauge("energy.run", report.breakdown.run);
@@ -245,26 +247,45 @@ struct AlgoRun {
 pub struct MonteCarlo {
     /// Seeds `0..seeds` are run.
     pub seeds: u64,
-    /// Worker threads.
+    /// Worker threads fanning *seeds* out (outer parallelism).
     pub threads: usize,
+    /// Thread-count policy for each allocator's scoring loops (inner
+    /// parallelism). Defaults to the `ESVM_THREADS` policy; results are
+    /// bit-identical for every setting, so the two axes compose freely
+    /// — though at full seed fan-out the outer axis alone usually
+    /// saturates the machine.
+    pub algo_parallelism: Parallelism,
 }
 
 impl MonteCarlo {
-    /// Creates an executor with the given seed count and threads.
+    /// Creates an executor with the given seed count and threads. The
+    /// per-allocator scoring parallelism defaults to
+    /// [`Parallelism::from_env`].
     pub fn new(seeds: u64, threads: usize) -> Self {
         Self {
             seeds,
             threads: threads.max(1),
+            algo_parallelism: Parallelism::from_env(),
         }
+    }
+
+    /// Overrides the thread-count policy of each allocator's scoring
+    /// loops (default: the `ESVM_THREADS` policy).
+    pub fn with_algo_parallelism(mut self, par: Parallelism) -> Self {
+        self.algo_parallelism = par;
+        self
     }
 
     /// Runs every algorithm on every seeded workload and aggregates.
     ///
     /// # Errors
     ///
-    /// The first [`RunError`] encountered (the whole comparison is
-    /// abandoned: partial Monte-Carlo aggregates would silently bias the
-    /// figures).
+    /// The [`RunError`] of the lowest-numbered failing seed (the whole
+    /// comparison is abandoned: partial Monte-Carlo aggregates would
+    /// silently bias the figures). The reported error is independent of
+    /// the thread count — every seed runs to completion and the
+    /// first-in-seed-order failure wins, rather than whichever thread
+    /// lost a race.
     pub fn compare(
         &self,
         config: &WorkloadConfig,
@@ -276,58 +297,35 @@ impl MonteCarlo {
         let n_algos = algos.len();
         let n_seeds = self.seeds as usize;
 
-        #[derive(Clone)]
         enum SeedOutcome {
-            Pending,
             Done(Vec<AlgoRun>),
             Overloaded,
+            Failed(RunError),
         }
 
-        let results: Mutex<Vec<SeedOutcome>> =
-            Mutex::new(vec![SeedOutcome::Pending; n_seeds]);
-        let first_error: Mutex<Option<RunError>> = Mutex::new(None);
-        let next_seed = std::sync::atomic::AtomicU64::new(0);
-
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n_seeds.max(1)) {
-                scope.spawn(|| loop {
-                    let seed = next_seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if seed >= self.seeds {
-                        break;
-                    }
-                    if first_error.lock().expect("poisoned").is_some() {
-                        break;
-                    }
-                    match Self::run_seed(config, algos, seed) {
-                        Ok(row) => {
-                            results.lock().expect("poisoned")[seed as usize] =
-                                SeedOutcome::Done(row);
-                        }
-                        // An overloaded instance is dropped for every
-                        // algorithm, keeping the comparison paired.
-                        Err(RunError::Alloc {
-                            error: esvm_core::AllocError::NoFeasibleServer(_),
-                            ..
-                        }) => {
-                            results.lock().expect("poisoned")[seed as usize] =
-                                SeedOutcome::Overloaded;
-                        }
-                        Err(e) => {
-                            let mut slot = first_error.lock().expect("poisoned");
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            break;
-                        }
-                    }
-                });
+        let seeds: Vec<u64> = (0..self.seeds).collect();
+        let outcomes = par_map(Parallelism::new(self.threads), &seeds, |_i, &seed| {
+            match Self::run_seed(config, algos, seed, self.algo_parallelism) {
+                Ok(row) => SeedOutcome::Done(row),
+                // An overloaded instance is dropped for every
+                // algorithm, keeping the comparison paired.
+                Err(RunError::Alloc {
+                    error: esvm_core::AllocError::NoFeasibleServer(_),
+                    ..
+                }) => SeedOutcome::Overloaded,
+                Err(e) => SeedOutcome::Failed(e),
             }
         });
-
-        if let Some(e) = first_error.into_inner().expect("poisoned") {
-            return Err(e);
-        }
-        let results = results.into_inner().expect("poisoned");
+        let results = {
+            let mut done = Vec::with_capacity(n_seeds);
+            for outcome in outcomes {
+                match outcome {
+                    SeedOutcome::Failed(e) => return Err(e),
+                    other => done.push(other),
+                }
+            }
+            done
+        };
 
         let mut point = ComparisonPoint {
             algos: algos.to_vec(),
@@ -348,7 +346,7 @@ impl MonteCarlo {
                     }
                 }
                 SeedOutcome::Overloaded => point.skipped_seeds += 1,
-                SeedOutcome::Pending => unreachable!("seed never executed"),
+                SeedOutcome::Failed(_) => unreachable!("failures returned above"),
             }
         }
         if point.seed_count() == 0 {
@@ -363,13 +361,14 @@ impl MonteCarlo {
         config: &WorkloadConfig,
         algos: &[AllocatorKind],
         seed: u64,
+        par: Parallelism,
     ) -> Result<Vec<AlgoRun>, RunError> {
         let problem = config.generate(seed)?;
         algos
             .iter()
             .enumerate()
             .map(|(index, &algo)| {
-                let allocator = algo.build();
+                let allocator = algo.build_with(par);
                 let mut rng = algo_rng(seed, index, algo);
                 let assignment = allocator
                     .allocate(&problem, &mut rng)
@@ -405,6 +404,46 @@ mod tests {
         let b = MonteCarlo::new(6, 4).compare(&config(), &algos).unwrap();
         assert_eq!(a.costs, b.costs);
         assert_eq!(a.cpu_utilization, b.cpu_utilization);
+    }
+
+    #[test]
+    fn compare_is_independent_of_algo_parallelism() {
+        let algos = [
+            AllocatorKind::Miec,
+            AllocatorKind::MiecLocalSearch,
+            AllocatorKind::Ffps,
+        ];
+        let sequential = MonteCarlo::new(4, 1)
+            .with_algo_parallelism(Parallelism::sequential())
+            .compare(&config(), &algos)
+            .unwrap();
+        for (outer, inner) in [(1usize, 4usize), (2, 2), (4, 4)] {
+            let parallel = MonteCarlo::new(4, outer)
+                .with_algo_parallelism(Parallelism::new(inner))
+                .compare(&config(), &algos)
+                .unwrap();
+            assert_eq!(sequential.costs, parallel.costs, "outer={outer} inner={inner}");
+            assert_eq!(sequential.breakdowns, parallel.breakdowns);
+            assert_eq!(sequential.cpu_utilization, parallel.cpu_utilization);
+        }
+    }
+
+    #[test]
+    fn first_failing_seed_wins_regardless_of_threads() {
+        // A workload that audits fine but whose generation fails for
+        // every seed would mask ordering; instead check the error is
+        // stable across thread counts on a failing configuration.
+        use esvm_workload::catalog;
+        let bad = WorkloadConfig::new(10, 5)
+            .vm_types(vec![catalog::VM_TYPES[6]])
+            .server_types(vec![catalog::SERVER_TYPES[0]]);
+        let a = MonteCarlo::new(6, 1)
+            .compare(&bad, &[AllocatorKind::Miec])
+            .unwrap_err();
+        let b = MonteCarlo::new(6, 4)
+            .compare(&bad, &[AllocatorKind::Miec])
+            .unwrap_err();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests for `par_min_by` determinism (satellite 2).
+//!
+//! Random shard sizes and score orders must reproduce the sequential
+//! strict-`<` argmin — the paper's Eq. 7 lowest-index tie-breaking —
+//! under every thread count, including inputs engineered to contain
+//! certified exact-FP ties like the ones PR 1's tie corpus certifies
+//! in the MIEC scan.
+
+use esvm_par::{par_min_by, Parallelism};
+use proptest::prelude::*;
+
+/// The sequential oracle: left-to-right strict-`<` fold.
+fn sequential_argmin(scores: &[Option<f64>]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, s) in scores.iter().enumerate() {
+        if let Some(s) = *s {
+            if best.is_none_or(|(_, b)| s < b) {
+                best = Some((i, s));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random scores, all thread counts: identical to the sequential fold.
+    #[test]
+    fn random_scores_reproduce_sequential_argmin(
+        raw in proptest::collection::vec(0u32..10_000, 1..400),
+        threads in 1usize..9,
+    ) {
+        // Map through a division so scores are "awkward" floats, not
+        // integers in disguise.
+        let scores: Vec<Option<f64>> =
+            raw.iter().map(|&v| Some(f64::from(v) / 7.0)).collect();
+        let expected = sequential_argmin(&scores);
+        let got = par_min_by(Parallelism::new(threads), scores.len(), |i| scores[i]);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Certified-FP-tie inputs: quantize scores onto a tiny grid so
+    /// exact duplicates (bit-identical f64 values) are common, then
+    /// assert the lowest index still wins under every thread count.
+    #[test]
+    fn exact_fp_ties_break_to_lowest_index(
+        raw in proptest::collection::vec(0u32..8, 2..300),
+        threads in 2usize..9,
+    ) {
+        let scores: Vec<Option<f64>> =
+            raw.iter().map(|&v| Some(f64::from(v) * 0.125)).collect();
+        let expected = sequential_argmin(&scores);
+        let got = par_min_by(Parallelism::new(threads), scores.len(), |i| scores[i]);
+        prop_assert_eq!(got, expected);
+        // The winner really is the first occurrence of its score bits.
+        if let Some((idx, score)) = got {
+            let first = scores
+                .iter()
+                .position(|s| s.map(f64::to_bits) == Some(score.to_bits()))
+                .unwrap();
+            prop_assert_eq!(idx, first);
+        }
+    }
+
+    /// Sparse feasibility (many `None`s, like unfit servers in the MIEC
+    /// scan) never perturbs the argmin.
+    #[test]
+    fn sparse_candidates_match_sequential(
+        raw in proptest::collection::vec((0u32..50, 0u32..1000), 1..300),
+        threads in 1usize..9,
+    ) {
+        let scores: Vec<Option<f64>> = raw
+            .iter()
+            .map(|&(feasible, v)| (feasible < 10).then(|| f64::from(v) / 3.0))
+            .collect();
+        let expected = sequential_argmin(&scores);
+        let got = par_min_by(Parallelism::new(threads), scores.len(), |i| scores[i]);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Shard-size robustness: the same input run at every thread count
+    /// (hence every chunking) agrees with itself.
+    #[test]
+    fn all_chunkings_agree(
+        raw in proptest::collection::vec(0u32..100, 1..200),
+    ) {
+        let scores: Vec<Option<f64>> =
+            raw.iter().map(|&v| Some(f64::from(v) * 0.25)).collect();
+        let baseline = par_min_by(Parallelism::sequential(), scores.len(), |i| scores[i]);
+        for threads in 2..12usize {
+            let got = par_min_by(Parallelism::new(threads), scores.len(), |i| scores[i]);
+            prop_assert_eq!(got, baseline);
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //!   from-scratch simplex + branch-and-bound solver for certification;
 //! * [`workload`] — Poisson/exponential workload generation and the
 //!   EC2-derived Table I / Table II catalogs;
+//! * [`par`] — the deterministic scoped thread pool behind every
+//!   parallel scoring loop (bit-identical results per thread count);
 //! * [`analysis`] — statistics, the paper's Adj.R² curve fits, tables;
 //! * [`exper`] — the harness reproducing every figure and table.
 //!
@@ -53,6 +55,8 @@ pub use esvm_analysis as analysis;
 pub use esvm_core as core;
 pub use esvm_exper as exper;
 pub use esvm_ilp as ilp;
+pub use esvm_obs as obs;
+pub use esvm_par as par;
 pub use esvm_simcore as simcore;
 pub use esvm_workload as workload;
 
@@ -63,6 +67,7 @@ pub use esvm_core::{
 };
 pub use esvm_exper::{ExpOptions, Figure, MonteCarlo, Series};
 pub use esvm_ilp::Formulation;
+pub use esvm_par::Parallelism;
 pub use esvm_simcore::{
     replay, AllocationProblem, Assignment, AuditReport, Interval, PowerModel, PowerTrace,
     ProblemBuilder, Resources, Schedule, ScheduleAudit, ServerId, ServerLedger, ServerSpec, Vm,
