@@ -1,0 +1,258 @@
+//! Input-level faults: deterministic corruption of trace text.
+//!
+//! A robust system rejects malformed input with a typed error instead
+//! of panicking or silently mis-parsing. These mutators produce the
+//! classic corruptions — truncated records, non-numeric fields, NaN and
+//! negative demands, duplicate VM ids, capacity-impossible requests —
+//! so the trace parser's hardening can be exercised from the chaos CLI
+//! and from property tests. Applying a fault never panics, whatever the
+//! input looks like; out-of-range line numbers degrade to no-ops.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One deterministic corruption of a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputFault {
+    /// Cut the text off in the middle of the 1-based `line`.
+    TruncateAt {
+        /// 1-based line to truncate within.
+        line: usize,
+    },
+    /// Replace the comma-separated `field` of `line` with `value`
+    /// (non-numeric garbage, `NaN`, a negative number, …).
+    CorruptField {
+        /// 1-based line to corrupt.
+        line: usize,
+        /// 0-based field index within the line.
+        field: usize,
+        /// Replacement text.
+        value: String,
+    },
+    /// Duplicate the 1-based `line` verbatim — on a VM record this
+    /// injects a duplicate VM id.
+    DuplicateVmLine {
+        /// 1-based line to duplicate.
+        line: usize,
+    },
+    /// Multiply every numeric field after the id on `line` by `factor`,
+    /// turning a VM record into a capacity-impossible request.
+    InflateDemand {
+        /// 1-based line to inflate.
+        line: usize,
+        /// Multiplier applied to the demand fields.
+        factor: u32,
+    },
+}
+
+impl InputFault {
+    /// Stable name used in telemetry fields.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InputFault::TruncateAt { .. } => "truncate",
+            InputFault::CorruptField { .. } => "corrupt-field",
+            InputFault::DuplicateVmLine { .. } => "duplicate-line",
+            InputFault::InflateDemand { .. } => "inflate-demand",
+        }
+    }
+
+    /// Applies the fault to `text`, returning the corrupted text.
+    /// Out-of-range line/field indices leave the text unchanged.
+    pub fn apply(&self, text: &str) -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        match self {
+            InputFault::TruncateAt { line } => {
+                if *line == 0 || *line > lines.len() {
+                    return text.to_owned();
+                }
+                let mut out: Vec<String> =
+                    lines[..line - 1].iter().map(|s| (*s).to_owned()).collect();
+                let victim = lines[line - 1];
+                out.push(victim[..victim.len() / 2].to_owned());
+                out.join("\n")
+            }
+            InputFault::CorruptField { line, field, value } => {
+                if *line == 0 || *line > lines.len() {
+                    return text.to_owned();
+                }
+                let mut out: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+                let mut fields: Vec<String> =
+                    lines[line - 1].split(',').map(str::to_owned).collect();
+                if *field >= fields.len() {
+                    return text.to_owned();
+                }
+                fields[*field] = value.clone();
+                out[line - 1] = fields.join(",");
+                out.join("\n") + "\n"
+            }
+            InputFault::DuplicateVmLine { line } => {
+                if *line == 0 || *line > lines.len() {
+                    return text.to_owned();
+                }
+                let mut out: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+                out.insert(*line, lines[line - 1].to_owned());
+                out.join("\n") + "\n"
+            }
+            InputFault::InflateDemand { line, factor } => {
+                if *line == 0 || *line > lines.len() {
+                    return text.to_owned();
+                }
+                let mut out: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+                let fields: Vec<String> = lines[line - 1]
+                    .split(',')
+                    .enumerate()
+                    .map(|(i, f)| match (i, f.parse::<f64>()) {
+                        (0, _) => f.to_owned(),
+                        (_, Ok(v)) => format!("{}", v * f64::from(*factor)),
+                        (_, Err(_)) => f.to_owned(),
+                    })
+                    .collect();
+                out[line - 1] = fields.join(",");
+                out.join("\n") + "\n"
+            }
+        }
+    }
+
+    /// Serialises the fault as comma-separated fields (after the
+    /// leading `input` tag of the plan format).
+    pub fn to_field_text(&self) -> String {
+        match self {
+            InputFault::TruncateAt { line } => format!("truncate,{line}"),
+            InputFault::CorruptField { line, field, value } => {
+                format!("corrupt,{line},{field},{value}")
+            }
+            InputFault::DuplicateVmLine { line } => format!("duplicate,{line}"),
+            InputFault::InflateDemand { line, factor } => format!("inflate,{line},{factor}"),
+        }
+    }
+
+    /// Parses the comma-separated fields written by
+    /// [`InputFault::to_field_text`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformation.
+    pub fn from_field_text(fields: &[&str]) -> Result<Self, String> {
+        let parse = |s: &str, what: &str| {
+            s.parse::<usize>()
+                .map_err(|_| format!("{what} is not a non-negative integer: {s:?}"))
+        };
+        match fields.first().copied() {
+            Some("truncate") if fields.len() == 2 => Ok(InputFault::TruncateAt {
+                line: parse(fields[1], "line")?,
+            }),
+            Some("corrupt") if fields.len() >= 4 => Ok(InputFault::CorruptField {
+                line: parse(fields[1], "line")?,
+                field: parse(fields[2], "field")?,
+                value: fields[3..].join(","),
+            }),
+            Some("duplicate") if fields.len() == 2 => Ok(InputFault::DuplicateVmLine {
+                line: parse(fields[1], "line")?,
+            }),
+            Some("inflate") if fields.len() == 3 => Ok(InputFault::InflateDemand {
+                line: parse(fields[1], "line")?,
+                factor: parse(fields[2], "factor")?.min(u32::MAX as usize) as u32,
+            }),
+            _ => Err(format!("unrecognised input fault: {fields:?}")),
+        }
+    }
+
+    /// Draws `count` seeded faults aimed at the data lines of a trace
+    /// with `line_count` lines. Deterministic per `(seed, count,
+    /// line_count)`.
+    pub fn generate(seed: u64, count: usize, line_count: usize) -> Vec<InputFault> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1B0_7FA_u64);
+        let max_line = line_count.max(1);
+        (0..count)
+            .map(|_| {
+                let line = rng.gen_range(1..=max_line);
+                match rng.gen_range(0..5u32) {
+                    0 => InputFault::TruncateAt { line },
+                    1 => InputFault::CorruptField {
+                        line,
+                        field: rng.gen_range(0..5usize),
+                        value: "NaN".to_owned(),
+                    },
+                    2 => InputFault::CorruptField {
+                        line,
+                        field: rng.gen_range(0..5usize),
+                        value: "-3".to_owned(),
+                    },
+                    3 => InputFault::DuplicateVmLine { line },
+                    _ => InputFault::InflateDemand {
+                        line,
+                        factor: 1000,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# esvm trace v1\n[servers]\nid,cpu,mem,p_idle,p_peak,alpha\n0,4,8,50,100,10\n[vms]\nid,cpu,mem,start,end\n0,1,1,1,9\n1,2,2,3,7\n";
+
+    #[test]
+    fn faults_round_trip_through_field_text() {
+        for fault in [
+            InputFault::TruncateAt { line: 3 },
+            InputFault::CorruptField {
+                line: 7,
+                field: 1,
+                value: "NaN".into(),
+            },
+            InputFault::DuplicateVmLine { line: 7 },
+            InputFault::InflateDemand { line: 8, factor: 100 },
+        ] {
+            let text = fault.to_field_text();
+            let fields: Vec<&str> = text.split(',').collect();
+            assert_eq!(InputFault::from_field_text(&fields).unwrap(), fault);
+        }
+    }
+
+    #[test]
+    fn duplicate_line_duplicates() {
+        let fault = InputFault::DuplicateVmLine { line: 7 };
+        let out = fault.apply(SAMPLE);
+        assert_eq!(out.matches("0,1,1,1,9").count(), 2);
+    }
+
+    #[test]
+    fn inflate_multiplies_demand_fields() {
+        let fault = InputFault::InflateDemand { line: 7, factor: 10 };
+        let out = fault.apply(SAMPLE);
+        assert!(out.contains("0,10,10,10,90"), "{out}");
+    }
+
+    #[test]
+    fn out_of_range_faults_are_no_ops() {
+        for fault in [
+            InputFault::TruncateAt { line: 99 },
+            InputFault::CorruptField {
+                line: 99,
+                field: 0,
+                value: "x".into(),
+            },
+            InputFault::CorruptField {
+                line: 1,
+                field: 99,
+                value: "x".into(),
+            },
+            InputFault::DuplicateVmLine { line: 0 },
+            InputFault::InflateDemand { line: 99, factor: 2 },
+        ] {
+            assert_eq!(fault.apply(SAMPLE), SAMPLE, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = InputFault::generate(5, 10, 30);
+        let b = InputFault::generate(5, 10, 30);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+}

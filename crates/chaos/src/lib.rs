@@ -1,0 +1,33 @@
+//! Deterministic fault injection and failure-aware replay.
+//!
+//! The paper's model (Eqs. 1–14) assumes every server stays healthy
+//! over the whole horizon; real fleets do not. This crate scripts what
+//! goes wrong — timed server outages and input-level trace corruption —
+//! as serialisable, seeded [`FaultPlan`]s, and replays any allocator's
+//! intended placement against a plan with [`ChaosEngine`]: evictions
+//! charge the energy ledger exactly up to the crash instant, displaced
+//! work is repaired through the same incremental-cost scoring MIEC
+//! uses, and sustained pressure degrades gracefully into bounded
+//! retries and policy-ordered shedding instead of panics.
+//!
+//! Two properties anchor the design, both enforced by tests:
+//!
+//! * **Empty-plan equivalence** — replaying under [`FaultPlan::empty`]
+//!   reproduces the offline allocator's placements, cost, and Eq. 7
+//!   energy breakdown bit for bit, for every allocator kind.
+//! * **Energy conservation under faults** — after any crash/recover
+//!   sequence, every ledger's run + idle + transition decomposition
+//!   still sums exactly to its `cost()`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod input;
+pub mod plan;
+pub mod policy;
+
+pub use engine::{ChaosEngine, ChaosError, ChaosReport, RepairRecord};
+pub use input::InputFault;
+pub use plan::{FaultCause, FaultEvent, FaultPlan, FaultPlanConfig, PlanParseError};
+pub use policy::{RepairPolicy, ShedPolicy};

@@ -1,0 +1,128 @@
+//! Property-based tests of the chaos replay engine.
+//!
+//! The central invariant: whatever crash/recover sequence a fault plan
+//! throws at the replay, every server ledger's Eq. 7 decomposition
+//! (run + idle + transition) still sums *exactly* to its `cost()`, the
+//! report's folds agree with the ledgers, and nothing panics — hostile
+//! plans degrade into shed work, never into crashes.
+
+use esvm_chaos::{
+    ChaosEngine, FaultCause, FaultEvent, FaultPlan, FaultPlanConfig, RepairPolicy, ShedPolicy,
+};
+use esvm_core::AllocatorKind;
+use esvm_simcore::{ServerId, ServerLedger};
+use esvm_workload::WorkloadConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_conservation(report: &esvm_chaos::ChaosReport) -> Result<(), TestCaseError> {
+    for (i, ledger) in report.ledgers.iter().enumerate() {
+        prop_assert_eq!(
+            ledger.cost().to_bits(),
+            ledger.energy_breakdown().total().to_bits(),
+            "server {} run+idle+transition must equal cost()",
+            i
+        );
+    }
+    let total: f64 = report.ledgers.iter().map(ServerLedger::cost).sum();
+    prop_assert_eq!(total.to_bits(), report.cost.to_bits());
+    prop_assert!(report.fault_transition_energy.is_finite());
+    prop_assert!(report.adjusted_cost().is_finite());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated fault plans of any rate leave every ledger's Eq. 7
+    /// decomposition summing exactly to its cost.
+    #[test]
+    fn generated_plans_conserve_energy(
+        seed in 0u64..200,
+        rate2 in 0u32..=10,
+        vms in 4usize..=24,
+        servers in 2usize..=8,
+    ) {
+        let Ok(problem) = WorkloadConfig::new(vms, servers)
+            .mean_interarrival(2.0)
+            .generate(seed)
+        else {
+            return Ok(()); // the draw produced an infeasible instance
+        };
+        let config = FaultPlanConfig::with_fault_rate(f64::from(rate2) / 10.0);
+        let plan = FaultPlan::generate(&config, servers, problem.horizon(), seed);
+        let engine = ChaosEngine::new(plan);
+        let allocator = AllocatorKind::Miec.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(report) = engine.run(&problem, &*allocator, &mut rng) else {
+            return Ok(()); // offline infeasibility, not a chaos failure
+        };
+        check_conservation(&report)?;
+        // Displacement bookkeeping: every shed and every repair of a
+        // displaced tail consumed one eviction, and each eviction
+        // displaced at least one interval unit.
+        let tail_repairs = report.repairs.iter().filter(|r| r.from.is_some()).count() as u64;
+        prop_assert!(report.shed.len() as u64 + tail_repairs <= report.displaced);
+        prop_assert!(report.displaced_vm_minutes >= report.displaced);
+    }
+
+    /// Arbitrary hand-built crash/recover sequences — including
+    /// out-of-range servers, zero-length outages, and down/up pairs at
+    /// hostile instants — never panic and never break conservation.
+    #[test]
+    fn arbitrary_crash_recover_sequences_conserve_energy(
+        seed in 0u64..200,
+        outages in proptest::collection::vec((0u32..12, 0u32..60, 0u32..20), 0..12),
+        policy_pick in 0u32..3,
+        retries in 0u32..=4,
+        backoff in 0u32..=5,
+    ) {
+        let Ok(problem) = WorkloadConfig::new(14, 5)
+            .mean_interarrival(2.0)
+            .generate(seed)
+        else {
+            return Ok(()); // the draw produced an infeasible instance
+        };
+        let mut plan = FaultPlan::empty();
+        for &(server, at, len) in &outages {
+            plan.push_event(FaultEvent::ServerDown {
+                server: ServerId(server),
+                at,
+                cause: FaultCause::Crash,
+            });
+            plan.push_event(FaultEvent::ServerUp {
+                server: ServerId(server),
+                at: at.saturating_add(len),
+            });
+        }
+        let shed = match policy_pick {
+            0 => ShedPolicy::SmallestRemainingFirst,
+            1 => ShedPolicy::LargestRemainingFirst,
+            _ => ShedPolicy::ArrivalOrder,
+        };
+        let engine = ChaosEngine::new(plan).with_policy(RepairPolicy {
+            max_retries: retries,
+            backoff,
+            shed,
+        });
+        let allocator = AllocatorKind::Miec.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(report) = engine.run(&problem, &*allocator, &mut rng) else {
+            return Ok(()); // offline infeasibility, not a chaos failure
+        };
+        check_conservation(&report)?;
+        // Every VM is accounted for: hosted somewhere, or shed after a
+        // displaced prefix, or refused outright.
+        for (j, slot) in report.placement.iter().enumerate() {
+            let vm = esvm_simcore::VmId(j as u32);
+            if slot.is_none() {
+                prop_assert!(
+                    report.refused.contains(&vm),
+                    "unhosted VM {} must be a refusal",
+                    j
+                );
+            }
+        }
+    }
+}

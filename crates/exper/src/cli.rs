@@ -8,6 +8,8 @@
 //!              [--transition F] [--algos a,b,…] [--seed N]
 //! esvm exact [--vms N] [--servers N] [--seed N]
 //! esvm timeline [--vms N] [--servers N] [--seed N] [--algos a,b,…]
+//! esvm chaos [--fault-rate F] [--seed N] [--retries N] [--backoff N]
+//!            [--shed-policy P] [--plan FILE | --plan-out FILE]
 //! ```
 //!
 //! Parsing is deliberately dependency-free; [`run`] returns the rendered
@@ -35,6 +37,8 @@ pub enum CliError {
     Exact(esvm_ilp::MilpError),
     /// Decoding/auditing failed.
     Sim(esvm_simcore::Error),
+    /// A chaos replay failed.
+    Chaos(esvm_chaos::ChaosError),
 }
 
 impl fmt::Display for CliError {
@@ -44,6 +48,7 @@ impl fmt::Display for CliError {
             CliError::Run(e) => write!(f, "experiment failed: {e}"),
             CliError::Exact(e) => write!(f, "exact solve failed: {e}"),
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
+            CliError::Chaos(e) => write!(f, "chaos replay failed: {e}"),
         }
     }
 }
@@ -76,6 +81,8 @@ commands:
                     fleet sizes (--target F, --sizes a,b,c)
   report            standalone HTML report with SVG plots of every
                     artefact (use --out report.html)
+  chaos             fault-injection run: replay allocations under a
+                    seeded plan of server outages with repair + shedding
 
 options (figures):
   --seeds N         Monte-Carlo seeds per point (default 50)
@@ -97,7 +104,23 @@ options (compare):
 options (exact):
   --vms N (default 4) --servers N (default 2) --seed N (default 0)
 
-options (telemetry, compare/solve):
+options (chaos):
+  --fault-rate F    per-server crash probability over the horizon
+                    (default 0.1; drains and rack outages scale with it)
+  --rack-size N     servers per rack for correlated outages (default 8)
+  --mean-outage F   mean outage length in time units (default 10)
+  --retries N       repair retries before a displaced VM is shed
+                    (default 3)
+  --backoff N       base retry backoff in time units, doubling per
+                    attempt (default 2)
+  --shed-policy P   smallest-remaining-first | largest-remaining-first |
+                    arrival-order (default smallest-remaining-first)
+  --plan FILE       replay a serialized fault plan instead of
+                    generating one from --fault-rate/--seed
+  --plan-out FILE   write the fault plan used, for later replay
+  (--vms/--servers/--seed/--algos and the telemetry flags also apply)
+
+options (telemetry, compare/solve/chaos):
   --metrics-out F   run one instrumented pass per algorithm and write
                     its decision metrics as CSV (a summary table is
                     also appended to the output)
@@ -131,14 +154,29 @@ struct Flags {
     events_out: Option<String>,
     force: bool,
     algo_threads: Option<usize>,
+    fault_rate: Option<f64>,
+    rack_size: Option<u32>,
+    mean_outage: Option<f64>,
+    retries: Option<u32>,
+    backoff: Option<u32>,
+    shed_policy: Option<esvm_chaos::ShedPolicy>,
+    plan: Option<String>,
+    plan_out: Option<String>,
 }
 
 impl Flags {
     /// The thread policy for each allocator's scoring loops:
-    /// `--algo-threads` wins, otherwise the `ESVM_THREADS` default.
-    fn algo_parallelism(&self) -> Parallelism {
-        self.algo_threads
-            .map_or_else(Parallelism::from_env, Parallelism::new)
+    /// `--algo-threads` wins, otherwise the `ESVM_THREADS` default. A
+    /// malformed `ESVM_THREADS` is a hard error here rather than a
+    /// silent fall-back to sequential — the user asked for a thread
+    /// count and would otherwise get a different one without warning.
+    fn algo_parallelism(&self) -> Result<Parallelism, CliError> {
+        match self.algo_threads {
+            Some(n) => Ok(Parallelism::new(n)),
+            None => Parallelism::try_from_env().map_err(|e| {
+                CliError::Usage(format!("{e} (or pass --algo-threads N)"))
+            }),
+        }
     }
 }
 
@@ -235,6 +273,52 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 flags.sizes = Some(sizes);
             }
             "--trace" => flags.trace = Some(value("--trace")?),
+            "--fault-rate" => {
+                let rate: f64 = value("--fault-rate")?
+                    .parse()
+                    .map_err(|_| usage("--fault-rate must be a number in [0, 1]".into()))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(usage("--fault-rate must be a number in [0, 1]".into()));
+                }
+                flags.fault_rate = Some(rate);
+            }
+            "--rack-size" => {
+                flags.rack_size = Some(
+                    value("--rack-size")?
+                        .parse()
+                        .map_err(|_| usage("--rack-size must be an integer".into()))?,
+                )
+            }
+            "--mean-outage" => {
+                flags.mean_outage = Some(
+                    value("--mean-outage")?
+                        .parse()
+                        .map_err(|_| usage("--mean-outage must be a number".into()))?,
+                )
+            }
+            "--retries" => {
+                flags.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|_| usage("--retries must be an integer".into()))?,
+                )
+            }
+            "--backoff" => {
+                flags.backoff = Some(
+                    value("--backoff")?
+                        .parse()
+                        .map_err(|_| usage("--backoff must be an integer".into()))?,
+                )
+            }
+            "--shed-policy" => {
+                flags.shed_policy = Some(
+                    value("--shed-policy")?
+                        .parse::<esvm_chaos::ShedPolicy>()
+                        .map_err(usage)?,
+                )
+            }
+            "--plan" => flags.plan = Some(value("--plan")?),
+            "--plan-out" => flags.plan_out = Some(value("--plan-out")?),
             "--seed" => {
                 flags.seed = Some(
                     value("--seed")?
@@ -403,6 +487,7 @@ fn dispatch(command: &str, flags: &Flags, opts: &ExpOptions) -> Result<String, C
             experiments::ext_migration(&opts)?
         )),
         "compare" => run_compare(&flags, &opts),
+        "chaos" => run_chaos(&flags),
         "exact" => run_exact(&flags),
         "timeline" => run_timeline(&flags),
         "gen" => run_gen(&flags),
@@ -412,6 +497,28 @@ fn dispatch(command: &str, flags: &Flags, opts: &ExpOptions) -> Result<String, C
         _ => Err(CliError::Usage(format!(
             "unknown command {command:?}\n\n{USAGE}"
         ))),
+    }
+}
+
+/// Fails fast when an output path cannot be written: refuses to
+/// overwrite an existing file without `--force` (a silently
+/// overwritten metrics file is an easy way to compare an algorithm
+/// against itself) and rejects a missing parent directory *before*
+/// the possibly long run, not after it.
+fn preflight_out_path(path: &str, force: bool) -> Result<(), CliError> {
+    let p = std::path::Path::new(path);
+    if !force && p.exists() {
+        return Err(CliError::Usage(format!(
+            "refusing to overwrite existing file {path:?} (pass --force to allow)"
+        )));
+    }
+    match p.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() && !parent.is_dir() => {
+            Err(CliError::Usage(format!(
+                "cannot write {path:?}: directory {parent:?} does not exist"
+            )))
+        }
+        _ => Ok(()),
     }
 }
 
@@ -470,19 +577,10 @@ fn telemetry_section(
     if flags.metrics_out.is_none() && flags.events_out.is_none() {
         return Ok(String::new());
     }
-    // Refuse to clobber telemetry from a previous run unless asked to:
-    // a silently overwritten metrics file is an easy way to compare an
-    // algorithm against itself.
-    if !flags.force {
-        for path in [&flags.metrics_out, &flags.events_out].into_iter().flatten() {
-            if std::path::Path::new(path).exists() {
-                return Err(CliError::Usage(format!(
-                    "refusing to overwrite existing file {path:?} (pass --force to allow)"
-                )));
-            }
-        }
+    for path in [&flags.metrics_out, &flags.events_out].into_iter().flatten() {
+        preflight_out_path(path, flags.force)?;
     }
-    let par = flags.algo_parallelism();
+    let par = flags.algo_parallelism()?;
     let mut table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
     match &flags.events_out {
         Some(path) => {
@@ -527,7 +625,7 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
         .clone()
         .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
     let point = MonteCarlo::new(opts.seeds, opts.threads)
-        .with_algo_parallelism(flags.algo_parallelism())
+        .with_algo_parallelism(flags.algo_parallelism()?)
         .compare(&config, &algos)?;
 
     let mut table = Table::new(vec![
@@ -573,9 +671,10 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
         vms, servers, opts.seeds, table
     );
     // Significance of the headline saving, when both contenders ran.
-    if algos.contains(&AllocatorKind::Miec) && algos.contains(&AllocatorKind::Ffps) {
-        let miec = algos.iter().position(|&a| a == AllocatorKind::Miec).unwrap();
-        let ffps = algos.iter().position(|&a| a == AllocatorKind::Ffps).unwrap();
+    if let (Some(miec), Some(ffps)) = (
+        point.try_index_of(AllocatorKind::Miec),
+        point.try_index_of(AllocatorKind::Ffps),
+    ) {
         if let Some(p) = esvm_analysis::stats::paired_permutation_test(
             &point.costs[ffps],
             &point.costs[miec],
@@ -592,6 +691,193 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
             .generate(seed)
             .map_err(|e| CliError::Run(RunError::Generate(e)))?;
         out.push_str(&telemetry_section(&problem, &algos, seed, flags)?);
+    }
+    Ok(out)
+}
+
+/// One instrumented chaos replay per algorithm: summary rows into
+/// `table`, the full robustness metric snapshot into `metric_table`,
+/// chaos events into `sink`.
+fn chaos_rows<S: esvm_obs::EventSink>(
+    engine: &esvm_chaos::ChaosEngine,
+    problem: &esvm_simcore::AllocationProblem,
+    algos: &[AllocatorKind],
+    seed: u64,
+    par: Parallelism,
+    sink: &mut S,
+    table: &mut Table,
+    metric_table: &mut Table,
+) -> Result<(), CliError> {
+    use esvm_obs::MetricsRegistry;
+    use rand::SeedableRng;
+    for &algo in algos {
+        let metrics = MetricsRegistry::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let allocator = algo.build_with(par);
+        let report = engine
+            .run_observed(problem, allocator.as_ref(), &mut rng, sink, &metrics)
+            .map_err(|e| match e {
+                esvm_chaos::ChaosError::Offline(error) => {
+                    CliError::Run(RunError::Alloc { algo, seed, error })
+                }
+                other => CliError::Chaos(other),
+            })?;
+        table.row(vec![
+            algo.name().to_owned(),
+            format!("{:.1}", report.offline_cost),
+            format!("{:.1}", report.cost),
+            format!("{:.1}", report.adjusted_cost()),
+            report.displaced.to_string(),
+            report.repairs.len().to_string(),
+            report.shed.len().to_string(),
+            report.refused.len().to_string(),
+            report.extra_transitions.to_string(),
+        ]);
+        for (name, value) in metrics.snapshot() {
+            metric_table.row(vec![
+                algo.name().to_owned(),
+                name,
+                value.kind().to_owned(),
+                value.render(),
+            ]);
+        }
+    }
+    Ok(())
+}
+
+fn run_chaos(flags: &Flags) -> Result<String, CliError> {
+    use esvm_chaos::{ChaosEngine, FaultPlan, FaultPlanConfig, RepairPolicy};
+
+    let seed = flags.seed.unwrap_or(0);
+    let config = workload_from(flags);
+    let mut problem = config
+        .generate(seed)
+        .map_err(|e| CliError::Run(RunError::Generate(e)))?;
+
+    let plan = match &flags.plan {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                CliError::Usage(format!("cannot read fault plan {path:?}: {e}"))
+            })?;
+            FaultPlan::from_text(&text)
+                .map_err(|e| CliError::Usage(format!("bad fault plan {path:?}: {e}")))?
+        }
+        None => {
+            let mut plan_config =
+                FaultPlanConfig::with_fault_rate(flags.fault_rate.unwrap_or(0.1));
+            if let Some(r) = flags.rack_size {
+                plan_config.rack_size = r;
+            }
+            if let Some(m) = flags.mean_outage {
+                plan_config.mean_outage = m;
+            }
+            FaultPlan::generate(&plan_config, problem.server_count(), problem.horizon(), seed)
+        }
+    };
+
+    // Fail before the run, not after it, on unwritable outputs.
+    for path in [&flags.plan_out, &flags.metrics_out, &flags.events_out]
+        .into_iter()
+        .flatten()
+    {
+        preflight_out_path(path, flags.force)?;
+    }
+
+    // Input-level faults mutate the serialized trace and go through the
+    // hardened parser; a trace the parser rejects ends the run with its
+    // typed error — degraded, reported, never a panic.
+    if !plan.input_faults().is_empty() {
+        let mut text = esvm_workload::trace::to_text(&problem);
+        for fault in plan.input_faults() {
+            text = fault.apply(&text);
+        }
+        problem = esvm_workload::trace::from_text(&text).map_err(|e| {
+            CliError::Usage(format!(
+                "input faults made the trace unparsable (parser rejected it: {e})"
+            ))
+        })?;
+    }
+
+    let mut policy = RepairPolicy::default();
+    if let Some(r) = flags.retries {
+        policy.max_retries = r;
+    }
+    if let Some(b) = flags.backoff {
+        policy.backoff = b;
+    }
+    if let Some(shed) = flags.shed_policy {
+        policy.shed = shed;
+    }
+    let engine = ChaosEngine::new(plan).with_policy(policy);
+
+    let algos = flags
+        .algos
+        .clone()
+        .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
+    let par = flags.algo_parallelism()?;
+    let mut table = Table::new(vec![
+        "algorithm",
+        "offline cost",
+        "replay cost",
+        "adjusted cost",
+        "displaced",
+        "repairs",
+        "shed",
+        "refused",
+        "extra transitions",
+    ]);
+    let mut metric_table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
+    match &flags.events_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+            let mut sink = esvm_obs::JsonlWriter::new(std::io::BufWriter::new(file));
+            chaos_rows(
+                &engine, &problem, &algos, seed, par, &mut sink, &mut table,
+                &mut metric_table,
+            )?;
+            sink.finish()
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        }
+        None => {
+            chaos_rows(
+                &engine,
+                &problem,
+                &algos,
+                seed,
+                par,
+                &mut esvm_obs::DiscardSink,
+                &mut table,
+                &mut metric_table,
+            )?;
+        }
+    }
+
+    let plan_ref = engine.plan();
+    let mut out = format!(
+        "chaos replay: {} VMs on {} servers, seed {seed}, {} availability events, \
+         {} input faults\npolicy: {} (retries {}, backoff {})\n\n{}",
+        problem.vm_count(),
+        problem.server_count(),
+        plan_ref.events().len(),
+        plan_ref.input_faults().len(),
+        policy.shed,
+        policy.max_retries,
+        policy.backoff,
+        table
+    );
+    if let Some(path) = &flags.plan_out {
+        std::fs::write(path, plan_ref.to_text())
+            .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("\nfault plan written to {path}\n"));
+    }
+    if let Some(path) = &flags.metrics_out {
+        std::fs::write(path, metric_table.to_csv())
+            .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("\nmetrics written to {path}\n"));
+    }
+    if let Some(path) = &flags.events_out {
+        out.push_str(&format!("\nevents written to {path}\n"));
     }
     Ok(out)
 }
@@ -722,8 +1008,11 @@ fn run_solve(flags: &Flags) -> Result<String, CliError> {
 {USAGE}"
         )));
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Usage(format!("cannot read {path:?}: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        CliError::Usage(format!(
+            "cannot read trace {path:?}: {e} (generate one with `esvm gen --out {path}`)"
+        ))
+    })?;
     let problem = esvm_workload::trace::from_text(&text)
         .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
 
@@ -1009,6 +1298,125 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("mean cost"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_runs_and_reports_robustness_columns() {
+        let out = run(&args(&[
+            "chaos", "--vms", "20", "--servers", "10", "--seed", "7", "--fault-rate", "0.3",
+            "--algos", "miec,ffps",
+        ]))
+        .unwrap();
+        assert!(out.contains("chaos replay"), "{out}");
+        assert!(out.contains("adjusted cost"), "{out}");
+        assert!(out.contains("miec"), "{out}");
+        assert!(out.contains("smallest-remaining-first"), "{out}");
+    }
+
+    #[test]
+    fn chaos_plan_round_trips_through_files() {
+        let path = std::env::temp_dir().join("esvm_cli_chaos_plan_test.txt");
+        std::fs::remove_file(&path).ok();
+        let base = [
+            "chaos", "--vms", "16", "--servers", "8", "--seed", "3", "--fault-rate", "0.5",
+            "--algos", "miec",
+        ];
+        let mut first: Vec<&str> = base.to_vec();
+        first.extend(["--plan-out", path.to_str().unwrap()]);
+        let out1 = run(&args(&first)).unwrap();
+        assert!(out1.contains("fault plan written"), "{out1}");
+        let plan_text = std::fs::read_to_string(&path).unwrap();
+        assert!(plan_text.starts_with("# esvm faultplan v1"), "{plan_text}");
+
+        let mut second: Vec<&str> = base.to_vec();
+        second.extend(["--plan", path.to_str().unwrap()]);
+        let out2 = run(&args(&second)).unwrap();
+        // Same plan, same seed: the replay row is identical.
+        let row_of = |s: &str| s.lines().find(|l| l.starts_with("miec")).unwrap().to_owned();
+        assert_eq!(row_of(&out1), row_of(&out2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_with_zero_fault_rate_matches_offline_cost() {
+        let out = run(&args(&[
+            "chaos", "--vms", "16", "--servers", "8", "--seed", "1", "--fault-rate", "0",
+            "--algos", "miec",
+        ]))
+        .unwrap();
+        assert!(out.contains("0 availability events"), "{out}");
+        // The summary row repeats the offline cost for replay/adjusted.
+        let row = out.lines().find(|l| l.contains("miec")).unwrap();
+        let cells: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cells[1], cells[2], "{row}");
+        assert_eq!(cells[1], cells[3], "{row}");
+        assert!(row.contains(" 0"), "{row}");
+    }
+
+    #[test]
+    fn chaos_writes_metrics_and_events() {
+        let dir = std::env::temp_dir();
+        let metrics_path = dir.join("esvm_cli_chaos_metrics_test.csv");
+        let events_path = dir.join("esvm_cli_chaos_events_test.jsonl");
+        std::fs::remove_file(&metrics_path).ok();
+        std::fs::remove_file(&events_path).ok();
+        let out = run(&args(&[
+            "chaos", "--vms", "20", "--servers", "6", "--seed", "5", "--fault-rate", "0.8",
+            "--algos", "miec",
+            "--metrics-out", metrics_path.to_str().unwrap(),
+            "--events-out", events_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        let csv = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(csv.starts_with("algorithm,metric,kind,value"), "{csv}");
+        assert!(csv.contains("chaos."), "{csv}");
+        std::fs::remove_file(&metrics_path).ok();
+        std::fs::remove_file(&events_path).ok();
+    }
+
+    #[test]
+    fn chaos_flag_validation() {
+        for bad in [
+            vec!["chaos", "--fault-rate", "1.5"],
+            vec!["chaos", "--fault-rate", "lots"],
+            vec!["chaos", "--shed-policy", "nonsense"],
+            vec!["chaos", "--retries", "-1"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+        }
+        let err = run(&args(&["chaos", "--plan", "/definitely/not/here.txt"])).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("cannot read fault plan")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_paths_into_missing_directories_fail_before_the_run() {
+        let bad = "/definitely/not/a/dir/esvm_metrics.csv";
+        for cmd in [
+            vec!["chaos", "--vms", "12", "--servers", "6", "--metrics-out", bad],
+            vec![
+                "compare", "--vms", "12", "--servers", "6", "--seeds", "2", "--metrics-out", bad,
+            ],
+        ] {
+            let err = run(&args(&cmd)).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Usage(msg) if msg.contains("does not exist")),
+                "{cmd:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_trace_error_suggests_gen() {
+        let err = run(&args(&["solve", "--trace", "/no/such/trace.txt"])).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("esvm gen --out")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -91,10 +91,23 @@ pub struct ComparisonPoint {
 
 impl ComparisonPoint {
     fn index_of(&self, algo: AllocatorKind) -> usize {
-        self.algos
-            .iter()
-            .position(|&a| a == algo)
+        self.try_index_of(algo)
             .unwrap_or_else(|| panic!("{algo} was not part of this comparison"))
+    }
+
+    /// Position of `algo` in the comparison, if it took part — the
+    /// non-panicking lookup front ends should use before indexing
+    /// [`ComparisonPoint::costs`] directly.
+    pub fn try_index_of(&self, algo: AllocatorKind) -> Option<usize> {
+        self.algos.iter().position(|&a| a == algo)
+    }
+
+    /// Cost summary for one algorithm, or `None` when `algo` was not
+    /// part of the comparison. An empty sample cannot occur: `compare`
+    /// fails with [`RunError::AllSeedsOverloaded`] instead of
+    /// returning one.
+    pub fn try_cost_summary(&self, algo: AllocatorKind) -> Option<Summary> {
+        Summary::of(&self.costs[self.try_index_of(algo)?])
     }
 
     /// Cost summary for one algorithm.
@@ -103,7 +116,8 @@ impl ComparisonPoint {
     ///
     /// Panics if `algo` was not part of the comparison.
     pub fn cost_summary(&self, algo: AllocatorKind) -> Summary {
-        Summary::of(&self.costs[self.index_of(algo)]).expect("non-empty cost sample")
+        self.try_cost_summary(algo)
+            .unwrap_or_else(|| panic!("{algo} was not part of this comparison"))
     }
 
     /// Mean per-seed energy-reduction ratio of `ours` against
@@ -524,6 +538,17 @@ mod tests {
             .compare(&bad, &[AllocatorKind::Miec])
             .unwrap_err();
         assert!(matches!(err, RunError::Generate(_)));
+    }
+
+    #[test]
+    fn try_lookups_report_missing_algorithms_without_panicking() {
+        let point = MonteCarlo::new(2, 1)
+            .compare(&config(), &[AllocatorKind::Miec])
+            .unwrap();
+        assert_eq!(point.try_index_of(AllocatorKind::Miec), Some(0));
+        assert_eq!(point.try_index_of(AllocatorKind::Ffps), None);
+        assert!(point.try_cost_summary(AllocatorKind::Miec).is_some());
+        assert!(point.try_cost_summary(AllocatorKind::Ffps).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod events;
 pub mod metrics;
+pub mod names;
 
 pub use events::{
     encode_json, DiscardSink, Event, EventSink, FieldValue, JsonlWriter, MemorySink, NoopSink,

@@ -1,0 +1,31 @@
+//! Canonical metric names shared between emitters and consumers.
+//!
+//! Subsystems that record metrics from more than one crate keep the
+//! names here so the emitting code, the CLI that renders snapshots, and
+//! the tests that assert on counters can never drift apart.
+
+/// Robustness metrics recorded by the chaos replay engine.
+pub mod chaos {
+    /// Counter: VM pieces displaced by server outages.
+    pub const DISPLACED_VMS: &str = "chaos.displaced_vms";
+    /// Counter: interval time units displaced by evictions.
+    pub const DISPLACED_VM_MINUTES: &str = "chaos.displaced_vm_minutes";
+    /// Counter: successful re-placements (repairs and redirections).
+    pub const REPAIRS: &str = "chaos.repairs";
+    /// Histogram: time units between displacement and re-placement.
+    pub const REPAIR_LATENCY: &str = "chaos.repair_latency";
+    /// Counter: displaced VMs whose remaining work was dropped.
+    pub const SHED: &str = "chaos.shed";
+    /// Counter: arrivals that could never be admitted anywhere.
+    pub const REFUSED_ADMISSIONS: &str = "chaos.refused_admissions";
+    /// Counter: forced recovery transitions attributable to faults.
+    pub const EXTRA_TRANSITIONS: &str = "chaos.extra_transitions";
+    /// Gauge: net Eq. 7 energy adjustment for forced transitions.
+    pub const FAULT_TRANSITION_ENERGY: &str = "chaos.fault_transition_energy";
+    /// Gauge: scheduled energy cost of the chaos run.
+    pub const ENERGY_COST: &str = "chaos.energy_cost";
+    /// Gauge: scheduled cost plus the forced-transition surcharge.
+    pub const ENERGY_ADJUSTED_COST: &str = "chaos.energy_adjusted_cost";
+    /// Gauge: cost of the intended fault-free offline assignment.
+    pub const ENERGY_OFFLINE_COST: &str = "chaos.energy_offline_cost";
+}

@@ -55,10 +55,37 @@ impl Parallelism {
     /// separated so it is testable without mutating the process
     /// environment.
     pub fn parse_env(value: &str) -> Self {
+        Self::try_parse_env(value).unwrap_or_else(|_| Self::sequential())
+    }
+
+    /// Checked variant of [`Parallelism::from_env`] for front ends that
+    /// want to *reject* a malformed `ESVM_THREADS` with an actionable
+    /// message rather than silently fall back to sequential. An unset
+    /// variable is still the sequential default.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed value.
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("ESVM_THREADS") {
+            Ok(value) => Self::try_parse_env(&value),
+            Err(_) => Ok(Self::sequential()),
+        }
+    }
+
+    /// The pure parsing rule behind [`Parallelism::try_from_env`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed value: `ESVM_THREADS` must be a
+    /// non-negative integer (`0` meaning all cores).
+    pub fn try_parse_env(value: &str) -> Result<Self, String> {
         match value.trim().parse::<usize>() {
-            Ok(0) => Self::new(available_parallelism()),
-            Ok(n) => Self::new(n),
-            Err(_) => Self::sequential(),
+            Ok(0) => Ok(Self::new(available_parallelism())),
+            Ok(n) => Ok(Self::new(n)),
+            Err(_) => Err(format!(
+                "ESVM_THREADS must be a non-negative integer (0 = all cores), got {value:?}"
+            )),
         }
     }
 
@@ -130,6 +157,17 @@ mod tests {
         assert_eq!(Parallelism::parse_env("-2"), Parallelism::sequential());
         // "0" means all cores — at least one.
         assert!(Parallelism::parse_env("0").threads() >= 1);
+    }
+
+    #[test]
+    fn checked_env_parsing_surfaces_bad_values() {
+        assert_eq!(Parallelism::try_parse_env("4"), Ok(Parallelism::new(4)));
+        assert!(Parallelism::try_parse_env("0").unwrap().threads() >= 1);
+        for bad in ["nope", "", "-2", "3.5", "4x"] {
+            let err = Parallelism::try_parse_env(bad).unwrap_err();
+            assert!(err.contains("ESVM_THREADS"), "{err}");
+            assert!(err.contains(bad) || bad.is_empty(), "{err}");
+        }
     }
 
     #[test]

@@ -292,11 +292,14 @@ impl ServerLedger {
     }
 
     /// Applies an exactly-integer-valued `f64` delta to a `u64` cache.
+    /// Saturates at zero in release builds so an adversarial input that
+    /// desynchronises the caches degrades the decomposition instead of
+    /// wrapping to an astronomically wrong value.
     fn apply_int_delta(value: u64, delta: f64) -> u64 {
         debug_assert!(delta.fract() == 0.0, "gap-measure delta {delta} is not an integer");
-        let next = value as i64 + delta as i64;
+        let next = (value as i64).saturating_add(delta as i64);
         debug_assert!(next >= 0, "gap-measure cache went negative: {value} {delta:+}");
-        next as u64
+        next.max(0) as u64
     }
 
     /// Debug check: the integer gap caches match a rescan of the
@@ -368,6 +371,44 @@ impl ServerLedger {
                 < 1e-6,
             "cached cost diverged from rescan"
         );
+    }
+
+    /// Checked [`ServerLedger::host`]: rejects demands and intervals
+    /// whose accounting would leave the representable range instead of
+    /// silently corrupting the accumulators.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EnergyOverflow`](crate::Error::EnergyOverflow) when the
+    /// demand is non-finite or negative, the piece's run cost is not
+    /// finite, or the busy-time accumulator would overflow. The ledger
+    /// is unchanged on error.
+    pub fn try_host(&mut self, vm: &Vm) -> crate::Result<()> {
+        self.try_host_piece(vm.demand(), vm.interval())
+    }
+
+    /// Piece-level [`ServerLedger::try_host`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EnergyOverflow`](crate::Error::EnergyOverflow) on
+    /// non-finite/negative demand, non-finite run cost, or busy-time
+    /// overflow; the ledger is unchanged on error.
+    pub fn try_host_piece(&mut self, demand: Resources, interval: Interval) -> crate::Result<()> {
+        let overflow = crate::Error::EnergyOverflow { server: self.spec.id() };
+        if !demand.cpu.is_finite() || !demand.mem.is_finite() || demand.cpu < 0.0 || demand.mem < 0.0
+        {
+            return Err(overflow);
+        }
+        let run = self.piece_run_cost(demand, interval);
+        if !run.is_finite() || !(self.run_cost + run).is_finite() {
+            return Err(overflow);
+        }
+        if self.busy_time.checked_add(interval.len()).is_none() {
+            return Err(overflow);
+        }
+        self.host_piece(demand, interval);
+        Ok(())
     }
 
     /// Piece-level [`ServerLedger::unhost`]: removes a previously hosted
@@ -765,6 +806,78 @@ mod tests {
         }
         assert_eq!(ledger.cost(), cost_before);
         assert_eq!(ledger.segments(), &segments_before);
+        assert_eq!(ledger.hosted_count(), 2);
+    }
+
+    #[test]
+    fn checkpoint_restores_after_mid_sequence_eviction() {
+        // The chaos engine's eviction mechanic: host a VM, crash-evict
+        // it at t (unhost the whole piece, re-host the elapsed prefix),
+        // then undo the eviction and restore the checkpoint — cost()
+        // and the full Eq. 7 decomposition must come back bit-exactly.
+        let mut ledger = ServerLedger::new(spec(90.0));
+        ledger.host(&vm(0, 2.0, 3.0, 1, 8));
+        let victim = vm(1, 1.0, 1.0, 4, 20);
+        ledger.host(&victim);
+        let cost_before = ledger.cost().to_bits();
+        let breakdown_before = ledger.energy_breakdown();
+        let checkpoint = ledger.checkpoint();
+
+        // Crash at t = 10: truncate to the prefix [4, 9].
+        let crash = 10;
+        let prefix = Interval::new(victim.start(), crash - 1);
+        ledger.unhost_piece(victim.demand(), victim.interval());
+        ledger.host_piece(victim.demand(), prefix);
+        assert_ne!(ledger.cost().to_bits(), cost_before, "eviction changed cost");
+        assert_eq!(
+            ledger.cost().to_bits(),
+            ledger.energy_breakdown().total().to_bits(),
+            "conservation holds mid-eviction"
+        );
+
+        // Recovery path undoes the eviction (tail re-placed here).
+        ledger.unhost_piece(victim.demand(), prefix);
+        ledger.host_piece(victim.demand(), victim.interval());
+        ledger.restore_costs(checkpoint);
+        assert_eq!(ledger.cost().to_bits(), cost_before, "cost restored bit-exactly");
+        let after = ledger.energy_breakdown();
+        assert_eq!(after.run.to_bits(), breakdown_before.run.to_bits());
+        assert_eq!(after.idle.to_bits(), breakdown_before.idle.to_bits());
+        assert_eq!(
+            after.transition.to_bits(),
+            breakdown_before.transition.to_bits()
+        );
+        assert_eq!(ledger.hosted_count(), 2);
+    }
+
+    #[test]
+    fn try_host_rejects_adversarial_demands() {
+        let mut ledger = ServerLedger::new(spec(50.0));
+        ledger.host(&vm(0, 1.0, 1.0, 1, 4));
+        let cost_before = ledger.cost().to_bits();
+        // The fields are public, so hostile code (or a bug upstream)
+        // can bypass the `Resources::new` validation — the checked host
+        // path must still catch it.
+        for demand in [
+            Resources { cpu: f64::NAN, mem: 1.0 },
+            Resources { cpu: 1.0, mem: f64::NAN },
+            Resources { cpu: f64::INFINITY, mem: 1.0 },
+            Resources { cpu: -1.0, mem: 1.0 },
+            Resources { cpu: 1.0, mem: -1.0 },
+        ] {
+            let err = ledger
+                .try_host_piece(demand, Interval::new(10, 12))
+                .unwrap_err();
+            assert!(
+                matches!(err, crate::Error::EnergyOverflow { .. }),
+                "{demand:?}: {err:?}"
+            );
+        }
+        assert_eq!(ledger.cost().to_bits(), cost_before, "ledger unchanged");
+        assert_eq!(ledger.hosted_count(), 1);
+        ledger
+            .try_host_piece(Resources::new(1.0, 1.0), Interval::new(10, 12))
+            .expect("well-formed piece is accepted");
         assert_eq!(ledger.hosted_count(), 2);
     }
 

@@ -33,6 +33,12 @@ pub enum Error {
     NonDenseIds,
     /// The problem contains no servers.
     NoServers,
+    /// An energy or time accumulator would leave the representable
+    /// range (non-finite demand/cost, or busy time past `u64::MAX`).
+    EnergyOverflow {
+        /// The server whose ledger refused the update.
+        server: ServerId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -50,6 +56,9 @@ impl fmt::Display for Error {
             Error::Unplaced(id) => write!(f, "{id} is not placed on any server"),
             Error::NonDenseIds => write!(f, "vm/server ids must be dense 0..n indices"),
             Error::NoServers => write!(f, "problem contains no servers"),
+            Error::EnergyOverflow { server } => {
+                write!(f, "energy accounting on {server} would overflow")
+            }
         }
     }
 }
@@ -74,6 +83,9 @@ mod tests {
             Error::Unplaced(VmId(4)),
             Error::NonDenseIds,
             Error::NoServers,
+            Error::EnergyOverflow {
+                server: ServerId(2),
+            },
         ];
         for e in samples {
             let s = e.to_string();

@@ -28,12 +28,23 @@ pub enum TraceError {
     BadHeader,
     /// A section marker or column header is missing or malformed.
     BadSection(String),
-    /// A data line has the wrong number of fields or a non-numeric field.
+    /// A data line has the wrong number of fields, a non-numeric field,
+    /// or a physically impossible value (NaN/negative demand, inverted
+    /// interval, power model with `p_idle > p_peak`).
     BadLine {
         /// 1-based line number in the input.
         line: usize,
         /// Description of the problem.
         reason: String,
+    },
+    /// Two records in the same section share an id.
+    DuplicateId {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// `"server"` or `"vm"`.
+        what: &'static str,
+        /// The repeated id.
+        id: u32,
     },
     /// The parsed instance fails [`AllocationProblem`] validation.
     Invalid(esvm_simcore::Error),
@@ -45,6 +56,9 @@ impl fmt::Display for TraceError {
             TraceError::BadHeader => write!(f, "missing or unsupported trace header"),
             TraceError::BadSection(s) => write!(f, "bad section: {s}"),
             TraceError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            TraceError::DuplicateId { line, what, id } => {
+                write!(f, "line {line}: duplicate {what} id {id}")
+            }
             TraceError::Invalid(e) => write!(f, "invalid instance: {e}"),
         }
     }
@@ -139,6 +153,8 @@ pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
     let mut expect_columns: Option<&str> = None;
     let mut servers: Vec<ServerSpec> = Vec::new();
     let mut vms: Vec<Vm> = Vec::new();
+    let mut server_ids = std::collections::BTreeSet::new();
+    let mut vm_ids = std::collections::BTreeSet::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -170,11 +186,29 @@ pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
         }
 
         let fields: Vec<&str> = line.split(',').collect();
+        let bad = |reason: String| TraceError::BadLine {
+            line: lineno,
+            reason,
+        };
         let parse = |s: &str, what: &str| -> Result<f64, TraceError> {
-            s.parse::<f64>().map_err(|_| TraceError::BadLine {
-                line: lineno,
-                reason: format!("{what} is not a number: {s:?}"),
-            })
+            let v = s
+                .parse::<f64>()
+                .map_err(|_| bad(format!("{what} is not a number: {s:?}")))?;
+            if !v.is_finite() {
+                return Err(bad(format!("{what} must be finite, got {s:?}")));
+            }
+            Ok(v)
+        };
+        let parse_id = |s: &str, what: &str| -> Result<u32, TraceError> {
+            s.parse::<u32>()
+                .map_err(|_| bad(format!("{what} is not a non-negative integer: {s:?}")))
+        };
+        let demand = |s: &str, what: &str| -> Result<f64, TraceError> {
+            let v = parse(s, what)?;
+            if v < 0.0 {
+                return Err(bad(format!("{what} must be non-negative, got {v}")));
+            }
+            Ok(v)
         };
         match section {
             Section::Preamble => {
@@ -184,38 +218,55 @@ pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
             }
             Section::Servers => {
                 if fields.len() != 6 {
-                    return Err(TraceError::BadLine {
+                    return Err(bad(format!("expected 6 fields, found {}", fields.len())));
+                }
+                let id = parse_id(fields[0], "id")?;
+                if !server_ids.insert(id) {
+                    return Err(TraceError::DuplicateId {
                         line: lineno,
-                        reason: format!("expected 6 fields, found {}", fields.len()),
+                        what: "server",
+                        id,
                     });
                 }
-                let id = parse(fields[0], "id")? as u32;
+                let cpu = demand(fields[1], "cpu")?;
+                if cpu == 0.0 {
+                    return Err(bad("server cpu capacity must be positive".to_owned()));
+                }
+                let mem = demand(fields[2], "mem")?;
+                let p_idle = demand(fields[3], "p_idle")?;
+                let p_peak = demand(fields[4], "p_peak")?;
+                if p_peak < p_idle {
+                    return Err(bad(format!(
+                        "p_peak {p_peak} must be at least p_idle {p_idle}"
+                    )));
+                }
+                let alpha = demand(fields[5], "alpha")?;
                 servers.push(ServerSpec::new(
                     id,
-                    Resources::new(parse(fields[1], "cpu")?, parse(fields[2], "mem")?),
-                    PowerModel::new(parse(fields[3], "p_idle")?, parse(fields[4], "p_peak")?),
-                    parse(fields[5], "alpha")?,
+                    Resources::new(cpu, mem),
+                    PowerModel::new(p_idle, p_peak),
+                    alpha,
                 ));
             }
             Section::Vms => {
                 if fields.len() != 5 {
-                    return Err(TraceError::BadLine {
+                    return Err(bad(format!("expected 5 fields, found {}", fields.len())));
+                }
+                let id = parse_id(fields[0], "id")?;
+                if !vm_ids.insert(id) {
+                    return Err(TraceError::DuplicateId {
                         line: lineno,
-                        reason: format!("expected 5 fields, found {}", fields.len()),
+                        what: "vm",
+                        id,
                     });
                 }
-                let id = parse(fields[0], "id")? as u32;
-                let start = parse(fields[3], "start")? as u32;
-                let end = parse(fields[4], "end")? as u32;
-                let interval = Interval::checked_new(start, end).ok_or(TraceError::BadLine {
-                    line: lineno,
-                    reason: format!("start {start} exceeds end {end}"),
-                })?;
-                vms.push(Vm::new(
-                    id,
-                    Resources::new(parse(fields[1], "cpu")?, parse(fields[2], "mem")?),
-                    interval,
-                ));
+                let cpu = demand(fields[1], "cpu")?;
+                let mem = demand(fields[2], "mem")?;
+                let start = parse_id(fields[3], "start")?;
+                let end = parse_id(fields[4], "end")?;
+                let interval = Interval::checked_new(start, end)
+                    .ok_or_else(|| bad(format!("start {start} exceeds end {end}")))?;
+                vms.push(Vm::new(id, Resources::new(cpu, mem), interval));
             }
         }
     }
@@ -303,6 +354,70 @@ mod tests {
             from_text(&text).unwrap_err(),
             TraceError::BadSection(_)
         ));
+    }
+
+    #[test]
+    fn nan_and_negative_demands_are_rejected() {
+        for bad_vm in ["0,NaN,1,1,3", "0,1,NaN,1,3", "0,-1,1,1,3", "0,1,-2,1,3", "0,inf,1,1,3"] {
+            let text = format!(
+                "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n{bad_vm}\n"
+            );
+            assert!(
+                matches!(from_text(&text).unwrap_err(), TraceError::BadLine { line: 7, .. }),
+                "{bad_vm} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_server_records_are_rejected_not_panicked() {
+        // Each of these would trip an assert in ServerSpec/PowerModel
+        // if it reached construction.
+        for bad_server in ["0,0,8,1,2,0", "0,4,8,NaN,2,0", "0,4,8,5,2,0", "0,4,8,1,2,-1"] {
+            let text = format!("{HEADER}\n[servers]\n{SERVER_COLUMNS}\n{bad_server}\n");
+            assert!(
+                matches!(from_text(&text).unwrap_err(), TraceError::BadLine { line: 4, .. }),
+                "{bad_server} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_with_the_line_number() {
+        let text = format!(
+            "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n0,1,1,1,3\n0,1,1,4,6\n"
+        );
+        assert_eq!(
+            from_text(&text).unwrap_err(),
+            TraceError::DuplicateId {
+                line: 8,
+                what: "vm",
+                id: 0
+            }
+        );
+        let text =
+            format!("{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n0,4,8,1,2,0\n");
+        assert_eq!(
+            from_text(&text).unwrap_err(),
+            TraceError::DuplicateId {
+                line: 5,
+                what: "server",
+                id: 0
+            }
+        );
+    }
+
+    #[test]
+    fn non_integer_ids_and_times_are_rejected() {
+        for bad_vm in ["1.5,1,1,1,3", "0,1,1,1.5,3", "0,1,1,1,3.5", "-1,1,1,1,3"] {
+            let text = format!(
+                "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n{bad_vm}\n"
+            );
+            assert!(
+                matches!(from_text(&text).unwrap_err(), TraceError::BadLine { .. }),
+                "{bad_vm} should be rejected"
+            );
+        }
     }
 
     #[test]

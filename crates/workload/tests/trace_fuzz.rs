@@ -1,0 +1,110 @@
+//! Adversarial property tests for the trace parser.
+//!
+//! A hardened parser has exactly two behaviours on hostile input:
+//! accept a valid instance, or return a descriptive typed error. These
+//! tests mutate well-formed traces — corrupted fields, truncation,
+//! duplicated records, reordered bytes — and assert the parser never
+//! panics and every rejection renders a non-empty, line-anchored
+//! message.
+
+use esvm_workload::{catalog, trace, WorkloadConfig};
+use proptest::prelude::*;
+
+/// Garbage values a corrupted field can take, including the ones that
+/// historically reached `Resources::new`/`PowerModel::new` asserts.
+const GARBAGE: [&str; 10] = [
+    "NaN", "-NaN", "inf", "-inf", "-1", "1e999", "0x10", "", "foo", "1.5.3",
+];
+
+fn mutate(text: &str, line: usize, field: usize, garbage: usize, mode: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return text.to_owned();
+    }
+    let line = line % lines.len();
+    match mode % 4 {
+        // Replace one comma-separated field with garbage.
+        0 => {
+            let mut out: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+            let mut fields: Vec<String> = lines[line].split(',').map(str::to_owned).collect();
+            let field = field % fields.len();
+            fields[field] = GARBAGE[garbage % GARBAGE.len()].to_owned();
+            out[line] = fields.join(",");
+            out.join("\n")
+        }
+        // Truncate mid-line.
+        1 => {
+            let mut out: Vec<String> =
+                lines[..line].iter().map(|s| (*s).to_owned()).collect();
+            out.push(lines[line][..lines[line].len() / 2].to_owned());
+            out.join("\n")
+        }
+        // Duplicate a line verbatim (duplicate-id injection).
+        2 => {
+            let mut out: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+            out.insert(line, lines[line].to_owned());
+            out.join("\n")
+        }
+        // Delete a line (dangling sections, missing headers).
+        _ => {
+            let mut out: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+            out.remove(line);
+            out.join("\n")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single mutation of a valid trace either still parses or
+    /// fails with a descriptive error — never a panic.
+    #[test]
+    fn mutated_traces_never_panic(
+        seed in 0u64..50,
+        line in 0usize..10_000,
+        field in 0usize..8,
+        garbage in 0usize..GARBAGE.len(),
+        mode in 0usize..4,
+    ) {
+        let problem = WorkloadConfig::new(8, 4)
+            .vm_types(catalog::standard_vm_types())
+            .generate(seed)
+            .expect("generation is feasible");
+        let text = trace::to_text(&problem);
+        let corrupted = mutate(&text, line, field, garbage, mode);
+        match trace::from_text(&corrupted) {
+            Ok(parsed) => {
+                // Mutations that happen to keep the trace valid must
+                // still produce a well-formed instance.
+                prop_assert!(parsed.server_count() >= 1);
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty(), "error must describe the problem");
+            }
+        }
+    }
+
+    /// Stacked mutations (up to 4) behave the same.
+    #[test]
+    fn repeatedly_mutated_traces_never_panic(
+        seed in 0u64..50,
+        edits in proptest::collection::vec(
+            (0usize..10_000, 0usize..8, 0usize..GARBAGE.len(), 0usize..4),
+            1..5,
+        ),
+    ) {
+        let problem = WorkloadConfig::new(6, 3)
+            .vm_types(catalog::standard_vm_types())
+            .generate(seed)
+            .expect("generation is feasible");
+        let mut text = trace::to_text(&problem);
+        for &(line, field, garbage, mode) in &edits {
+            text = mutate(&text, line, field, garbage, mode);
+        }
+        if let Err(e) = trace::from_text(&text) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   busy/idle segments, energy accounting (Eqs. 1–7, 15–17);
 //! * [`core`] — the allocation algorithms: the paper's **MIEC**
 //!   heuristic, the **FFPS** baseline, and ablation baselines;
+//! * [`chaos`] — deterministic fault injection and failure-aware
+//!   replay: seeded [`FaultPlan`]s, eviction-correct energy accounting,
+//!   repair via incremental-cost scoring, graceful shedding;
 //! * [`ilp`] — the exact boolean-ILP formulation (Eqs. 8–14) with a
 //!   from-scratch simplex + branch-and-bound solver for certification;
 //! * [`workload`] — Poisson/exponential workload generation and the
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use esvm_analysis as analysis;
+pub use esvm_chaos as chaos;
 pub use esvm_core as core;
 pub use esvm_exper as exper;
 pub use esvm_ilp as ilp;
@@ -61,6 +65,10 @@ pub use esvm_simcore as simcore;
 pub use esvm_workload as workload;
 
 pub use esvm_analysis::{energy_reduction_ratio, Fit, FitKind, Summary, Table};
+pub use esvm_chaos::{
+    ChaosEngine, ChaosError, ChaosReport, FaultCause, FaultEvent, FaultPlan, FaultPlanConfig,
+    InputFault, RepairPolicy, ShedPolicy,
+};
 pub use esvm_core::{
     Allocator, AllocatorKind, BestFit, Consolidator, Ffps, FirstFit, LocalSearch, LowestIdlePower,
     Miec, Random, Refined, RoundRobin,
@@ -69,8 +77,8 @@ pub use esvm_exper::{ExpOptions, Figure, MonteCarlo, Series};
 pub use esvm_ilp::Formulation;
 pub use esvm_par::Parallelism;
 pub use esvm_simcore::{
-    replay, AllocationProblem, Assignment, AuditReport, Interval, PowerModel, PowerTrace,
-    ProblemBuilder, Resources, Schedule, ScheduleAudit, ServerId, ServerLedger, ServerSpec, Vm,
-    VmId,
+    replay, AllocationProblem, Assignment, AuditReport, EnergyBreakdown, Interval, PowerModel,
+    PowerTrace, ProblemBuilder, Resources, Schedule, ScheduleAudit, ServerId, ServerLedger,
+    ServerSpec, Vm, VmId,
 };
 pub use esvm_workload::{catalog, ServerType, VmClass, VmType, WorkloadConfig};
