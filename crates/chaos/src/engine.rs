@@ -170,6 +170,7 @@ struct QueueEntry {
 pub struct ChaosEngine {
     plan: FaultPlan,
     policy: RepairPolicy,
+    par: esvm_par::Parallelism,
 }
 
 impl ChaosEngine {
@@ -179,6 +180,7 @@ impl ChaosEngine {
         Self {
             plan,
             policy: RepairPolicy::default(),
+            par: esvm_par::Parallelism::default(),
         }
     }
 
@@ -186,6 +188,25 @@ impl ChaosEngine {
     pub fn with_policy(mut self, policy: RepairPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Scores repair re-placements on `par.threads()` threads: the
+    /// MIEC-style argmin over the up servers runs as the same
+    /// deterministic ascending-chunk reduction the allocators use
+    /// ([`esvm_par::par_min_by`]) directly over the live replay
+    /// ledgers — no replication — so repaired placements are
+    /// **bit-identical** to the sequential replay for every thread
+    /// count. The wrapped offline allocator keeps its own
+    /// [`Parallelism`](esvm_par::Parallelism) knob; this one governs
+    /// only phase 2's repair scoring.
+    pub fn with_parallelism(mut self, par: esvm_par::Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The configured repair-scoring thread policy.
+    pub fn parallelism(&self) -> esvm_par::Parallelism {
+        self.par
     }
 
     /// The plan this engine replays.
@@ -547,17 +568,20 @@ impl ChaosEngine {
             self.drop_entry(&entry, report, sink, metrics);
             return;
         };
-        let mut best: Option<(f64, usize)> = None;
-        for (i, ledger) in ledgers.iter().enumerate() {
-            if !up[i] || !ledger.fits_piece(demand, interval) {
-                continue;
+        // The same strict-`<` ascending-index argmin the sequential
+        // loop performs, as a deterministic chunked reduction when the
+        // engine is configured with threads: `par_min_by` merges
+        // chunk-local minima in ascending chunk order, so the winning
+        // (cost, server-id) — including the lowest-id tie-break — is
+        // bit-identical for every thread count. `Parallelism::default()`
+        // short-circuits to the plain sequential fold.
+        let best = esvm_par::par_min_by(self.par, ledgers.len(), |i| {
+            if !up[i] || !ledgers[i].fits_piece(demand, interval) {
+                return None;
             }
-            let score = ledger.incremental_piece_cost(demand, interval);
-            if best.map_or(true, |(b, _)| score < b) {
-                best = Some((score, i));
-            }
-        }
-        if let Some((_, s)) = best {
+            Some(ledgers[i].incremental_piece_cost(demand, interval))
+        });
+        if let Some((s, _)) = best {
             ledgers[s].host_piece(demand, interval);
             resident[s].push(Piece {
                 vm: entry.vm,

@@ -558,12 +558,22 @@ impl LocalSearch {
     ///
     /// Determinism contract (see DESIGN.md "Concurrency model"):
     ///
-    /// * **Relocate** — the conductor builds the pruned target list in
+    /// * **Relocate (default order)** — workers sweep their *own*
+    ///   contiguous server shards with shard-local prune stamps
+    ///   (nothing is built on the conductor); each shard reports the
+    ///   first improving target of its ascending sweep, and the
+    ///   reduction takes the first improving shard in ascending shard
+    ///   order — the exact target the sequential scan's `break`
+    ///   accepts, with the identical delta (pure `&self` arithmetic on
+    ///   the same ledger state). A shard's extra asleep
+    ///   class representative scores bit-identically to the global
+    ///   lowest-id one, so shard-local pruning never changes the
+    ///   accepted move.
+    /// * **Relocate (ordered targets)** — visit order is a global
+    ///   cost sort, so the conductor builds the pruned target list in
     ///   visit order; each chunk reports the *first* improving target
     ///   of its shard; the reduction takes the first entry in ascending
-    ///   chunk order — the exact target the sequential scan's `break`
-    ///   accepts, with the identical delta (pure `&self` arithmetic on
-    ///   the same ledger state).
+    ///   chunk order.
     /// * **Swap** — for a fixed `a`, partners `b` are scored in
     ///   batches. A shard resolves a pair itself only when both sides
     ///   take the influence-region fast path (read-only); any pair
@@ -588,11 +598,24 @@ impl LocalSearch {
     ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
         enum Job {
             Idle,
+            /// Ordered-targets relocate: the conductor builds the
+            /// cost-sorted pruned target list, workers score chunks of
+            /// it (visit order is a global sort, so targets cannot be
+            /// swept shard-locally).
             Relocate {
                 vm: Vm,
                 removal_gain: f64,
                 /// Pruned target server ids, in visit order.
                 targets: Vec<u32>,
+            },
+            /// Default-order relocate: workers sweep their *own*
+            /// contiguous server shards with shard-local prune stamps —
+            /// no conductor-built target list at all. Dispatched over
+            /// shard indices, not targets.
+            RelocateSharded {
+                vm: Vm,
+                src: ServerId,
+                removal_gain: f64,
             },
             Swap {
                 va: Vm,
@@ -615,6 +638,40 @@ impl LocalSearch {
             considered: u64,
             fast_sides: u64,
         }
+        /// One shard's first-improvement sweep outcome
+        /// ([`Job::RelocateSharded`]).
+        #[derive(Default)]
+        struct RelocateScan {
+            /// First improving `(server id, delta)` — ends the sweep,
+            /// exactly like the sequential `break`.
+            improving: Option<(u32, f64)>,
+            /// Targets scored before (and including) the break.
+            considered: u64,
+            /// Asleep twins pruned shard-locally before the break.
+            pruned: u64,
+            /// Shard-local asleep class representatives
+            /// `(class, fits)` in sweep order, truncated at the break
+            /// (instrumented runs only) — the conductor demotes
+            /// cross-shard duplicates to pruned.
+            reps: Vec<(u32, bool)>,
+        }
+        impl RelocateScan {
+            fn reset(&mut self) {
+                self.improving = None;
+                self.considered = 0;
+                self.pruned = 0;
+                self.reps.clear();
+            }
+        }
+        /// Persistent per-shard worker storage for the sharded relocate
+        /// sweep. Each shard index lands in exactly one dispatch chunk,
+        /// so the mutex is uncontended.
+        struct ShardSlot {
+            out: RelocateScan,
+            /// Shard-local spec-class prune stamps.
+            stamps: Vec<u64>,
+            scan: u64,
+        }
 
         let problem = base.problem();
         let mut hosts: Vec<Host> = problem.servers().iter().map(|s| Host::new(*s)).collect();
@@ -635,6 +692,18 @@ impl LocalSearch {
             .map(|_| Mutex::new(ChunkOut::default()))
             .collect();
         let instrumented = S::ENABLED;
+        let classes = spec_classes(problem.servers());
+        let routing = esvm_par::ShardRouting::new(n_servers, self.par.shards_for(n_servers));
+        let n_shards = routing.n_shards();
+        let shard_slots: Vec<Mutex<ShardSlot>> = (0..n_shards)
+            .map(|_| {
+                Mutex::new(ShardSlot {
+                    out: RelocateScan::default(),
+                    stamps: vec![u64::MAX; classes.count],
+                    scan: 0,
+                })
+            })
+            .collect();
 
         let worker = |chunk: usize, range: std::ops::Range<usize>| {
             let st = state.read().expect("local search state lock poisoned");
@@ -662,6 +731,57 @@ impl LocalSearch {
                             break;
                         }
                     }
+                }
+                Job::RelocateSharded {
+                    vm,
+                    src,
+                    removal_gain,
+                } => {
+                    // `range` holds *shard indices* here: sweep each
+                    // owned shard's contiguous id range ascending, the
+                    // sequential loop body restricted to the shard.
+                    for s in range {
+                        let mut slot =
+                            shard_slots[s].lock().expect("relocate shard slot poisoned");
+                        let slot = &mut *slot;
+                        slot.scan += 1;
+                        slot.out.reset();
+                        for i in routing.range(s) {
+                            if i == src.index() {
+                                continue;
+                            }
+                            let host = &st.hosts[i];
+                            let mut is_rep = false;
+                            if host.vms.is_empty() {
+                                let class = classes.class_of[i];
+                                if slot.stamps[class] == slot.scan {
+                                    slot.out.pruned += 1;
+                                    continue;
+                                }
+                                slot.stamps[class] = slot.scan;
+                                is_rep = true;
+                            }
+                            let fits = host.fits(vm);
+                            if instrumented && is_rep {
+                                slot.out.reps.push((classes.class_of[i] as u32, fits));
+                            }
+                            if !fits {
+                                continue;
+                            }
+                            let delta = removal_gain + host.ledger.incremental_cost(vm);
+                            if instrumented {
+                                slot.out.considered += 1;
+                            }
+                            if delta < -1e-9 {
+                                // First improvement ends the sweep:
+                                // later ids are unreachable
+                                // sequentially too.
+                                slot.out.improving = Some((i as u32, delta));
+                                break;
+                            }
+                        }
+                    }
+                    return;
                 }
                 Job::Swap { va, sa, b_from } => {
                     for k in range {
@@ -711,10 +831,13 @@ impl LocalSearch {
             *slots[chunk].lock().expect("local search chunk slot poisoned") = out;
         };
 
-        let classes = spec_classes(problem.servers());
         let (moves, stats) = esvm_par::scope(self.par, worker, |pool| {
             let mut class_seen: Vec<u64> = vec![u64::MAX; classes.count];
             let mut scan: u64 = 0;
+            // Cross-shard class-representative dedup stamps for the
+            // sharded relocate merge, one fresh stamp per VM.
+            let mut rep_seen: Vec<u64> = vec![u64::MAX; classes.count];
+            let mut rep_stamp: u64 = 0;
             let mut order: Vec<usize> = (0..n_servers).collect();
             // `pruned_prefix[k]`: asleep twins pruned before target `k`
             // in visit order — the sequential scan stops counting at its
@@ -739,6 +862,96 @@ impl LocalSearch {
                 // Relocate moves: one generation per VM.
                 for j in 0..n_vms {
                     let vm = problem.vms()[j];
+                    if !self.ordered_targets {
+                        // Default visit order is ascending server ids —
+                        // exactly the shard layout — so workers sweep
+                        // their own shards with shard-local prune
+                        // stamps and the merge takes the first
+                        // improving shard in ascending order: the
+                        // sequential first-improvement acceptance. A
+                        // shard's extra asleep class representative is
+                        // bit-identical in score to the global
+                        // lowest-id one, so it can neither improve
+                        // first nor change a verdict.
+                        let src;
+                        {
+                            let mut st = state.write().expect("state lock poisoned");
+                            let st = &mut *st;
+                            src = st.location[j];
+                            let removal_gain =
+                                -st.hosts[src.index()].ledger.decremental_cost(&vm);
+                            st.job = Job::RelocateSharded {
+                                vm,
+                                src,
+                                removal_gain,
+                            };
+                        }
+                        pool.dispatch(n_shards);
+                        let mut accept: Option<(u32, f64)> = None;
+                        rep_stamp += 1;
+                        for shard_slot in &shard_slots[..n_shards] {
+                            let slot =
+                                shard_slot.lock().expect("relocate shard slot poisoned");
+                            let out = &slot.out;
+                            if S::ENABLED {
+                                // Demote cross-shard duplicate asleep
+                                // class representatives to pruned, the
+                                // sequential tally.
+                                let mut scored_dupes = 0u64;
+                                let mut unfit_dupes = 0u64;
+                                for &(class, fits) in &out.reps {
+                                    if rep_seen[class as usize] == rep_stamp {
+                                        if fits {
+                                            scored_dupes += 1;
+                                        } else {
+                                            unfit_dupes += 1;
+                                        }
+                                    } else {
+                                        rep_seen[class as usize] = rep_stamp;
+                                    }
+                                }
+                                relocates_considered += out.considered - scored_dupes;
+                                pruned_targets += out.pruned + scored_dupes + unfit_dupes;
+                            }
+                            if let Some((sid, delta)) = out.improving {
+                                accept = Some((sid, delta));
+                                // Later shards' ids are unreachable
+                                // past the sequential break; their
+                                // sweeps are discarded, counters and
+                                // all.
+                                break;
+                            }
+                        }
+                        if let Some((sid, delta)) = accept {
+                            let dst = ServerId(sid);
+                            let mut st = state.write().expect("state lock poisoned");
+                            let st = &mut *st;
+                            let v = st.hosts[src.index()].remove(vm.id());
+                            st.hosts[sid as usize].add(v);
+                            st.location[j] = dst;
+                            moves.push(SearchMove::Relocate {
+                                vm: vm.id(),
+                                from: src,
+                                to: dst,
+                                delta,
+                            });
+                            improved = true;
+                            if S::ENABLED {
+                                relocates_accepted += 1;
+                                metrics.observe("local_search.accepted_delta", -delta);
+                                sink.emit(&Event {
+                                    name: "local_search.relocate",
+                                    fields: &[
+                                        ("vm", FieldValue::U64(vm.id().index() as u64)),
+                                        ("from", FieldValue::U64(src.index() as u64)),
+                                        ("to", FieldValue::U64(dst.index() as u64)),
+                                        ("delta", FieldValue::F64(delta)),
+                                    ],
+                                });
+                            }
+                        }
+                        continue;
+                    }
                     let (src, n_targets);
                     {
                         // Workers are quiescent between dispatches, so

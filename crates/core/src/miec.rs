@@ -123,12 +123,16 @@ impl Miec {
         }
     }
 
-    /// Scores candidate shards on `par.threads()` threads. Placements,
+    /// Scores candidates on `par.threads()` threads over persistently
+    /// owned server shards (`par.shards_for(..)` contiguous id ranges),
+    /// batching `par.batch()` arrivals per pool wake-up. Placements,
     /// costs, and energy breakdowns are **bit-identical** for every
-    /// thread count: candidate scoring is read-only over replicated
-    /// ledgers, and the argmin reduction merges chunk minima in
-    /// ascending server-id order with the same strict `<` (Eq. 7
-    /// lowest-id tie-breaking) as the sequential scan.
+    /// (threads, shards, batch) triple: workers score their shards
+    /// read-only against the live assignment, the conductor re-scores
+    /// shards dirtied by earlier commits of the same batch, and the
+    /// argmin reduction merges per-shard minima in ascending shard
+    /// order with the same strict `<` (Eq. 7 lowest-id tie-breaking)
+    /// as the sequential scan.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.par = par;
         self
@@ -305,28 +309,41 @@ impl Miec {
         Ok((assignment, rejected))
     }
 
-    /// The parallel twin of [`Miec::run`]: per VM, the candidate list is
-    /// built sequentially on the conductor (pruning stamps are order-
-    /// sensitive), then `incremental_cost` shards are scored on the pool
-    /// and reduced to the sequential argmin.
+    /// The parallel twin of [`Miec::run`]: **persistent shard
+    /// ownership** over the live assignment — no ledger replication, no
+    /// replay.
     ///
-    /// Determinism contract (see DESIGN.md "Concurrency model"): worker
-    /// chunks are **read-only** over ledgers replicated from the
-    /// assignment (hosted in the same VM order, hence bit-identical
-    /// float state), each chunk folds its own strict-`<` minimum over
-    /// ascending server ids, and the conductor merges chunk minima in
-    /// ascending chunk order with strict `<` — so the winner, including
-    /// Eq. 7 lowest-id tie-breaking, is bit-for-bit the sequential
-    /// pick. The assignment is then rebuilt by replaying the placements
-    /// in start-time order, the exact construction the sequential loop
-    /// performs.
+    /// The server-id range is partitioned into contiguous ascending
+    /// shards ([`esvm_par::ShardRouting`]); the `Assignment` itself
+    /// lives inside an `RwLock`, workers score their shards *read-only*
+    /// against it, and the conductor commits the single winning `host`
+    /// mutation between pool generations (the pool's quiescence
+    /// guarantee makes that race-free). Arrivals are batched
+    /// `par.batch()` per wake-up: every worker scores the whole batch
+    /// against the pre-batch state, then the conductor commits the
+    /// batch sequentially in arrival order, re-scoring any shard
+    /// already dirtied by an earlier commit of the same batch — so
+    /// every VM is merged against exactly the state the sequential
+    /// loop would see.
+    ///
+    /// Determinism contract (see DESIGN.md "Concurrency model"): each
+    /// shard folds its own strict-`<` minimum over ascending server
+    /// ids, and the conductor merges shard minima in ascending shard
+    /// order with strict `<` — since shards partition the id range in
+    /// order, this reproduces the sequential left-to-right argmin bit
+    /// for bit, including Eq. 7 lowest-id tie-breaking. Spec-class
+    /// pruning runs shard-locally: a shard's extra asleep class
+    /// representative is bit-identical in score to (and higher-id
+    /// than) the global lowest-id representative, so it can never
+    /// displace the sequential winner.
     ///
     /// Counter semantics: `vms_placed/rejected`, `candidates_considered`,
     /// `spec_class_pruned`, and `unfit_skipped` are identical to the
-    /// sequential run. `fp_ties` counts ties against chunk-local minima
-    /// (merged in order) rather than the sequential running best, so it
-    /// can undercount ties against bests that a later candidate
-    /// displaces; it is diagnostic, not part of the equality contract.
+    /// sequential run — the conductor demotes cross-shard duplicate
+    /// class representatives from scored/unfit back to pruned while
+    /// merging. `fp_ties` counts ties against shard-local minima
+    /// rather than the sequential running best, so it remains the one
+    /// documented approximate diagnostic.
     fn run_parallel<'p, S: EventSink>(
         &self,
         problem: &'p AllocationProblem,
@@ -334,30 +351,70 @@ impl Miec {
         sink: &mut S,
         metrics: &MetricsRegistry,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
-        struct Job {
-            /// Replica of the assignment's ledgers (same host order →
-            /// bit-identical state); `fits` and real-cost scoring.
-            real: Vec<ServerLedger>,
-            /// α = 0 replica for the ablation variant's scoring.
+        /// Shared state: the live assignment (workers read, the
+        /// conductor mutates between generations) plus the ablation
+        /// shadow ledgers and the current arrival batch.
+        struct State<'p> {
+            assignment: Assignment<'p>,
+            /// α = 0 twin ledgers for the ablation variant's scoring;
+            /// hosted in lockstep with the assignment.
             shadow: Option<Vec<ServerLedger>>,
-            /// Server indices surviving spec-class pruning for the
-            /// current VM, ascending.
-            candidates: Vec<u32>,
-            /// `(true vm, scoring vm)` for the current generation.
-            vm: Option<(esvm_simcore::Vm, esvm_simcore::Vm)>,
+            /// `(true vm, scoring vm)` per batched arrival.
+            batch: Vec<(esvm_simcore::Vm, esvm_simcore::Vm)>,
         }
-        #[derive(Clone, Copy, Default)]
-        struct ChunkResult {
-            /// Chunk-local strict-`<` minimum `(delta, server id)`.
+        /// One shard × VM scan outcome, merged in ascending shard order.
+        #[derive(Default)]
+        struct ShardScan {
+            /// Shard-local strict-`<` minimum `(delta, server id)`.
             best: Option<(f64, u32)>,
-            /// Candidates in this chunk tying the chunk-local best.
+            /// Candidates in this shard tying the shard-local best.
             ties_at_best: u64,
-            unfit: u64,
             scored: u64,
+            unfit: u64,
+            pruned: u64,
+            /// Shard-local asleep class representatives `(class, fits)`
+            /// in ascending server-id order (instrumented runs only);
+            /// the conductor demotes cross-shard duplicates to pruned.
+            reps: Vec<(u32, bool)>,
+        }
+        impl ShardScan {
+            fn reset(&mut self) {
+                self.best = None;
+                self.ties_at_best = 0;
+                self.scored = 0;
+                self.unfit = 0;
+                self.pruned = 0;
+                self.reps.clear();
+            }
+        }
+        /// A worker's persistent per-shard storage. Each shard index
+        /// lands in exactly one dispatch chunk, so the mutex is never
+        /// contended — it exists to satisfy the `Sync` bound.
+        struct ShardSlot {
+            /// One scan per VM of the current batch.
+            results: Vec<ShardScan>,
+            /// Shard-local spec-class prune stamps
+            /// (`stamps[class] == scan` ⇒ already represented).
+            stamps: Vec<usize>,
+            /// Monotone scan counter for the stamps.
+            scan: usize,
+            /// Scratch for conductor-side re-scores of dirty shards.
+            rescan: ShardScan,
         }
 
-        let job = RwLock::new(Job {
-            real: problem.servers().iter().map(|s| ServerLedger::new(*s)).collect(),
+        let n_servers = problem.server_count();
+        let routing = esvm_par::ShardRouting::new(n_servers, self.par.shards_for(n_servers));
+        let n_shards = routing.n_shards();
+        let batch_size = self.par.batch();
+        let classes = crate::classes::spec_classes(problem.servers());
+        let class_of = &classes.class_of;
+        let ordered_vms = problem.vms_by_start_time();
+        let reference = self.reference;
+        let unpruned = self.unpruned;
+        let instrumented = S::ENABLED;
+
+        let state = RwLock::new(State {
+            assignment: Assignment::new(problem),
             shadow: self.ignore_transition_costs.then(|| {
                 problem
                     .servers()
@@ -372,30 +429,60 @@ impl Miec {
                     })
                     .collect()
             }),
-            candidates: Vec::with_capacity(problem.server_count()),
-            vm: None,
+            batch: Vec::with_capacity(batch_size),
         });
-        let slots: Vec<Mutex<ChunkResult>> = (0..self.par.max_chunks(problem.server_count()))
-            .map(|_| Mutex::new(ChunkResult::default()))
+        let slots: Vec<Mutex<ShardSlot>> = (0..n_shards)
+            .map(|_| {
+                Mutex::new(ShardSlot {
+                    results: Vec::new(),
+                    stamps: vec![usize::MAX; classes.count],
+                    scan: 0,
+                    rescan: ShardScan::default(),
+                })
+            })
             .collect();
-        let reference = self.reference;
-        let instrumented = S::ENABLED;
 
-        let worker = |chunk: usize, range: std::ops::Range<usize>| {
-            let job = job.read().expect("miec job lock poisoned");
-            let (vm, scoring) = job.vm.expect("dispatch without a job VM");
-            let mut out = ChunkResult::default();
-            for k in range {
-                let i = job.candidates[k] as usize;
-                if !job.real[i].fits(&vm) {
+        // The one scan kernel, shared by the worker threads and the
+        // conductor's dirty-shard re-scores: sweep a shard's id range
+        // in ascending order with shard-local prune stamps, exactly
+        // the sequential loop body restricted to the shard.
+        let scan_shard = |state: &State,
+                          range: std::ops::Range<usize>,
+                          vm: &esvm_simcore::Vm,
+                          scoring: &esvm_simcore::Vm,
+                          stamps: &mut [usize],
+                          scan_id: usize,
+                          out: &mut ShardScan| {
+            out.reset();
+            for i in range {
+                let real = state.assignment.ledger(ServerId(i as u32));
+                let mut is_rep = false;
+                if !unpruned && real.hosted_count() == 0 {
+                    let class = class_of[i];
+                    if stamps[class] == scan_id {
+                        // A lower-id asleep server of the same spec
+                        // class already stood in for this one (within
+                        // this shard; cross-shard dedup happens at
+                        // merge time).
+                        out.pruned += 1;
+                        continue;
+                    }
+                    stamps[class] = scan_id;
+                    is_rep = true;
+                }
+                let fits = real.fits(vm);
+                if instrumented && is_rep {
+                    out.reps.push((class_of[i] as u32, fits));
+                }
+                if !fits {
                     out.unfit += 1;
                     continue;
                 }
-                let delta = match (&job.shadow, reference) {
-                    (Some(ledgers), true) => ledgers[i].reference_incremental_cost(&scoring),
-                    (Some(ledgers), false) => ledgers[i].incremental_cost(&scoring),
-                    (None, true) => job.real[i].reference_incremental_cost(&scoring),
-                    (None, false) => job.real[i].incremental_cost(&scoring),
+                let delta = match (&state.shadow, reference) {
+                    (Some(ledgers), true) => ledgers[i].reference_incremental_cost(scoring),
+                    (Some(ledgers), false) => ledgers[i].incremental_cost(scoring),
+                    (None, true) => real.reference_incremental_cost(scoring),
+                    (None, false) => real.incremental_cost(scoring),
                 };
                 if instrumented {
                     out.scored += 1;
@@ -405,124 +492,191 @@ impl Miec {
                         _ => {}
                     }
                 }
-                // Strict `<`: within a chunk the lowest server id wins
+                // Strict `<`: within a shard the lowest server id wins
                 // ties, exactly like the sequential left-to-right scan.
                 if out.best.is_none_or(|(cost, _)| delta < cost) {
-                    out.best = Some((delta, job.candidates[k]));
+                    out.best = Some((delta, i as u32));
                 }
             }
-            *slots[chunk].lock().expect("miec chunk slot poisoned") = out;
         };
 
-        let classes = crate::classes::spec_classes(problem.servers());
-        let class_of = &classes.class_of;
-        let ordered_vms = problem.vms_by_start_time();
+        // Worker body: claim chunks of *shard indices* and score every
+        // batched VM against the owned shards, read-only.
+        let worker = |_chunk: usize, shard_range: std::ops::Range<usize>| {
+            let state = state.read().expect("miec state lock poisoned");
+            for s in shard_range {
+                let mut slot = slots[s].lock().expect("miec shard slot poisoned");
+                let slot = &mut *slot;
+                if slot.results.len() < state.batch.len() {
+                    slot.results.resize_with(state.batch.len(), ShardScan::default);
+                }
+                for (b, (vm, scoring)) in state.batch.iter().enumerate() {
+                    slot.scan += 1;
+                    scan_shard(
+                        &state,
+                        routing.range(s),
+                        vm,
+                        scoring,
+                        &mut slot.stamps,
+                        slot.scan,
+                        &mut slot.results[b],
+                    );
+                }
+            }
+        };
 
         let run = esvm_par::scope(self.par, worker, |pool| -> AllocResult<_> {
-            let mut placement: Vec<Option<ServerId>> = vec![None; problem.vm_count()];
             let mut rejected = Vec::new();
             let mut candidates_total = 0u64;
             let mut pruned_total = 0u64;
             let mut unfit_total = 0u64;
             let mut fp_ties_total = 0u64;
-            let mut class_scored: Vec<usize> = vec![usize::MAX; classes.count];
+            // Shards that received a commit in the current batch
+            // window; their stored scans are stale and re-scored.
+            let mut dirty = vec![false; n_shards];
+            // Cross-shard class-representative dedup stamps, one fresh
+            // stamp per committed VM.
+            let mut rep_seen: Vec<usize> = vec![usize::MAX; classes.count];
+            let mut rep_stamp = 0usize;
 
-            for (step, &j) in ordered_vms.iter().enumerate() {
-                let vm = &problem.vms()[j];
-                let n_candidates;
-                let mut vm_pruned = 0u64;
+            let mut window_start = 0;
+            while window_start < ordered_vms.len() {
+                let window =
+                    &ordered_vms[window_start..(window_start + batch_size).min(ordered_vms.len())];
                 {
-                    // Safe to mutate: `dispatch` quiesced all workers
-                    // before returning, so no reader holds the lock.
-                    let mut job = job.write().expect("miec job lock poisoned");
-                    let job = &mut *job;
-                    job.candidates.clear();
-                    for i in 0..problem.server_count() {
-                        if !self.unpruned && job.real[i].hosted_count() == 0 {
-                            let class = class_of[i];
-                            if class_scored[class] == step {
-                                if S::ENABLED {
-                                    vm_pruned += 1;
-                                }
-                                continue;
-                            }
-                            class_scored[class] = step;
-                        }
-                        job.candidates.push(i as u32);
-                    }
-                    job.vm = Some((*vm, self.scoring_vm(vm)));
-                    n_candidates = job.candidates.len();
-                    if S::ENABLED {
-                        pruned_total += vm_pruned;
+                    // Safe to mutate: every worker quiesced in the
+                    // previous `dispatch`, so no reader holds the lock.
+                    let mut state = state.write().expect("miec state lock poisoned");
+                    state.batch.clear();
+                    for &j in window {
+                        let vm = problem.vms()[j];
+                        state.batch.push((vm, self.scoring_vm(&vm)));
                     }
                 }
-                pool.dispatch(n_candidates);
-                // Merge chunk minima in ascending chunk order — chunk c's
-                // server ids all precede chunk c+1's, so strict `<` here
-                // reproduces the sequential fold, ties and all.
-                let (_, n_chunks) = self.par.chunking(n_candidates);
-                let mut best: Option<(f64, u32)> = None;
-                let mut candidates = 0u64;
-                for slot in &slots[..n_chunks] {
-                    let out = *slot.lock().expect("miec chunk slot poisoned");
-                    if S::ENABLED {
-                        candidates += out.scored;
-                        unfit_total += out.unfit;
-                        if let (Some((delta, _)), Some((cost, _))) = (out.best, best) {
-                            if delta == cost {
-                                // The chunk best itself ties the global
-                                // best, plus its in-chunk ties.
-                                fp_ties_total += out.ties_at_best + 1;
-                            } else if delta < cost {
+                dirty.iter_mut().for_each(|d| *d = false);
+                pool.dispatch(n_shards);
+
+                // Commit the batch sequentially in arrival order.
+                for (b, &j) in window.iter().enumerate() {
+                    let vm = &problem.vms()[j];
+                    let scoring = self.scoring_vm(vm);
+                    let mut best: Option<(f64, u32)> = None;
+                    let mut vm_candidates = 0u64;
+                    let mut vm_pruned = 0u64;
+                    rep_stamp += 1;
+                    for s in 0..n_shards {
+                        let mut slot = slots[s].lock().expect("miec shard slot poisoned");
+                        let slot = &mut *slot;
+                        if dirty[s] {
+                            // An earlier commit of this batch touched
+                            // this shard: its stored scan no longer
+                            // matches the state the sequential loop
+                            // would see here — re-score against the
+                            // live assignment.
+                            slot.scan += 1;
+                            let state = state.read().expect("miec state lock poisoned");
+                            scan_shard(
+                                &state,
+                                routing.range(s),
+                                vm,
+                                &scoring,
+                                &mut slot.stamps,
+                                slot.scan,
+                                &mut slot.rescan,
+                            );
+                        }
+                        let out: &ShardScan =
+                            if dirty[s] { &slot.rescan } else { &slot.results[b] };
+                        if S::ENABLED {
+                            // Demote cross-shard duplicate asleep class
+                            // representatives to pruned: sequentially
+                            // only the global lowest-id representative
+                            // (= the first shard's, since shards
+                            // ascend) is scored or found unfit.
+                            let mut scored_dupes = 0u64;
+                            let mut unfit_dupes = 0u64;
+                            for &(class, fits) in &out.reps {
+                                if rep_seen[class as usize] == rep_stamp {
+                                    if fits {
+                                        scored_dupes += 1;
+                                    } else {
+                                        unfit_dupes += 1;
+                                    }
+                                } else {
+                                    rep_seen[class as usize] = rep_stamp;
+                                }
+                            }
+                            vm_candidates += out.scored - scored_dupes;
+                            unfit_total += out.unfit - unfit_dupes;
+                            vm_pruned += out.pruned + scored_dupes + unfit_dupes;
+                            if let (Some((delta, _)), Some((cost, _))) = (out.best, best) {
+                                if delta == cost {
+                                    // The shard best itself ties the
+                                    // running best, plus its in-shard
+                                    // ties.
+                                    fp_ties_total += out.ties_at_best + 1;
+                                } else if delta < cost {
+                                    fp_ties_total += out.ties_at_best;
+                                }
+                            } else if let (Some(_), None) = (out.best, best) {
                                 fp_ties_total += out.ties_at_best;
                             }
-                        } else if let (Some(_), None) = (out.best, best) {
-                            fp_ties_total += out.ties_at_best;
+                        }
+                        // Ascending-shard merge with strict `<`: the
+                        // sequential left-to-right argmin, Eq. 7
+                        // lowest-id tie-break included. A duplicate
+                        // class representative scores bit-identically
+                        // to the earlier shard's copy, so strict `<`
+                        // never lets it displace the winner.
+                        if let Some((delta, sid)) = out.best {
+                            if best.is_none_or(|(cost, _)| delta < cost) {
+                                best = Some((delta, sid));
+                            }
                         }
                     }
-                    if let Some((delta, sid)) = out.best {
-                        if best.is_none_or(|(cost, _)| delta < cost) {
-                            best = Some((delta, sid));
+                    if S::ENABLED {
+                        candidates_total += vm_candidates;
+                        pruned_total += vm_pruned;
+                    }
+                    match best {
+                        Some((delta, sid)) => {
+                            // The single `host` mutation, dispatched to
+                            // the winning shard's ledger between pool
+                            // generations.
+                            let mut state = state.write().expect("miec state lock poisoned");
+                            let state = &mut *state;
+                            state.assignment.place(vm.id(), ServerId(sid))?;
+                            if let Some(ledgers) = state.shadow.as_mut() {
+                                ledgers[sid as usize].host(vm);
+                            }
+                            dirty[routing.shard_of(sid as usize)] = true;
+                            if S::ENABLED {
+                                metrics.observe("miec.placement_delta", delta);
+                                sink.emit(&Event {
+                                    name: "miec.place",
+                                    fields: &[
+                                        ("vm", FieldValue::U64(vm.id().index() as u64)),
+                                        ("server", FieldValue::U64(u64::from(sid))),
+                                        ("delta", FieldValue::F64(delta)),
+                                        ("candidates", FieldValue::U64(vm_candidates)),
+                                        ("pruned", FieldValue::U64(vm_pruned)),
+                                    ],
+                                });
+                            }
                         }
+                        None if admit => {
+                            if S::ENABLED {
+                                sink.emit(&Event {
+                                    name: "miec.reject",
+                                    fields: &[("vm", FieldValue::U64(vm.id().index() as u64))],
+                                });
+                            }
+                            rejected.push(vm.id());
+                        }
+                        None => return Err(AllocError::NoFeasibleServer(vm.id())),
                     }
                 }
-                if S::ENABLED {
-                    candidates_total += candidates;
-                }
-                match best {
-                    Some((delta, sid)) => {
-                        let mut job = job.write().expect("miec job lock poisoned");
-                        let job = &mut *job;
-                        job.real[sid as usize].host(vm);
-                        if let Some(ledgers) = job.shadow.as_mut() {
-                            ledgers[sid as usize].host(vm);
-                        }
-                        placement[vm.id().index()] = Some(ServerId(sid));
-                        if S::ENABLED {
-                            metrics.observe("miec.placement_delta", delta);
-                            sink.emit(&Event {
-                                name: "miec.place",
-                                fields: &[
-                                    ("vm", FieldValue::U64(vm.id().index() as u64)),
-                                    ("server", FieldValue::U64(u64::from(sid))),
-                                    ("delta", FieldValue::F64(delta)),
-                                    ("candidates", FieldValue::U64(candidates)),
-                                    ("pruned", FieldValue::U64(vm_pruned)),
-                                ],
-                            });
-                        }
-                    }
-                    None if admit => {
-                        if S::ENABLED {
-                            sink.emit(&Event {
-                                name: "miec.reject",
-                                fields: &[("vm", FieldValue::U64(vm.id().index() as u64))],
-                            });
-                        }
-                        rejected.push(vm.id());
-                    }
-                    None => return Err(AllocError::NoFeasibleServer(vm.id())),
-                }
+                window_start += window.len();
             }
             if S::ENABLED {
                 let placed = problem.vm_count() as u64 - rejected.len() as u64;
@@ -538,21 +692,15 @@ impl Miec {
                 metrics.add("miec.par.steals", stats.steals);
                 metrics.set_gauge("miec.par.imbalance", stats.imbalance);
             }
-            Ok((placement, rejected))
+            Ok(rejected)
         });
-        let (placement, rejected) = run?;
+        let rejected = run?;
 
-        // Rebuild the assignment by replaying placements in start-time
-        // order — the exact sequence of `place` calls the sequential
-        // loop performs, so the ledgers' float state is bit-identical.
-        let mut assignment = Assignment::new(problem);
-        for &j in &ordered_vms {
-            let vm = &problem.vms()[j];
-            if let Some(sid) = placement[vm.id().index()] {
-                assignment.place(vm.id(), sid)?;
-            }
-        }
-        Ok((assignment, rejected))
+        // The assignment was mutated in place in arrival order — the
+        // exact sequence of `place` calls the sequential loop performs,
+        // so its float state is bit-identical. Just unwrap it.
+        let state = state.into_inner().expect("miec state lock poisoned");
+        Ok((state.assignment, rejected))
     }
 
     /// Observed variant of [`Allocator::allocate`]: identical placement
@@ -876,17 +1024,23 @@ mod tests {
         {
             let sequential = make().allocate(&p, &mut rng()).unwrap();
             for threads in [2usize, 4, 8] {
-                let parallel = make()
-                    .with_parallelism(Parallelism::new(threads))
-                    .allocate(&p, &mut rng())
-                    .unwrap();
-                assert_eq!(sequential.placement(), parallel.placement());
-                assert_eq!(
-                    sequential.total_cost().to_bits(),
-                    parallel.total_cost().to_bits(),
-                    "{} threads={threads}",
-                    make().name()
-                );
+                for shards in [0usize, 1, 3, 8] {
+                    for batch in [1usize, 2, 256] {
+                        let parallel = make()
+                            .with_parallelism(
+                                Parallelism::new(threads).with_shards(shards).with_batch(batch),
+                            )
+                            .allocate(&p, &mut rng())
+                            .unwrap();
+                        assert_eq!(sequential.placement(), parallel.placement());
+                        assert_eq!(
+                            sequential.total_cost().to_bits(),
+                            parallel.total_cost().to_bits(),
+                            "{} threads={threads} shards={shards} batch={batch}",
+                            make().name()
+                        );
+                    }
+                }
             }
         }
     }
@@ -905,27 +1059,38 @@ mod tests {
             .build()
             .unwrap();
         let seq_metrics = esvm_obs::MetricsRegistry::new();
-        let par_metrics = esvm_obs::MetricsRegistry::new();
         let a = Miec::new()
             .allocate_observed(&p, &mut esvm_obs::MemorySink::new(), &seq_metrics)
             .unwrap();
-        let b = Miec::new()
-            .with_parallelism(Parallelism::new(4))
-            .allocate_observed(&p, &mut esvm_obs::MemorySink::new(), &par_metrics)
-            .unwrap();
-        assert_eq!(a.placement(), b.placement());
-        for name in [
-            "miec.vms_placed",
-            "miec.vms_rejected",
-            "miec.candidates_considered",
-            "miec.spec_class_pruned",
-            "miec.unfit_skipped",
-        ] {
-            assert_eq!(seq_metrics.counter(name), par_metrics.counter(name), "{name}");
+        // The exact counters must survive every shard/batch shape —
+        // including batches where cross-shard rep dedup and dirty-shard
+        // re-scores actually fire.
+        for (shards, batch) in [(0usize, 16usize), (2, 1), (3, 2), (8, 256)] {
+            let par_metrics = esvm_obs::MetricsRegistry::new();
+            let b = Miec::new()
+                .with_parallelism(Parallelism::new(4).with_shards(shards).with_batch(batch))
+                .allocate_observed(&p, &mut esvm_obs::MemorySink::new(), &par_metrics)
+                .unwrap();
+            assert_eq!(a.placement(), b.placement());
+            for name in [
+                "miec.vms_placed",
+                "miec.vms_rejected",
+                "miec.candidates_considered",
+                "miec.spec_class_pruned",
+                "miec.unfit_skipped",
+            ] {
+                assert_eq!(
+                    seq_metrics.counter(name),
+                    par_metrics.counter(name),
+                    "{name} shards={shards} batch={batch}"
+                );
+            }
+            // Pool counters only exist on the parallel run: one
+            // generation per arrival batch.
+            let expected_generations = (3 + batch as u64 - 1) / batch as u64;
+            assert_eq!(par_metrics.counter("miec.par.generations"), expected_generations);
+            assert_eq!(seq_metrics.counter("miec.par.generations"), 0);
         }
-        // Pool counters only exist on the parallel run.
-        assert!(par_metrics.counter("miec.par.generations") >= 3);
-        assert_eq!(seq_metrics.counter("miec.par.generations"), 0);
     }
 
     #[test]

@@ -91,6 +91,11 @@ options (figures):
   --algo-threads N  threads inside each allocator's scoring loops
                     (default: ESVM_THREADS, else 1; results are
                     bit-identical for every value)
+  --shards K        server-shard count of the sharded parallel engine
+                    (default: ESVM_SHARDS, else auto from the thread
+                    count; 0 = auto; bit-identical for every value)
+  --batch B         arrival-batch size per pool wake-up (default:
+                    ESVM_BATCH, else 16; bit-identical for every value)
   --quick           scaled-down VM counts and 6 seeds
   --csv             emit CSV instead of aligned tables
 
@@ -154,6 +159,8 @@ struct Flags {
     events_out: Option<String>,
     force: bool,
     algo_threads: Option<usize>,
+    algo_shards: Option<usize>,
+    algo_batch: Option<usize>,
     fault_rate: Option<f64>,
     rack_size: Option<u32>,
     mean_outage: Option<f64>,
@@ -166,17 +173,28 @@ struct Flags {
 
 impl Flags {
     /// The thread policy for each allocator's scoring loops:
-    /// `--algo-threads` wins, otherwise the `ESVM_THREADS` default. A
-    /// malformed `ESVM_THREADS` is a hard error here rather than a
-    /// silent fall-back to sequential — the user asked for a thread
-    /// count and would otherwise get a different one without warning.
+    /// `--algo-threads` wins, otherwise the `ESVM_THREADS` default, and
+    /// the sharded-engine knobs `--shards` / `--batch` override
+    /// `ESVM_SHARDS` / `ESVM_BATCH` the same way. A malformed
+    /// environment variable is a hard error here rather than a silent
+    /// fall-back to a default — the user asked for a configuration and
+    /// would otherwise get a different one without warning.
     fn algo_parallelism(&self) -> Result<Parallelism, CliError> {
-        match self.algo_threads {
-            Some(n) => Ok(Parallelism::new(n)),
+        let mut par = match self.algo_threads {
+            Some(n) => Parallelism::try_from_env()
+                .map(|env| env.with_threads(n))
+                .unwrap_or_else(|_| Parallelism::new(n)),
             None => Parallelism::try_from_env().map_err(|e| {
                 CliError::Usage(format!("{e} (or pass --algo-threads N)"))
-            }),
+            })?,
+        };
+        if let Some(k) = self.algo_shards {
+            par = par.with_shards(k);
         }
+        if let Some(b) = self.algo_batch {
+            par = par.with_batch(b);
+        }
+        Ok(par)
     }
 }
 
@@ -213,6 +231,20 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     value("--algo-threads")?
                         .parse()
                         .map_err(|_| usage("--algo-threads must be an integer".into()))?,
+                )
+            }
+            "--shards" => {
+                flags.algo_shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|_| usage("--shards must be an integer".into()))?,
+                )
+            }
+            "--batch" => {
+                flags.algo_batch = Some(
+                    value("--batch")?
+                        .parse()
+                        .map_err(|_| usage("--batch must be an integer".into()))?,
                 )
             }
             "--standard-vms" => flags.standard_vms = true,
@@ -808,13 +840,15 @@ fn run_chaos(flags: &Flags) -> Result<String, CliError> {
     if let Some(shed) = flags.shed_policy {
         policy.shed = shed;
     }
-    let engine = ChaosEngine::new(plan).with_policy(policy);
+    let par = flags.algo_parallelism()?;
+    let engine = ChaosEngine::new(plan)
+        .with_policy(policy)
+        .with_parallelism(par);
 
     let algos = flags
         .algos
         .clone()
         .unwrap_or_else(|| vec![AllocatorKind::Miec, AllocatorKind::Ffps]);
-    let par = flags.algo_parallelism()?;
     let mut table = Table::new(vec![
         "algorithm",
         "offline cost",
@@ -1298,6 +1332,29 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("mean cost"), "{out}");
+    }
+
+    #[test]
+    fn shard_and_batch_flags_are_parsed_and_validated() {
+        for (flag, bad) in [("--shards", "many"), ("--batch", "2.5")] {
+            let err = run(&args(&["fig2", flag, bad])).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{flag}");
+        }
+        let out = run(&args(&[
+            "compare", "--vms", "12", "--servers", "6", "--seeds", "2", "--algo-threads", "2",
+            "--shards", "3", "--batch", "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("mean cost"), "{out}");
+        // The builder surface the flags map onto.
+        let mut flags = Flags::default();
+        flags.algo_threads = Some(2);
+        flags.algo_shards = Some(5);
+        flags.algo_batch = Some(64);
+        let par = flags.algo_parallelism().unwrap();
+        assert_eq!(par.threads(), 2);
+        assert_eq!(par.shards_override(), 5);
+        assert_eq!(par.batch(), 64);
     }
 
     #[test]

@@ -5,12 +5,25 @@
 /// imbalance; the constant is small so tiny inputs stay in one chunk.
 pub(crate) const CHUNKS_PER_THREAD: usize = 4;
 
-/// Thread-count configuration for a parallel entry point.
+/// Default arrival-batch size for the sharded allocation paths: enough
+/// VMs per pool wake-up to amortize the dispatch round-trip, small
+/// enough that conflicted-shard re-scores stay rare.
+pub const DEFAULT_BATCH: usize = 16;
+
+/// Thread/shard/batch configuration for a parallel entry point.
 ///
 /// The default — [`Parallelism::sequential`], one thread — makes every
 /// parallel code path *be* the sequential one (no pool, no locks, plain
 /// in-order loops). Results are identical for every thread count by
 /// construction; only wall-clock changes.
+///
+/// Beyond the thread count, the sharded allocation paths read two more
+/// knobs: the number of persistent server-state *shards*
+/// ([`Parallelism::with_shards`], `0` = auto-size from the thread
+/// count) and the arrival *batch* size ([`Parallelism::with_batch`],
+/// how many VMs are scored per pool wake-up before the conductor
+/// commits them in arrival order). Both are execution details: every
+/// (threads, shards, batch) triple produces bit-identical placements.
 ///
 /// # Example
 ///
@@ -19,23 +32,62 @@ pub(crate) const CHUNKS_PER_THREAD: usize = 4;
 /// assert_eq!(Parallelism::default(), Parallelism::sequential());
 /// assert_eq!(Parallelism::new(4).threads(), 4);
 /// assert_eq!(Parallelism::new(0).threads(), 1); // clamped
+/// let par = Parallelism::new(4).with_shards(8).with_batch(32);
+/// assert_eq!(par.shards_for(1000), 8);
+/// assert_eq!(par.batch(), 32);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Parallelism {
     threads: usize,
+    /// Shard-count override for the sharded paths; `0` = auto.
+    shards: usize,
+    /// Arrival-batch size for the sharded paths (≥ 1).
+    batch: usize,
 }
 
 impl Parallelism {
     /// One thread: the sequential code path, today's behaviour.
     pub fn sequential() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            shards: 0,
+            batch: DEFAULT_BATCH,
+        }
     }
 
     /// `threads` worker threads (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            shards: 0,
+            batch: DEFAULT_BATCH,
         }
+    }
+
+    /// Overrides the thread count (clamped to at least 1), keeping the
+    /// shard and batch knobs — for front ends that let a flag override
+    /// `ESVM_THREADS` while `ESVM_SHARDS` / `ESVM_BATCH` still apply.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the shard count of the sharded allocation paths.
+    /// `0` (the default) auto-sizes: [`CHUNKS_PER_THREAD`] shards per
+    /// thread, capped at the item count, so dynamic chunk claiming can
+    /// absorb shard imbalance.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the arrival-batch size of the sharded allocation paths
+    /// (clamped to at least 1). Larger batches amortize the pool
+    /// round-trip; batching never changes results — conflicted shards
+    /// are re-scored at commit time.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// Reads the `ESVM_THREADS` environment variable:
@@ -44,11 +96,18 @@ impl Parallelism {
     ///   default — parallelism is strictly opt-in);
     /// * `0` → all available cores;
     /// * `N ≥ 1` → exactly `N` threads.
+    ///
+    /// `ESVM_SHARDS` (shard-count override, `0`/unset = auto) and
+    /// `ESVM_BATCH` (arrival-batch size, unset = [`DEFAULT_BATCH`])
+    /// refine the sharded paths the same way; unparsable values fall
+    /// back to the defaults.
     pub fn from_env() -> Self {
-        match std::env::var("ESVM_THREADS") {
+        let base = match std::env::var("ESVM_THREADS") {
             Ok(value) => Self::parse_env(&value),
             Err(_) => Self::sequential(),
-        }
+        };
+        base.with_shards(env_usize("ESVM_SHARDS").unwrap_or(0))
+            .with_batch(env_usize("ESVM_BATCH").unwrap_or(DEFAULT_BATCH))
     }
 
     /// The pure parsing rule behind [`Parallelism::from_env`],
@@ -67,10 +126,13 @@ impl Parallelism {
     ///
     /// A human-readable description of the malformed value.
     pub fn try_from_env() -> Result<Self, String> {
-        match std::env::var("ESVM_THREADS") {
-            Ok(value) => Self::try_parse_env(&value),
-            Err(_) => Ok(Self::sequential()),
-        }
+        let base = match std::env::var("ESVM_THREADS") {
+            Ok(value) => Self::try_parse_env(&value)?,
+            Err(_) => Self::sequential(),
+        };
+        let shards = try_env_usize("ESVM_SHARDS")?.unwrap_or(0);
+        let batch = try_env_usize("ESVM_BATCH")?.unwrap_or(DEFAULT_BATCH);
+        Ok(base.with_shards(shards).with_batch(batch))
     }
 
     /// The pure parsing rule behind [`Parallelism::try_from_env`].
@@ -97,6 +159,29 @@ impl Parallelism {
     /// Whether this is the sequential configuration.
     pub fn is_sequential(&self) -> bool {
         self.threads == 1
+    }
+
+    /// The configured shard-count override (`0` = auto).
+    pub fn shards_override(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard count the sharded paths use for `n_items` servers:
+    /// the explicit [`Parallelism::with_shards`] override if set,
+    /// otherwise [`CHUNKS_PER_THREAD`] shards per thread — either way
+    /// capped at `n_items` (no empty shards) and at least 1.
+    pub fn shards_for(&self, n_items: usize) -> usize {
+        let raw = if self.shards == 0 {
+            self.threads * CHUNKS_PER_THREAD
+        } else {
+            self.shards
+        };
+        raw.clamp(1, n_items.max(1))
+    }
+
+    /// Arrival-batch size of the sharded paths (≥ 1).
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// The chunking `(chunk_size, n_chunks)` this configuration uses
@@ -135,6 +220,21 @@ impl Default for Parallelism {
 /// Available cores, with a safe fallback of 1.
 pub(crate) fn available_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Lenient env read: `None` when unset or unparsable.
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Checked env read: `None` when unset, an error when unparsable.
+fn try_env_usize(name: &str) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Ok(value) => value.trim().parse().map(Some).map_err(|_| {
+            format!("{name} must be a non-negative integer, got {value:?}")
+        }),
+        Err(_) => Ok(None),
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +303,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_and_batch_knobs() {
+        let par = Parallelism::new(4);
+        // Auto: CHUNKS_PER_THREAD shards per thread, capped at items.
+        assert_eq!(par.shards_for(1000), 4 * CHUNKS_PER_THREAD);
+        assert_eq!(par.shards_for(3), 3);
+        assert_eq!(par.shards_for(0), 1);
+        assert_eq!(par.shards_override(), 0);
+        // Explicit override wins (still capped at the item count).
+        let par = par.with_shards(6);
+        assert_eq!(par.shards_override(), 6);
+        assert_eq!(par.shards_for(1000), 6);
+        assert_eq!(par.shards_for(2), 2);
+        // Batch defaults and clamps.
+        assert_eq!(Parallelism::sequential().batch(), DEFAULT_BATCH);
+        assert_eq!(Parallelism::new(2).with_batch(0).batch(), 1);
+        assert_eq!(Parallelism::new(2).with_batch(256).batch(), 256);
+    }
+
+    #[test]
+    fn env_usize_helpers_parse_and_reject() {
+        assert_eq!(try_env_usize("ESVM_TEST_UNSET_VAR_XYZ"), Ok(None));
+        // Direct parse paths (avoid mutating the process environment).
+        assert_eq!("12".trim().parse::<usize>().ok(), Some(12));
+        assert!("4x".trim().parse::<usize>().is_err());
     }
 
     #[test]

@@ -38,7 +38,9 @@
 mod config;
 mod ops;
 mod pool;
+mod shard;
 
-pub use config::Parallelism;
+pub use config::{Parallelism, DEFAULT_BATCH};
 pub use ops::{par_map, par_min_by};
 pub use pool::{scope, Conductor, PoolStats};
+pub use shard::ShardRouting;

@@ -106,23 +106,21 @@ impl ArrivalModel {
         }
     }
 
-    /// Samples the first `n` arrival instants.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid parameters (see the variant docs).
-    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+    /// Core sampler: emits `n` ascending arrival instants through
+    /// `emit` without materialising them. All public samplers delegate
+    /// here, so every variant draws the identical RNG stream whatever
+    /// the output representation — seeded instances are stable across
+    /// the owned and buffer-reusing entry points.
+    fn sample_each<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, mut emit: impl FnMut(f64)) {
         self.validate();
         match *self {
             ArrivalModel::Poisson { mean_interarrival } => {
                 let gap = Exponential::with_mean(mean_interarrival);
                 let mut t = 0.0;
-                (0..n)
-                    .map(|_| {
-                        t += gap.sample(rng);
-                        t
-                    })
-                    .collect()
+                for _ in 0..n {
+                    t += gap.sample(rng);
+                    emit(t);
+                }
             }
             ArrivalModel::Diurnal {
                 mean_interarrival,
@@ -138,14 +136,14 @@ impl ArrivalModel {
                         * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin())
                 };
                 let mut t = 0.0;
-                let mut out = Vec::with_capacity(n);
-                while out.len() < n {
+                let mut emitted = 0usize;
+                while emitted < n {
                     t += gap.sample(rng);
                     if rng.gen::<f64>() < rate_at(t) / peak_rate {
-                        out.push(t);
+                        emit(t);
+                        emitted += 1;
                     }
                 }
-                out
             }
             ArrivalModel::Bursty {
                 quiet_interarrival,
@@ -162,8 +160,8 @@ impl ArrivalModel {
                 let mut t = 0.0;
                 let mut in_burst = false;
                 let mut phase_end = quiet_sojourn.sample(rng);
-                let mut out = Vec::with_capacity(n);
-                while out.len() < n {
+                let mut emitted = 0usize;
+                while emitted < n {
                     t += gap.sample(rng);
                     while t >= phase_end {
                         in_burst = !in_burst;
@@ -175,30 +173,57 @@ impl ArrivalModel {
                     }
                     let accept = if in_burst { 1.0 } else { 1.0 / burstiness };
                     if rng.gen::<f64>() < accept {
-                        out.push(t);
+                        emit(t);
+                        emitted += 1;
                     }
                 }
-                out
             }
         }
+    }
+
+    /// Samples the first `n` arrival instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (see the variant docs).
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        self.sample_each(n, rng, |t| out.push(t));
+        out
     }
 
     /// Samples `n` arrivals rounded up to integer time units `≥ 1`
     /// (the simulator's discrete clock).
     pub fn sample_n_time_units<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u32> {
-        self.sample_n(n, rng)
-            .into_iter()
-            .map(|t| {
-                let t = t.ceil();
-                if t < 1.0 {
-                    1
-                } else if t > u32::MAX as f64 {
-                    u32::MAX
-                } else {
-                    t as u32
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.sample_n_time_units_into(n, rng, &mut out);
+        out
+    }
+
+    /// [`ArrivalModel::sample_n_time_units`] into a caller-owned
+    /// buffer: clears `out`, reserves exactly once from the arrival
+    /// count hint `n`, and converts each instant to the discrete clock
+    /// as it is drawn — no intermediate `f64` trace is materialised.
+    /// Reusing `out` across seeds makes large-scale sweeps (100k / 1M
+    /// VMs) allocate the trace buffer once instead of twice per seed.
+    pub fn sample_n_time_units_into<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        out.reserve(n);
+        self.sample_each(n, rng, |t| {
+            let t = t.ceil();
+            out.push(if t < 1.0 {
+                1
+            } else if t > u32::MAX as f64 {
+                u32::MAX
+            } else {
+                t as u32
+            });
+        });
     }
 }
 

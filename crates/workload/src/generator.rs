@@ -192,6 +192,25 @@ impl WorkloadConfig {
     /// [`GenerateError::Invalid`] if some VM type fits no server type in
     /// the configuration (e.g. memory-intensive VMs on server types 1–3).
     pub fn generate(&self, seed: u64) -> Result<AllocationProblem, GenerateError> {
+        self.generate_with(seed, &mut Vec::new())
+    }
+
+    /// [`WorkloadConfig::generate`] with a caller-owned arrival-trace
+    /// buffer. The buffer is cleared and refilled from the arrival
+    /// count hint (one exact reservation, no intermediate `f64` trace),
+    /// so multi-seed sweeps at the 100k / 1M-VM scale points reuse one
+    /// allocation instead of churning two `O(vm_count)` temporaries per
+    /// seed. Produces the bit-identical instance to
+    /// [`WorkloadConfig::generate`] for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadConfig::generate`].
+    pub fn generate_with(
+        &self,
+        seed: u64,
+        arrival_buf: &mut Vec<u32>,
+    ) -> Result<AllocationProblem, GenerateError> {
         if self.vm_types.is_empty() || self.server_types.is_empty() {
             return Err(GenerateError::EmptyCatalog);
         }
@@ -228,11 +247,12 @@ impl WorkloadConfig {
         let model = self.arrivals.unwrap_or(ArrivalModel::Poisson {
             mean_interarrival: self.mean_interarrival,
         });
-        let arrivals = model.sample_n_time_units(self.vm_count, &mut rng);
+        model.sample_n_time_units_into(self.vm_count, &mut rng, arrival_buf);
         let durations = Exponential::with_mean(self.mean_duration);
 
-        let vms = arrivals
-            .into_iter()
+        let vms = arrival_buf
+            .iter()
+            .copied()
             .enumerate()
             .map(|(j, start)| {
                 let len = durations.sample_time_units(&mut rng);
@@ -271,6 +291,23 @@ mod tests {
         let b = cfg.generate(9).unwrap();
         assert_eq!(a.vms(), b.vms());
         assert_eq!(a.servers(), b.servers());
+    }
+
+    #[test]
+    fn buffer_reusing_generation_is_bit_identical() {
+        let cfg = WorkloadConfig::new(300, 40).mean_interarrival(1.5);
+        let mut buf = Vec::new();
+        for seed in [0_u64, 7, 42] {
+            let owned = cfg.generate(seed).unwrap();
+            let reused = cfg.generate_with(seed, &mut buf).unwrap();
+            assert_eq!(owned.vms(), reused.vms(), "seed {seed}");
+            assert_eq!(owned.servers(), reused.servers(), "seed {seed}");
+        }
+        // The buffer holds the last trace and its capacity is reused.
+        assert_eq!(buf.len(), 300);
+        let cap = buf.capacity();
+        cfg.generate_with(99, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
     }
 
     #[test]

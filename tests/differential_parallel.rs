@@ -74,6 +74,56 @@ fn every_kind_matches_the_sequential_oracle_bit_for_bit() {
     }
 }
 
+/// The ISSUE-mandated sharded-engine matrix: shards {1, 2, 4, 8} ×
+/// batch {1, 16, 256} × 25 seeds, for both allocators with a sharded
+/// parallel path. Every cell must reproduce the sequential oracle's
+/// placement, total cost and audited energy decomposition bit for bit
+/// — shard ownership and batch windows are execution details, never
+/// algorithmic ones.
+#[test]
+fn shard_and_batch_matrix_matches_the_oracle_bit_for_bit() {
+    const SHARDS: [usize; 4] = [1, 2, 4, 8];
+    const BATCHES: [usize; 3] = [1, 16, 256];
+    let config = WorkloadConfig::new(14, 7).mean_interarrival(2.5);
+    for seed in 0..25 {
+        let problem = config.generate(seed).expect("generation is feasible");
+        for kind in [AllocatorKind::Miec, AllocatorKind::MiecLocalSearch] {
+            let oracle = kind
+                .build_with(Parallelism::sequential())
+                .allocate(&problem, &mut rng_for(kind, seed))
+                .expect("oracle allocation succeeds");
+            let sa = oracle.audit().expect("oracle audit");
+            for shards in SHARDS {
+                for batch in BATCHES {
+                    let par = Parallelism::new(4).with_shards(shards).with_batch(batch);
+                    let parallel = kind
+                        .build_with(par)
+                        .allocate(&problem, &mut rng_for(kind, seed))
+                        .expect("parallel allocation succeeds");
+                    let ctx = format!(
+                        "{} seed {seed} shards {shards} batch {batch}",
+                        kind.name()
+                    );
+                    assert_eq!(oracle.placement(), parallel.placement(), "{ctx}: placement");
+                    assert_eq!(
+                        oracle.total_cost().to_bits(),
+                        parallel.total_cost().to_bits(),
+                        "{ctx}: total cost"
+                    );
+                    let pa = parallel.audit().expect("parallel audit");
+                    for (name, s, p) in [
+                        ("run", sa.breakdown.run, pa.breakdown.run),
+                        ("idle", sa.breakdown.idle, pa.breakdown.idle),
+                        ("transition", sa.breakdown.transition, pa.breakdown.transition),
+                    ] {
+                        assert_eq!(s.to_bits(), p.to_bits(), "{ctx}: energy.{name}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn admission_decisions_are_thread_count_independent() {
     // Deliberately overloaded: many long-lived VMs on a two-server
@@ -151,13 +201,19 @@ fn observed_decision_counters_are_thread_count_independent() {
             };
             let oracle = observe(Parallelism::sequential());
             for threads in THREADS {
-                let parallel = observe(Parallelism::new(threads));
-                for (name, (s, p)) in EXACT_COUNTERS.iter().zip(oracle.iter().zip(&parallel)) {
-                    assert_eq!(
-                        s, p,
-                        "{} seed {seed} threads {threads}: counter {name}",
-                        kind.name()
-                    );
+                // shards = 0 is the auto policy; the explicit counts
+                // cross shard boundaries through the batch windows.
+                for (shards, batch) in [(0, 16), (1, 1), (2, 256), (8, 4)] {
+                    let par = Parallelism::new(threads).with_shards(shards).with_batch(batch);
+                    let parallel = observe(par);
+                    for (name, (s, p)) in EXACT_COUNTERS.iter().zip(oracle.iter().zip(&parallel)) {
+                        assert_eq!(
+                            s, p,
+                            "{} seed {seed} threads {threads} shards {shards} \
+                             batch {batch}: counter {name}",
+                            kind.name()
+                        );
+                    }
                 }
             }
         }
