@@ -331,7 +331,7 @@ impl LocalSearch {
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
         }
-        if self.par.threads() > 1 && !self.reference {
+        if self.par.resolve_for(problem.vm_count()).threads() > 1 && !self.reference {
             return self.refine_parallel(base, sink, metrics);
         }
 

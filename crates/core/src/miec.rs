@@ -172,7 +172,9 @@ impl Miec {
         sink: &mut S,
         metrics: &MetricsRegistry,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
-        if self.par.threads() > 1 {
+        // Adaptive configurations pick their engine per problem size;
+        // fixed ones resolve to themselves.
+        if self.par.resolve_for(problem.vm_count()).threads() > 1 {
             return self.run_parallel(problem, admit, sink, metrics);
         }
         let mut assignment = Assignment::new(problem);

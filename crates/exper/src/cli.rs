@@ -76,7 +76,16 @@ commands:
   exact             certify heuristics against the exact ILP optimum
   timeline          replay one instance and chart power / active servers
   gen               generate a workload and write it as a trace file
-  solve             load a trace file and compare allocators on it
+                    (--out x.esvt streams the binary columnar format)
+  solve             load a trace file (text or ESVT) and compare
+                    allocators on it
+  query             run a piped query plan over a trace or an
+                    --events-out JSONL file, e.g.
+                    esvm query \"load t.esvt | filter start >= 50 \\
+                                | agg count,mean:cpu by:end\"
+                    stages: load PATH | filter COL OP VALUE | sel COL,…
+                            | agg count,sum:C,mean:C,min:C,max:C [by:C]
+                            | head N
   plan              capacity planning: admission/energy frontier over
                     fleet sizes (--target F, --sizes a,b,c)
   report            standalone HTML report with SVG plots of every
@@ -416,6 +425,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::Usage(USAGE.into()));
     };
+    // `query` takes a free-form pipe expression, not flags.
+    if command == "query" {
+        let expr = rest.join(" ");
+        if expr.trim().is_empty() {
+            return Err(CliError::Usage(format!(
+                "query needs a plan, e.g. `esvm query \"load trace.esvt | agg count\"`\n\n{USAGE}"
+            )));
+        }
+        return crate::query::run_query(&expr)
+            .map_err(|e| CliError::Usage(e.to_string()));
+    }
     let flags = parse_flags(rest)?;
     let opts = options_from(&flags);
 
@@ -1015,7 +1035,21 @@ fn run_plan(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
 
 fn run_gen(flags: &Flags) -> Result<String, CliError> {
     let seed = flags.seed.unwrap_or(0);
-    let problem = workload_from(flags)
+    let config = workload_from(flags);
+    // A `.esvt` output path selects the binary columnar format and the
+    // streaming generator: the trace goes straight to disk block by
+    // block, never materialising the VM list.
+    if let Some(path) = flags.out.as_deref().filter(|p| p.ends_with(".esvt")) {
+        config
+            .generate_esvt_file(seed, path)
+            .map_err(|e| CliError::Run(RunError::Generate(e)))?;
+        return Ok(format!(
+            "streamed {} VMs / {} servers (seed {seed}) to {path} (ESVT)",
+            config.vm_count_value(),
+            config.server_count_value(),
+        ));
+    }
+    let problem = config
         .generate(seed)
         .map_err(|e| CliError::Run(RunError::Generate(e)))?;
     let text = esvm_workload::trace::to_text(&problem);
@@ -1034,6 +1068,29 @@ fn run_gen(flags: &Flags) -> Result<String, CliError> {
     }
 }
 
+/// Loads a trace for `solve`, accepting both formats: ESVT is detected
+/// by its magic bytes (not the extension, so renamed files still work),
+/// anything else goes through the text parser.
+fn load_trace(path: &str) -> Result<esvm_simcore::AllocationProblem, CliError> {
+    use std::io::Read as _;
+    let mut magic = [0u8; 4];
+    let is_esvt = std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| magic == esvm_workload::esvt::MAGIC)
+        .unwrap_or(false);
+    if is_esvt {
+        return esvm_workload::esvt::read_esvt_file(path)
+            .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        CliError::Usage(format!(
+            "cannot read trace {path:?}: {e} (generate one with `esvm gen --out {path}`)"
+        ))
+    })?;
+    esvm_workload::trace::from_text(&text)
+        .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))
+}
+
 fn run_solve(flags: &Flags) -> Result<String, CliError> {
     let Some(path) = &flags.trace else {
         return Err(CliError::Usage(format!(
@@ -1042,13 +1099,7 @@ fn run_solve(flags: &Flags) -> Result<String, CliError> {
 {USAGE}"
         )));
     };
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        CliError::Usage(format!(
-            "cannot read trace {path:?}: {e} (generate one with `esvm gen --out {path}`)"
-        ))
-    })?;
-    let problem = esvm_workload::trace::from_text(&text)
-        .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
+    let problem = load_trace(path)?;
 
     let algos = flags
         .algos

@@ -13,6 +13,8 @@
 //!   [`experiments::fig2`] … [`experiments::fig9`];
 //! * [`planner`] — capacity planning: the admission/energy frontier
 //!   over fleet sizes, with a recommended minimal fleet;
+//! * [`query`] — the `esvm query` streaming engine over ESVT traces
+//!   and JSON-lines event files;
 //! * [`report`] — a standalone HTML reproduction report with embedded
 //!   SVG plots of every figure;
 //! * [`options`] — common knobs (seed count, thread count, quick mode);
@@ -34,6 +36,7 @@ pub mod experiments;
 pub mod figure;
 pub mod options;
 pub mod planner;
+pub mod query;
 pub mod report;
 pub mod runner;
 

@@ -10,6 +10,14 @@ pub(crate) const CHUNKS_PER_THREAD: usize = 4;
 /// enough that conflicted-shard re-scores stay rare.
 pub const DEFAULT_BATCH: usize = 16;
 
+/// Default problem-size cutoff of [`Parallelism::auto`]: below this
+/// many VMs the sharded scorer's dispatch overhead outweighs its
+/// speedup, so auto mode runs the sequential engine. Calibrated from
+/// the committed `BENCH_miec.json` points: the sharded path measured
+/// 0.6–0.8× at 20k–100k VMs but 4× at 1M, so the crossover sits
+/// between 100k and 1M.
+pub const DEFAULT_AUTO_CUTOFF: usize = 200_000;
+
 /// Thread/shard/batch configuration for a parallel entry point.
 ///
 /// The default — [`Parallelism::sequential`], one thread — makes every
@@ -43,6 +51,11 @@ pub struct Parallelism {
     shards: usize,
     /// Arrival-batch size for the sharded paths (≥ 1).
     batch: usize,
+    /// Adaptive mode: fall back to the sequential engine below
+    /// `auto_cutoff` items (see [`Parallelism::auto`]).
+    adaptive: bool,
+    /// Problem-size threshold of adaptive mode.
+    auto_cutoff: usize,
 }
 
 impl Parallelism {
@@ -52,6 +65,8 @@ impl Parallelism {
             threads: 1,
             shards: 0,
             batch: DEFAULT_BATCH,
+            adaptive: false,
+            auto_cutoff: DEFAULT_AUTO_CUTOFF,
         }
     }
 
@@ -59,9 +74,59 @@ impl Parallelism {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
-            shards: 0,
-            batch: DEFAULT_BATCH,
+            ..Self::sequential()
         }
+    }
+
+    /// Adaptive engine selection: all available cores, but entry points
+    /// consult [`Parallelism::resolve_for`] and run the plain
+    /// sequential engine below [`DEFAULT_AUTO_CUTOFF`] items — where
+    /// the sharded scorer's dispatch overhead measured as a 0.6–0.8×
+    /// *slowdown* — and the sharded engine above it. An explicit shard
+    /// override ([`Parallelism::with_shards`] / `ESVM_SHARDS`) forces
+    /// the sharded engine at any size. Both engines are bit-identical,
+    /// so the switch is invisible in results.
+    pub fn auto() -> Self {
+        Self {
+            threads: available_parallelism(),
+            adaptive: true,
+            ..Self::sequential()
+        }
+    }
+
+    /// Whether this configuration selects its engine adaptively.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Overrides the problem-size cutoff of adaptive mode (mainly for
+    /// tests and calibration; no effect unless [`Parallelism::auto`]).
+    pub fn with_auto_cutoff(mut self, cutoff: usize) -> Self {
+        self.auto_cutoff = cutoff;
+        self
+    }
+
+    /// The adaptive-mode cutoff in effect.
+    pub fn auto_cutoff(&self) -> usize {
+        self.auto_cutoff
+    }
+
+    /// Resolves adaptive mode against a concrete problem size,
+    /// returning the configuration an entry point should actually run:
+    /// unchanged for non-adaptive configurations; for adaptive ones,
+    /// the sequential engine below the cutoff (unless an explicit shard
+    /// override forces the sharded engine) and the full thread count at
+    /// or above it.
+    pub fn resolve_for(&self, n_items: usize) -> Self {
+        if !self.adaptive {
+            return *self;
+        }
+        let mut resolved = *self;
+        resolved.adaptive = false;
+        if self.shards == 0 && n_items < self.auto_cutoff {
+            resolved.threads = 1;
+        }
+        resolved
     }
 
     /// Overrides the thread count (clamped to at least 1), keeping the
@@ -101,6 +166,8 @@ impl Parallelism {
     /// `ESVM_BATCH` (arrival-batch size, unset = [`DEFAULT_BATCH`])
     /// refine the sharded paths the same way; unparsable values fall
     /// back to the defaults.
+    /// `ESVM_THREADS=auto` selects [`Parallelism::auto`];
+    /// `ESVM_AUTO_CUTOFF` overrides its problem-size threshold.
     pub fn from_env() -> Self {
         let base = match std::env::var("ESVM_THREADS") {
             Ok(value) => Self::parse_env(&value),
@@ -108,6 +175,7 @@ impl Parallelism {
         };
         base.with_shards(env_usize("ESVM_SHARDS").unwrap_or(0))
             .with_batch(env_usize("ESVM_BATCH").unwrap_or(DEFAULT_BATCH))
+            .with_auto_cutoff(env_usize("ESVM_AUTO_CUTOFF").unwrap_or(DEFAULT_AUTO_CUTOFF))
     }
 
     /// The pure parsing rule behind [`Parallelism::from_env`],
@@ -132,7 +200,11 @@ impl Parallelism {
         };
         let shards = try_env_usize("ESVM_SHARDS")?.unwrap_or(0);
         let batch = try_env_usize("ESVM_BATCH")?.unwrap_or(DEFAULT_BATCH);
-        Ok(base.with_shards(shards).with_batch(batch))
+        let cutoff = try_env_usize("ESVM_AUTO_CUTOFF")?.unwrap_or(DEFAULT_AUTO_CUTOFF);
+        Ok(base
+            .with_shards(shards)
+            .with_batch(batch)
+            .with_auto_cutoff(cutoff))
     }
 
     /// The pure parsing rule behind [`Parallelism::try_from_env`].
@@ -140,13 +212,17 @@ impl Parallelism {
     /// # Errors
     ///
     /// A description of the malformed value: `ESVM_THREADS` must be a
-    /// non-negative integer (`0` meaning all cores).
+    /// non-negative integer (`0` meaning all cores) or `auto`
+    /// (adaptive engine selection).
     pub fn try_parse_env(value: &str) -> Result<Self, String> {
+        if value.trim().eq_ignore_ascii_case("auto") {
+            return Ok(Self::auto());
+        }
         match value.trim().parse::<usize>() {
             Ok(0) => Ok(Self::new(available_parallelism())),
             Ok(n) => Ok(Self::new(n)),
             Err(_) => Err(format!(
-                "ESVM_THREADS must be a non-negative integer (0 = all cores), got {value:?}"
+                "ESVM_THREADS must be a non-negative integer (0 = all cores) or \"auto\", got {value:?}"
             )),
         }
     }
@@ -322,6 +398,38 @@ mod tests {
         assert_eq!(Parallelism::sequential().batch(), DEFAULT_BATCH);
         assert_eq!(Parallelism::new(2).with_batch(0).batch(), 1);
         assert_eq!(Parallelism::new(2).with_batch(256).batch(), 256);
+    }
+
+    #[test]
+    fn auto_resolves_by_problem_size() {
+        let auto = Parallelism::auto().with_auto_cutoff(1000);
+        assert!(auto.is_adaptive());
+        // Below the cutoff: sequential engine, shard/batch knobs kept.
+        let small = auto.resolve_for(999);
+        assert!(!small.is_adaptive());
+        assert_eq!(small.threads(), 1);
+        // At/above the cutoff: full thread count.
+        let big = auto.resolve_for(1000);
+        assert_eq!(big.threads(), auto.threads());
+        assert!(!big.is_adaptive());
+        // An explicit shard override forces the sharded engine at any
+        // size (the ESVM_SHARDS escape hatch).
+        let forced = auto.with_shards(4).resolve_for(10);
+        assert_eq!(forced.threads(), auto.threads());
+        assert_eq!(forced.shards_override(), 4);
+        // Non-adaptive configurations resolve to themselves.
+        let fixed = Parallelism::new(4);
+        assert_eq!(fixed.resolve_for(1), fixed);
+        assert_eq!(Parallelism::sequential().resolve_for(1 << 30).threads(), 1);
+    }
+
+    #[test]
+    fn auto_parses_from_env_value() {
+        let parsed = Parallelism::parse_env("auto");
+        assert!(parsed.is_adaptive());
+        assert!(parsed.threads() >= 1);
+        assert!(Parallelism::try_parse_env("AUTO").unwrap().is_adaptive());
+        assert_eq!(parsed.auto_cutoff(), DEFAULT_AUTO_CUTOFF);
     }
 
     #[test]

@@ -76,6 +76,6 @@ pub use resources::Resources;
 pub use schedule::{Piece, Schedule, ScheduleAudit};
 pub use segments::{CoverageSet, GapMeasure, InsertionDelta, RemovalDelta, Segment, SegmentSet};
 pub use server::{PowerModel, ServerId, ServerSpec};
-pub use time::{Interval, TimeUnit};
+pub use time::{Interval, TimeUnit, MAX_TIME};
 pub use timeline::UsageProfile;
 pub use vm::{Vm, VmId};

@@ -105,6 +105,26 @@ impl AllocationProblem {
         order
     }
 
+    /// Streams the VM records in arrival order (start time, ties by
+    /// id) — the order every arrival-driven allocator consumes them and
+    /// the order the ESVT columnar trace format stores them on disk.
+    /// Code written against a streamed trace source runs unchanged over
+    /// an in-memory problem through this view.
+    pub fn stream_records(&self) -> impl Iterator<Item = &Vm> + '_ {
+        self.vms_by_start_time()
+            .into_iter()
+            .map(move |j| &self.vms[j])
+    }
+
+    /// Visits every VM record in arrival order; the closure-driven twin
+    /// of [`AllocationProblem::stream_records`] for call sites that
+    /// mirror a streaming reader's `for_each` shape.
+    pub fn for_each_record<F: FnMut(&Vm)>(&self, mut f: F) {
+        for vm in self.stream_records() {
+            f(vm);
+        }
+    }
+
     /// Aggregate statistics of the instance (diagnostics, logging).
     pub fn stats(&self) -> ProblemStats {
         let total_cpu_time: f64 = self.vms.iter().map(Vm::cpu_time).sum();
@@ -240,6 +260,16 @@ mod tests {
     #[test]
     fn vms_by_start_time_sorts() {
         assert_eq!(tiny().vms_by_start_time(), vec![1, 0]);
+    }
+
+    #[test]
+    fn stream_records_yields_arrival_order() {
+        let p = tiny();
+        let streamed: Vec<u32> = p.stream_records().map(|v| v.id().0).collect();
+        assert_eq!(streamed, vec![1, 0]);
+        let mut visited = Vec::new();
+        p.for_each_record(|vm| visited.push(vm.id().0));
+        assert_eq!(visited, streamed);
     }
 
     #[test]

@@ -16,6 +16,15 @@ use std::fmt;
 /// the other integral quantities in the model (ids) already have newtypes.
 pub type TimeUnit = u32;
 
+/// The last representable time unit an interval endpoint may occupy.
+///
+/// Several O(log n) structures key gaps and breakpoints at `end + 1`
+/// (half-open edits over closed intervals), so an endpoint at
+/// `u32::MAX` would wrap that arithmetic. Input layers (the trace
+/// parsers, the ESVT decoder) reject endpoints beyond this bound so the
+/// energy ledgers never see one.
+pub const MAX_TIME: TimeUnit = u32::MAX - 1;
+
 /// A closed interval `[start, end]` of time units, `start <= end`.
 ///
 /// The length of the interval is `end - start + 1` time units, matching the

@@ -214,9 +214,24 @@ impl ArrivalModel {
     ) {
         out.clear();
         out.reserve(n);
+        self.sample_each_time_unit(n, rng, |t| out.push(t));
+    }
+
+    /// Streams `n` discrete arrival times through `emit` without
+    /// materialising them — the O(1)-memory twin of
+    /// [`ArrivalModel::sample_n_time_units_into`]. Both draw the
+    /// identical RNG stream and emit identical values, so a streaming
+    /// generator and a buffering one stay bit-for-bit in lockstep from
+    /// the same seed.
+    pub fn sample_each_time_unit<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        mut emit: impl FnMut(u32),
+    ) {
         self.sample_each(n, rng, |t| {
             let t = t.ceil();
-            out.push(if t < 1.0 {
+            emit(if t < 1.0 {
                 1
             } else if t > u32::MAX as f64 {
                 u32::MAX

@@ -3,11 +3,15 @@
 use crate::arrivals::ArrivalModel;
 use crate::catalog::{self, ServerType, VmType};
 use crate::dist::Exponential;
-use esvm_simcore::{AllocationProblem, Interval, Vm};
+use crate::esvt::EsvtWriter;
+use crate::trace::TraceError;
+use esvm_simcore::{AllocationProblem, Interval, ServerSpec, Vm, VmId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::fmt;
+use std::io::Write;
+use std::path::Path;
 
 /// Errors raised during workload generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +25,8 @@ pub enum GenerateError {
     /// The generated instance is structurally invalid (e.g. a VM type
     /// that fits no configured server type).
     Invalid(esvm_simcore::Error),
+    /// Writing a streamed trace failed.
+    Trace(TraceError),
 }
 
 impl fmt::Display for GenerateError {
@@ -31,6 +37,7 @@ impl fmt::Display for GenerateError {
                 write!(f, "vm type weights must be non-negative, finite, match the catalog arity and not all be zero")
             }
             GenerateError::Invalid(e) => write!(f, "generated instance is invalid: {e}"),
+            GenerateError::Trace(e) => write!(f, "streamed trace write failed: {e}"),
         }
     }
 }
@@ -39,8 +46,15 @@ impl std::error::Error for GenerateError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GenerateError::Invalid(e) => Some(e),
+            GenerateError::Trace(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<TraceError> for GenerateError {
+    fn from(e: TraceError) -> Self {
+        GenerateError::Trace(e)
     }
 }
 
@@ -211,38 +225,10 @@ impl WorkloadConfig {
         seed: u64,
         arrival_buf: &mut Vec<u32>,
     ) -> Result<AllocationProblem, GenerateError> {
-        if self.vm_types.is_empty() || self.server_types.is_empty() {
-            return Err(GenerateError::EmptyCatalog);
-        }
-        let cumulative: Option<Vec<f64>> = match &self.vm_type_weights {
-            None => None,
-            Some(w) => {
-                if w.len() != self.vm_types.len()
-                    || w.iter().any(|&x| !x.is_finite() || x < 0.0)
-                    || w.iter().sum::<f64>() <= 0.0
-                {
-                    return Err(GenerateError::BadWeights);
-                }
-                let total: f64 = w.iter().sum();
-                let mut acc = 0.0;
-                Some(
-                    w.iter()
-                        .map(|&x| {
-                            acc += x / total;
-                            acc
-                        })
-                        .collect(),
-                )
-            }
-        };
+        let cumulative = self.weight_cdf()?;
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let servers = (0..self.server_count)
-            .map(|i| {
-                self.server_types[i % self.server_types.len()]
-                    .to_spec(i as u32, self.transition_time)
-            })
-            .collect();
+        let servers = self.build_servers();
 
         let model = self.arrivals.unwrap_or(ArrivalModel::Poisson {
             mean_interarrival: self.mean_interarrival,
@@ -269,6 +255,165 @@ impl WorkloadConfig {
             .collect();
 
         Ok(AllocationProblem::new(servers, vms)?)
+    }
+
+    /// Validates the catalogs and turns the optional VM type weights
+    /// into a cumulative distribution.
+    fn weight_cdf(&self) -> Result<Option<Vec<f64>>, GenerateError> {
+        if self.vm_types.is_empty() || self.server_types.is_empty() {
+            return Err(GenerateError::EmptyCatalog);
+        }
+        match &self.vm_type_weights {
+            None => Ok(None),
+            Some(w) => {
+                if w.len() != self.vm_types.len()
+                    || w.iter().any(|&x| !x.is_finite() || x < 0.0)
+                    || w.iter().sum::<f64>() <= 0.0
+                {
+                    return Err(GenerateError::BadWeights);
+                }
+                let total: f64 = w.iter().sum();
+                let mut acc = 0.0;
+                Ok(Some(
+                    w.iter()
+                        .map(|&x| {
+                            acc += x / total;
+                            acc
+                        })
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    /// The server fleet of the configured instance (round-robin over
+    /// the server type catalog), independent of the seed.
+    fn build_servers(&self) -> Vec<ServerSpec> {
+        (0..self.server_count)
+            .map(|i| {
+                self.server_types[i % self.server_types.len()]
+                    .to_spec(i as u32, self.transition_time)
+            })
+            .collect()
+    }
+
+    /// Streams the seeded instance record-by-record through `sink`
+    /// without ever materialising the VM vector.
+    ///
+    /// Emits the bit-identical record sequence to
+    /// [`WorkloadConfig::generate`] for the same seed: `generate` draws
+    /// all `n` arrivals first and then the per-VM duration/type pairs
+    /// from a single RNG stream, so this method runs two clones of that
+    /// RNG in lockstep — one streaming arrivals, one fast-forwarded past
+    /// the arrival draws to supply the per-VM draws. Peak memory is
+    /// O(servers), not O(VMs).
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadConfig::generate`] — including
+    /// [`GenerateError::Invalid`] with
+    /// [`InfeasibleVm`](esvm_simcore::Error::InfeasibleVm) as soon as a
+    /// drawn VM fits no server of the fleet.
+    pub fn stream_generate(
+        &self,
+        seed: u64,
+        mut sink: impl FnMut(&Vm) -> Result<(), GenerateError>,
+    ) -> Result<(), GenerateError> {
+        let cumulative = self.weight_cdf()?;
+        if self.server_count == 0 {
+            return Err(GenerateError::Invalid(esvm_simcore::Error::NoServers));
+        }
+        // Feasibility of each catalog type against the actual fleet
+        // (small server fleets may not include every configured type).
+        let present = self.server_count.min(self.server_types.len());
+        let fits: Vec<bool> = self
+            .vm_types
+            .iter()
+            .map(|ty| {
+                self.server_types[..present]
+                    .iter()
+                    .any(|s| ty.demand().fits_within(s.capacity()))
+            })
+            .collect();
+
+        let model = self.arrivals.unwrap_or(ArrivalModel::Poisson {
+            mean_interarrival: self.mean_interarrival,
+        });
+        let durations = Exponential::with_mean(self.mean_duration);
+
+        // Two clones of generate()'s RNG: `arrival_rng` replays the
+        // arrival draws in place; `draw_rng` discards the identical
+        // arrival draws first, leaving it positioned exactly where the
+        // per-VM duration/type draws begin in the single-RNG path.
+        let mut arrival_rng = StdRng::seed_from_u64(seed);
+        let mut draw_rng = StdRng::seed_from_u64(seed);
+        model.sample_each_time_unit(self.vm_count, &mut draw_rng, |_| {});
+
+        let mut j: u32 = 0;
+        let mut failure: Option<GenerateError> = None;
+        model.sample_each_time_unit(self.vm_count, &mut arrival_rng, |start| {
+            if failure.is_some() {
+                return;
+            }
+            let len = durations.sample_time_units(&mut draw_rng);
+            let idx = match &cumulative {
+                None => draw_rng.gen_range(0..self.vm_types.len()),
+                Some(cdf) => {
+                    let u: f64 = draw_rng.gen();
+                    cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+                }
+            };
+            if !fits[idx] {
+                failure = Some(GenerateError::Invalid(
+                    esvm_simcore::Error::InfeasibleVm(VmId(j)),
+                ));
+                return;
+            }
+            let ty = self.vm_types[idx];
+            let vm = Vm::new(j, ty.demand(), Interval::with_len(start, len));
+            if let Err(e) = sink(&vm) {
+                failure = Some(e);
+            }
+            j += 1;
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Generates the seeded instance straight into an ESVT stream —
+    /// the generator and encoder each hold O(block) state, so a 1M-row
+    /// trace is produced without a 1M-element `Vec` ever existing.
+    ///
+    /// The bytes are identical to
+    /// `esvt::to_esvt(&self.generate(seed)?)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadConfig::stream_generate`], plus
+    /// [`GenerateError::Trace`] if the sink fails.
+    pub fn generate_esvt<W: Write>(&self, seed: u64, out: W) -> Result<W, GenerateError> {
+        // Catalog/weight validation must precede any header write.
+        self.weight_cdf()?;
+        let servers = self.build_servers();
+        let mut w = EsvtWriter::new(out, &servers, self.vm_count as u64)?;
+        self.stream_generate(seed, |vm| w.push(vm).map_err(GenerateError::from))?;
+        Ok(w.finish()?)
+    }
+
+    /// [`WorkloadConfig::generate_esvt`] into a buffered file.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadConfig::generate_esvt`].
+    pub fn generate_esvt_file(&self, seed: u64, path: impl AsRef<Path>) -> Result<(), GenerateError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| GenerateError::Trace(TraceError::Io(e.to_string())))?;
+        let mut out = self.generate_esvt(seed, std::io::BufWriter::new(file))?;
+        out.flush()
+            .map_err(|e| GenerateError::Trace(TraceError::Io(e.to_string())))?;
+        Ok(())
     }
 }
 
@@ -308,6 +453,50 @@ mod tests {
         let cap = buf.capacity();
         cfg.generate_with(99, &mut buf).unwrap();
         assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn streamed_esvt_is_byte_identical_to_materialized() {
+        // The two-RNG lockstep must reproduce generate()'s draw order
+        // exactly, for every arrival model (thinning draws included).
+        let configs = [
+            WorkloadConfig::new(500, 40).mean_interarrival(1.5),
+            WorkloadConfig::new(300, 20).arrivals(ArrivalModel::Diurnal {
+                mean_interarrival: 2.0,
+                amplitude: 0.7,
+                period: 200.0,
+            }),
+            WorkloadConfig::new(300, 20).arrivals(ArrivalModel::Bursty {
+                quiet_interarrival: 3.0,
+                burstiness: 5.0,
+                mean_quiet_sojourn: 40.0,
+                mean_burst_sojourn: 10.0,
+            }),
+            WorkloadConfig::new(400, 30).vm_type_weights({
+                let mut w = vec![1.0; catalog::vm_types().len()];
+                w[0] = 20.0;
+                w
+            }),
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            for seed in [0_u64, 7, 42] {
+                let materialized = crate::esvt::to_esvt(&cfg.generate(seed).unwrap());
+                let streamed = cfg.generate_esvt(seed, Vec::new()).unwrap();
+                assert_eq!(streamed, materialized, "config {i}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_generate_reports_infeasible_vms() {
+        // m2.4xlarge (68.4 GB) does not fit server type 1 (32 GB).
+        let cfg = WorkloadConfig::new(200, 10)
+            .vm_types(vec![catalog::VM_TYPES[6]])
+            .server_types(vec![catalog::SERVER_TYPES[0]]);
+        let err = cfg.stream_generate(8, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, GenerateError::Invalid(_)), "{err}");
+        let err = cfg.generate_esvt(8, Vec::new()).unwrap_err();
+        assert!(matches!(err, GenerateError::Invalid(_)), "{err}");
     }
 
     #[test]

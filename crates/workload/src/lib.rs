@@ -41,10 +41,12 @@
 pub mod arrivals;
 pub mod catalog;
 pub mod dist;
+pub mod esvt;
 pub mod trace;
 
 mod generator;
 
 pub use arrivals::ArrivalModel;
 pub use catalog::{ServerType, VmClass, VmType};
+pub use esvt::{from_esvt, to_esvt, BlockStats, EsvtWriter, ReadStats, TraceReader};
 pub use generator::{GenerateError, WorkloadConfig};

@@ -48,6 +48,30 @@ pub enum TraceError {
     },
     /// The parsed instance fails [`AllocationProblem`] validation.
     Invalid(esvm_simcore::Error),
+    /// A binary trace does not start with the ESVT magic bytes.
+    BadMagic,
+    /// A binary trace's format version is unsupported.
+    BadVersion(u16),
+    /// The input ended before the declared contents were read.
+    Truncated {
+        /// What was being read when the input ran out.
+        context: &'static str,
+    },
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// 0-based VM block index, or `usize::MAX` for the server
+        /// section.
+        block: usize,
+    },
+    /// A structurally impossible encoded value: a time outside the
+    /// unit domain, records out of arrival order, or block accounting
+    /// that disagrees with the header.
+    Corrupt {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// Reading or writing the underlying byte stream failed.
+    Io(String),
 }
 
 impl fmt::Display for TraceError {
@@ -60,6 +84,30 @@ impl fmt::Display for TraceError {
                 write!(f, "line {line}: duplicate {what} id {id}")
             }
             TraceError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            TraceError::BadMagic => write!(f, "not an ESVT trace (bad magic bytes)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported ESVT version {v}"),
+            TraceError::Truncated { context } => {
+                write!(f, "truncated input while reading {context}")
+            }
+            TraceError::ChecksumMismatch { block } => {
+                if *block == usize::MAX {
+                    write!(f, "checksum mismatch in the server section")
+                } else {
+                    write!(f, "checksum mismatch in VM block {block}")
+                }
+            }
+            TraceError::Corrupt { context } => write!(f, "corrupt trace: {context}"),
+            TraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { context: "byte stream" }
+        } else {
+            TraceError::Io(e.to_string())
         }
     }
 }
@@ -264,6 +312,12 @@ pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
                 let mem = demand(fields[2], "mem")?;
                 let start = parse_id(fields[3], "start")?;
                 let end = parse_id(fields[4], "end")?;
+                if end > esvm_simcore::MAX_TIME {
+                    return Err(bad(format!(
+                        "end {end} exceeds the time-unit domain (max {})",
+                        esvm_simcore::MAX_TIME
+                    )));
+                }
                 let interval = Interval::checked_new(start, end)
                     .ok_or_else(|| bad(format!("start {start} exceeds end {end}")))?;
                 vms.push(Vm::new(id, Resources::new(cpu, mem), interval));
@@ -418,6 +472,38 @@ mod tests {
                 "{bad_vm} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn out_of_domain_arrival_times_are_rejected_at_parse() {
+        // An endpoint at u32::MAX would wrap the `end + 1` breakpoint
+        // arithmetic deep inside the energy ledgers; it must die here
+        // with a typed parse error, not corrupt a simulation later.
+        let max = u32::MAX;
+        for bad_vm in [
+            format!("0,1,1,{max},{max}"),
+            format!("0,1,1,1,{max}"),
+        ] {
+            let text = format!(
+                "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n{bad_vm}\n"
+            );
+            match from_text(&text).unwrap_err() {
+                TraceError::BadLine { line, reason } => {
+                    assert_eq!(line, 7);
+                    assert!(
+                        reason.contains("time-unit domain"),
+                        "unexpected reason: {reason}"
+                    );
+                }
+                e => panic!("unexpected error {e}"),
+            }
+        }
+        // The boundary itself is fine.
+        let edge = esvm_simcore::MAX_TIME;
+        let text = format!(
+            "{HEADER}\n[servers]\n{SERVER_COLUMNS}\n0,4,8,1,2,0\n[vms]\n{VM_COLUMNS}\n0,1,1,{edge},{edge}\n"
+        );
+        assert!(from_text(&text).is_ok());
     }
 
     #[test]

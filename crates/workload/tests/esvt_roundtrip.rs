@@ -1,0 +1,204 @@
+//! Round-trip and adversarial property tests for the ESVT binary
+//! columnar trace format.
+//!
+//! The contract mirrors `trace_fuzz.rs` for the text format: a valid
+//! instance survives text → ESVT → text *bit for bit*, and any hostile
+//! byte stream — truncated, bit-flipped, re-stamped — is rejected with
+//! a descriptive typed [`TraceError`], never a panic.
+
+use esvm_workload::trace::TraceError;
+use esvm_workload::{catalog, esvt, trace, WorkloadConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        1usize..=60,
+        1usize..=12,
+        1u32..=12, // interarrival ×2 (0.5 steps)
+        1u32..=24, // duration ×2
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(vms, servers, ia2, dur2, std_vms, small)| {
+            // With all nine VM types the fleet needs a type-4/5 server;
+            // round-robin typing guarantees one from 5 servers up.
+            let servers = if std_vms { servers } else { servers.max(5) };
+            let mut c = WorkloadConfig::new(vms, servers)
+                .mean_interarrival(f64::from(ia2) * 0.5)
+                .mean_duration(f64::from(dur2) * 0.5);
+            if std_vms {
+                c = c.vm_types(catalog::standard_vm_types());
+            }
+            if small && std_vms {
+                c = c.server_types(catalog::server_types_1_3());
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// text → problem → ESVT → problem → text is the identity on the
+    /// rendered text, for arbitrary workloads and block lengths. The
+    /// text format is the human-auditable ground truth, so byte
+    /// equality there means the columnar encoding loses nothing.
+    #[test]
+    fn esvt_round_trip_preserves_the_text_rendering(
+        config in arb_config(),
+        seed in 0u64..1000,
+        block_len in 1usize..700,
+    ) {
+        let problem = match config.generate(seed) {
+            Ok(p) => p,
+            // Infeasible parameter corners are the generator's concern,
+            // not the codec's.
+            Err(_) => return Ok(()),
+        };
+        let text = trace::to_text(&problem);
+        let bytes = esvt::to_esvt_with_block_len(&problem, block_len);
+        let back = esvt::from_esvt(&bytes).expect("decode succeeds");
+        prop_assert_eq!(text, trace::to_text(&back));
+    }
+
+    /// Every strict prefix of a valid ESVT file fails with a typed
+    /// error — never a panic, never a silent partial decode.
+    #[test]
+    fn truncated_esvt_never_panics(
+        seed in 0u64..50,
+        cut in 0usize..100_000,
+    ) {
+        let problem = WorkloadConfig::new(24, 8)
+            .generate(seed)
+            .expect("generation is feasible");
+        let bytes = esvt::to_esvt_with_block_len(&problem, 7);
+        let cut = cut % bytes.len();
+        match esvt::from_esvt(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "prefix of {cut} bytes decoded"),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// A single flipped bit anywhere in the file is always rejected
+    /// (or, in the rare case the flip lands in dead varint headroom,
+    /// still decodes to the identical instance — never to a different
+    /// one).
+    #[test]
+    fn bit_flips_never_panic_and_never_alter_the_instance(
+        seed in 0u64..50,
+        byte in 0usize..100_000,
+        bit in 0u32..8,
+    ) {
+        let problem = WorkloadConfig::new(16, 6)
+            .generate(seed)
+            .expect("generation is feasible");
+        let text = trace::to_text(&problem);
+        let mut bytes = esvt::to_esvt_with_block_len(&problem, 5);
+        let byte = byte % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        match esvt::from_esvt(&bytes) {
+            Ok(back) => prop_assert_eq!(&text, &trace::to_text(&back)),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+fn sample_bytes() -> Vec<u8> {
+    let problem = WorkloadConfig::new(32, 8)
+        .generate(11)
+        .expect("generation is feasible");
+    esvt::to_esvt_with_block_len(&problem, 8)
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut bytes = sample_bytes();
+    bytes[0..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        esvt::from_esvt(&bytes),
+        Err(TraceError::BadMagic)
+    ));
+}
+
+#[test]
+fn wrong_version_is_typed() {
+    let mut bytes = sample_bytes();
+    bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+    assert!(matches!(
+        esvt::from_esvt(&bytes),
+        Err(TraceError::BadVersion(99))
+    ));
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_truncation_errors() {
+    for len in 0..4 {
+        let bytes = vec![b'E'; len];
+        assert!(
+            matches!(esvt::from_esvt(&bytes), Err(TraceError::Truncated { .. })),
+            "length {len}"
+        );
+    }
+}
+
+#[test]
+fn server_section_corruption_is_a_checksum_mismatch() {
+    let mut bytes = sample_bytes();
+    // The server payload starts right after magic + version + flags +
+    // the block-length varint and the server-count varint; flipping a
+    // capacity byte there must trip the section checksum.
+    let offset = 4 + 2 + 2 + 2; // block_len and count are short varints
+    bytes[offset + 3] ^= 0xFF;
+    match esvt::from_esvt(&bytes) {
+        Err(TraceError::ChecksumMismatch { .. }) | Err(TraceError::Corrupt { .. }) => {}
+        other => panic!("expected checksum/corrupt error, got {other:?}"),
+    }
+}
+
+#[test]
+fn vm_payload_corruption_is_a_checksum_mismatch_or_corrupt() {
+    let bytes = sample_bytes();
+    // Flip a byte deep in the second half of the file (VM blocks) and
+    // require a typed rejection; sweep a window so the test does not
+    // depend on the exact layout.
+    let start = bytes.len() / 2;
+    let mut rejected = 0;
+    for i in start..(start + 64).min(bytes.len()) {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0x55;
+        match esvt::from_esvt(&mutated) {
+            Err(
+                TraceError::ChecksumMismatch { .. }
+                | TraceError::Corrupt { .. }
+                | TraceError::Truncated { .. }
+                | TraceError::Invalid(_),
+            ) => rejected += 1,
+            Err(e) => panic!("unexpected error kind: {e:?}"),
+            // A flip in varint headroom can be harmless; tolerated.
+            Ok(_) => {}
+        }
+    }
+    assert!(rejected > 0, "no mutation in the VM section was detected");
+}
+
+#[test]
+fn streaming_reader_detects_mid_file_truncation() {
+    let problem = WorkloadConfig::new(64, 8)
+        .generate(3)
+        .expect("generation is feasible");
+    let bytes = esvt::to_esvt_with_block_len(&problem, 4);
+    let cut = bytes.len() - bytes.len() / 4;
+    let mut reader = esvt::TraceReader::new(std::io::Cursor::new(&bytes[..cut]))
+        .expect("header region is intact");
+    let mut buf = Vec::new();
+    let result = loop {
+        match reader.next_batch_into(&mut buf) {
+            Ok(Some(_)) => continue,
+            other => break other,
+        }
+    };
+    assert!(
+        matches!(result, Err(TraceError::Truncated { .. })),
+        "expected truncation, got {result:?}"
+    );
+}

@@ -124,6 +124,60 @@ fn shard_and_batch_matrix_matches_the_oracle_bit_for_bit() {
     }
 }
 
+/// Adaptive mode (`Parallelism::auto` / `ESVM_THREADS=auto`) picks an
+/// engine by problem size; whichever it picks, the results must match
+/// the sequential oracle bit for bit. Three configurations pin down
+/// the three reachable engines: a cutoff above the problem size keeps
+/// the sequential engine, a cutoff of 1 forces the thread pool, and an
+/// explicit shard override forces the sharded engine regardless of
+/// size.
+#[test]
+fn auto_mode_matches_both_engines_bit_for_bit() {
+    let config = WorkloadConfig::new(12, 6).mean_interarrival(3.0);
+    let autos = [
+        ("seq-engine", Parallelism::auto().with_threads(4).with_auto_cutoff(usize::MAX)),
+        ("par-engine", Parallelism::auto().with_threads(4).with_auto_cutoff(1)),
+        (
+            "sharded-override",
+            Parallelism::auto()
+                .with_threads(4)
+                .with_auto_cutoff(usize::MAX)
+                .with_shards(4),
+        ),
+    ];
+    for seed in 0..25 {
+        let problem = config.generate(seed).expect("generation is feasible");
+        for kind in AllocatorKind::ALL {
+            let oracle = kind
+                .build_with(Parallelism::sequential())
+                .allocate(&problem, &mut rng_for(kind, seed))
+                .expect("oracle allocation succeeds");
+            let sa = oracle.audit().expect("oracle audit");
+            for (label, par) in autos {
+                let auto = kind
+                    .build_with(par)
+                    .allocate(&problem, &mut rng_for(kind, seed))
+                    .expect("auto allocation succeeds");
+                let ctx = format!("{} seed {seed} auto {label}", kind.name());
+                assert_eq!(oracle.placement(), auto.placement(), "{ctx}: placement");
+                assert_eq!(
+                    oracle.total_cost().to_bits(),
+                    auto.total_cost().to_bits(),
+                    "{ctx}: total cost"
+                );
+                let aa = auto.audit().expect("auto audit");
+                for (name, s, p) in [
+                    ("run", sa.breakdown.run, aa.breakdown.run),
+                    ("idle", sa.breakdown.idle, aa.breakdown.idle),
+                    ("transition", sa.breakdown.transition, aa.breakdown.transition),
+                ] {
+                    assert_eq!(s.to_bits(), p.to_bits(), "{ctx}: energy.{name}");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn admission_decisions_are_thread_count_independent() {
     // Deliberately overloaded: many long-lived VMs on a two-server

@@ -1,0 +1,114 @@
+//! Differential harness: the ESVT columnar trace path against the
+//! text-format path.
+//!
+//! The binary format is only trustworthy if it is *invisible* to the
+//! allocators: for every algorithm and seed, a problem loaded from an
+//! ESVT encoding must produce the same placement vector, the same
+//! `total_cost()` bits, and the same audited energy decomposition as
+//! the same problem round-tripped through the text format. A second
+//! test pins the O(live) memory claim: the streaming reader's peak
+//! resident batch is bounded by the block length no matter how long
+//! the trace is.
+
+use esvm::workload::{esvt, trace};
+use esvm::{AllocatorKind, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEEDS: u64 = 25;
+
+/// Per-(kind, seed) RNG, identical for both loads so any divergence is
+/// attributable to the trace format alone.
+fn rng_for(kind: AllocatorKind, seed: u64) -> StdRng {
+    let mut h: u64 = 0xA076_1D64_78BD_642F;
+    for b in kind.name().bytes() {
+        h = h.wrapping_mul(0x100_0000_01B3) ^ u64::from(b);
+    }
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ h)
+}
+
+#[test]
+fn every_kind_is_trace_format_blind_bit_for_bit() {
+    let config = WorkloadConfig::new(30, 8).mean_interarrival(2.0);
+    for seed in 0..SEEDS {
+        let problem = config.generate(seed).expect("generation is feasible");
+
+        // Both loads start from the same in-memory instance; a short
+        // block length makes the ESVT path exercise many blocks.
+        let from_text = trace::from_text(&trace::to_text(&problem)).expect("text load");
+        let from_esvt =
+            esvt::from_esvt(&esvt::to_esvt_with_block_len(&problem, 7)).expect("esvt load");
+
+        for kind in AllocatorKind::ALL {
+            let ctx = format!("{} seed {seed}", kind.name());
+            let text_run = kind.build().allocate(&from_text, &mut rng_for(kind, seed));
+            let esvt_run = kind.build().allocate(&from_esvt, &mut rng_for(kind, seed));
+
+            match (&text_run, &esvt_run) {
+                (Ok(text_run), Ok(esvt_run)) => {
+                    assert_eq!(
+                        text_run.placement(),
+                        esvt_run.placement(),
+                        "{ctx}: placement"
+                    );
+                    assert_eq!(
+                        text_run.total_cost().to_bits(),
+                        esvt_run.total_cost().to_bits(),
+                        "{ctx}: total cost"
+                    );
+                    let ta = text_run.audit().expect("text audit");
+                    let ea = esvt_run.audit().expect("esvt audit");
+                    assert_eq!(
+                        ta.total_cost.to_bits(),
+                        ea.total_cost.to_bits(),
+                        "{ctx}: audited cost"
+                    );
+                    for (name, t, e) in [
+                        ("run", ta.breakdown.run, ea.breakdown.run),
+                        ("idle", ta.breakdown.idle, ea.breakdown.idle),
+                        ("transition", ta.breakdown.transition, ea.breakdown.transition),
+                    ] {
+                        assert_eq!(t.to_bits(), e.to_bits(), "{ctx}: energy.{name}");
+                    }
+                }
+                // A greedy kind may legitimately fail on a tight
+                // instance — both loads must then fail identically.
+                (Err(te), Err(ee)) => {
+                    assert_eq!(format!("{te:?}"), format!("{ee:?}"), "{ctx}: error");
+                }
+                (text, esvt) => panic!(
+                    "{ctx}: the loads disagree on feasibility: {text:?} vs {esvt:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// The streaming reader's peak resident batch equals the block length
+/// (or the record count when smaller) — it does not grow with the
+/// trace, which is the O(live) ingestion guarantee measured in
+/// BENCH_trace.json.
+#[test]
+fn streaming_memory_ceiling_is_independent_of_trace_length() {
+    const BLOCK_LEN: usize = 256;
+    let mut ceilings = Vec::new();
+    for vms in [2_000usize, 20_000] {
+        let config = WorkloadConfig::new(vms, 64).mean_interarrival(0.5);
+        let problem = config.generate(9).expect("generation is feasible");
+        let bytes = esvt::to_esvt_with_block_len(&problem, BLOCK_LEN);
+        let mut reader =
+            esvt::TraceReader::new(std::io::Cursor::new(&bytes)).expect("valid trace");
+        let mut total = 0u64;
+        let stats = reader
+            .for_each_batch(|batch| total += batch.len() as u64)
+            .expect("stream succeeds");
+        assert_eq!(total, vms as u64, "{vms} VMs all streamed");
+        assert_eq!(
+            stats.peak_resident, BLOCK_LEN,
+            "{vms} VMs: peak resident batch"
+        );
+        ceilings.push(stats.peak_resident);
+    }
+    // 10× the records, identical ceiling.
+    assert_eq!(ceilings[0], ceilings[1]);
+}
