@@ -51,7 +51,10 @@
 use crate::plan::{FaultEvent, FaultPlan};
 use crate::policy::{RepairPolicy, ShedPolicy};
 use esvm_core::{AllocError, Allocator};
-use esvm_obs::{names, Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
+use esvm_obs::{
+    names, DecisionKind, Event, EventSink, ExplainRecord, FieldValue, MetricsRegistry, NoopSink,
+    NoopTracer, Tracer,
+};
 use esvm_simcore::{
     AllocationProblem, EnergyBreakdown, Interval, ServerId, ServerLedger, TimeUnit, VmId,
 };
@@ -247,25 +250,53 @@ impl ChaosEngine {
         sink: &mut S,
         metrics: &MetricsRegistry,
     ) -> Result<ChaosReport, ChaosError> {
-        let intended = allocator
-            .allocate(problem, rng)
-            .map_err(ChaosError::Offline)?;
+        self.run_traced(problem, allocator, rng, sink, metrics, &NoopTracer)
+    }
+
+    /// [`ChaosEngine::run_observed`] with decision provenance: phase 1
+    /// runs under a `chaos.offline` span, phase 2 under `chaos.replay`
+    /// with one `chaos.attempt` child per repair-scoring pass, and every
+    /// repair / shed / refusal emits a [`DecisionKind::Repair`] /
+    /// [`DecisionKind::Shed`] / [`DecisionKind::Refuse`] explain record
+    /// attributing the displacement source, attempt count and instant.
+    /// With [`NoopTracer`] this *is* [`ChaosEngine::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Offline`] when the wrapped allocator fails.
+    pub fn run_traced<S: EventSink, T: Tracer>(
+        &self,
+        problem: &AllocationProblem,
+        allocator: &dyn Allocator,
+        rng: &mut dyn RngCore,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+        tracer: &T,
+    ) -> Result<ChaosReport, ChaosError> {
+        let intended = {
+            let _offline_span = tracer.span("chaos.offline");
+            allocator
+                .allocate(problem, rng)
+                .map_err(ChaosError::Offline)?
+        };
         let offline_cost = intended.total_cost();
         let intended_placement: Vec<Option<ServerId>> = intended.placement().to_vec();
         drop(intended);
-        Ok(self.replay(problem, &intended_placement, offline_cost, sink, metrics))
+        Ok(self.replay(problem, &intended_placement, offline_cost, sink, metrics, tracer))
     }
 
     /// Phase 2: event-driven replay of the intended placement under the
     /// fault plan.
-    fn replay<S: EventSink>(
+    fn replay<S: EventSink, T: Tracer>(
         &self,
         problem: &AllocationProblem,
         intended: &[Option<ServerId>],
         offline_cost: f64,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) -> ChaosReport {
+        let _replay_span = tracer.span("chaos.replay");
         let vms = problem.vms();
         let n = problem.servers().len();
         let mut ledgers: Vec<ServerLedger> = problem
@@ -353,6 +384,7 @@ impl ChaosEngine {
                                 &mut report,
                                 sink,
                                 metrics,
+                                tracer,
                             );
                         }
                     }
@@ -385,6 +417,7 @@ impl ChaosEngine {
                     &mut report,
                     sink,
                     metrics,
+                    tracer,
                 );
             }
 
@@ -430,6 +463,7 @@ impl ChaosEngine {
                         &mut report,
                         sink,
                         metrics,
+                        tracer,
                     );
                 }
             }
@@ -439,7 +473,7 @@ impl ChaosEngine {
         // retry instant that could matter — count it as lost.
         let leftovers = std::mem::take(&mut queue);
         for entry in leftovers {
-            self.drop_entry(&entry, &mut report, sink, metrics);
+            self.drop_entry(&entry, &mut report, sink, metrics, tracer);
         }
 
         self.charge_recovery_transitions(&ledgers, &resolved_outages, &mut report, metrics);
@@ -463,7 +497,7 @@ impl ChaosEngine {
 
     /// Evicts every live piece of server `s` at instant `t`.
     #[allow(clippy::too_many_arguments)]
-    fn evict<S: EventSink>(
+    fn evict<S: EventSink, T: Tracer>(
         s: usize,
         t: TimeUnit,
         problem: &AllocationProblem,
@@ -473,7 +507,9 @@ impl ChaosEngine {
         report: &mut ChaosReport,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) {
+        let _evict_span = tracer.span("chaos.evict");
         let pieces = std::mem::take(&mut resident[s]);
         let mut kept = Vec::with_capacity(pieces.len());
         for piece in pieces {
@@ -544,7 +580,7 @@ impl ChaosEngine {
     /// MIEC-style lowest-incremental-cost scoring over the up servers,
     /// exponential backoff on failure, shed/refuse on exhaustion.
     #[allow(clippy::too_many_arguments)]
-    fn attempt<S: EventSink>(
+    fn attempt<S: EventSink, T: Tracer>(
         &self,
         mut entry: QueueEntry,
         t: TimeUnit,
@@ -558,14 +594,16 @@ impl ChaosEngine {
         report: &mut ChaosReport,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) {
+        let _attempt_span = tracer.span("chaos.attempt");
         if t > entry.end {
-            self.drop_entry(&entry, report, sink, metrics);
+            self.drop_entry(&entry, report, sink, metrics, tracer);
             return;
         }
         let demand = problem.vms()[entry.vm].demand();
         let Some(interval) = Interval::checked_new(t, entry.end) else {
-            self.drop_entry(&entry, report, sink, metrics);
+            self.drop_entry(&entry, report, sink, metrics, tracer);
             return;
         };
         // The same strict-`<` ascending-index argmin the sequential
@@ -581,7 +619,36 @@ impl ChaosEngine {
             }
             Some(ledgers[i].incremental_piece_cost(demand, interval))
         });
-        if let Some((s, _)) = best {
+        if let Some((s, winning_cost)) = best {
+            if T::ENABLED {
+                // Read-only recount of the feasibility scan before the
+                // commit mutates the winner's ledger: the argmin above
+                // folds the tallies away, and this runs only in traced
+                // builds.
+                let mut candidates = 0u64;
+                let mut unfit = 0u64;
+                for (i, ledger) in ledgers.iter().enumerate() {
+                    if !up[i] {
+                        continue;
+                    }
+                    if ledger.fits_piece(demand, interval) {
+                        candidates += 1;
+                    } else {
+                        unfit += 1;
+                    }
+                }
+                tracer.explain(&ExplainRecord {
+                    candidates,
+                    unfit,
+                    shards: 1,
+                    winner: Some(s as u64),
+                    delta_cost: winning_cost,
+                    from: entry.from.map(|f| f.index() as u64),
+                    attempt: u64::from(entry.attempts),
+                    time: Some(u64::from(t)),
+                    ..ExplainRecord::new(DecisionKind::Repair, entry.vm as u64)
+                });
+            }
             ledgers[s].host_piece(demand, interval);
             resident[s].push(Piece {
                 vm: entry.vm,
@@ -618,12 +685,12 @@ impl ChaosEngine {
         }
         entry.attempts += 1;
         if entry.attempts > self.policy.max_retries {
-            self.drop_entry(&entry, report, sink, metrics);
+            self.drop_entry(&entry, report, sink, metrics, tracer);
             return;
         }
         let next_try = t.saturating_add(self.policy.delay_for(entry.attempts));
         if next_try > entry.end {
-            self.drop_entry(&entry, report, sink, metrics);
+            self.drop_entry(&entry, report, sink, metrics, tracer);
             return;
         }
         entry.next_try = next_try;
@@ -634,18 +701,32 @@ impl ChaosEngine {
     /// Records a queue entry that ran out of retries or time: shed if
     /// it had already run a prefix somewhere, refused if it was never
     /// admitted at all.
-    fn drop_entry<S: EventSink>(
+    fn drop_entry<S: EventSink, T: Tracer>(
         &self,
         entry: &QueueEntry,
         report: &mut ChaosReport,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) {
         let vm = VmId(entry.vm as u32);
         if entry.from.is_some() {
             report.shed.push(vm);
         } else {
             report.refused.push(vm);
+        }
+        if T::ENABLED {
+            let kind = if entry.from.is_some() {
+                DecisionKind::Shed
+            } else {
+                DecisionKind::Refuse
+            };
+            tracer.explain(&ExplainRecord {
+                from: entry.from.map(|f| f.index() as u64),
+                attempt: u64::from(entry.attempts),
+                time: Some(u64::from(entry.displaced_at)),
+                ..ExplainRecord::new(kind, entry.vm as u64)
+            });
         }
         if S::ENABLED {
             let name = if entry.from.is_some() {

@@ -19,7 +19,10 @@
 
 use crate::classes::spec_classes;
 use crate::{AllocError, AllocResult, Allocator};
-use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
+use esvm_obs::{
+    DecisionKind, Event, EventSink, ExplainRecord, FieldValue, MetricsRegistry, NoopSink,
+    NoopTracer, Tracer,
+};
 use esvm_par::Parallelism;
 use esvm_simcore::energy::full_cost;
 use esvm_simcore::{
@@ -327,13 +330,36 @@ impl LocalSearch {
         sink: &mut S,
         metrics: &MetricsRegistry,
     ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
+        self.refine_instrumented(base, sink, metrics, &NoopTracer)
+    }
+
+    /// [`LocalSearch::refine_observed`] with decision provenance: the
+    /// whole refinement runs under a `local_search.refine` span with one
+    /// `local_search.round` child per improvement round, and every
+    /// accepted move emits a [`DecisionKind::Relocate`] /
+    /// [`DecisionKind::Swap`] explain record (winner, source server,
+    /// delta, and — for relocates — candidates scanned and pruned-by-
+    /// class counts). With [`NoopTracer`] this *is*
+    /// [`LocalSearch::refine_observed`], instruction for instruction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalSearch::refine`].
+    pub fn refine_instrumented<'p, S: EventSink, T: Tracer>(
+        &self,
+        base: &Assignment<'p>,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+        tracer: &T,
+    ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
         let problem = base.problem();
         if let Some(vm) = base.unplaced().next() {
             return Err(AllocError::Placement(esvm_simcore::Error::Unplaced(vm)));
         }
         if self.par.resolve_for(problem.vm_count()).threads() > 1 && !self.reference {
-            return self.refine_parallel(base, sink, metrics);
+            return self.refine_parallel(base, sink, metrics, tracer);
         }
+        let _refine_span = tracer.span("local_search.refine");
 
         let mut hosts: Vec<Host> = problem.servers().iter().map(|s| Host::new(*s)).collect();
         let mut location: Vec<ServerId> = Vec::with_capacity(problem.vm_count());
@@ -367,6 +393,7 @@ impl LocalSearch {
 
         for _ in 0..self.max_rounds {
             let mut improved = false;
+            let _round_span = tracer.span("local_search.round");
             if S::ENABLED {
                 rounds += 1;
             }
@@ -377,6 +404,10 @@ impl LocalSearch {
             for j in 0..problem.vm_count() {
                 let vm = problem.vms()[j];
                 let src = location[j];
+                // Per-VM scan tallies feed the explain record; the run
+                // totals (flushed once below) stay sink-gated.
+                let mut vm_considered = 0u64;
+                let mut vm_pruned = 0u64;
                 // Score the departure once per VM: pure arithmetic on the
                 // fast path, the seed's two full rescans on the oracle.
                 let removal_gain = if self.reference {
@@ -400,8 +431,8 @@ impl LocalSearch {
                         if class_seen[class] == scan {
                             // A cheaper-or-equal asleep twin of the same
                             // spec class was already scored this scan.
-                            if S::ENABLED {
-                                pruned_targets += 1;
+                            if S::ENABLED || T::ENABLED {
+                                vm_pruned += 1;
                             }
                             continue;
                         }
@@ -415,8 +446,8 @@ impl LocalSearch {
                     } else {
                         removal_gain + hosts[i].ledger.incremental_cost(&vm)
                     };
-                    if S::ENABLED {
-                        relocates_considered += 1;
+                    if S::ENABLED || T::ENABLED {
+                        vm_considered += 1;
                     }
                     if delta < -1e-9 {
                         let v = hosts[src.index()].remove(vm.id());
@@ -442,8 +473,26 @@ impl LocalSearch {
                                 ],
                             });
                         }
+                        if T::ENABLED {
+                            tracer.explain(&ExplainRecord {
+                                candidates: vm_considered,
+                                pruned: vm_pruned,
+                                shards: 1,
+                                winner: Some(dst.index() as u64),
+                                delta_cost: delta,
+                                from: Some(src.index() as u64),
+                                ..ExplainRecord::new(
+                                    DecisionKind::Relocate,
+                                    vm.id().index() as u64,
+                                )
+                            });
+                        }
                         break;
                     }
+                }
+                if S::ENABLED {
+                    relocates_considered += vm_considered;
+                    pruned_targets += vm_pruned;
                 }
             }
 
@@ -519,6 +568,22 @@ impl LocalSearch {
                                     ],
                                 });
                             }
+                            if T::ENABLED {
+                                // `vm` is the a-side VM; `winner` is its
+                                // new server, `from` its old one; the
+                                // partner rides in `attempt`.
+                                tracer.explain(&ExplainRecord {
+                                    shards: 1,
+                                    winner: Some(sb.index() as u64),
+                                    delta_cost: delta,
+                                    from: Some(sa.index() as u64),
+                                    attempt: vb.id().index() as u64,
+                                    ..ExplainRecord::new(
+                                        DecisionKind::Swap,
+                                        va.id().index() as u64,
+                                    )
+                                });
+                            }
                         }
                     }
                 }
@@ -590,12 +655,14 @@ impl LocalSearch {
     /// can slightly overcount within the accepting shard (speculative
     /// scoring past the accepted pair) — diagnostic, not part of the
     /// equality contract; placements, costs, and the move trace are.
-    fn refine_parallel<'p, S: EventSink>(
+    fn refine_parallel<'p, S: EventSink, T: Tracer>(
         &self,
         base: &Assignment<'p>,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) -> AllocResult<(Assignment<'p>, Vec<SearchMove>)> {
+        let _refine_span = tracer.span("local_search.refine");
         enum Job {
             Idle,
             /// Ordered-targets relocate: the conductor builds the
@@ -691,7 +758,7 @@ impl LocalSearch {
         let slots: Vec<Mutex<ChunkOut>> = (0..self.par.max_chunks(n_vms.max(n_servers)))
             .map(|_| Mutex::new(ChunkOut::default()))
             .collect();
-        let instrumented = S::ENABLED;
+        let instrumented = S::ENABLED || T::ENABLED;
         let classes = spec_classes(problem.servers());
         let routing = esvm_par::ShardRouting::new(n_servers, self.par.shards_for(n_servers));
         let n_shards = routing.n_shards();
@@ -855,6 +922,7 @@ impl LocalSearch {
 
             for _ in 0..self.max_rounds {
                 let mut improved = false;
+                let _round_span = tracer.span("local_search.round");
                 if S::ENABLED {
                     rounds += 1;
                 }
@@ -888,12 +956,15 @@ impl LocalSearch {
                         }
                         pool.dispatch(n_shards);
                         let mut accept: Option<(u32, f64)> = None;
+                        let mut vm_considered = 0u64;
+                        let mut vm_pruned = 0u64;
+                        let mut shards_scanned = 0u64;
                         rep_stamp += 1;
                         for shard_slot in &shard_slots[..n_shards] {
                             let slot =
                                 shard_slot.lock().expect("relocate shard slot poisoned");
                             let out = &slot.out;
-                            if S::ENABLED {
+                            if S::ENABLED || T::ENABLED {
                                 // Demote cross-shard duplicate asleep
                                 // class representatives to pruned, the
                                 // sequential tally.
@@ -910,8 +981,9 @@ impl LocalSearch {
                                         rep_seen[class as usize] = rep_stamp;
                                     }
                                 }
-                                relocates_considered += out.considered - scored_dupes;
-                                pruned_targets += out.pruned + scored_dupes + unfit_dupes;
+                                vm_considered += out.considered - scored_dupes;
+                                vm_pruned += out.pruned + scored_dupes + unfit_dupes;
+                                shards_scanned += 1;
                             }
                             if let Some((sid, delta)) = out.improving {
                                 accept = Some((sid, delta));
@@ -921,6 +993,10 @@ impl LocalSearch {
                                 // all.
                                 break;
                             }
+                        }
+                        if S::ENABLED {
+                            relocates_considered += vm_considered;
+                            pruned_targets += vm_pruned;
                         }
                         if let Some((sid, delta)) = accept {
                             let dst = ServerId(sid);
@@ -947,6 +1023,21 @@ impl LocalSearch {
                                         ("to", FieldValue::U64(dst.index() as u64)),
                                         ("delta", FieldValue::F64(delta)),
                                     ],
+                                });
+                            }
+                            if T::ENABLED {
+                                tracer.explain(&ExplainRecord {
+                                    candidates: vm_considered,
+                                    pruned: vm_pruned,
+                                    shards: shards_scanned,
+                                    shard: routing.shard_of(sid as usize) as u64,
+                                    winner: Some(u64::from(sid)),
+                                    delta_cost: delta,
+                                    from: Some(src.index() as u64),
+                                    ..ExplainRecord::new(
+                                        DecisionKind::Relocate,
+                                        vm.id().index() as u64,
+                                    )
                                 });
                             }
                         }
@@ -982,19 +1073,19 @@ impl LocalSearch {
                             if st.hosts[i].vms.is_empty() {
                                 let class = classes.class_of[i];
                                 if class_seen[class] == scan {
-                                    if S::ENABLED {
+                                    if S::ENABLED || T::ENABLED {
                                         vm_pruned += 1;
                                     }
                                     continue;
                                 }
                                 class_seen[class] = scan;
                             }
-                            if S::ENABLED {
+                            if S::ENABLED || T::ENABLED {
                                 pruned_prefix.push(vm_pruned);
                             }
                             targets.push(i as u32);
                         }
-                        if S::ENABLED {
+                        if S::ENABLED || T::ENABLED {
                             // Sentinel: prunes seen by a full (no-accept)
                             // scan, including trailing ones.
                             pruned_prefix.push(vm_pruned);
@@ -1009,10 +1100,11 @@ impl LocalSearch {
                     pool.dispatch(n_targets);
                     let (_, n_chunks) = self.par.chunking(n_targets);
                     let mut accept: Option<(usize, f64)> = None;
+                    let mut vm_considered = 0u64;
                     for slot in &slots[..n_chunks] {
                         let out = slot.lock().expect("chunk slot poisoned");
-                        if S::ENABLED {
-                            relocates_considered += out.considered;
+                        if S::ENABLED || T::ENABLED {
+                            vm_considered += out.considered;
                         }
                         if let Some(&(k, Some(delta))) = out.entries.first() {
                             accept = Some((k as usize, delta));
@@ -1022,11 +1114,17 @@ impl LocalSearch {
                             break;
                         }
                     }
-                    if S::ENABLED {
-                        pruned_targets += match accept {
+                    let vm_pruned = if S::ENABLED || T::ENABLED {
+                        match accept {
                             Some((k, _)) => pruned_prefix[k],
                             None => *pruned_prefix.last().expect("sentinel"),
-                        };
+                        }
+                    } else {
+                        0
+                    };
+                    if S::ENABLED {
+                        relocates_considered += vm_considered;
+                        pruned_targets += vm_pruned;
                     }
                     if let Some((k, delta)) = accept {
                         let mut st = state.write().expect("state lock poisoned");
@@ -1057,6 +1155,20 @@ impl LocalSearch {
                                     ("to", FieldValue::U64(dst.index() as u64)),
                                     ("delta", FieldValue::F64(delta)),
                                 ],
+                            });
+                        }
+                        if T::ENABLED {
+                            tracer.explain(&ExplainRecord {
+                                candidates: vm_considered,
+                                pruned: vm_pruned,
+                                shards: n_chunks as u64,
+                                winner: Some(dst.index() as u64),
+                                delta_cost: delta,
+                                from: Some(src.index() as u64),
+                                ..ExplainRecord::new(
+                                    DecisionKind::Relocate,
+                                    vm.id().index() as u64,
+                                )
                             });
                         }
                     }
@@ -1150,6 +1262,19 @@ impl LocalSearch {
                                         delta,
                                     });
                                     improved = true;
+                                    if T::ENABLED {
+                                        tracer.explain(&ExplainRecord {
+                                            shards: 1,
+                                            winner: Some(sb.index() as u64),
+                                            delta_cost: delta,
+                                            from: Some(sa.index() as u64),
+                                            attempt: vb.id().index() as u64,
+                                            ..ExplainRecord::new(
+                                                DecisionKind::Swap,
+                                                va.id().index() as u64,
+                                            )
+                                        });
+                                    }
                                     if S::ENABLED {
                                         swaps_accepted += 1;
                                         metrics
@@ -1389,6 +1514,71 @@ mod tests {
             l.starts_with("{\"event\":\"local_search.relocate\"")
                 || l.starts_with("{\"event\":\"local_search.swap\"")
         }));
+    }
+
+    #[test]
+    fn instrumented_refine_matches_plain_and_explains_accepted_moves() {
+        let p = problem();
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = crate::RoundRobin::new().allocate(&p, &mut rng).unwrap();
+        let (plain, plain_moves) = LocalSearch::new().refine_traced(&base).unwrap();
+
+        for par in [
+            Parallelism::new(1),
+            Parallelism::new(4).with_shards(3).with_batch(4),
+        ] {
+            let tracer = esvm_obs::CollectingTracer::new();
+            let (traced, moves) = LocalSearch::new()
+                .with_parallelism(par)
+                .refine_instrumented(
+                    &base,
+                    &mut NoopSink,
+                    &MetricsRegistry::new(),
+                    &tracer,
+                )
+                .unwrap();
+            assert_eq!(traced.placement(), plain.placement());
+            assert_eq!(traced.total_cost().to_bits(), plain.total_cost().to_bits());
+            assert_eq!(moves, plain_moves);
+
+            // One explain record per accepted move, in acceptance order,
+            // with winner / source / delta matching the move trace.
+            let explains = tracer.explains();
+            assert_eq!(explains.len(), moves.len());
+            for (entry, mv) in explains.iter().zip(&moves) {
+                match *mv {
+                    SearchMove::Relocate { vm, from, to, delta } => {
+                        assert_eq!(entry.record.kind, DecisionKind::Relocate);
+                        assert_eq!(entry.record.vm, vm.index() as u64);
+                        assert_eq!(entry.record.from, Some(from.index() as u64));
+                        assert_eq!(entry.record.winner, Some(to.index() as u64));
+                        assert_eq!(entry.record.delta_cost.to_bits(), delta.to_bits());
+                        assert!(entry.record.candidates >= 1);
+                    }
+                    SearchMove::Swap { a, b, server_a, server_b, delta } => {
+                        assert_eq!(entry.record.kind, DecisionKind::Swap);
+                        assert_eq!(entry.record.vm, a.index() as u64);
+                        assert_eq!(entry.record.attempt, b.index() as u64);
+                        assert_eq!(entry.record.from, Some(server_a.index() as u64));
+                        assert_eq!(entry.record.winner, Some(server_b.index() as u64));
+                        assert_eq!(entry.record.delta_cost.to_bits(), delta.to_bits());
+                    }
+                }
+            }
+
+            // Span tree: one refine root, one round child per round, all
+            // closed.
+            assert_eq!(tracer.open_spans(), 0);
+            let spans = tracer.spans();
+            let refines: Vec<_> =
+                spans.iter().filter(|s| s.name == "local_search.refine").collect();
+            assert_eq!(refines.len(), 1);
+            let rounds = spans.iter().filter(|s| s.name == "local_search.round");
+            assert!(rounds.clone().count() >= 1);
+            for r in rounds {
+                assert_eq!(r.parent, refines[0].id);
+            }
+        }
     }
 
     #[test]

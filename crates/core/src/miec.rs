@@ -1,7 +1,10 @@
 //! The paper's heuristic: Minimum Incremental Energy Cost (MIEC).
 
 use crate::{AllocError, AllocResult, Allocator};
-use esvm_obs::{Event, EventSink, FieldValue, MetricsRegistry, NoopSink};
+use esvm_obs::{
+    DecisionKind, Event, EventSink, ExplainRecord, FieldValue, MetricsRegistry, NoopSink,
+    NoopTracer, Tracer,
+};
 use esvm_par::Parallelism;
 use esvm_simcore::{AllocationProblem, Assignment, ServerId, ServerLedger};
 use rand::RngCore;
@@ -161,22 +164,28 @@ impl Miec {
     /// The shared placement loop. In admission mode an unplaceable VM is
     /// rejected and the run continues; otherwise it aborts.
     ///
-    /// Generic over the event sink: with the default [`NoopSink`]
-    /// (`S::ENABLED == false`) every instrumentation block is a
-    /// compile-time-dead branch and the monomorphised loop is the
-    /// uninstrumented code.
-    fn run<'p, S: EventSink>(
+    /// Generic over the event sink and tracer: with the default
+    /// [`NoopSink`] / [`NoopTracer`] (`ENABLED == false`) every
+    /// instrumentation block is a compile-time-dead branch and the
+    /// monomorphised loop is the uninstrumented code.
+    fn run<'p, S: EventSink, T: Tracer>(
         &self,
         problem: &'p AllocationProblem,
         admit: bool,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
         // Adaptive configurations pick their engine per problem size;
         // fixed ones resolve to themselves.
         if self.par.resolve_for(problem.vm_count()).threads() > 1 {
-            return self.run_parallel(problem, admit, sink, metrics);
+            return self.run_parallel(problem, admit, sink, metrics, tracer);
         }
+        let _run_span = tracer.span("miec.run");
+        // The prepare span makes setup cost visible and, by closing
+        // right before the loop, anchors the first decision's
+        // `lap_span` to the loop entry rather than the run start.
+        let prepare_span = tracer.span("miec.prepare");
         let mut assignment = Assignment::new(problem);
         let mut rejected = Vec::new();
         // Hot-loop tallies stay in registers; flushed to `metrics` once
@@ -213,13 +222,21 @@ impl Miec {
         // by an asleep server for the current VM (stamps avoid a per-VM
         // clear).
         let mut class_scored: Vec<usize> = vec![usize::MAX; classes.count];
+        let ordered_vms = problem.vms_by_start_time();
+        drop(prepare_span);
 
-        for (step, j) in problem.vms_by_start_time().into_iter().enumerate() {
+        for (step, j) in ordered_vms.into_iter().enumerate() {
+            // Decisions run back to back: each span starts where the
+            // previous one (or the setup above) ended, so the hot loop
+            // pays one clock read per decision instead of two.
+            let _decision_span = tracer.lap_span("miec.decision");
             let vm = &problem.vms()[j];
             let scoring = self.scoring_vm(vm);
             let mut best: Option<(f64, ServerId)> = None;
             let mut candidates = 0u64;
             let mut pruned = 0u64;
+            let mut unfit = 0u64;
+            let mut vm_fp_ties = 0u64;
             for i in 0..problem.server_count() {
                 let sid = ServerId(i as u32);
                 let real = assignment.ledger(sid);
@@ -228,7 +245,7 @@ impl Miec {
                     if class_scored[class] == step {
                         // A lower-id asleep server of the same spec class
                         // already stood in for this one.
-                        if S::ENABLED {
+                        if S::ENABLED || T::ENABLED {
                             pruned += 1;
                         }
                         continue;
@@ -236,8 +253,8 @@ impl Miec {
                     class_scored[class] = step;
                 }
                 if !real.fits(vm) {
-                    if S::ENABLED {
-                        unfit_total += 1;
+                    if S::ENABLED || T::ENABLED {
+                        unfit += 1;
                     }
                     continue;
                 }
@@ -249,13 +266,13 @@ impl Miec {
                     None if self.reference => real.reference_incremental_cost(&scoring),
                     None => real.incremental_cost(&scoring),
                 };
-                if S::ENABLED {
+                if S::ENABLED || T::ENABLED {
                     candidates += 1;
                     // An exact score tie: the strict `<` below resolves
                     // it to the lowest server id — the decisions the
                     // equivalence benches certify as FP ties.
                     if best.is_some_and(|(cost, _)| delta == cost) {
-                        fp_ties_total += 1;
+                        vm_fp_ties += 1;
                     }
                 }
                 // Strict `<` keeps the lowest server id on ties.
@@ -266,6 +283,8 @@ impl Miec {
             if S::ENABLED {
                 candidates_total += candidates;
                 pruned_total += pruned;
+                unfit_total += unfit;
+                fp_ties_total += vm_fp_ties;
             }
             match best {
                 Some((delta, sid)) => {
@@ -286,12 +305,39 @@ impl Miec {
                             ],
                         });
                     }
+                    if T::ENABLED {
+                        tracer.explain(&ExplainRecord {
+                            candidates,
+                            pruned,
+                            unfit,
+                            shards: 1,
+                            winner: Some(sid.index() as u64),
+                            delta_cost: delta,
+                            fp_tie: vm_fp_ties > 0,
+                            ..ExplainRecord::new(
+                                DecisionKind::Place,
+                                vm.id().index() as u64,
+                            )
+                        });
+                    }
                 }
                 None if admit => {
                     if S::ENABLED {
                         sink.emit(&Event {
                             name: "miec.reject",
                             fields: &[("vm", FieldValue::U64(vm.id().index() as u64))],
+                        });
+                    }
+                    if T::ENABLED {
+                        tracer.explain(&ExplainRecord {
+                            candidates,
+                            pruned,
+                            unfit,
+                            shards: 1,
+                            ..ExplainRecord::new(
+                                DecisionKind::Reject,
+                                vm.id().index() as u64,
+                            )
                         });
                     }
                     rejected.push(vm.id());
@@ -346,13 +392,15 @@ impl Miec {
     /// merging. `fp_ties` counts ties against shard-local minima
     /// rather than the sequential running best, so it remains the one
     /// documented approximate diagnostic.
-    fn run_parallel<'p, S: EventSink>(
+    fn run_parallel<'p, S: EventSink, T: Tracer>(
         &self,
         problem: &'p AllocationProblem,
         admit: bool,
         sink: &mut S,
         metrics: &MetricsRegistry,
+        tracer: &T,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
+        let _run_span = tracer.span("miec.run");
         /// Shared state: the live assignment (workers read, the
         /// conductor mutates between generations) plus the ablation
         /// shadow ledgers and the current arrival batch.
@@ -413,7 +461,7 @@ impl Miec {
         let ordered_vms = problem.vms_by_start_time();
         let reference = self.reference;
         let unpruned = self.unpruned;
-        let instrumented = S::ENABLED;
+        let instrumented = S::ENABLED || T::ENABLED;
 
         let state = RwLock::new(State {
             assignment: Assignment::new(problem),
@@ -543,33 +591,49 @@ impl Miec {
 
             let mut window_start = 0;
             while window_start < ordered_vms.len() {
+                let _batch_span = tracer.span("miec.batch");
                 let window =
                     &ordered_vms[window_start..(window_start + batch_size).min(ordered_vms.len())];
                 {
-                    // Safe to mutate: every worker quiesced in the
-                    // previous `dispatch`, so no reader holds the lock.
-                    let mut state = state.write().expect("miec state lock poisoned");
-                    state.batch.clear();
-                    for &j in window {
-                        let vm = problem.vms()[j];
-                        state.batch.push((vm, self.scoring_vm(&vm)));
+                    // The scan span separates the parallel shard scan
+                    // from the sequential commits below, and anchors
+                    // the first commit's `lap_span` after dispatch.
+                    let _scan_span = tracer.span("miec.scan");
+                    {
+                        // Safe to mutate: every worker quiesced in the
+                        // previous `dispatch`, so no reader holds the lock.
+                        let mut state = state.write().expect("miec state lock poisoned");
+                        state.batch.clear();
+                        for &j in window {
+                            let vm = problem.vms()[j];
+                            state.batch.push((vm, self.scoring_vm(&vm)));
+                        }
                     }
+                    dirty.iter_mut().for_each(|d| *d = false);
+                    pool.dispatch(n_shards);
                 }
-                dirty.iter_mut().for_each(|d| *d = false);
-                pool.dispatch(n_shards);
 
                 // Commit the batch sequentially in arrival order.
                 for (b, &j) in window.iter().enumerate() {
+                    // Commits run back to back inside the batch span;
+                    // see the sequential loop for the lap rationale.
+                    let _decision_span = tracer.lap_span("miec.decision");
                     let vm = &problem.vms()[j];
                     let scoring = self.scoring_vm(vm);
                     let mut best: Option<(f64, u32)> = None;
                     let mut vm_candidates = 0u64;
                     let mut vm_pruned = 0u64;
+                    let mut vm_unfit = 0u64;
+                    let mut vm_fp_ties = 0u64;
+                    let mut vm_rescored = 0u64;
                     rep_stamp += 1;
                     for s in 0..n_shards {
                         let mut slot = slots[s].lock().expect("miec shard slot poisoned");
                         let slot = &mut *slot;
                         if dirty[s] {
+                            if S::ENABLED || T::ENABLED {
+                                vm_rescored += 1;
+                            }
                             // An earlier commit of this batch touched
                             // this shard: its stored scan no longer
                             // matches the state the sequential loop
@@ -589,7 +653,7 @@ impl Miec {
                         }
                         let out: &ShardScan =
                             if dirty[s] { &slot.rescan } else { &slot.results[b] };
-                        if S::ENABLED {
+                        if S::ENABLED || T::ENABLED {
                             // Demote cross-shard duplicate asleep class
                             // representatives to pruned: sequentially
                             // only the global lowest-id representative
@@ -609,19 +673,19 @@ impl Miec {
                                 }
                             }
                             vm_candidates += out.scored - scored_dupes;
-                            unfit_total += out.unfit - unfit_dupes;
+                            vm_unfit += out.unfit - unfit_dupes;
                             vm_pruned += out.pruned + scored_dupes + unfit_dupes;
                             if let (Some((delta, _)), Some((cost, _))) = (out.best, best) {
                                 if delta == cost {
                                     // The shard best itself ties the
                                     // running best, plus its in-shard
                                     // ties.
-                                    fp_ties_total += out.ties_at_best + 1;
+                                    vm_fp_ties += out.ties_at_best + 1;
                                 } else if delta < cost {
-                                    fp_ties_total += out.ties_at_best;
+                                    vm_fp_ties += out.ties_at_best;
                                 }
                             } else if let (Some(_), None) = (out.best, best) {
-                                fp_ties_total += out.ties_at_best;
+                                vm_fp_ties += out.ties_at_best;
                             }
                         }
                         // Ascending-shard merge with strict `<`: the
@@ -639,6 +703,8 @@ impl Miec {
                     if S::ENABLED {
                         candidates_total += vm_candidates;
                         pruned_total += vm_pruned;
+                        unfit_total += vm_unfit;
+                        fp_ties_total += vm_fp_ties;
                     }
                     match best {
                         Some((delta, sid)) => {
@@ -665,12 +731,42 @@ impl Miec {
                                     ],
                                 });
                             }
+                            if T::ENABLED {
+                                tracer.explain(&ExplainRecord {
+                                    candidates: vm_candidates,
+                                    pruned: vm_pruned,
+                                    unfit: vm_unfit,
+                                    shards: n_shards as u64,
+                                    rescored: vm_rescored,
+                                    shard: routing.shard_of(sid as usize) as u64,
+                                    winner: Some(u64::from(sid)),
+                                    delta_cost: delta,
+                                    fp_tie: vm_fp_ties > 0,
+                                    ..ExplainRecord::new(
+                                        DecisionKind::Place,
+                                        vm.id().index() as u64,
+                                    )
+                                });
+                            }
                         }
                         None if admit => {
                             if S::ENABLED {
                                 sink.emit(&Event {
                                     name: "miec.reject",
                                     fields: &[("vm", FieldValue::U64(vm.id().index() as u64))],
+                                });
+                            }
+                            if T::ENABLED {
+                                tracer.explain(&ExplainRecord {
+                                    candidates: vm_candidates,
+                                    pruned: vm_pruned,
+                                    unfit: vm_unfit,
+                                    shards: n_shards as u64,
+                                    rescored: vm_rescored,
+                                    ..ExplainRecord::new(
+                                        DecisionKind::Reject,
+                                        vm.id().index() as u64,
+                                    )
                                 });
                             }
                             rejected.push(vm.id());
@@ -719,7 +815,27 @@ impl Miec {
         sink: &mut S,
         metrics: &MetricsRegistry,
     ) -> AllocResult<Assignment<'p>> {
-        self.run(problem, false, sink, metrics).map(|(a, _)| a)
+        self.run(problem, false, sink, metrics, &NoopTracer).map(|(a, _)| a)
+    }
+
+    /// [`Miec::allocate_observed`] with decision provenance: a
+    /// `miec.run` span wraps the placement loop, every per-VM argmin
+    /// runs inside a `miec.decision` span (the sharded engine adds a
+    /// `miec.batch` level), and one [`ExplainRecord`] per VM lands in
+    /// `tracer` whose `(winner, delta_cost)` bit-match the placement.
+    /// With [`NoopTracer`] this *is* `allocate_observed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Allocator::allocate`].
+    pub fn allocate_traced<'p, S: EventSink, T: Tracer>(
+        &self,
+        problem: &'p AllocationProblem,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+        tracer: &T,
+    ) -> AllocResult<Assignment<'p>> {
+        self.run(problem, false, sink, metrics, tracer).map(|(a, _)| a)
     }
 
     /// Allocation with admission control: unplaceable VMs are rejected
@@ -735,7 +851,7 @@ impl Miec {
         &self,
         problem: &'p AllocationProblem,
     ) -> AllocResult<(Assignment<'p>, Vec<esvm_simcore::VmId>)> {
-        self.run(problem, true, &mut NoopSink, &MetricsRegistry::new())
+        self.run(problem, true, &mut NoopSink, &MetricsRegistry::new(), &NoopTracer)
     }
 }
 
@@ -759,7 +875,7 @@ impl Allocator for Miec {
         problem: &'p AllocationProblem,
         _rng: &mut dyn RngCore,
     ) -> AllocResult<Assignment<'p>> {
-        self.run(problem, false, &mut NoopSink, &MetricsRegistry::new())
+        self.run(problem, false, &mut NoopSink, &MetricsRegistry::new(), &NoopTracer)
             .map(|(a, _)| a)
     }
 }
@@ -1093,6 +1209,91 @@ mod tests {
             assert_eq!(par_metrics.counter("miec.par.generations"), expected_generations);
             assert_eq!(seq_metrics.counter("miec.par.generations"), 0);
         }
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_explains_every_placement() {
+        use esvm_obs::{CollectingTracer, DecisionKind, NoopSink};
+        use esvm_par::Parallelism;
+        let mut b = ProblemBuilder::new();
+        for i in 0..6 {
+            b = b.server(
+                Resources::new(8.0, 16.0),
+                PowerModel::new(100.0 + f64::from(i % 3), 200.0),
+                50.0,
+            );
+        }
+        let p = b
+            .vm(Resources::new(2.0, 4.0), Interval::new(1, 10))
+            .vm(Resources::new(6.0, 12.0), Interval::new(2, 9))
+            .vm(Resources::new(3.0, 4.0), Interval::new(4, 15))
+            .vm(Resources::new(2.0, 2.0), Interval::new(20, 25))
+            .vm(Resources::new(5.0, 8.0), Interval::new(5, 12))
+            .build()
+            .unwrap();
+        let plain = Miec::new().allocate(&p, &mut rng()).unwrap();
+        for par in [Parallelism::new(1), Parallelism::new(4).with_shards(3).with_batch(2)] {
+            let tracer = CollectingTracer::new();
+            let metrics = esvm_obs::MetricsRegistry::new();
+            let traced = Miec::new()
+                .with_parallelism(par)
+                .allocate_traced(&p, &mut NoopSink, &metrics, &tracer)
+                .unwrap();
+            assert_eq!(plain.placement(), traced.placement());
+            assert_eq!(plain.total_cost().to_bits(), traced.total_cost().to_bits());
+            // One explain record per VM, whose (winner, delta) bit-match
+            // the placement and the recorded placement deltas.
+            let explains = tracer.explains();
+            assert_eq!(explains.len(), p.vm_count());
+            for e in &explains {
+                assert_eq!(e.record.kind, DecisionKind::Place);
+                assert_eq!(
+                    e.record.winner.map(|w| ServerId(w as u32)),
+                    traced.server_of(VmId(e.record.vm as u32))
+                );
+                assert!(e.record.candidates >= 1);
+                assert!(!e.span.is_none());
+            }
+            // Spans: one run span, one decision span per VM (the
+            // sharded engine adds batch spans in between).
+            let spans = tracer.spans();
+            assert_eq!(spans.iter().filter(|s| s.name == "miec.run").count(), 1);
+            assert_eq!(
+                spans.iter().filter(|s| s.name == "miec.decision").count(),
+                p.vm_count()
+            );
+            assert_eq!(tracer.open_spans(), 0);
+            // Per-decision latency is tracked with quantiles.
+            let lat = tracer.latency("miec.decision").unwrap();
+            assert_eq!(lat.count, p.vm_count() as u64);
+            assert!(lat.p99 <= lat.max);
+        }
+        // Sequential and sharded explain records agree on the scan
+        // tallies (candidates/pruned/unfit), not just the winner.
+        let seq = CollectingTracer::new();
+        let par = CollectingTracer::new();
+        let m = esvm_obs::MetricsRegistry::new();
+        Miec::new().allocate_traced(&p, &mut NoopSink, &m, &seq).unwrap();
+        Miec::new()
+            .with_parallelism(Parallelism::new(2).with_shards(4).with_batch(256))
+            .allocate_traced(&p, &mut NoopSink, &m, &par)
+            .unwrap();
+        let key = |t: &CollectingTracer| {
+            t.explains()
+                .iter()
+                .map(|e| {
+                    (
+                        e.record.vm,
+                        e.record.candidates,
+                        e.record.pruned,
+                        e.record.unfit,
+                        e.record.winner,
+                        e.record.delta_cost.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&seq), key(&par));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::{
     AllocResult, Allocator, BestFit, Ffps, FirstFit, LocalSearch, LowestIdlePower, Miec, Random,
     Refined, RoundRobin,
 };
-use esvm_obs::{EventSink, MetricsRegistry};
+use esvm_obs::{EventSink, MetricsRegistry, NoopTracer, Tracer};
 use esvm_par::Parallelism;
 use esvm_simcore::{AllocationProblem, Assignment};
 use rand::RngCore;
@@ -163,30 +163,54 @@ impl AllocatorKind {
         metrics: &MetricsRegistry,
         par: Parallelism,
     ) -> AllocResult<Assignment<'p>> {
+        self.allocate_traced_with(problem, rng, sink, metrics, par, &NoopTracer)
+    }
+
+    /// [`AllocatorKind::allocate_observed_with`] with decision
+    /// provenance: the instrumented kinds additionally record
+    /// hierarchical spans, per-placement explain records and per-span
+    /// latency histograms into `tracer`. The simple baselines run
+    /// uninstrumented (no spans, no explains). With [`NoopTracer`] this
+    /// *is* [`AllocatorKind::allocate_observed_with`] — the differential
+    /// tracing suite pins placements and costs bit-identical across all
+    /// kinds.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Allocator::allocate`].
+    pub fn allocate_traced_with<'p, S: EventSink, T: Tracer>(
+        &self,
+        problem: &'p AllocationProblem,
+        rng: &mut dyn RngCore,
+        sink: &mut S,
+        metrics: &MetricsRegistry,
+        par: Parallelism,
+        tracer: &T,
+    ) -> AllocResult<Assignment<'p>> {
         match self {
             AllocatorKind::Miec => Miec::new()
                 .with_parallelism(par)
-                .allocate_observed(problem, sink, metrics),
+                .allocate_traced(problem, sink, metrics, tracer),
             AllocatorKind::MiecNoAlpha => Miec::ignoring_transition_costs()
                 .with_parallelism(par)
-                .allocate_observed(problem, sink, metrics),
+                .allocate_traced(problem, sink, metrics, tracer),
             AllocatorKind::MiecBlindDuration => Miec::with_assumed_duration(5)
                 .with_parallelism(par)
-                .allocate_observed(problem, sink, metrics),
+                .allocate_traced(problem, sink, metrics, tracer),
             AllocatorKind::MiecLocalSearch => {
                 let base = Miec::new()
                     .with_parallelism(par)
-                    .allocate_observed(problem, sink, metrics)?;
+                    .allocate_traced(problem, sink, metrics, tracer)?;
                 LocalSearch::new()
                     .with_parallelism(par)
-                    .refine_observed(&base, sink, metrics)
+                    .refine_instrumented(&base, sink, metrics, tracer)
                     .map(|(refined, _)| refined)
             }
             AllocatorKind::FfpsLocalSearch => {
                 let base = Ffps::new().allocate(problem, rng)?;
                 LocalSearch::new()
                     .with_parallelism(par)
-                    .refine_observed(&base, sink, metrics)
+                    .refine_instrumented(&base, sink, metrics, tracer)
                     .map(|(refined, _)| refined)
             }
             _ => self.build().allocate(problem, rng),

@@ -110,7 +110,7 @@ options (figures):
 
 options (compare):
   --vms N --servers N --interarrival F --duration F --transition F
-  --algos a,b,…     default: miec,ffps
+  --algos a,b,…     default: miec,ffps (--algo is an alias)
   --seed N          base seed (default 0)
   --standard-vms    restrict VM catalog to the four standard types
   --small-servers   restrict server catalog to types 1-3
@@ -136,12 +136,19 @@ options (chaos):
 
 options (telemetry, compare/solve/chaos):
   --metrics-out F   run one instrumented pass per algorithm and write
-                    its decision metrics as CSV (a summary table is
-                    also appended to the output)
+                    its decision metrics as CSV (histogram rows carry
+                    exact p50/p95/p99; a summary table is also
+                    appended to the output)
   --events-out F    stream the per-decision events of that pass as
                     JSON lines (one object per placement / move)
-  --force           allow --metrics-out / --events-out to overwrite
-                    an existing file (refused by default)
+  --trace-out F     write the decision-provenance trace of that pass:
+                    hierarchical spans, per-placement explain records
+                    and span-latency percentiles. A .json extension
+                    selects Chrome trace_event JSON (load in Perfetto
+                    / chrome://tracing); anything else is flat JSONL
+                    that `esvm query` can load
+  --force           allow --metrics-out / --events-out / --trace-out
+                    to overwrite an existing file (refused by default)
 ";
 
 /// Flag accumulator.
@@ -166,6 +173,7 @@ struct Flags {
     sizes: Option<Vec<usize>>,
     metrics_out: Option<String>,
     events_out: Option<String>,
+    trace_out: Option<String>,
     force: bool,
     algo_threads: Option<usize>,
     algo_shards: Option<usize>,
@@ -296,6 +304,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "--out" => flags.out = Some(value("--out")?),
             "--metrics-out" => flags.metrics_out = Some(value("--metrics-out")?),
             "--events-out" => flags.events_out = Some(value("--events-out")?),
+            "--trace-out" => flags.trace_out = Some(value("--trace-out")?),
             "--target" => {
                 flags.target = Some(
                     value("--target")?
@@ -367,8 +376,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .map_err(|_| usage("--seed must be an integer".into()))?,
                 )
             }
-            "--algos" => {
-                let list = value("--algos")?;
+            "--algos" | "--algo" => {
+                let list = value(arg)?;
                 let mut kinds = Vec::new();
                 for name in list.split(',') {
                     kinds.push(
@@ -575,14 +584,17 @@ fn preflight_out_path(path: &str, force: bool) -> Result<(), CliError> {
 }
 
 /// One instrumented run per algorithm on `problem`: decision metrics
-/// become rows of `table`, per-decision events stream into `sink`, and
-/// the audited energy decomposition is exported as `energy.*` gauges.
-fn telemetry_rows<S: esvm_obs::EventSink>(
+/// become rows of `table`, per-decision events stream into `sink`,
+/// provenance spans and explain records land in `tracer` (each
+/// algorithm's run nested under a span named after it), and the audited
+/// energy decomposition is exported as `energy.*` gauges.
+fn telemetry_rows<S: esvm_obs::EventSink, T: esvm_obs::Tracer>(
     problem: &esvm_simcore::AllocationProblem,
     algos: &[AllocatorKind],
     seed: u64,
     par: Parallelism,
     sink: &mut S,
+    tracer: &T,
     table: &mut Table,
 ) -> Result<(), CliError> {
     use esvm_obs::{Event, FieldValue, MetricsRegistry};
@@ -595,10 +607,11 @@ fn telemetry_rows<S: esvm_obs::EventSink>(
                 ("seed", FieldValue::U64(seed)),
             ],
         });
+        let _algo_span = tracer.span(algo.name());
         let metrics = MetricsRegistry::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let assignment = algo
-            .allocate_observed_with(problem, &mut rng, sink, &metrics, par)
+            .allocate_traced_with(problem, &mut rng, sink, &metrics, par, tracer)
             .map_err(|error| RunError::Alloc { algo, seed, error })?;
         let report = assignment.audit().map_err(RunError::Audit)?;
         metrics.set_gauge("energy.run", report.breakdown.run);
@@ -617,29 +630,23 @@ fn telemetry_rows<S: esvm_obs::EventSink>(
     Ok(())
 }
 
-/// Renders the `--metrics-out` / `--events-out` telemetry section (an
-/// empty string when neither flag is set): a metric summary table for
-/// one instrumented run per algorithm, plus the side files.
-fn telemetry_section(
+/// Routes `telemetry_rows` through the `--events-out` sink choice with
+/// a caller-chosen tracer.
+fn telemetry_capture<T: esvm_obs::Tracer>(
     problem: &esvm_simcore::AllocationProblem,
     algos: &[AllocatorKind],
     seed: u64,
-    flags: &Flags,
-) -> Result<String, CliError> {
-    if flags.metrics_out.is_none() && flags.events_out.is_none() {
-        return Ok(String::new());
-    }
-    for path in [&flags.metrics_out, &flags.events_out].into_iter().flatten() {
-        preflight_out_path(path, flags.force)?;
-    }
-    let par = flags.algo_parallelism()?;
-    let mut table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
-    match &flags.events_out {
+    par: Parallelism,
+    events_out: Option<&str>,
+    tracer: &T,
+    table: &mut Table,
+) -> Result<(), CliError> {
+    match events_out {
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
             let mut sink = esvm_obs::JsonlWriter::new(std::io::BufWriter::new(file));
-            telemetry_rows(problem, algos, seed, par, &mut sink, &mut table)?;
+            telemetry_rows(problem, algos, seed, par, &mut sink, tracer, &mut *table)?;
             sink.finish()
                 .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
         }
@@ -650,10 +657,93 @@ fn telemetry_section(
                 seed,
                 par,
                 &mut esvm_obs::DiscardSink,
-                &mut table,
+                tracer,
+                table,
             )?;
         }
     }
+    Ok(())
+}
+
+/// Serialises a collected provenance trace to `path` — Chrome
+/// `trace_event` JSON for a `.json` extension, flat JSON Lines
+/// otherwise — and renders the span-latency percentile table.
+fn write_trace_output(
+    path: &str,
+    tracer: &esvm_obs::CollectingTracer,
+) -> Result<String, CliError> {
+    let body = if path.ends_with(".json") {
+        tracer.to_chrome_trace()
+    } else {
+        tracer.to_jsonl()
+    };
+    std::fs::write(path, body)
+        .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+    let mut out = String::new();
+    let latencies = tracer.latencies();
+    if !latencies.is_empty() {
+        let mut t = Table::new(vec!["span", "count", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"]);
+        for (name, s) in latencies {
+            t.row(vec![
+                name.to_owned(),
+                s.count.to_string(),
+                format!("{:.4}", s.p50 * 1e3),
+                format!("{:.4}", s.p95 * 1e3),
+                format!("{:.4}", s.p99 * 1e3),
+                format!("{:.4}", s.max * 1e3),
+            ]);
+        }
+        out.push_str(&format!("\nspan latency percentiles\n\n{t}"));
+    }
+    out.push_str(&format!(
+        "provenance trace ({} spans, {} explain records) written to {path}\n",
+        tracer.spans().len(),
+        tracer.explains().len()
+    ));
+    Ok(out)
+}
+
+/// Renders the `--metrics-out` / `--events-out` / `--trace-out`
+/// telemetry section (an empty string when none of the flags is set):
+/// a metric summary table for one instrumented run per algorithm, plus
+/// the side files.
+fn telemetry_section(
+    problem: &esvm_simcore::AllocationProblem,
+    algos: &[AllocatorKind],
+    seed: u64,
+    flags: &Flags,
+) -> Result<String, CliError> {
+    if flags.metrics_out.is_none() && flags.events_out.is_none() && flags.trace_out.is_none() {
+        return Ok(String::new());
+    }
+    for path in [&flags.metrics_out, &flags.events_out, &flags.trace_out]
+        .into_iter()
+        .flatten()
+    {
+        preflight_out_path(path, flags.force)?;
+    }
+    let par = flags.algo_parallelism()?;
+    let mut table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
+    let events_out = flags.events_out.as_deref();
+    let trace_note = match &flags.trace_out {
+        Some(path) => {
+            let tracer = esvm_obs::CollectingTracer::new();
+            telemetry_capture(problem, algos, seed, par, events_out, &tracer, &mut table)?;
+            write_trace_output(path, &tracer)?
+        }
+        None => {
+            telemetry_capture(
+                problem,
+                algos,
+                seed,
+                par,
+                events_out,
+                &esvm_obs::NoopTracer,
+                &mut table,
+            )?;
+            String::new()
+        }
+    };
     let mut out = format!(
         "\n\ntelemetry — one instrumented run per algorithm (seed {seed})\n\n{table}"
     );
@@ -665,6 +755,7 @@ fn telemetry_section(
     if let Some(path) = &flags.events_out {
         out.push_str(&format!("events written to {path}\n"));
     }
+    out.push_str(&trace_note);
     Ok(out)
 }
 
@@ -737,7 +828,7 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
             ));
         }
     }
-    if flags.metrics_out.is_some() || flags.events_out.is_some() {
+    if flags.metrics_out.is_some() || flags.events_out.is_some() || flags.trace_out.is_some() {
         let seed = flags.seed.unwrap_or(0);
         let problem = config
             .generate(seed)
@@ -749,25 +840,28 @@ fn run_compare(flags: &Flags, opts: &ExpOptions) -> Result<String, CliError> {
 
 /// One instrumented chaos replay per algorithm: summary rows into
 /// `table`, the full robustness metric snapshot into `metric_table`,
-/// chaos events into `sink`.
-fn chaos_rows<S: esvm_obs::EventSink>(
+/// chaos events into `sink`, repair/shed provenance into `tracer`.
+#[allow(clippy::too_many_arguments)]
+fn chaos_rows<S: esvm_obs::EventSink, T: esvm_obs::Tracer>(
     engine: &esvm_chaos::ChaosEngine,
     problem: &esvm_simcore::AllocationProblem,
     algos: &[AllocatorKind],
     seed: u64,
     par: Parallelism,
     sink: &mut S,
+    tracer: &T,
     table: &mut Table,
     metric_table: &mut Table,
 ) -> Result<(), CliError> {
     use esvm_obs::MetricsRegistry;
     use rand::SeedableRng;
     for &algo in algos {
+        let _algo_span = tracer.span(algo.name());
         let metrics = MetricsRegistry::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let allocator = algo.build_with(par);
         let report = engine
-            .run_observed(problem, allocator.as_ref(), &mut rng, sink, &metrics)
+            .run_traced(problem, allocator.as_ref(), &mut rng, sink, &metrics, tracer)
             .map_err(|e| match e {
                 esvm_chaos::ChaosError::Offline(error) => {
                     CliError::Run(RunError::Alloc { algo, seed, error })
@@ -792,6 +886,56 @@ fn chaos_rows<S: esvm_obs::EventSink>(
                 value.kind().to_owned(),
                 value.render(),
             ]);
+        }
+    }
+    Ok(())
+}
+
+/// Routes `chaos_rows` through the `--events-out` sink choice with a
+/// caller-chosen tracer.
+#[allow(clippy::too_many_arguments)]
+fn chaos_capture<T: esvm_obs::Tracer>(
+    engine: &esvm_chaos::ChaosEngine,
+    problem: &esvm_simcore::AllocationProblem,
+    algos: &[AllocatorKind],
+    seed: u64,
+    par: Parallelism,
+    events_out: Option<&str>,
+    tracer: &T,
+    table: &mut Table,
+    metric_table: &mut Table,
+) -> Result<(), CliError> {
+    match events_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+            let mut sink = esvm_obs::JsonlWriter::new(std::io::BufWriter::new(file));
+            chaos_rows(
+                engine,
+                problem,
+                algos,
+                seed,
+                par,
+                &mut sink,
+                tracer,
+                table,
+                metric_table,
+            )?;
+            sink.finish()
+                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        }
+        None => {
+            chaos_rows(
+                engine,
+                problem,
+                algos,
+                seed,
+                par,
+                &mut esvm_obs::DiscardSink,
+                tracer,
+                table,
+                metric_table,
+            )?;
         }
     }
     Ok(())
@@ -828,9 +972,14 @@ fn run_chaos(flags: &Flags) -> Result<String, CliError> {
     };
 
     // Fail before the run, not after it, on unwritable outputs.
-    for path in [&flags.plan_out, &flags.metrics_out, &flags.events_out]
-        .into_iter()
-        .flatten()
+    for path in [
+        &flags.plan_out,
+        &flags.metrics_out,
+        &flags.events_out,
+        &flags.trace_out,
+    ]
+    .into_iter()
+    .flatten()
     {
         preflight_out_path(path, flags.force)?;
     }
@@ -881,31 +1030,37 @@ fn run_chaos(flags: &Flags) -> Result<String, CliError> {
         "extra transitions",
     ]);
     let mut metric_table = Table::new(vec!["algorithm", "metric", "kind", "value"]);
-    match &flags.events_out {
+    let trace_note = match &flags.trace_out {
         Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
-            let mut sink = esvm_obs::JsonlWriter::new(std::io::BufWriter::new(file));
-            chaos_rows(
-                &engine, &problem, &algos, seed, par, &mut sink, &mut table,
-                &mut metric_table,
-            )?;
-            sink.finish()
-                .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
-        }
-        None => {
-            chaos_rows(
+            let tracer = esvm_obs::CollectingTracer::new();
+            chaos_capture(
                 &engine,
                 &problem,
                 &algos,
                 seed,
                 par,
-                &mut esvm_obs::DiscardSink,
+                flags.events_out.as_deref(),
+                &tracer,
                 &mut table,
                 &mut metric_table,
             )?;
+            write_trace_output(path, &tracer)?
         }
-    }
+        None => {
+            chaos_capture(
+                &engine,
+                &problem,
+                &algos,
+                seed,
+                par,
+                flags.events_out.as_deref(),
+                &esvm_obs::NoopTracer,
+                &mut table,
+                &mut metric_table,
+            )?;
+            String::new()
+        }
+    };
 
     let plan_ref = engine.plan();
     let mut out = format!(
@@ -933,6 +1088,7 @@ fn run_chaos(flags: &Flags) -> Result<String, CliError> {
     if let Some(path) = &flags.events_out {
         out.push_str(&format!("\nevents written to {path}\n"));
     }
+    out.push_str(&trace_note);
     Ok(out)
 }
 
@@ -1361,6 +1517,125 @@ mod tests {
         assert!(out.contains("events written"), "{out}");
         assert!(path.exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: the histogram rows of `--metrics-out` carry exact
+    /// p50/p95/p99 and the whole CSV is reproducible byte-for-byte —
+    /// pinned against the committed golden file.
+    #[test]
+    fn metrics_out_matches_committed_golden_file() {
+        let path = std::env::temp_dir().join("esvm_cli_metrics_golden_test.csv");
+        std::fs::remove_file(&path).ok();
+        run(&args(&[
+            "compare", "--vms", "24", "--servers", "8", "--seed", "5", "--algos", "miec",
+            "--metrics-out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        let golden = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/fixtures/metrics_golden.csv");
+        let want = std::fs::read_to_string(&golden).unwrap();
+        assert_eq!(got, want, "metrics CSV drifted from tests/fixtures/metrics_golden.csv");
+        assert!(got.contains("p50=") && got.contains("p95=") && got.contains("p99="), "{got}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_jsonl_with_one_explain_per_placement() {
+        let path = std::env::temp_dir().join("esvm_cli_trace_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        let out = run(&args(&[
+            "compare", "--vms", "20", "--servers", "10", "--algos", "miec", "--trace-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("provenance trace"), "{out}");
+        assert!(out.contains("span latency percentiles"), "{out}");
+        // One explain record per placed VM, as the summary table reports.
+        let placed: usize = out
+            .lines()
+            .find(|l| l.contains("miec.vms_placed"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let explains = body
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"explain\""))
+            .count();
+        assert_eq!(explains, placed, "{out}");
+        assert!(body.lines().any(|l| l.starts_with("{\"type\":\"span\"")), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_out_json_extension_writes_chrome_trace() {
+        let path = std::env::temp_dir().join("esvm_cli_trace_test.json");
+        std::fs::remove_file(&path).ok();
+        let out = run(&args(&[
+            "compare", "--vms", "12", "--servers", "6", "--algos", "miec", "--trace-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("provenance trace"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.trim_start().starts_with('{'), "{body}");
+        assert!(body.contains("\"traceEvents\""), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: `--trace-out` shares the overwrite-refusal semantics
+    /// of the other out flags — fail before the run, yield to --force.
+    #[test]
+    fn trace_out_refuses_overwrite_without_force() {
+        let path = std::env::temp_dir().join("esvm_cli_trace_overwrite_test.jsonl");
+        let path_str = path.to_str().unwrap().to_owned();
+        std::fs::write(&path, "an earlier trace\n").unwrap();
+        let base = [
+            "compare", "--vms", "12", "--servers", "6", "--algos", "miec", "--trace-out",
+            &path_str,
+        ];
+        let err = run(&args(&base)).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("refusing to overwrite")
+                && msg.contains("--force")),
+            "{err}"
+        );
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "an earlier trace\n");
+
+        let mut forced: Vec<&str> = base.to_vec();
+        forced.push("--force");
+        let out = run(&args(&forced)).unwrap();
+        assert!(out.contains("provenance trace"), "{out}");
+        assert!(
+            std::fs::read_to_string(&path)
+                .unwrap()
+                .starts_with("{\"type\":"),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_trace_out_writes_repair_provenance() {
+        let path = std::env::temp_dir().join("esvm_cli_chaos_trace_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        let out = run(&args(&[
+            "chaos", "--vms", "60", "--servers", "10", "--seed", "7", "--fault-rate", "0.6",
+            "--algos", "miec", "--trace-out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("provenance trace"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\":\"chaos.replay\""), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn algo_is_an_alias_for_algos() {
+        let a = run(&args(&["compare", "--vms", "12", "--servers", "6", "--algo", "miec"])).unwrap();
+        let b = run(&args(&["compare", "--vms", "12", "--servers", "6", "--algos", "miec"])).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! The engine evaluates a piped plan of the form
 //!
 //! ```text
-//! load PATH | filter COL OP VALUE | sel COL,… | agg SPEC,… [by:COL] | head N
+//! load PATH | filter COL OP VALUE | sel COL,… | sort COL [desc]
+//!           | agg SPEC,… [COL] [by:COL] | head N
 //! ```
 //!
 //! over two kinds of sources:
@@ -18,9 +19,15 @@
 //!   first-seen order.
 //!
 //! Filters accept the operators `==`, `!=`, `>=`, `<=`, `>`, `<` and
-//! `~` (substring match). Aggregations are `count`, `sum:COL`,
-//! `mean:COL`, `min:COL`, `max:COL`, optionally grouped with `by:COL`.
-//! The parser is dependency-free, like the rest of the CLI.
+//! `~` (substring match), each with a shell-friendly word alias
+//! (`eq ne ge le gt lt contains`). Aggregations are `count`, `sum`,
+//! `mean`, `min`, `max`, `median` and exact nearest-rank percentiles
+//! `pNN` (`p50`, `p95`, `p99`, …), each taking `:COL`, a trailing
+//! default column (`agg p50,p95,p99 time`), or — for column-less
+//! specs — the column of the last `filter` stage; optionally grouped
+//! with `by:COL`. `sort COL [desc]` orders row output or aggregate
+//! groups by any output column, numeric-aware. The parser is
+//! dependency-free, like the rest of the CLI.
 
 use esvm_analysis::Table;
 use esvm_workload::esvt;
@@ -93,15 +100,17 @@ enum Op {
 }
 
 impl Op {
+    /// Symbolic operators have shell-friendly word aliases so plans can
+    /// be written without quoting (`filter pruned gt 100`).
     fn parse(s: &str) -> Option<Op> {
         Some(match s {
-            "==" | "=" => Op::Eq,
-            "!=" => Op::Ne,
-            ">=" => Op::Ge,
-            "<=" => Op::Le,
-            ">" => Op::Gt,
-            "<" => Op::Lt,
-            "~" => Op::Contains,
+            "==" | "=" | "eq" => Op::Eq,
+            "!=" | "ne" => Op::Ne,
+            ">=" | "ge" => Op::Ge,
+            "<=" | "le" => Op::Le,
+            ">" | "gt" => Op::Gt,
+            "<" | "lt" => Op::Lt,
+            "~" | "contains" => Op::Contains,
             _ => return None,
         })
     }
@@ -143,6 +152,33 @@ enum AggFn {
     Mean,
     Min,
     Max,
+    /// Exact percentile (nearest-rank over the collected values).
+    /// `median` parses as `Quantile(50)`.
+    Quantile(u8),
+}
+
+impl AggFn {
+    /// `pNN` (1–99) and the `median` alias.
+    fn parse_quantile(name: &str) -> Option<AggFn> {
+        if name == "median" {
+            return Some(AggFn::Quantile(50));
+        }
+        let q = name.strip_prefix('p')?.parse::<u8>().ok()?;
+        (1..=99).contains(&q).then_some(AggFn::Quantile(q))
+    }
+}
+
+/// The spelling of an aggregate function as it appears in a plan, for
+/// error messages and labels.
+fn agg_name(func: AggFn) -> String {
+    match func {
+        AggFn::Count => "count".to_owned(),
+        AggFn::Sum => "sum".to_owned(),
+        AggFn::Mean => "mean".to_owned(),
+        AggFn::Min => "min".to_owned(),
+        AggFn::Max => "max".to_owned(),
+        AggFn::Quantile(q) => format!("p{q}"),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -159,6 +195,7 @@ impl AggSpec {
             (AggFn::Mean, Some(c)) => format!("mean:{c}"),
             (AggFn::Min, Some(c)) => format!("min:{c}"),
             (AggFn::Max, Some(c)) => format!("max:{c}"),
+            (AggFn::Quantile(q), Some(c)) => format!("p{q}:{c}"),
             _ => unreachable!("column-less aggregate other than count"),
         }
     }
@@ -171,16 +208,21 @@ struct Plan {
     select: Option<Vec<String>>,
     aggs: Option<Vec<AggSpec>>,
     group_by: Option<String>,
+    sort: Option<(String, bool)>,
     head: Option<usize>,
 }
 
 /// Grammar synopsis embedded in every parse error.
 const PLAN_HELP: &str = "\
 plan grammar:
-  load PATH | filter COL OP VALUE | sel COL,... | agg SPEC,... [by:COL] | head N
-  OP    one of  ==  !=  >=  <=  >  <  ~  (substring)
-  SPEC  one of  count  sum:COL  mean:COL  min:COL  max:COL
-columns: id,cpu,mem,start,end,duration for traces; JSON keys for event files";
+  load PATH | filter COL OP VALUE | sel COL,... | sort COL [desc]
+            | agg SPEC,... [COL] [by:COL] | head N
+  OP    ==  !=  >=  <=  >  <  ~  or the words  eq ne ge le gt lt contains
+  SPEC  count  sum  mean  min  max  median  pNN (p50, p95, p99, ...)
+        each takes :COL, the trailing default COL, or — for a lone
+        column-less spec — the column of the last filter stage
+columns: id,cpu,mem,start,end,duration for traces; JSON keys for
+         event / provenance-trace files";
 
 fn parse_plan(expr: &str) -> Result<Plan, QueryError> {
     let help = |msg: String| err(format!("{msg}\n\n{PLAN_HELP}"));
@@ -200,6 +242,7 @@ fn parse_plan(expr: &str) -> Result<Plan, QueryError> {
         select: None,
         aggs: None,
         group_by: None,
+        sort: None,
         head: None,
     };
 
@@ -248,7 +291,8 @@ fn parse_plan(expr: &str) -> Result<Plan, QueryError> {
                 if plan.aggs.is_some() {
                     return Err(help("duplicate agg stage".into()));
                 }
-                let mut specs = Vec::new();
+                let mut specs: Vec<AggSpec> = Vec::new();
+                let mut default_col: Option<String> = None;
                 let joined = words.collect::<Vec<_>>().join(" ");
                 for part in joined.split([',', ' ']).filter(|p| !p.is_empty()) {
                     if let Some(col) = part.strip_prefix("by:") {
@@ -268,19 +312,70 @@ fn parse_plan(expr: &str) -> Result<Plan, QueryError> {
                         "mean" | "avg" => AggFn::Mean,
                         "min" => AggFn::Min,
                         "max" => AggFn::Max,
-                        other => {
-                            return Err(help(format!("unknown aggregate {other:?}")));
-                        }
+                        other => match AggFn::parse_quantile(other) {
+                            Some(q) => q,
+                            // Not a function name: a bare trailing word
+                            // is the default column for column-less
+                            // specs (`agg p50,p95,p99 dur_us`).
+                            None if col.is_none() && !specs.is_empty() => {
+                                if default_col.is_some() {
+                                    return Err(help(format!(
+                                        "agg takes one default column, got a second: {other:?}"
+                                    )));
+                                }
+                                default_col = Some(other.to_owned());
+                                continue;
+                            }
+                            None => {
+                                return Err(help(format!("unknown aggregate {other:?}")));
+                            }
+                        },
                     };
-                    if func != AggFn::Count && col.is_none() {
-                        return Err(help(format!("{name} needs a column: `{name}:COL`")));
-                    }
                     specs.push(AggSpec { func, col });
                 }
                 if specs.is_empty() {
                     return Err(help(format!("agg needs at least one spec, got {stage:?}")));
                 }
+                // Column-less specs resolve to the trailing default
+                // column, then to the last filter's column — so
+                // `filter pruned gt 100 | agg mean by:shard` means
+                // `mean:pruned` — and error only when neither exists.
+                let fallback = default_col.or_else(|| plan.filters.last().map(|f| f.col.clone()));
+                for spec in &mut specs {
+                    if spec.func != AggFn::Count && spec.col.is_none() {
+                        match &fallback {
+                            Some(c) => spec.col = Some(c.clone()),
+                            None => {
+                                return Err(help(format!(
+                                    "{} needs a column: `{}:COL` (or a trailing default column)",
+                                    agg_name(spec.func),
+                                    agg_name(spec.func),
+                                )));
+                            }
+                        }
+                    }
+                }
                 plan.aggs = Some(specs);
+            }
+            Some("sort") => {
+                if plan.sort.is_some() {
+                    return Err(help("duplicate sort stage".into()));
+                }
+                let col = words
+                    .next()
+                    .ok_or_else(|| help(format!("sort needs `COL [desc]`, got {stage:?}")))?;
+                let desc = match words.next() {
+                    None => false,
+                    Some("desc") => true,
+                    Some("asc") => false,
+                    Some(other) => {
+                        return Err(help(format!("sort direction must be `desc`, got {other:?}")));
+                    }
+                };
+                if words.next().is_some() {
+                    return Err(help(format!("sort takes `COL [desc]`, got {stage:?}")));
+                }
+                plan.sort = Some((col.to_owned(), desc));
             }
             Some("head") => {
                 if plan.head.is_some() {
@@ -631,10 +726,13 @@ struct AggState {
     seen: u64,
     min: f64,
     max: f64,
+    /// Collected only for quantile specs (exact nearest-rank needs
+    /// every value); empty for the streaming aggregates.
+    values: Vec<f64>,
 }
 
 impl AggState {
-    fn update(&mut self, cell: Option<&Value>) {
+    fn update(&mut self, cell: Option<&Value>, collect: bool) {
         self.count += 1;
         if let Some(v) = cell.and_then(Value::as_num) {
             if self.seen == 0 {
@@ -646,6 +744,9 @@ impl AggState {
             }
             self.seen += 1;
             self.sum += v;
+            if collect {
+                self.values.push(v);
+            }
         }
     }
 
@@ -657,6 +758,14 @@ impl AggState {
             AggFn::Mean => Value::Num(self.sum / self.seen as f64),
             AggFn::Min => Value::Num(self.min),
             AggFn::Max => Value::Num(self.max),
+            AggFn::Quantile(q) => {
+                let mut sorted = self.values.clone();
+                sorted.sort_by(f64::total_cmp);
+                // Exact nearest-rank: the smallest value with at least
+                // ⌈q/100·n⌉ values at or below it.
+                let rank = (f64::from(q) / 100.0 * sorted.len() as f64).ceil() as usize;
+                Value::Num(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+            }
         }
     }
 }
@@ -679,15 +788,28 @@ pub fn run_query(expr: &str) -> Result<String, QueryError> {
         return run_agg(&plan, aggs);
     }
 
-    // Row output: project, cap at head, render.
+    // Row output: project, sort, cap at head, render. A sort defeats
+    // the early-exit head cap — every row has to be seen first.
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    let cap = plan.head.unwrap_or(usize::MAX);
+    let cap = if plan.sort.is_some() {
+        usize::MAX
+    } else {
+        plan.head.unwrap_or(usize::MAX)
+    };
     let (columns, report) = scan(&plan, |_, row| {
         if rows.len() < cap {
             rows.push(row);
         }
         rows.len() < cap
     })?;
+    if let Some((col, desc)) = &plan.sort {
+        let i = columns
+            .iter()
+            .position(|c| c == col)
+            .ok_or_else(|| err(format!("unknown sort column {col:?} (have: {})", columns.join(", "))))?;
+        sort_rows(&mut rows, |row| &row[i], *desc);
+        rows.truncate(plan.head.unwrap_or(usize::MAX));
+    }
 
     let out_cols: Vec<String> = match &plan.select {
         Some(sel) => {
@@ -723,7 +845,10 @@ fn run_agg(plan: &Plan, aggs: &[AggSpec]) -> Result<String, QueryError> {
     // Group key -> one AggState per spec. Insertion order preserved.
     let mut groups: Vec<(String, Vec<AggState>)> = Vec::new();
     let group_col = plan.group_by.clone();
-    let agg_cols: Vec<Option<String>> = aggs.iter().map(|a| a.col.clone()).collect();
+    let agg_cols: Vec<(Option<String>, bool)> = aggs
+        .iter()
+        .map(|a| (a.col.clone(), matches!(a.func, AggFn::Quantile(_))))
+        .collect();
 
     let (columns, report) = scan(plan, |columns, row| {
         let key = match &group_col {
@@ -740,12 +865,12 @@ fn run_agg(plan: &Plan, aggs: &[AggSpec]) -> Result<String, QueryError> {
                 &mut groups.last_mut().expect("just pushed").1
             }
         };
-        for (spec_col, st) in agg_cols.iter().zip(state.iter_mut()) {
+        for ((spec_col, collect), st) in agg_cols.iter().zip(state.iter_mut()) {
             let cell = spec_col
                 .as_ref()
                 .and_then(|c| columns.iter().position(|x| x == c))
                 .map(|i| &row[i]);
-            st.update(cell);
+            st.update(cell, *collect);
         }
         true
     })?;
@@ -773,17 +898,38 @@ fn run_agg(plan: &Plan, aggs: &[AggSpec]) -> Result<String, QueryError> {
         header.push(c.clone());
     }
     header.extend(aggs.iter().map(AggSpec::label));
+
+    // Finish every group into output cells first, so a sort stage can
+    // order groups by any output column (the group key or an aggregate
+    // label like `p95:time`).
+    let mut out_rows: Vec<Vec<Value>> = groups
+        .iter()
+        .map(|(key, states)| {
+            let mut cells = Vec::new();
+            if plan.group_by.is_some() {
+                cells.push(match key.parse::<f64>() {
+                    Ok(v) if v.is_finite() => Value::Num(v),
+                    _ => Value::Str(key.clone()),
+                });
+            }
+            cells.extend(aggs.iter().zip(states).map(|(spec, st)| st.finish(spec.func)));
+            cells
+        })
+        .collect();
+    if let Some((col, desc)) = &plan.sort {
+        let i = header
+            .iter()
+            .position(|c| c == col)
+            .ok_or_else(|| {
+                err(format!("unknown sort column {col:?} (have: {})", header.join(", ")))
+            })?;
+        sort_rows(&mut out_rows, |row| &row[i], *desc);
+    }
+
     let mut table = Table::new(header);
-    let n_groups = groups.len();
-    for (key, states) in &groups {
-        let mut cells = Vec::new();
-        if plan.group_by.is_some() {
-            cells.push(key.clone());
-        }
-        for (spec, st) in aggs.iter().zip(states) {
-            cells.push(st.finish(spec.func).render());
-        }
-        table.row(cells);
+    let n_groups = out_rows.len();
+    for row in out_rows {
+        table.row(row.iter().map(Value::render).collect());
     }
     let mut out = table.to_string();
     if plan.group_by.is_some() {
@@ -793,6 +939,29 @@ fn run_agg(plan: &Plan, aggs: &[AggSpec]) -> Result<String, QueryError> {
     }
     push_footer(&mut out, &report);
     Ok(out)
+}
+
+/// Stable, numeric-aware sort: numbers order before strings, both
+/// order among themselves, nulls sink to the end regardless of
+/// direction (so `sort COL desc` surfaces real values first).
+fn sort_rows<R>(rows: &mut [R], key: impl Fn(&R) -> &Value, desc: bool) {
+    rows.sort_by(|a, b| {
+        let (a, b) = (key(a), key(b));
+        let cmp = match (a, b) {
+            (Value::Num(x), Value::Num(y)) => x.total_cmp(y),
+            (Value::Str(x), Value::Str(y)) => x.cmp(y),
+            (Value::Num(_), Value::Str(_)) => std::cmp::Ordering::Less,
+            (Value::Str(_), Value::Num(_)) => std::cmp::Ordering::Greater,
+            (Value::Null, Value::Null) => return std::cmp::Ordering::Equal,
+            (Value::Null, _) => return std::cmp::Ordering::Greater,
+            (_, Value::Null) => return std::cmp::Ordering::Less,
+        };
+        if desc {
+            cmp.reverse()
+        } else {
+            cmp
+        }
+    });
 }
 
 fn plural(n: usize) -> &'static str {
@@ -984,14 +1153,151 @@ mod tests {
             ("load", "load PATH"),
             ("load x | frobnicate", "unknown stage"),
             ("load x | filter a !! 3", "operator"),
-            ("load x | agg median:a", "unknown aggregate"),
+            ("load x | agg p0:a", "unknown aggregate"),
+            ("load x | agg p100:a", "unknown aggregate"),
+            ("load x | agg frob:a", "unknown aggregate"),
             ("load x | agg sum", "needs a column"),
+            ("load x | agg sum a b", "one default column"),
             ("load x | head none", "row count"),
             ("load x | sel a | agg count", "cannot be combined"),
+            ("load x | sort", "sort needs"),
+            ("load x | sort a up", "desc"),
+            ("load x | sort a desc | sort b", "duplicate sort"),
         ] {
             let e = run_query(plan).unwrap_err();
             assert!(e.0.contains(needle), "{plan:?} -> {e}");
         }
+    }
+
+    /// The committed chaos-event fixture the CI `tracing` job also
+    /// queries: 18 lines, columns event/server/time/cause.
+    fn fixture() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/chaos_events.jsonl")
+    }
+
+    #[test]
+    fn word_operators_match_symbolic_ones() {
+        let f = fixture();
+        for (word, sym) in [
+            ("eq", "=="),
+            ("ne", "!="),
+            ("ge", ">="),
+            ("le", "<="),
+            ("gt", ">"),
+            ("lt", "<"),
+        ] {
+            let a = run_query(&format!("load {} | filter time {word} 500 | agg count", f.display()))
+                .unwrap();
+            let b = run_query(&format!("load {} | filter time {sym} 500 | agg count", f.display()))
+                .unwrap();
+            assert_eq!(a, b, "{word} vs {sym}");
+        }
+    }
+
+    #[test]
+    fn sort_orders_rows_numerically() {
+        let f = fixture();
+        let out = run_query(&format!(
+            "load {} | sel server,time | sort time desc | head 2",
+            f.display()
+        ))
+        .unwrap();
+        let times: Vec<f64> = out
+            .lines()
+            .skip(2) // header + rule
+            .take(2)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(times[0] >= times[1], "{out}");
+        let asc = run_query(&format!(
+            "load {} | sel time | sort time | head 1",
+            f.display()
+        ))
+        .unwrap();
+        let full = run_query(&format!("load {} | sel time | sort time", f.display())).unwrap();
+        // Ascending head-1 is the global minimum.
+        let min_line = asc.lines().nth(2).unwrap().trim().to_owned();
+        let first_full = full.lines().nth(2).unwrap().trim().to_owned();
+        assert_eq!(min_line, first_full);
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let f = fixture();
+        // Recompute the expected percentiles directly from the file.
+        let text = std::fs::read_to_string(&f).unwrap();
+        let mut times: Vec<f64> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                let tail = l.split("\"time\":").nth(1).unwrap();
+                tail.trim_start()
+                    .trim_end_matches(['}', ','])
+                    .split([',', '}'])
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let rank = |q: f64| times[((q / 100.0 * times.len() as f64).ceil() as usize - 1).min(times.len() - 1)];
+        let out = run_query(&format!("load {} | agg p50,p95,p99 time", f.display())).unwrap();
+        let header = out.lines().next().unwrap();
+        assert!(header.contains("p50:time") && header.contains("p99:time"), "{out}");
+        let row = out.lines().nth(2).unwrap();
+        let cells: Vec<f64> = row
+            .split_whitespace()
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert_eq!(cells, vec![rank(50.0), rank(95.0), rank(99.0)], "{out}");
+    }
+
+    #[test]
+    fn median_is_p50_and_columnless_specs_take_filter_column() {
+        let f = fixture();
+        let a = run_query(&format!("load {} | agg median:time", f.display())).unwrap();
+        let b = run_query(&format!("load {} | agg p50:time", f.display())).unwrap();
+        assert_eq!(a, b);
+        // The ISSUE's canonical example shape: a column-less aggregate
+        // inherits the last filter's column.
+        let c = run_query(&format!(
+            "load {} | filter time gt 100 | agg mean by:server",
+            f.display()
+        ))
+        .unwrap();
+        assert!(c.lines().next().unwrap().contains("mean:time"), "{c}");
+        let d = run_query(&format!(
+            "load {} | filter time gt 100 | agg mean:time by:server",
+            f.display()
+        ))
+        .unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn sort_orders_aggregate_groups() {
+        let f = fixture();
+        let out = run_query(&format!(
+            "load {} | agg count,max:time by:server | sort count desc",
+            f.display()
+        ))
+        .unwrap();
+        let counts: Vec<f64> = out
+            .lines()
+            .skip(2)
+            .take_while(|l| !l.starts_with("--"))
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.len() > 1, "{out}");
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{out}");
+        let e = run_query(&format!(
+            "load {} | agg count by:server | sort nope",
+            f.display()
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("unknown sort column"), "{e}");
     }
 
     #[test]

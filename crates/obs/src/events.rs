@@ -177,7 +177,7 @@ fn push_json_value(out: &mut String, value: &FieldValue<'_>) {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

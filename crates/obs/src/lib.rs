@@ -8,19 +8,25 @@
 //! both visible without perturbing the hot paths:
 //!
 //! * a [`MetricsRegistry`] holding named counters, gauges and
-//!   fixed-bucket histograms, with RAII [`SpanTimer`]s for wall-clock
-//!   phases;
+//!   log2-bucketed histograms (with p50/p95/p99 quantiles), plus RAII
+//!   [`SpanTimer`]s for wall-clock phases;
 //! * a structured [`EventSink`] trait for per-decision records, with a
 //!   [`JsonlWriter`] for machine-readable traces and an allocation-free
-//!   [`NoopSink`] default.
+//!   [`NoopSink`] default;
+//! * a [`Tracer`] trait for decision provenance — RAII hierarchical
+//!   spans ([`trace::SpanGuard`]), per-placement [`ExplainRecord`]s,
+//!   and per-span latency histograms, collected by
+//!   [`CollectingTracer`] and exportable as query-friendly JSON Lines
+//!   or Chrome `trace_event` JSON.
 //!
-//! Instrumented algorithms are generic over `S: EventSink` and guard
-//! every counter increment and event construction behind the associated
-//! constant [`EventSink::ENABLED`]. Monomorphisation then compiles the
-//! `NoopSink` instantiation down to the uninstrumented code — the
-//! disabled path has literally zero observability instructions, which
-//! the `ledger` and `local_search` benches pin against the recorded
-//! PR 2 numbers.
+//! Instrumented algorithms are generic over `S: EventSink` (and
+//! `T: Tracer`) and guard every counter increment and record
+//! construction behind the associated constants
+//! [`EventSink::ENABLED`] / [`Tracer::ENABLED`]. Monomorphisation then
+//! compiles the `NoopSink`/`NoopTracer` instantiation down to the
+//! uninstrumented code — the disabled path has literally zero
+//! observability instructions, which the `ledger` and `local_search`
+//! benches pin against the recorded PR 2 numbers.
 //!
 //! The crate is dependency-free (the workspace builds offline) and
 //! deliberately single-threaded: the registry uses interior mutability
@@ -34,8 +40,13 @@
 pub mod events;
 pub mod metrics;
 pub mod names;
+pub mod trace;
 
 pub use events::{
     encode_json, DiscardSink, Event, EventSink, FieldValue, JsonlWriter, MemorySink, NoopSink,
 };
-pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, SpanTimer};
+pub use metrics::{HistogramSummary, Log2Histogram, MetricValue, MetricsRegistry, SpanTimer};
+pub use trace::{
+    CollectingTracer, DecisionKind, ExplainEntry, ExplainRecord, NoopTracer, SpanGuard, SpanId,
+    SpanRecord, Tracer,
+};

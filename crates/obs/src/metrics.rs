@@ -1,5 +1,5 @@
-//! Metrics registry: named counters, gauges and fixed-bucket
-//! histograms, plus RAII span timers.
+//! Metrics registry: named counters, gauges and log2-bucketed
+//! histograms with quantiles, plus RAII span timers.
 //!
 //! The registry uses interior mutability (`RefCell`) so that a single
 //! shared `&MetricsRegistry` can be threaded through call layers
@@ -11,32 +11,45 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Default histogram bucket upper bounds: decades from `1e-9` to
-/// `1e9`, a spread wide enough for both span timers (seconds) and
-/// energy deltas (watt-units).
-pub const DEFAULT_BUCKETS: [f64; 19] = [
-    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6,
-    1e7, 1e8, 1e9,
-];
+/// Sub-buckets per power of two: bucket edges grow by a factor of
+/// `2^(1/16) ≈ 1.044`, bounding the relative error of a reported
+/// quantile to ±2.2% — HDR-histogram-style resolution at a fixed
+/// 16 KiB per histogram.
+const SUB_BUCKETS: usize = 16;
+/// Smallest tracked exponent: values below `2^-60` (≈ 8.7e-19, well
+/// under a nanosecond in seconds) collapse into the first bucket.
+const MIN_EXP: i32 = -60;
+/// Largest tracked exponent: values above `2^64` (≈ 1.8e19) collapse
+/// into the last bucket.
+const MAX_EXP: i32 = 64;
+const N_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB_BUCKETS;
 
-/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
-/// bucket `i`; one overflow bucket collects everything above the last
-/// bound.
-#[derive(Debug, Clone)]
-struct Histogram {
-    bounds: Vec<f64>,
+/// A log2-bucketed histogram: positive values land in geometric
+/// buckets of width `2^(1/16)`; zero, negative and NaN values share a
+/// dedicated underflow bucket (their exact contribution still lands in
+/// `sum`/`min`/`max`). Quantiles come from a cumulative bucket walk —
+/// the reported value is the geometric midpoint of the rank's bucket,
+/// clamped to the exact observed `[min, max]`, so `quantile(1.0)` is
+/// the exact maximum and every quantile has bounded relative error.
+#[derive(Debug, Clone, Default)]
+pub struct Log2Histogram {
+    /// Lazily allocated positive-value buckets (`N_BUCKETS` once the
+    /// first positive value arrives).
     counts: Vec<u64>,
+    /// Values `<= 0` (and NaN), which have no log2 bucket.
+    zero_or_less: u64,
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
 }
 
-impl Histogram {
-    fn new(bounds: &[f64]) -> Self {
+impl Log2Histogram {
+    /// An empty histogram. Allocates its bucket array on first record.
+    pub fn new() -> Self {
         Self {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len() + 1],
+            counts: Vec::new(),
+            zero_or_less: 0,
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -44,21 +57,83 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, value: f64) {
-        let idx = self.bounds.partition_point(|&b| b < value);
-        self.counts[idx] += 1;
+    fn bucket_of(value: f64) -> usize {
+        let idx = (value.log2() - f64::from(MIN_EXP)) * SUB_BUCKETS as f64;
+        if idx < 0.0 {
+            0
+        } else if idx >= N_BUCKETS as f64 {
+            N_BUCKETS - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        if value > 0.0 {
+            if self.counts.is_empty() {
+                self.counts = vec![0; N_BUCKETS];
+            }
+            self.counts[Self::bucket_of(value)] += 1;
+        } else {
+            self.zero_or_less += 1;
+        }
     }
 
-    fn summary(&self) -> HistogramSummary {
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by nearest rank, with
+    /// relative error bounded by the `2^(1/16)` bucket width; 0 when
+    /// empty. `quantile(0.0)` and `quantile(1.0)` are the exact
+    /// observed minimum and maximum.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = self.zero_or_less;
+        let mut rep = 0.0; // underflow-bucket representative
+        if cum < rank {
+            for (i, n) in self.counts.iter().enumerate() {
+                cum += n;
+                if cum >= rank {
+                    let mid = (i as f64 + 0.5) / SUB_BUCKETS as f64 + f64::from(MIN_EXP);
+                    rep = mid.exp2();
+                    break;
+                }
+            }
+        }
+        rep.clamp(self.min, self.max)
+    }
+
+    /// Aggregate view with p50/p95/p99.
+    pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
             sum: self.sum,
             min: if self.count == 0 { 0.0 } else { self.min },
             max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -70,10 +145,16 @@ pub struct HistogramSummary {
     pub count: u64,
     /// Sum of all observations.
     pub sum: f64,
-    /// Smallest observation (0 when empty).
+    /// Smallest observation (0 when empty; exact).
     pub min: f64,
-    /// Largest observation (0 when empty).
+    /// Largest observation (0 when empty; exact).
     pub max: f64,
+    /// Median, within the log2 bucket resolution (±2.2%).
+    pub p50: f64,
+    /// 95th percentile, within the log2 bucket resolution.
+    pub p95: f64,
+    /// 99th percentile, within the log2 bucket resolution.
+    pub p99: f64,
 }
 
 impl HistogramSummary {
@@ -114,9 +195,12 @@ impl MetricValue {
             MetricValue::Counter(v) => v.to_string(),
             MetricValue::Gauge(v) => format!("{v:.6}"),
             MetricValue::Histogram(h) => format!(
-                "n={} mean={:.6} min={:.6} max={:.6}",
+                "n={} mean={:.6} p50={:.6} p95={:.6} p99={:.6} min={:.6} max={:.6}",
                 h.count,
                 h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
                 h.min,
                 h.max
             ),
@@ -128,10 +212,10 @@ impl MetricValue {
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+    histograms: BTreeMap<String, Log2Histogram>,
 }
 
-/// Registry of named counters, gauges and fixed-bucket histograms.
+/// Registry of named counters, gauges and log2-bucketed histograms.
 ///
 /// Metric names are dot-namespaced by subsystem (`miec.candidates`,
 /// `local_search.relocates_accepted`) and never contain commas, so they
@@ -168,21 +252,13 @@ impl MetricsRegistry {
         }
     }
 
-    /// Records `value` in the histogram `name`, creating it with
-    /// [`DEFAULT_BUCKETS`] if needed.
+    /// Records `value` in the histogram `name`, creating it if needed.
     pub fn observe(&self, name: &str, value: f64) {
-        self.observe_with(name, &DEFAULT_BUCKETS, value);
-    }
-
-    /// Records `value` in the histogram `name`, creating it with the
-    /// given inclusive upper `buckets` if it does not exist yet (the
-    /// bounds of an existing histogram are kept).
-    pub fn observe_with(&self, name: &str, buckets: &[f64], value: f64) {
         let mut inner = self.inner.borrow_mut();
         if let Some(h) = inner.histograms.get_mut(name) {
             h.record(value);
         } else {
-            let mut h = Histogram::new(buckets);
+            let mut h = Log2Histogram::new();
             h.record(value);
             inner.histograms.insert(name.to_owned(), h);
         }
@@ -207,7 +283,7 @@ impl MetricsRegistry {
 
     /// Summary of the histogram `name`, if any value was recorded.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
-        self.inner.borrow().histograms.get(name).map(Histogram::summary)
+        self.inner.borrow().histograms.get(name).map(Log2Histogram::summary)
     }
 
     /// True when no metric of any kind has been recorded.
@@ -288,10 +364,10 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_summary() {
+    fn histogram_summary_tracks_exact_moments() {
         let m = MetricsRegistry::new();
         for v in [0.5, 1.0, 2.0, 1000.0] {
-            m.observe_with("d", &[1.0, 10.0, 100.0], v);
+            m.observe("d", v);
         }
         let h = m.histogram("d").unwrap();
         assert_eq!(h.count, 4);
@@ -302,12 +378,77 @@ mod tests {
     }
 
     #[test]
-    fn bucket_edges_are_inclusive_upper_bounds() {
-        let mut h = Histogram::new(&[1.0, 2.0]);
-        h.record(1.0); // first bucket (<= 1.0)
-        h.record(1.5); // second bucket
-        h.record(9.0); // overflow
-        assert_eq!(h.counts, vec![1, 1, 1]);
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Log2Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        // Each quantile must land within the 2^(1/16) bucket width of
+        // the exact nearest-rank answer.
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got / exact).log2().abs() <= 1.0 / SUB_BUCKETS as f64,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+        // The extreme quantiles are exact: clamped to observed min/max.
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn zero_and_negative_values_share_the_underflow_bucket() {
+        let mut h = Log2Histogram::new();
+        h.record(0.0);
+        h.record(-2.5);
+        h.record(4.0);
+        assert_eq!(h.count(), 3);
+        let s = h.summary();
+        assert_eq!(s.min, -2.5);
+        assert_eq!(s.max, 4.0);
+        // p50 rank 2 falls in the underflow bucket; its representative
+        // 0.0 is within the observed range so it survives the clamp.
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_summarises_to_zeros() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        let s = h.summary();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99),
+            (0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn extreme_magnitudes_clamp_into_edge_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(1e-300);
+        h.record(1e300);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        // Representatives overshoot the bucket range but the clamp to
+        // observed extremes keeps quantiles inside [min, max].
+        assert!(h.quantile(0.1) >= 1e-300);
+        assert_eq!(h.summary().min, 1e-300);
+    }
+
+    #[test]
+    fn render_includes_percentiles() {
+        let m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.observe("lat", v);
+        }
+        let rendered = m.render();
+        for needle in ["n=4", "mean=2.5", "p50=", "p95=", "p99=", "min=1.0", "max=4.0"] {
+            assert!(rendered.contains(needle), "{rendered}");
+        }
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Property tests for the provenance tracer: span trees must stay
+//! well-formed under arbitrary nesting, interleaved explain records,
+//! and panics that unwind through open RAII guards mid-decision.
+
+use esvm_obs::{CollectingTracer, DecisionKind, ExplainRecord, SpanId, Tracer};
+use proptest::prelude::*;
+
+/// A randomly generated instrumentation program. `Span` opens an RAII
+/// guard around its children; `Explain` emits a record into whatever
+/// span is innermost; `Panic` unwinds through every open guard.
+#[derive(Debug, Clone)]
+enum Node {
+    Span(usize, bool, Vec<Node>),
+    Explain(u64),
+    Panic,
+}
+
+/// Span names are `&'static str` by design; programs index this pool.
+const NAMES: [&str; 5] = ["run", "phase", "batch", "decision", "repair"];
+
+/// Raw program material: a flat token stream the tests fold into a
+/// tree by recursive descent (the vendored proptest stub has no
+/// recursive strategies). Opcode 0–1 opens a span, 2–3 a lap span
+/// (start reused from the last stamp), 4–5 closes the innermost one,
+/// 6–8 emits an explain record, 9 panics.
+fn tokens() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..10, 0u64..1000), 0..40)
+}
+
+fn build(stream: &mut std::slice::Iter<'_, (u8, u64)>, depth: usize) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some((op, val)) = stream.next() {
+        match op {
+            0..=3 if depth < 6 => {
+                nodes.push(Node::Span(
+                    (*val as usize) % NAMES.len(),
+                    *op >= 2,
+                    build(stream, depth + 1),
+                ));
+            }
+            0..=3 | 6..=8 => nodes.push(Node::Explain(*val)),
+            4..=5 => {
+                if depth > 0 {
+                    break;
+                }
+            }
+            _ => nodes.push(Node::Panic),
+        }
+    }
+    nodes
+}
+
+/// `Panic` nodes demoted to explain records, for the panic-free tests.
+fn defuse(nodes: Vec<Node>) -> Vec<Node> {
+    nodes
+        .into_iter()
+        .map(|n| match n {
+            Node::Span(name, lap, children) => Node::Span(name, lap, defuse(children)),
+            Node::Explain(vm) => Node::Explain(vm),
+            Node::Panic => Node::Explain(0),
+        })
+        .collect()
+}
+
+fn exec(t: &CollectingTracer, nodes: &[Node]) {
+    for node in nodes {
+        match node {
+            Node::Span(name, lap, children) => {
+                let _guard =
+                    if *lap { t.lap_span(NAMES[*name]) } else { t.span(NAMES[*name]) };
+                exec(t, children);
+            }
+            Node::Explain(vm) => {
+                t.explain(&ExplainRecord::new(DecisionKind::Place, *vm));
+            }
+            Node::Panic => panic!("injected mid-decision panic"),
+        }
+    }
+}
+
+fn count_spans(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Span(_, _, children) => 1 + count_spans(children),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn count_explains(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Span(_, _, children) => count_explains(children),
+            Node::Explain(_) => 1,
+            Node::Panic => 0,
+        })
+        .sum()
+}
+
+/// The invariants "every enter has a matching exit" and "nesting is
+/// balanced", stated over the closed-span records.
+fn assert_well_formed(t: &CollectingTracer) {
+    assert_eq!(t.open_spans(), 0, "unclosed spans");
+    let spans = t.spans();
+
+    // Ids are unique and assigned densely in enter order from 1.
+    let mut ids: Vec<u64> = spans.iter().map(|s| s.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), spans.len(), "duplicate span ids");
+    if let Some(max) = ids.last() {
+        assert_eq!(*max, spans.len() as u64, "ids not dense from 1");
+    }
+
+    for s in &spans {
+        assert!(s.end_ns >= s.start_ns, "span {s:?} ends before it starts");
+        if s.parent != SpanId::NONE {
+            // The parent was entered earlier and encloses the child's
+            // whole interval — balanced nesting.
+            let parent = spans
+                .iter()
+                .find(|p| p.id == s.parent)
+                .unwrap_or_else(|| panic!("span {s:?} has a dangling parent"));
+            assert!(parent.id.0 < s.id.0, "parent entered after child");
+            assert!(
+                parent.start_ns <= s.start_ns && s.end_ns <= parent.end_ns,
+                "child {s:?} escapes parent {parent:?}"
+            );
+        }
+    }
+
+    // Every closed span landed in exactly one latency histogram.
+    let histogram_total: u64 = t.latencies().iter().map(|(_, s)| s.count).sum();
+    assert_eq!(histogram_total, spans.len() as u64);
+
+    // Explain records attach to a real (or no) span, at a time inside it.
+    for e in t.explains() {
+        if e.span != SpanId::NONE {
+            let owner = spans
+                .iter()
+                .find(|s| s.id == e.span)
+                .expect("explain attached to an unknown span");
+            assert!(
+                owner.start_ns <= e.ts_ns && e.ts_ns <= owner.end_ns,
+                "explain at {} outside its span {owner:?}",
+                e.ts_ns
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn span_trees_are_well_formed(stream in tokens()) {
+        let nodes = defuse(build(&mut stream.iter(), 0));
+        let t = CollectingTracer::new();
+        exec(&t, &nodes);
+        assert_well_formed(&t);
+        prop_assert_eq!(t.spans().len(), count_spans(&nodes));
+        prop_assert_eq!(t.explains().len(), count_explains(&nodes));
+    }
+
+    #[test]
+    fn raii_guards_close_spans_across_panics(stream in tokens()) {
+        let nodes = build(&mut stream.iter(), 0);
+        let t = CollectingTracer::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec(&t, &nodes);
+        }));
+        // Panicked or not, unwinding through the guards leaves a
+        // balanced tree: every entered span is closed exactly once.
+        assert_well_formed(&t);
+        if outcome.is_ok() {
+            prop_assert_eq!(t.spans().len(), count_spans(&nodes));
+        } else {
+            prop_assert!(t.spans().len() <= count_spans(&nodes));
+        }
+    }
+
+    #[test]
+    fn exports_stay_structurally_valid(stream in tokens()) {
+        let nodes = defuse(build(&mut stream.iter(), 0));
+        let t = CollectingTracer::new();
+        exec(&t, &nodes);
+        let jsonl = t.to_jsonl();
+        prop_assert_eq!(jsonl.lines().count(), t.spans().len() + t.explains().len());
+        for line in jsonl.lines() {
+            prop_assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "line is not a flat JSON object: {}",
+                line
+            );
+        }
+        let chrome = t.to_chrome_trace();
+        prop_assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+        prop_assert_eq!(chrome.matches('[').count(), chrome.matches(']').count());
+    }
+}
