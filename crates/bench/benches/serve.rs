@@ -1,0 +1,93 @@
+//! Online serving benchmark: per-decision latency of the `esvm serve`
+//! engine at 100k streamed events, recorded in `BENCH_serve.json` at
+//! the repo root (the PR-3 regression-gate pattern).
+//!
+//! The headline claim is **sub-10µs mean decision latency**: each
+//! arrival runs the full O(log K)-scored MIEC scan (spec-class pruning
+//! + incremental cost) plus the departure heap drain, and the mean
+//! over 100k events must stay below 10µs on commodity hardware
+//! (hard-asserted when `ESVM_REQUIRE_SERVE_LATENCY=1`, as the CI
+//! `online` job does). The mean and tail (p50/p95/p99/max) come from
+//! the same `serve.decision_us` histogram the CLI prints, so the bench
+//! measures exactly what a `--metrics-out` run reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esvm_bench::{assert_no_regression, committed_bench_field};
+use esvm_exper::serve::{feed_problem, ServeSession};
+use esvm_obs::{names::serve as names, MetricsRegistry, NoopTracer};
+use esvm_workload::WorkloadConfig;
+use std::hint::black_box;
+
+const EVENTS: usize = 100_000;
+const SERVERS: usize = 5_000;
+const SEED: u64 = 1;
+
+fn config(vms: usize, servers: usize) -> WorkloadConfig {
+    WorkloadConfig::new(vms, servers)
+        .mean_interarrival(0.05)
+        .mean_duration(5.0)
+}
+
+/// One full serving session over `vms` arrivals (plus their
+/// departures); returns the decision histogram and the wall time.
+fn run_session(vms: usize, servers: usize) -> (esvm_obs::HistogramSummary, f64, u64, u64) {
+    let problem = config(vms, servers).generate(SEED).expect("generate");
+    let metrics = MetricsRegistry::new();
+    let fleet = problem.servers().to_vec();
+    let mut session = ServeSession::new(&fleet, &metrics, &NoopTracer);
+    let start = std::time::Instant::now();
+    black_box(feed_problem(&problem, &mut session));
+    let total = start.elapsed().as_secs_f64();
+    let hist = metrics
+        .histogram(names::DECISION_US)
+        .expect("decision histogram");
+    (hist, total, metrics.counter(names::PLACED), metrics.counter(names::REJECTED))
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let committed_mean = committed_bench_field(path, "decision_mean_us");
+
+    // Criterion samples a smaller session so its repeats stay cheap;
+    // the recorded numbers come from the full 100k run below.
+    let mut group = c.benchmark_group("serve_decision");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("10k_events"), |b| {
+        b.iter(|| black_box(run_session(10_000, 500).1))
+    });
+    group.finish();
+
+    let (hist, total_s, placed, rejected) = run_session(EVENTS, SERVERS);
+    let mean_us = hist.mean();
+    let throughput = EVENTS as f64 / total_s;
+    println!(
+        "serve at {EVENTS} events on {SERVERS} servers: mean {mean_us:.2}µs, \
+         p50 {:.2}µs, p95 {:.2}µs, p99 {:.2}µs, max {:.2}µs; \
+         {placed} placed / {rejected} rejected in {total_s:.2}s ({throughput:.0} events/s)",
+        hist.p50, hist.p95, hist.p99, hist.max
+    );
+
+    // Regression gate against the committed mean. Latency is machine
+    // dependent, so the margin is generous; the hard product claim is
+    // the 10µs ceiling below.
+    assert_no_regression("serve mean decision latency", mean_us, committed_mean, 1.0);
+    if std::env::var("ESVM_REQUIRE_SERVE_LATENCY").as_deref() == Ok("1") {
+        assert!(
+            mean_us < 10.0,
+            "mean decision latency {mean_us:.2}µs breaches the 10µs ceiling"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"events\": {EVENTS},\n  \"servers\": {SERVERS},\n  \"workload_seed\": {SEED},\n  \"placed\": {placed},\n  \"rejected\": {rejected},\n  \"decision_mean_us\": {mean_us:.4},\n  \"decision_p50_us\": {:.4},\n  \"decision_p95_us\": {:.4},\n  \"decision_p99_us\": {:.4},\n  \"decision_max_us\": {:.4},\n  \"total_seconds\": {total_s:.6},\n  \"throughput_events_per_second\": {throughput:.0}\n}}\n",
+        hist.p50, hist.p95, hist.p99, hist.max,
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -54,6 +54,7 @@ mod ffps;
 mod miec;
 mod local_search;
 mod migration;
+mod online;
 mod registry;
 
 pub use allocator::Allocator;
@@ -63,4 +64,5 @@ pub use ffps::Ffps;
 pub use miec::Miec;
 pub use local_search::{LocalSearch, Refined, SearchMove};
 pub use migration::Consolidator;
+pub use online::{OnlineDecision, OnlineEngine, OnlineError, OnlineGreedy, OnlineStats};
 pub use registry::AllocatorKind;

@@ -1,0 +1,715 @@
+//! Online (irrevocable-at-arrival) allocation.
+//!
+//! The offline allocators see the whole trace before placing anything.
+//! [`OnlineEngine`] models the real cloud-provider setting instead: VM
+//! requests arrive as a time-ordered event stream, each one gets a
+//! placement decision *at arrival* using the same O(log K)
+//! [`incremental_cost`] scoring as MIEC, and the decision is
+//! irrevocable — no later relocation, no knowledge of future arrivals.
+//! Departures are events too: when a VM's closed interval ends, its
+//! capacity frees through [`unhost`], so a long-running service keeps
+//! every ledger O(live VMs) instead of O(VMs ever seen).
+//!
+//! ## Cost accounting
+//!
+//! Unhosting a departed VM makes the ledger forget it ever ran, which
+//! changes how *later* gaps on that server are priced (a fresh arrival
+//! pays a switch-on instead of bridging an idle gap to history). The
+//! engine therefore keeps a [`committed_cost`] accumulator with the
+//! telescoping invariant `committed == retired + Σ ledger.cost()`:
+//! hosting raises it by the placement delta, unhosting moves energy
+//! from the live ledgers into `retired` without changing the sum. For
+//! the online/offline optimality gap, decisions are exported as a
+//! placement vector and re-audited by
+//! [`Assignment::from_placement`] so both sides are measured by the
+//! identical full-horizon Eq. 7 functional.
+//!
+//! ## Capacity correctness
+//!
+//! [`ServerLedger::fits`] is time-aware: it checks peak usage over the
+//! arriving VM's interval. A new arrival at clock `t` can only overlap
+//! VMs whose intervals reach `t` or later, and those are exactly the
+//! ones still hosted (departures fire at `end + 1 > t`), so live-only
+//! `fits` verdicts equal full-history verdicts and the final
+//! `from_placement` replay is capacity-valid by construction.
+//!
+//! [`incremental_cost`]: esvm_simcore::ServerLedger::incremental_cost
+//! [`unhost`]: esvm_simcore::ServerLedger::unhost
+//! [`committed_cost`]: OnlineEngine::committed_cost
+//! [`Assignment::from_placement`]: esvm_simcore::Assignment::from_placement
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+use esvm_obs::{DecisionKind, ExplainRecord, MetricsRegistry, NoopTracer, Tracer};
+use esvm_simcore::{
+    departure_time, AllocationProblem, Assignment, ServerId, ServerLedger, ServerSpec, TimeUnit,
+    Vm, VmEvent, VmId,
+};
+use rand::RngCore;
+
+use crate::{AllocError, AllocResult, Allocator};
+
+/// Typed rejection reasons of the online event loop. Every variant is a
+/// *protocol* error: the event was malformed relative to the session
+/// state and was not applied; the session itself stays usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OnlineError {
+    /// The id already arrived in this session (placed, rejected or
+    /// departed — ids are never reusable, which is what makes
+    /// double-placement impossible).
+    DuplicateVm(VmId),
+    /// The arrival's start time lies before the session clock; an
+    /// online decision for the past cannot be honoured.
+    OutOfOrder {
+        /// The offending VM.
+        vm: VmId,
+        /// Its claimed start time.
+        start: TimeUnit,
+        /// The session clock it would have to rewind.
+        clock: TimeUnit,
+    },
+    /// A departure for an id that is not currently live.
+    UnknownVm(VmId),
+    /// A fault event named a server outside the fleet.
+    UnknownServer(ServerId),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::DuplicateVm(vm) => write!(f, "duplicate id: {vm} already arrived"),
+            OnlineError::OutOfOrder { vm, start, clock } => write!(
+                f,
+                "out-of-order arrival: {vm} starts at {start} but the clock is at {clock}"
+            ),
+            OnlineError::UnknownVm(vm) => write!(f, "unknown id: {vm} is not live"),
+            OnlineError::UnknownServer(s) => write!(f, "unknown server: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// The irrevocable outcome of one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineDecision {
+    /// The VM was placed on the given server.
+    Placed(ServerId),
+    /// No up server could host the VM; the request is refused.
+    Rejected,
+}
+
+impl OnlineDecision {
+    /// The chosen server, when placed.
+    pub fn server(&self) -> Option<ServerId> {
+        match self {
+            OnlineDecision::Placed(s) => Some(*s),
+            OnlineDecision::Rejected => None,
+        }
+    }
+
+    /// Whether the request was placed.
+    pub fn is_placed(&self) -> bool {
+        matches!(self, OnlineDecision::Placed(_))
+    }
+}
+
+/// Running tallies of one online session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct OnlineStats {
+    /// Arrivals accepted into the event loop (well-formed requests).
+    pub arrivals: u64,
+    /// Arrivals that received a `Placed` decision.
+    pub placed: u64,
+    /// Arrivals refused for lack of a feasible up server.
+    pub rejected: u64,
+    /// VMs whose capacity was freed (scheduled end or explicit depart).
+    pub departed: u64,
+    /// VMs evicted because their server went down under a fault plan.
+    pub evicted: u64,
+    /// Peak number of simultaneously live VMs.
+    pub live_peak: u64,
+}
+
+/// The online allocation engine: time-ordered arrivals in, irrevocable
+/// decisions out. See the [module docs](self) for the model.
+#[derive(Debug, Clone)]
+pub struct OnlineEngine {
+    ledgers: Vec<ServerLedger>,
+    /// Spec classes for asleep-candidate pruning (see [`crate::classes`]).
+    class_of: Vec<usize>,
+    /// Up servers with outstanding hosted pieces, ascending id. These
+    /// are the only servers whose incremental cost can differ from
+    /// their class twins, so each scan scores exactly `awake` plus one
+    /// pristine representative per class — the decision stays O(live)
+    /// no matter how large the fleet is.
+    awake: BTreeSet<u32>,
+    /// Up, pristine (nothing hosted) servers per spec class, ascending
+    /// id. All members of a set are interchangeable; only the lowest
+    /// id is ever scored, which is also MIEC's tie-break winner.
+    pristine: Vec<BTreeSet<u32>>,
+    /// Live placements: id → (vm, server).
+    live: HashMap<VmId, (Vm, ServerId)>,
+    /// Every id ever accepted — placed, rejected or departed.
+    seen: HashSet<VmId>,
+    /// Append-only decision log of placements, in arrival order.
+    placements: Vec<(VmId, ServerId)>,
+    /// Scheduled departures as (free time, id); min-heap.
+    pending: BinaryHeap<Reverse<(TimeUnit, VmId)>>,
+    down: Vec<bool>,
+    clock: TimeUnit,
+    retired_cost: f64,
+    stats: OnlineStats,
+}
+
+impl OnlineEngine {
+    /// A fresh session over the given fleet, clock at 0, all servers up.
+    pub fn new(servers: &[ServerSpec]) -> Self {
+        let classes = crate::classes::spec_classes(servers);
+        let mut pristine = vec![BTreeSet::new(); classes.count];
+        for (i, &class) in classes.class_of.iter().enumerate() {
+            pristine[class].insert(i as u32);
+        }
+        Self {
+            ledgers: servers.iter().map(|s| ServerLedger::new(*s)).collect(),
+            class_of: classes.class_of,
+            awake: BTreeSet::new(),
+            pristine,
+            live: HashMap::new(),
+            seen: HashSet::new(),
+            placements: Vec::new(),
+            pending: BinaryHeap::new(),
+            down: vec![false; servers.len()],
+            clock: 0,
+            retired_cost: 0.0,
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// The session clock: no accepted arrival may start before it.
+    pub fn clock(&self) -> TimeUnit {
+        self.clock
+    }
+
+    /// Currently live VMs.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Session tallies so far.
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    /// The per-server energy ledgers of the *live* hosted sets.
+    pub fn ledgers(&self) -> &[ServerLedger] {
+        &self.ledgers
+    }
+
+    /// Total Eq. 7 energy committed by every placement so far:
+    /// `retired + Σ ledger.cost()` (the telescoping invariant of the
+    /// module docs). Departures move energy between the two terms
+    /// without changing the sum.
+    pub fn committed_cost(&self) -> f64 {
+        self.retired_cost + self.ledgers.iter().map(|l| l.cost()).sum::<f64>()
+    }
+
+    /// Energy of placements that have fully departed the live ledgers.
+    pub fn retired_cost(&self) -> f64 {
+        self.retired_cost
+    }
+
+    /// Whether `server` is currently marked down.
+    pub fn is_down(&self, server: ServerId) -> bool {
+        self.down.get(server.index()).copied().unwrap_or(false)
+    }
+
+    /// The decision history as a placement vector over `n_vms` dense id
+    /// slots (`None` = rejected or never arrived), ready for
+    /// [`Assignment::from_placement`] re-audit.
+    pub fn placement(&self, n_vms: usize) -> Vec<Option<ServerId>> {
+        let mut slots = vec![None; n_vms];
+        for (vm, sid) in self.placements.iter() {
+            if let Some(slot) = slots.get_mut(vm.index()) {
+                *slot = Some(*sid);
+            }
+        }
+        slots
+    }
+
+    /// Moves a server back into its pristine class set when its last
+    /// hosted piece leaves. `unhost` reverses `host` exactly, so a
+    /// drained ledger is indistinguishable from a fresh one and may
+    /// again stand behind its class representative.
+    fn note_unhosted(&mut self, sid: ServerId) {
+        let i = sid.index();
+        if !self.down[i] && self.ledgers[i].hosted_count() == 0 {
+            self.awake.remove(&(i as u32));
+            self.pristine[self.class_of[i]].insert(i as u32);
+        }
+    }
+
+    /// Advances the clock to `t`, firing every departure scheduled at
+    /// or before `t` in (time, id) order.
+    pub fn advance_to(&mut self, t: TimeUnit) {
+        while let Some(Reverse((at, vm))) = self.pending.peek().copied() {
+            if at > t {
+                break;
+            }
+            self.pending.pop();
+            // Stale entries (explicitly departed or evicted ids) are
+            // skipped: `live` is the source of truth.
+            if let Some((vm, sid)) = self.live.remove(&vm) {
+                self.retired_cost += self.ledgers[sid.index()].unhost(&vm);
+                self.stats.departed += 1;
+                self.note_unhosted(sid);
+            }
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Explicitly departs a live VM ahead of (or at) schedule, freeing
+    /// its capacity now. Returns the realized Eq. 7 cost decrease.
+    pub fn depart(&mut self, vm: VmId) -> Result<f64, OnlineError> {
+        let (vm, sid) = self.live.remove(&vm).ok_or(OnlineError::UnknownVm(vm))?;
+        let freed = self.ledgers[sid.index()].unhost(&vm);
+        self.retired_cost += freed;
+        self.stats.departed += 1;
+        self.note_unhosted(sid);
+        Ok(freed)
+    }
+
+    /// Departs every live VM (session drain). Returns how many departed.
+    pub fn drain(&mut self) -> usize {
+        let mut ids: Vec<VmId> = self.live.keys().copied().collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        for id in ids {
+            let _ = self.depart(id);
+        }
+        n
+    }
+
+    /// Uninstrumented arrival: decides, commits, schedules the departure.
+    pub fn arrive(&mut self, vm: Vm) -> Result<OnlineDecision, OnlineError> {
+        self.arrive_traced(vm, &NoopTracer)
+    }
+
+    /// The instrumented arrival path. The scan is the MIEC argmin —
+    /// ascending server ids, spec-class pruning of asleep twins,
+    /// [`incremental_cost`](ServerLedger::incremental_cost) scoring,
+    /// strict `<` lowest-id tie-break — restricted to up servers.
+    ///
+    /// Precondition failures ([`OnlineError::OutOfOrder`],
+    /// [`OnlineError::DuplicateVm`]) reject the event *before* it
+    /// touches any state: the clock does not move and the id is not
+    /// consumed, so a corrected resubmission can still succeed
+    /// (except a duplicate, whose id is consumed by definition).
+    pub fn arrive_traced<T: Tracer>(
+        &mut self,
+        vm: Vm,
+        tracer: &T,
+    ) -> Result<OnlineDecision, OnlineError> {
+        if vm.start() < self.clock {
+            return Err(OnlineError::OutOfOrder {
+                vm: vm.id(),
+                start: vm.start(),
+                clock: self.clock,
+            });
+        }
+        if self.seen.contains(&vm.id()) {
+            return Err(OnlineError::DuplicateVm(vm.id()));
+        }
+        self.advance_to(vm.start());
+        self.seen.insert(vm.id());
+        self.stats.arrivals += 1;
+
+        let _decision_span = tracer.lap_span("online.decision");
+        let mut best: Option<(f64, u32)> = None;
+        let mut candidates = 0u64;
+        let mut pruned = 0u64;
+        let mut unfit = 0u64;
+        let mut fp_ties = 0u64;
+        {
+            // Only awake servers and one pristine representative per
+            // class can win the argmin; down servers are in neither
+            // set, so a down twin never stands in for an up one. The
+            // lexicographic (delta, id) min is exactly MIEC's strict-<
+            // ascending scan with its lowest-id tie-break.
+            let ledgers = &self.ledgers;
+            let mut consider = |i: u32| {
+                let ledger = &ledgers[i as usize];
+                if !ledger.fits(&vm) {
+                    if T::ENABLED {
+                        unfit += 1;
+                    }
+                    return;
+                }
+                let delta = ledger.incremental_cost(&vm);
+                if T::ENABLED {
+                    candidates += 1;
+                    if best.is_some_and(|(cost, _)| delta == cost) {
+                        fp_ties += 1;
+                    }
+                }
+                if best.is_none_or(|(cost, id)| delta < cost || (delta == cost && i < id)) {
+                    best = Some((delta, i));
+                }
+            };
+            for &i in &self.awake {
+                consider(i);
+            }
+            for class in &self.pristine {
+                if let Some(&rep) = class.iter().next() {
+                    consider(rep);
+                    if T::ENABLED {
+                        pruned += class.len() as u64 - 1;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((delta, winner)) => {
+                let sid = ServerId(winner);
+                let i = sid.index();
+                let was_pristine = self.ledgers[i].hosted_count() == 0;
+                self.ledgers[i].host(&vm);
+                if was_pristine {
+                    self.pristine[self.class_of[i]].remove(&winner);
+                    self.awake.insert(winner);
+                }
+                self.live.insert(vm.id(), (vm, sid));
+                self.placements.push((vm.id(), sid));
+                self.pending.push(Reverse((departure_time(&vm), vm.id())));
+                self.stats.placed += 1;
+                self.stats.live_peak = self.stats.live_peak.max(self.live.len() as u64);
+                if T::ENABLED {
+                    tracer.explain(&ExplainRecord {
+                        candidates,
+                        pruned,
+                        unfit,
+                        shards: 1,
+                        winner: Some(sid.index() as u64),
+                        delta_cost: delta,
+                        fp_tie: fp_ties > 0,
+                        time: Some(vm.start() as u64),
+                        ..ExplainRecord::new(DecisionKind::Place, vm.id().index() as u64)
+                    });
+                }
+                Ok(OnlineDecision::Placed(sid))
+            }
+            None => {
+                self.stats.rejected += 1;
+                if T::ENABLED {
+                    tracer.explain(&ExplainRecord {
+                        candidates,
+                        pruned,
+                        unfit,
+                        shards: 1,
+                        time: Some(vm.start() as u64),
+                        ..ExplainRecord::new(DecisionKind::Reject, vm.id().index() as u64)
+                    });
+                }
+                Ok(OnlineDecision::Rejected)
+            }
+        }
+    }
+
+    /// Marks `server` down, evicting its live VMs (capacity freed, ids
+    /// consumed — an online service cannot replay irrevocable
+    /// decisions). Returns the evicted VMs in ascending id order.
+    pub fn set_down(&mut self, server: ServerId) -> Result<Vec<Vm>, OnlineError> {
+        let i = server.index();
+        if i >= self.ledgers.len() {
+            return Err(OnlineError::UnknownServer(server));
+        }
+        self.down[i] = true;
+        self.awake.remove(&(i as u32));
+        self.pristine[self.class_of[i]].remove(&(i as u32));
+        let mut victims: Vec<Vm> = self
+            .live
+            .values()
+            .filter(|(_, sid)| *sid == server)
+            .map(|(vm, _)| *vm)
+            .collect();
+        victims.sort_unstable_by_key(|vm| vm.id());
+        for vm in &victims {
+            self.live.remove(&vm.id());
+            self.retired_cost += self.ledgers[i].unhost(vm);
+            self.stats.evicted += 1;
+        }
+        Ok(victims)
+    }
+
+    /// Marks `server` up again; it re-enters every later argmin scan.
+    pub fn set_up(&mut self, server: ServerId) -> Result<(), OnlineError> {
+        let i = server.index();
+        if i >= self.ledgers.len() {
+            return Err(OnlineError::UnknownServer(server));
+        }
+        self.down[i] = false;
+        // Eviction drained it on the way down, so it normally rejoins
+        // as pristine; the guard keeps a redundant `set_up` harmless.
+        if self.ledgers[i].hosted_count() == 0 {
+            self.pristine[self.class_of[i]].insert(i as u32);
+        } else {
+            self.awake.insert(i as u32);
+        }
+        Ok(())
+    }
+
+    /// Applies one canonical stream event (see
+    /// [`event_order`](esvm_simcore::event_order)). Arrivals return
+    /// their decision; departures return `None`. A departure for an id
+    /// that already left (e.g. evicted, or drained early) is a no-op;
+    /// one for an id that never arrived is [`OnlineError::UnknownVm`].
+    pub fn apply(&mut self, event: VmEvent) -> Result<Option<OnlineDecision>, OnlineError> {
+        match event {
+            VmEvent::Arrive(vm) => self.arrive(vm).map(Some),
+            VmEvent::Depart { vm, at } => {
+                if !self.seen.contains(&vm) {
+                    return Err(OnlineError::UnknownVm(vm));
+                }
+                self.advance_to(at);
+                // `advance_to` already fired it if it was scheduled at
+                // or before `at`; anything still live departs now.
+                if self.live.contains_key(&vm) {
+                    self.depart(vm)?;
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// The MIEC scoring rule run online: requests in arrival order, each
+/// placed irrevocably on the feasible up server with the least
+/// incremental Eq. 7 cost at that instant. Registered as
+/// [`AllocatorKind::OnlineGreedy`](crate::AllocatorKind::OnlineGreedy)
+/// so it flows through the differential suites, chaos replay and
+/// `esvm query` like every offline kind.
+///
+/// The event loop is inherently sequential (each decision conditions
+/// the next), so the allocator is bit-exact across `ESVM_THREADS`
+/// settings by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineGreedy;
+
+impl OnlineGreedy {
+    /// Creates the online allocator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Instrumented run: replays the problem's canonical arrival order
+    /// through an [`OnlineEngine`], then re-audits the decisions as a
+    /// full-horizon [`Assignment`] (see the module docs on cost
+    /// accounting).
+    pub fn allocate_traced<'p, T: Tracer>(
+        &self,
+        problem: &'p AllocationProblem,
+        metrics: &MetricsRegistry,
+        tracer: &T,
+    ) -> AllocResult<Assignment<'p>> {
+        let _run_span = tracer.span("online.run");
+        let mut engine = OnlineEngine::new(problem.servers());
+        for j in problem.vms_by_start_time() {
+            let vm = problem.vms()[j];
+            // The feed is sorted by (start, id) over dense unique ids,
+            // so the engine's preconditions hold by construction.
+            match engine.arrive_traced(vm, tracer) {
+                Ok(OnlineDecision::Placed(_)) => {}
+                Ok(OnlineDecision::Rejected) => {
+                    return Err(AllocError::NoFeasibleServer(vm.id()))
+                }
+                Err(e) => unreachable!("arrival-sorted feed violated online preconditions: {e}"),
+            }
+        }
+        let stats = engine.stats();
+        metrics.add("online.arrivals", stats.arrivals);
+        metrics.add("online.vms_placed", stats.placed);
+        metrics.add("online.departures", stats.departed);
+        metrics.set_gauge("online.live_peak", stats.live_peak as f64);
+        let placement = engine.placement(problem.vm_count());
+        Ok(Assignment::from_placement(problem, &placement)?)
+    }
+}
+
+impl Allocator for OnlineGreedy {
+    fn name(&self) -> &'static str {
+        "online-greedy"
+    }
+
+    fn allocate<'p>(
+        &self,
+        problem: &'p AllocationProblem,
+        _rng: &mut dyn RngCore,
+    ) -> AllocResult<Assignment<'p>> {
+        self.allocate_traced(problem, &MetricsRegistry::new(), &NoopTracer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esvm_simcore::{Interval, PowerModel, ProblemBuilder, Resources};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn fleet(n: usize) -> Vec<ServerSpec> {
+        (0..n)
+            .map(|i| {
+                ServerSpec::new(
+                    i as u32,
+                    Resources::new(8.0, 16.0),
+                    PowerModel::new(100.0, 200.0),
+                    120.0,
+                )
+            })
+            .collect()
+    }
+
+    fn vm(id: u32, start: u32, end: u32, cpu: f64) -> Vm {
+        Vm::new(id, Resources::new(cpu, cpu), Interval::new(start, end))
+    }
+
+    #[test]
+    fn places_and_frees_capacity_on_departure() {
+        let mut engine = OnlineEngine::new(&fleet(1));
+        // Two VMs that saturate the server back to back: the second
+        // only fits because the first departs first.
+        assert!(engine.arrive(vm(0, 1, 10, 8.0)).unwrap().is_placed());
+        assert_eq!(engine.live_count(), 1);
+        let d = engine.arrive(vm(1, 11, 20, 8.0)).unwrap();
+        assert_eq!(d, OnlineDecision::Placed(ServerId(0)));
+        assert_eq!(engine.stats().departed, 1);
+        assert_eq!(engine.live_count(), 1);
+    }
+
+    #[test]
+    fn overlapping_saturation_is_rejected_not_errored() {
+        let mut engine = OnlineEngine::new(&fleet(1));
+        assert!(engine.arrive(vm(0, 1, 10, 8.0)).unwrap().is_placed());
+        assert_eq!(
+            engine.arrive(vm(1, 5, 8, 1.0)).unwrap(),
+            OnlineDecision::Rejected
+        );
+        assert_eq!(engine.stats().rejected, 1);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_ids_are_typed_errors() {
+        let mut engine = OnlineEngine::new(&fleet(2));
+        engine.arrive(vm(0, 5, 9, 1.0)).unwrap();
+        assert_eq!(
+            engine.arrive(vm(0, 6, 9, 1.0)),
+            Err(OnlineError::DuplicateVm(VmId(0)))
+        );
+        assert_eq!(
+            engine.arrive(vm(1, 2, 9, 1.0)),
+            Err(OnlineError::OutOfOrder {
+                vm: VmId(1),
+                start: 2,
+                clock: 5,
+            })
+        );
+        // Precondition failures consume nothing: the same id with a
+        // corrected start still works.
+        assert!(engine.arrive(vm(1, 5, 9, 1.0)).unwrap().is_placed());
+    }
+
+    #[test]
+    fn depart_unknown_id_is_a_typed_error() {
+        let mut engine = OnlineEngine::new(&fleet(1));
+        assert_eq!(engine.depart(VmId(3)), Err(OnlineError::UnknownVm(VmId(3))));
+        assert_eq!(
+            engine.apply(VmEvent::Depart { vm: VmId(3), at: 1 }),
+            Err(OnlineError::UnknownVm(VmId(3)))
+        );
+    }
+
+    #[test]
+    fn down_servers_are_never_chosen() {
+        let mut engine = OnlineEngine::new(&fleet(2));
+        engine.set_down(ServerId(0)).unwrap();
+        let d = engine.arrive(vm(0, 1, 5, 1.0)).unwrap();
+        assert_eq!(d, OnlineDecision::Placed(ServerId(1)));
+        engine.set_down(ServerId(1)).unwrap();
+        assert_eq!(
+            engine.arrive(vm(1, 2, 5, 1.0)).unwrap(),
+            OnlineDecision::Rejected
+        );
+        engine.set_up(ServerId(0)).unwrap();
+        assert!(engine.arrive(vm(2, 3, 5, 1.0)).unwrap().is_placed());
+        assert_eq!(engine.set_down(ServerId(9)), Err(OnlineError::UnknownServer(ServerId(9))));
+    }
+
+    #[test]
+    fn eviction_frees_capacity_and_counts() {
+        let mut engine = OnlineEngine::new(&fleet(2));
+        engine.arrive(vm(0, 1, 10, 8.0)).unwrap();
+        engine.arrive(vm(1, 1, 10, 8.0)).unwrap();
+        let victims = engine.set_down(ServerId(0)).unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(engine.stats().evicted, 1);
+        assert_eq!(engine.live_count(), 1);
+        // The scheduled departure of the evicted VM is stale, not a
+        // double-unhost.
+        engine.advance_to(20);
+        assert_eq!(engine.stats().departed, 1);
+    }
+
+    #[test]
+    fn committed_cost_is_conserved_across_departures() {
+        let mut engine = OnlineEngine::new(&fleet(2));
+        engine.arrive(vm(0, 1, 10, 4.0)).unwrap();
+        engine.arrive(vm(1, 3, 6, 2.0)).unwrap();
+        let before = engine.committed_cost();
+        engine.advance_to(30);
+        assert_eq!(engine.live_count(), 0);
+        let after = engine.committed_cost();
+        assert!(
+            (before - after).abs() < 1e-9 * before.max(1.0),
+            "departures must not change committed cost: {before} vs {after}"
+        );
+        assert!(engine.retired_cost() > 0.0);
+    }
+
+    #[test]
+    fn matches_miec_when_no_departures_interleave() {
+        // All VMs overlap one window, so online sees exactly the state
+        // MIEC sees at each step and must pick identical servers.
+        let mut builder = ProblemBuilder::new();
+        for s in fleet(4) {
+            builder = builder.server(s.capacity(), *s.power(), s.transition_cost());
+        }
+        for i in 0..10u32 {
+            builder = builder.vm(
+                Resources::new(1.0 + f64::from(i % 3), 2.0),
+                Interval::new(1 + i, 40),
+            );
+        }
+        let problem = builder.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let online = OnlineGreedy::new().allocate(&problem, &mut rng).unwrap();
+        let offline = crate::Miec::new().allocate(&problem, &mut rng).unwrap();
+        assert_eq!(online.placement(), offline.placement());
+        assert_eq!(
+            online.total_cost().to_bits(),
+            offline.total_cost().to_bits()
+        );
+    }
+
+    #[test]
+    fn drain_departs_everything() {
+        let mut engine = OnlineEngine::new(&fleet(2));
+        engine.arrive(vm(0, 1, 10, 1.0)).unwrap();
+        engine.arrive(vm(1, 1, 10, 1.0)).unwrap();
+        assert_eq!(engine.drain(), 2);
+        assert_eq!(engine.live_count(), 0);
+        assert_eq!(engine.stats().departed, 2);
+    }
+}

@@ -1,8 +1,8 @@
 //! Name-based registry of all allocation algorithms.
 
 use crate::{
-    AllocResult, Allocator, BestFit, Ffps, FirstFit, LocalSearch, LowestIdlePower, Miec, Random,
-    Refined, RoundRobin,
+    AllocResult, Allocator, BestFit, Ffps, FirstFit, LocalSearch, LowestIdlePower, Miec,
+    OnlineGreedy, Random, Refined, RoundRobin,
 };
 use esvm_obs::{EventSink, MetricsRegistry, NoopTracer, Tracer};
 use esvm_par::Parallelism;
@@ -38,6 +38,10 @@ pub enum AllocatorKind {
     /// [`Miec::with_assumed_duration`] — scoring blind to true
     /// durations (assumes the paper's default mean of 5 units).
     MiecBlindDuration,
+    /// [`OnlineGreedy`] — the MIEC scoring rule run online: requests in
+    /// arrival order, decisions irrevocable at arrival, departed VMs
+    /// freed from the live ledgers.
+    OnlineGreedy,
     /// [`Ffps`] — the paper's baseline.
     Ffps,
     /// [`FirstFit`].
@@ -57,11 +61,12 @@ pub enum AllocatorKind {
 
 impl AllocatorKind {
     /// All kinds, in presentation order.
-    pub const ALL: [AllocatorKind; 11] = [
+    pub const ALL: [AllocatorKind; 12] = [
         AllocatorKind::Miec,
         AllocatorKind::MiecNoAlpha,
         AllocatorKind::MiecLocalSearch,
         AllocatorKind::MiecBlindDuration,
+        AllocatorKind::OnlineGreedy,
         AllocatorKind::Ffps,
         AllocatorKind::FfpsLocalSearch,
         AllocatorKind::FirstFit,
@@ -79,6 +84,7 @@ impl AllocatorKind {
             AllocatorKind::MiecNoAlpha => "miec-noalpha",
             AllocatorKind::MiecLocalSearch => "miec-ls",
             AllocatorKind::MiecBlindDuration => "miec-blind",
+            AllocatorKind::OnlineGreedy => "online-greedy",
             AllocatorKind::Ffps => "ffps",
             AllocatorKind::FfpsLocalSearch => "ffps-ls",
             AllocatorKind::FirstFit => "first-fit",
@@ -112,6 +118,10 @@ impl AllocatorKind {
             AllocatorKind::MiecBlindDuration => {
                 Box::new(Miec::with_assumed_duration(5).with_parallelism(par))
             }
+            // The online event loop is inherently sequential (every
+            // decision conditions the next), so `par` is a no-op and
+            // thread-count bit-exactness is structural.
+            AllocatorKind::OnlineGreedy => Box::new(OnlineGreedy::new()),
             AllocatorKind::Ffps => Box::new(Ffps::new()),
             AllocatorKind::FfpsLocalSearch => Box::new(Refined::new(
                 Ffps::new(),
@@ -213,6 +223,9 @@ impl AllocatorKind {
                     .refine_instrumented(&base, sink, metrics, tracer)
                     .map(|(refined, _)| refined)
             }
+            AllocatorKind::OnlineGreedy => {
+                OnlineGreedy::new().allocate_traced(problem, metrics, tracer)
+            }
             _ => self.build().allocate(problem, rng),
         }
     }
@@ -276,7 +289,7 @@ mod tests {
         use std::collections::HashSet;
         let names: HashSet<&str> = AllocatorKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), AllocatorKind::ALL.len());
-        for name in ["miec-blind", "miec-ls", "ffps-ls"] {
+        for name in ["miec-blind", "miec-ls", "ffps-ls", "online-greedy"] {
             assert!(names.contains(name), "{name} missing from ALL");
         }
     }

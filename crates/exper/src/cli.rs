@@ -92,6 +92,15 @@ commands:
                     artefact (use --out report.html)
   chaos             fault-injection run: replay allocations under a
                     seeded plan of server outages with repair + shedding
+  serve             long-running online allocation loop: REQ lines in,
+                    irrevocable PLACED/REJECTED decisions out
+                    (stdin by default; --socket PATH for a Unix socket;
+                    --trace FILE replays a text or ESVT trace as the
+                    event stream)
+  gap               online/offline optimality gap: per-seed empirical
+                    competitive ratio of online greedy vs offline MIEC
+                    (--adversary break-even|sawtooth for the
+                    Albers-Quedenfeld lower-bound traces)
 
 options (figures):
   --seeds N         Monte-Carlo seeds per point (default 50)
@@ -134,7 +143,24 @@ options (chaos):
   --plan-out FILE   write the fault plan used, for later replay
   (--vms/--servers/--seed/--algos and the telemetry flags also apply)
 
-options (telemetry, compare/solve/chaos):
+options (serve):
+  --trace FILE      replay a trace file instead of reading stdin (ESVT
+                    streams through TraceReader::records; text traces
+                    are materialised and fed in arrival order)
+  --socket PATH     accept one connection on a Unix socket and serve
+                    it to EOF (unix only)
+  --servers N       fleet size for the stdin/socket fleet (default 50)
+  --seed N          seed of the generated fleet specs (default 0)
+  (protocol: REQ id start dur cpu mem | STATS | DRAIN; replies
+   PLACED id server | REJECTED id | ERR code detail)
+
+options (gap):
+  --seeds N         seeds to measure (default 10), starting at --seed
+  --adversary P     break-even | sawtooth adversarial preset instead
+                    of the paper workload model
+  (--vms/--servers and the workload flags shape the instances)
+
+options (telemetry, compare/solve/chaos/serve):
   --metrics-out F   run one instrumented pass per algorithm and write
                     its decision metrics as CSV (histogram rows carry
                     exact p50/p95/p99; a summary table is also
@@ -186,6 +212,8 @@ struct Flags {
     shed_policy: Option<esvm_chaos::ShedPolicy>,
     plan: Option<String>,
     plan_out: Option<String>,
+    socket: Option<String>,
+    adversary: Option<esvm_workload::AdversaryPreset>,
 }
 
 impl Flags {
@@ -369,6 +397,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--plan" => flags.plan = Some(value("--plan")?),
             "--plan-out" => flags.plan_out = Some(value("--plan-out")?),
+            "--socket" => flags.socket = Some(value("--socket")?),
+            "--adversary" => {
+                flags.adversary = Some(
+                    value("--adversary")?
+                        .parse::<esvm_workload::AdversaryPreset>()
+                        .map_err(|e| usage(e.to_string()))?,
+                )
+            }
             "--seed" => {
                 flags.seed = Some(
                     value("--seed")?
@@ -555,6 +591,8 @@ fn dispatch(command: &str, flags: &Flags, opts: &ExpOptions) -> Result<String, C
         "plan" => run_plan(&flags, &opts),
         "report" => crate::report::html_report(&opts).map_err(CliError::Run),
         "solve" => run_solve(&flags),
+        "serve" => run_serve(&flags),
+        "gap" => run_gap(&flags),
         _ => Err(CliError::Usage(format!(
             "unknown command {command:?}\n\n{USAGE}"
         ))),
@@ -1336,6 +1374,237 @@ fn run_exact(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
+/// Renders the end-of-session summary of an online serving run.
+fn serve_summary<T: esvm_obs::Tracer>(
+    source: &str,
+    session: &crate::serve::ServeSession<'_, T>,
+    metrics: &esvm_obs::MetricsRegistry,
+) -> String {
+    use esvm_obs::names::serve as names;
+    let stats = session.engine().stats();
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["requests".into(), stats.arrivals.to_string()]);
+    table.row(vec!["placed".into(), stats.placed.to_string()]);
+    table.row(vec!["rejected".into(), stats.rejected.to_string()]);
+    table.row(vec!["departed".into(), stats.departed.to_string()]);
+    table.row(vec!["evicted".into(), stats.evicted.to_string()]);
+    table.row(vec!["live at end".into(), session.engine().live_count().to_string()]);
+    table.row(vec![
+        "live peak".into(),
+        stats.live_peak.to_string(),
+    ]);
+    table.row(vec![
+        "protocol errors".into(),
+        metrics.counter(names::PROTOCOL_ERRORS).to_string(),
+    ]);
+    if let Some(h) = metrics.histogram(names::DECISION_US) {
+        table.row(vec!["decision mean (µs)".into(), format!("{:.2}", h.mean())]);
+        table.row(vec!["decision p50 (µs)".into(), format!("{:.2}", h.p50)]);
+        table.row(vec!["decision p95 (µs)".into(), format!("{:.2}", h.p95)]);
+        table.row(vec!["decision p99 (µs)".into(), format!("{:.2}", h.p99)]);
+    }
+    format!("online serving session — {source}\n\n{table}")
+}
+
+/// Accepts one connection on a Unix socket and serves it to EOF.
+#[cfg(unix)]
+fn serve_socket<T: esvm_obs::Tracer>(
+    path: &str,
+    session: &mut crate::serve::ServeSession<'_, T>,
+) -> Result<(), CliError> {
+    use std::os::unix::net::UnixListener;
+    let io_err = |e: std::io::Error| CliError::Usage(format!("socket {path:?}: {e}"));
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(io_err)?;
+    let (stream, _) = listener.accept().map_err(io_err)?;
+    let reader = std::io::BufReader::new(stream.try_clone().map_err(io_err)?);
+    crate::serve::serve_lines(reader, stream, session).map_err(io_err)?;
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket<T: esvm_obs::Tracer>(
+    _path: &str,
+    _session: &mut crate::serve::ServeSession<'_, T>,
+) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "--socket needs a Unix platform; use stdin instead".into(),
+    ))
+}
+
+/// The serving loop proper, generic over the tracer choice.
+fn serve_with<T: esvm_obs::Tracer>(
+    flags: &Flags,
+    metrics: &esvm_obs::MetricsRegistry,
+    tracer: &T,
+) -> Result<String, CliError> {
+    use crate::serve::{feed_problem, feed_records, serve_lines, ServeSession};
+    use std::io::Read as _;
+
+    if let Some(path) = &flags.trace {
+        // ESVT by magic bytes: stream the event feed through
+        // `TraceReader::records` without materialising the VM list.
+        let mut magic = [0u8; 4];
+        let is_esvt = std::fs::File::open(path)
+            .and_then(|mut f| f.read_exact(&mut magic))
+            .map(|()| magic == esvm_workload::esvt::MAGIC)
+            .unwrap_or(false);
+        if is_esvt {
+            let reader = esvm_workload::TraceReader::open(path)
+                .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
+            let servers = reader.servers().to_vec();
+            let mut session = ServeSession::new(&servers, metrics, tracer);
+            feed_records(reader.records(), &mut session)
+                .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
+            return Ok(serve_summary(
+                &format!("streamed ESVT trace {path}"),
+                &session,
+                metrics,
+            ));
+        }
+        let problem = load_trace(path)?;
+        let mut session = ServeSession::new(problem.servers(), metrics, tracer);
+        feed_problem(&problem, &mut session);
+        return Ok(serve_summary(
+            &format!("replayed trace {path}"),
+            &session,
+            metrics,
+        ));
+    }
+
+    // Live mode: fleet specs are generated from --servers/--seed, the
+    // event stream comes from stdin or a Unix socket.
+    let servers = flags.servers.unwrap_or(50);
+    let seed = flags.seed.unwrap_or(0);
+    let fleet = WorkloadConfig::new(1, servers)
+        .transition_time(flags.transition.unwrap_or(1.0))
+        .generate(seed)
+        .map_err(|e| CliError::Run(RunError::Generate(e)))?
+        .servers()
+        .to_vec();
+    let mut session = ServeSession::new(&fleet, metrics, tracer);
+    let source = match &flags.socket {
+        Some(path) => {
+            serve_socket(path, &mut session)?;
+            format!("socket {path}, {servers} servers (seed {seed})")
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(stdin.lock(), stdout.lock(), &mut session)
+                .map_err(|e| CliError::Usage(format!("serve I/O failed: {e}")))?;
+            format!("stdin, {servers} servers (seed {seed})")
+        }
+    };
+    Ok(serve_summary(&source, &session, metrics))
+}
+
+fn run_serve(flags: &Flags) -> Result<String, CliError> {
+    if flags.trace.is_some() && flags.socket.is_some() {
+        return Err(CliError::Usage(format!(
+            "--trace and --socket are mutually exclusive\n\n{USAGE}"
+        )));
+    }
+    for path in [&flags.metrics_out, &flags.trace_out].into_iter().flatten() {
+        preflight_out_path(path, flags.force)?;
+    }
+    let metrics = esvm_obs::MetricsRegistry::new();
+    let mut out = match &flags.trace_out {
+        Some(path) => {
+            let tracer = esvm_obs::CollectingTracer::new();
+            let summary = serve_with(flags, &metrics, &tracer)?;
+            format!("{summary}{}", write_trace_output(path, &tracer)?)
+        }
+        None => serve_with(flags, &metrics, &esvm_obs::NoopTracer)?,
+    };
+    if let Some(path) = &flags.metrics_out {
+        let mut table = Table::new(vec!["metric", "kind", "value"]);
+        for (name, value) in metrics.snapshot() {
+            table.row(vec![name, value.kind().to_owned(), value.render()]);
+        }
+        std::fs::write(path, table.to_csv())
+            .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn run_gap(flags: &Flags) -> Result<String, CliError> {
+    let seeds = flags.seeds.unwrap_or(10).max(1);
+    let base = flags.seed.unwrap_or(0);
+    let vms = flags.vms.unwrap_or(100);
+    let servers = flags.servers.unwrap_or_else(|| (vms / 2).max(1));
+    let mut table = Table::new(vec![
+        "seed",
+        "online",
+        "offline miec",
+        "refined online",
+        "offline best",
+        "ratio",
+    ]);
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut infeasible = 0usize;
+    for seed in base..base + seeds {
+        let problem = match flags.adversary {
+            Some(preset) => preset
+                .problem(vms, servers, seed)
+                .map_err(CliError::Sim)?,
+            None => workload_from(flags)
+                .generate(seed)
+                .map_err(|e| CliError::Run(RunError::Generate(e)))?,
+        };
+        match crate::gap::gap_row(&problem, seed) {
+            Ok(row) => {
+                table.row(vec![
+                    seed.to_string(),
+                    format!("{:.1}", row.online_cost),
+                    format!("{:.1}", row.offline_miec_cost),
+                    format!("{:.1}", row.refined_online_cost),
+                    format!("{:.1}", row.offline_best_cost),
+                    format!("{:.4}", row.ratio),
+                ]);
+                ratios.push(row.ratio);
+            }
+            // An instance one side cannot place at all has no defined
+            // ratio; report it rather than abort the sweep.
+            Err(_) => {
+                infeasible += 1;
+                table.row(vec![
+                    seed.to_string(),
+                    "infeasible".into(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    let source = match flags.adversary {
+        Some(preset) => format!("adversary {preset}"),
+        None => "paper workload model".to_owned(),
+    };
+    let mut out = format!(
+        "online/offline optimality gap — {source}, {vms} VMs on {servers} servers, seeds {base}..{}\n\n{table}",
+        base + seeds
+    );
+    if !ratios.is_empty() {
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        out.push_str(&format!(
+            "\nempirical competitive ratio: mean {mean:.4}, max {max:.4} over {} seeds",
+            ratios.len()
+        ));
+    }
+    if infeasible > 0 {
+        out.push_str(&format!(" ({infeasible} infeasible seeds skipped)"));
+    }
+    out.push('\n');
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1809,5 +2078,115 @@ mod tests {
         let out = run(&args(&["exact", "--vms", "3", "--servers", "2", "--seed", "0"])).unwrap();
         assert!(out.contains("exact (ILP)"), "{out}");
         assert!(out.contains("miec"), "{out}");
+    }
+
+    #[test]
+    fn gap_command_reports_ratios() {
+        let out = run(&args(&[
+            "gap", "--vms", "20", "--servers", "10", "--seeds", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("optimality gap"), "{out}");
+        assert!(out.contains("empirical competitive ratio"), "{out}");
+        // Three seed rows plus the header.
+        assert!(out.contains("offline best"), "{out}");
+    }
+
+    #[test]
+    fn gap_command_accepts_adversary_presets() {
+        let out = run(&args(&[
+            "gap",
+            "--vms",
+            "24",
+            "--servers",
+            "8",
+            "--seeds",
+            "2",
+            "--adversary",
+            "break-even",
+        ]))
+        .unwrap();
+        assert!(out.contains("adversary break-even"), "{out}");
+        let err = run(&args(&["gap", "--adversary", "nonsense"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn serve_replays_text_and_esvt_traces() {
+        let dir = std::env::temp_dir();
+        let text_path = dir.join("esvm_cli_serve_test.txt");
+        let esvt_path = dir.join("esvm_cli_serve_test.esvt");
+        for path in [&text_path, &esvt_path] {
+            run(&args(&[
+                "gen",
+                "--vms",
+                "30",
+                "--servers",
+                "10",
+                "--seed",
+                "7",
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let text = run(&args(&["serve", "--trace", text_path.to_str().unwrap()])).unwrap();
+        assert!(text.contains("online serving session"), "{text}");
+        assert!(text.contains("decision p99"), "{text}");
+        let esvt = run(&args(&["serve", "--trace", esvt_path.to_str().unwrap()])).unwrap();
+        assert!(esvt.contains("streamed ESVT trace"), "{esvt}");
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&esvt_path).ok();
+    }
+
+    #[test]
+    fn serve_trace_and_socket_are_mutually_exclusive() {
+        let err = run(&args(&[
+            "serve", "--trace", "/tmp/x.txt", "--socket", "/tmp/x.sock",
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("mutually exclusive")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_writes_metrics_and_trace_side_files() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("esvm_cli_serve_side_test.txt");
+        let metrics_path = dir.join("esvm_cli_serve_metrics_test.csv");
+        let spans_path = dir.join("esvm_cli_serve_spans_test.jsonl");
+        run(&args(&[
+            "gen",
+            "--vms",
+            "20",
+            "--servers",
+            "8",
+            "--seed",
+            "3",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--trace-out",
+            spans_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        let csv = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(csv.contains("serve.requests"), "{csv}");
+        assert!(csv.contains("serve.decision_us"), "{csv}");
+        let spans = std::fs::read_to_string(&spans_path).unwrap();
+        assert!(spans.contains("online.decision"), "{spans}");
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&metrics_path).ok();
+        std::fs::remove_file(&spans_path).ok();
     }
 }

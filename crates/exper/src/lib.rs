@@ -15,6 +15,11 @@
 //!   over fleet sizes, with a recommended minimal fleet;
 //! * [`query`] — the `esvm query` streaming engine over ESVT traces
 //!   and JSON-lines event files;
+//! * [`serve`] — the `esvm serve` online allocation loop: a line
+//!   protocol over the irrevocable-at-arrival engine, fed from stdin,
+//!   a Unix socket, or streamed traces;
+//! * [`gap`] — the `esvm gap` online/offline optimality-gap report
+//!   (empirical competitive ratios per seed);
 //! * [`report`] — a standalone HTML reproduction report with embedded
 //!   SVG plots of every figure;
 //! * [`options`] — common knobs (seed count, thread count, quick mode);
@@ -34,11 +39,13 @@
 pub mod cli;
 pub mod experiments;
 pub mod figure;
+pub mod gap;
 pub mod options;
 pub mod planner;
 pub mod query;
 pub mod report;
 pub mod runner;
+pub mod serve;
 
 pub use figure::{Figure, Series};
 pub use options::ExpOptions;

@@ -1,0 +1,458 @@
+//! The `esvm serve` online allocation loop and its line protocol.
+//!
+//! A session wraps an [`OnlineEngine`] behind a newline-delimited text
+//! protocol, one request per line, one reply per request:
+//!
+//! ```text
+//! REQ <id> <start> <dur> <cpu> <mem>   →  PLACED <id> <server>
+//!                                      |  REJECTED <id>
+//!                                      |  ERR <code> <detail>
+//! STATS                                →  STATS requests=… placed=… …
+//! DRAIN                                →  DRAINED departed=<n>
+//! ```
+//!
+//! `id`, `start` and `dur` are unsigned integers (`dur ≥ 1` time
+//! units), `cpu`/`mem` finite non-negative decimals. Blank lines and
+//! `#` comments are ignored without a reply. Malformed input of any
+//! kind — unknown verbs, missing fields, NaN demands, negative
+//! durations, overflow-scale starts — earns a typed `ERR` reply and
+//! leaves the session fully usable; nothing on the wire can panic or
+//! poison the engine. Every accepted `REQ` is timed and lands in the
+//! [`serve.decision_us`](esvm_obs::names::serve::DECISION_US)
+//! histogram, so `--metrics-out` reports p50/p95/p99 per-decision
+//! latency and `--trace-out` carries the engine's `online.decision`
+//! spans.
+//!
+//! Feeds: [`serve_lines`] drives a session from any [`BufRead`] (stdin,
+//! a Unix socket, a file of `REQ` lines); [`feed_problem`] replays a
+//! fully materialised problem; [`feed_records`] streams an ESVT trace
+//! through [`TraceReader::records`] without materialising the VM list.
+//!
+//! [`TraceReader::records`]: esvm_workload::TraceReader::records
+
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use esvm_core::{OnlineDecision, OnlineEngine, OnlineError};
+use esvm_obs::names::serve as names;
+use esvm_obs::{MetricsRegistry, Tracer};
+use esvm_simcore::{Interval, Resources, ServerSpec, Vm, MAX_TIME};
+
+/// A parsed protocol line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// `REQ id start dur cpu mem` — an arrival needing a decision.
+    Req(Vm),
+    /// `STATS` — one-line session summary.
+    Stats,
+    /// `DRAIN` — depart every live VM.
+    Drain,
+}
+
+/// Typed protocol failures; rendered on the wire as
+/// `ERR <kebab-code> <detail>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// First word of the line is not a known verb.
+    UnknownVerb(String),
+    /// `REQ` had the wrong number of fields.
+    FieldCount {
+        /// Fields found on the line (after the verb).
+        got: usize,
+    },
+    /// A field failed numeric validation (unparseable, NaN, negative,
+    /// or beyond the representable range).
+    BadNumber {
+        /// Field name from the grammar.
+        field: &'static str,
+        /// The offending token.
+        value: String,
+    },
+    /// `start`/`dur` describe an interval outside `[0, MAX_TIME]`.
+    BadInterval {
+        /// Requested start.
+        start: u64,
+        /// Requested duration.
+        dur: u64,
+    },
+    /// The engine refused the event (duplicate id, time travel, …).
+    Online(OnlineError),
+}
+
+impl ProtocolError {
+    /// The stable kebab-case error code of the `ERR` reply.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::UnknownVerb(_) => "unknown-verb",
+            ProtocolError::FieldCount { .. } => "field-count",
+            ProtocolError::BadNumber { .. } => "bad-number",
+            ProtocolError::BadInterval { .. } => "bad-interval",
+            ProtocolError::Online(OnlineError::DuplicateVm(_)) => "duplicate-id",
+            ProtocolError::Online(OnlineError::OutOfOrder { .. }) => "out-of-order",
+            ProtocolError::Online(OnlineError::UnknownVm(_)) => "unknown-id",
+            ProtocolError::Online(OnlineError::UnknownServer(_)) => "unknown-server",
+            ProtocolError::Online(_) => "online",
+        }
+    }
+
+    /// The full wire reply for this error.
+    pub fn reply(&self) -> String {
+        format!("ERR {} {}", self.code(), self)
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownVerb(verb) => {
+                write!(f, "unknown verb {verb:?}; expected REQ, STATS or DRAIN")
+            }
+            ProtocolError::FieldCount { got } => {
+                write!(f, "REQ needs 5 fields (id start dur cpu mem), got {got}")
+            }
+            ProtocolError::BadNumber { field, value } => {
+                write!(f, "field {field} cannot be {value:?}")
+            }
+            ProtocolError::BadInterval { start, dur } => write!(
+                f,
+                "interval start={start} dur={dur} exceeds the horizon cap {MAX_TIME}"
+            ),
+            ProtocolError::Online(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn parse_u32(field: &'static str, token: &str) -> Result<u32, ProtocolError> {
+    token.parse::<u32>().map_err(|_| ProtocolError::BadNumber {
+        field,
+        value: token.to_owned(),
+    })
+}
+
+fn parse_demand(field: &'static str, token: &str) -> Result<f64, ProtocolError> {
+    let v: f64 = token.parse().map_err(|_| ProtocolError::BadNumber {
+        field,
+        value: token.to_owned(),
+    })?;
+    // NaN, infinities and negatives would panic inside `Resources::new`;
+    // they are protocol errors here.
+    if !v.is_finite() || v < 0.0 {
+        return Err(ProtocolError::BadNumber {
+            field,
+            value: token.to_owned(),
+        });
+    }
+    Ok(v)
+}
+
+/// Parses one protocol line. `Ok(None)` means the line carries nothing
+/// (blank or `#` comment) and deserves no reply.
+pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let verb = fields.next().expect("non-empty line has a first token");
+    match verb {
+        "STATS" => Ok(Some(Request::Stats)),
+        "DRAIN" => Ok(Some(Request::Drain)),
+        "REQ" => {
+            let rest: Vec<&str> = fields.collect();
+            if rest.len() != 5 {
+                return Err(ProtocolError::FieldCount { got: rest.len() });
+            }
+            let id = parse_u32("id", rest[0])?;
+            let start = parse_u32("start", rest[1])?;
+            let dur = parse_u32("dur", rest[2])?;
+            let cpu = parse_demand("cpu", rest[3])?;
+            let mem = parse_demand("mem", rest[4])?;
+            if dur == 0 {
+                return Err(ProtocolError::BadNumber {
+                    field: "dur",
+                    value: rest[2].to_owned(),
+                });
+            }
+            // `Interval::with_len` panics past the horizon cap; check
+            // in u64 so `start + dur` itself cannot overflow.
+            let end = start as u64 + dur as u64 - 1;
+            if start as u64 > MAX_TIME as u64 || end > MAX_TIME as u64 {
+                return Err(ProtocolError::BadInterval {
+                    start: start as u64,
+                    dur: dur as u64,
+                });
+            }
+            Ok(Some(Request::Req(Vm::new(
+                id,
+                Resources::new(cpu, mem),
+                Interval::with_len(start, dur),
+            ))))
+        }
+        other => Err(ProtocolError::UnknownVerb(other.to_owned())),
+    }
+}
+
+/// One online serving session: engine + instrumentation.
+pub struct ServeSession<'a, T: Tracer> {
+    engine: OnlineEngine,
+    metrics: &'a MetricsRegistry,
+    tracer: &'a T,
+}
+
+impl<'a, T: Tracer> ServeSession<'a, T> {
+    /// A fresh session over `servers`, recording per-decision latency
+    /// into `metrics` and decision provenance into `tracer`.
+    pub fn new(servers: &[ServerSpec], metrics: &'a MetricsRegistry, tracer: &'a T) -> Self {
+        Self {
+            engine: OnlineEngine::new(servers),
+            metrics,
+            tracer,
+        }
+    }
+
+    /// The engine, for post-session inspection.
+    pub fn engine(&self) -> &OnlineEngine {
+        &self.engine
+    }
+
+    /// Feeds one arrival through the timed decision path and returns
+    /// the wire reply.
+    pub fn request(&mut self, vm: Vm) -> String {
+        self.metrics.add(names::REQUESTS, 1);
+        let t0 = Instant::now();
+        let decision = self.engine.arrive_traced(vm, self.tracer);
+        self.metrics
+            .observe(names::DECISION_US, t0.elapsed().as_secs_f64() * 1e6);
+        match decision {
+            Ok(OnlineDecision::Placed(sid)) => {
+                self.metrics.add(names::PLACED, 1);
+                format!("PLACED {} {}", vm.id().0, sid.0)
+            }
+            Ok(OnlineDecision::Rejected) => {
+                self.metrics.add(names::REJECTED, 1);
+                format!("REJECTED {}", vm.id().0)
+            }
+            Err(e) => {
+                self.metrics.add(names::PROTOCOL_ERRORS, 1);
+                ProtocolError::Online(e).reply()
+            }
+        }
+    }
+
+    /// The `STATS` reply line.
+    pub fn stats_line(&self) -> String {
+        let s = self.engine.stats();
+        let lat = self.metrics.histogram(names::DECISION_US);
+        let (mean, p50, p95, p99) = lat
+            .map(|h| (h.mean(), h.p50, h.p95, h.p99))
+            .unwrap_or((0.0, 0.0, 0.0, 0.0));
+        format!(
+            "STATS requests={} placed={} rejected={} departed={} live={} \
+             mean_us={mean:.2} p50_us={p50:.2} p95_us={p95:.2} p99_us={p99:.2}",
+            s.arrivals,
+            s.placed,
+            s.rejected,
+            s.departed,
+            self.engine.live_count(),
+        )
+    }
+
+    /// Handles one raw protocol line. `None` = no reply owed (blank or
+    /// comment line).
+    pub fn handle(&mut self, line: &str) -> Option<String> {
+        match parse_request(line) {
+            Ok(None) => None,
+            Ok(Some(Request::Req(vm))) => Some(self.request(vm)),
+            Ok(Some(Request::Stats)) => Some(self.stats_line()),
+            Ok(Some(Request::Drain)) => {
+                let n = self.engine.drain();
+                self.metrics.add(names::DEPARTED, n as u64);
+                Some(format!("DRAINED departed={n}"))
+            }
+            Err(e) => {
+                self.metrics.add(names::PROTOCOL_ERRORS, 1);
+                Some(e.reply())
+            }
+        }
+    }
+}
+
+/// Drives a session from a line stream, writing one reply per
+/// non-empty line, until EOF. Protocol errors are replied to and the
+/// loop continues; only transport failures end the session early.
+///
+/// # Errors
+///
+/// I/O errors from the input or output stream.
+pub fn serve_lines<R: BufRead, W: Write, T: Tracer>(
+    input: R,
+    mut output: W,
+    session: &mut ServeSession<'_, T>,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if let Some(reply) = session.handle(&line) {
+            output.write_all(reply.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// Replays a materialised problem through the session in canonical
+/// arrival order (departures fire implicitly as the clock advances).
+/// Returns the replies, one per VM.
+pub fn feed_problem<T: Tracer>(
+    problem: &esvm_simcore::AllocationProblem,
+    session: &mut ServeSession<'_, T>,
+) -> Vec<String> {
+    problem
+        .vms_by_start_time()
+        .into_iter()
+        .map(|j| session.request(problem.vms()[j]))
+        .collect()
+}
+
+/// Streams ESVT records straight into the session —
+/// [`TraceReader::records`](esvm_workload::TraceReader::records) yields
+/// VMs in (start, id) order, so the stream is already a valid event
+/// feed. Returns `(placed, rejected)`.
+///
+/// # Errors
+///
+/// Stops at the first corrupt record with its
+/// [`TraceError`](esvm_workload::trace::TraceError).
+pub fn feed_records<R: std::io::Read + std::io::Seek, T: Tracer>(
+    records: esvm_workload::esvt::Records<R>,
+    session: &mut ServeSession<'_, T>,
+) -> Result<(u64, u64), esvm_workload::trace::TraceError> {
+    let mut placed = 0;
+    let mut rejected = 0;
+    for record in records {
+        let reply = session.request(record?);
+        if reply.starts_with("PLACED") {
+            placed += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    Ok((placed, rejected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esvm_obs::NoopTracer;
+    use esvm_simcore::PowerModel;
+
+    fn fleet() -> Vec<ServerSpec> {
+        (0..2u32)
+            .map(|i| {
+                ServerSpec::new(
+                    i,
+                    Resources::new(8.0, 16.0),
+                    PowerModel::new(100.0, 200.0),
+                    120.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn req_round_trip() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        assert_eq!(
+            session.handle("REQ 0 1 10 2.0 4.0").as_deref(),
+            Some("PLACED 0 0")
+        );
+        assert_eq!(
+            session.handle("REQ 1 1 10 8.0 16.0").as_deref(),
+            Some("PLACED 1 1")
+        );
+        assert_eq!(
+            session.handle("REQ 2 1 10 8.0 16.0").as_deref(),
+            Some("REJECTED 2")
+        );
+        assert!(session.handle("STATS").unwrap().contains("placed=2"));
+        assert_eq!(
+            session.handle("DRAIN").as_deref(),
+            Some("DRAINED departed=2")
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_get_no_reply() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        assert_eq!(session.handle(""), None);
+        assert_eq!(session.handle("   "), None);
+        assert_eq!(session.handle("# a comment"), None);
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors_and_session_survives() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        for (line, code) in [
+            ("FLY 1 2 3", "unknown-verb"),
+            ("REQ 0 1 10", "field-count"),
+            ("REQ 0 1 10 2.0 4.0 9", "field-count"),
+            ("REQ x 1 10 2.0 4.0", "bad-number"),
+            ("REQ 0 1 -3 2.0 4.0", "bad-number"),
+            ("REQ 0 1 0 2.0 4.0", "bad-number"),
+            ("REQ 0 1 10 NaN 4.0", "bad-number"),
+            ("REQ 0 1 10 2.0 -1", "bad-number"),
+            ("REQ 0 1 10 1e999 4.0", "bad-number"),
+            ("REQ 0 99999999999 10 2.0 4.0", "bad-number"),
+            ("REQ 0 4294967294 10 2.0 4.0", "bad-interval"),
+        ] {
+            let reply = session.handle(line).unwrap();
+            assert!(
+                reply.starts_with(&format!("ERR {code}")),
+                "{line:?} → {reply:?}"
+            );
+        }
+        // The session is not poisoned: a good request still works.
+        assert_eq!(
+            session.handle("REQ 7 1 5 1.0 1.0").as_deref(),
+            Some("PLACED 7 0")
+        );
+        assert_eq!(metrics.counter(names::PROTOCOL_ERRORS), 11);
+    }
+
+    #[test]
+    fn engine_rejections_are_typed_online_errors() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        session.handle("REQ 0 5 5 1.0 1.0");
+        let dup = session.handle("REQ 0 5 5 1.0 1.0").unwrap();
+        assert!(dup.starts_with("ERR duplicate-id"), "{dup}");
+        let late = session.handle("REQ 1 2 5 1.0 1.0").unwrap();
+        assert!(late.starts_with("ERR out-of-order"), "{late}");
+    }
+
+    #[test]
+    fn serve_lines_replies_per_line() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        let input = b"REQ 0 1 10 2.0 4.0\n# comment\nSTATS\n".to_vec();
+        let mut out = Vec::new();
+        serve_lines(&input[..], &mut out, &mut session).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "PLACED 0 0");
+        assert!(lines[1].starts_with("STATS requests=1"));
+    }
+}

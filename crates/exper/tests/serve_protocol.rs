@@ -1,0 +1,165 @@
+//! Adversarial property tests for the `esvm serve` line protocol.
+//!
+//! A hardened server has exactly three behaviours per request line:
+//! a decision (`PLACED`/`REJECTED`), a typed `ERR` reply, or silence
+//! on blanks and comments. These tests mutate well-formed request
+//! streams — corrupted fields, truncation, duplicated and deleted
+//! lines — and assert the session never panics, never emits anything
+//! outside the reply grammar, and keeps serving after every error.
+
+use esvm_exper::serve::ServeSession;
+use esvm_obs::{MetricsRegistry, NoopTracer};
+use esvm_simcore::{PowerModel, Resources, ServerSpec};
+use proptest::prelude::*;
+
+/// Garbage values a corrupted field can take, including the ones that
+/// would reach `Resources::new`/`Interval::with_len` asserts if the
+/// parser validated after construction instead of before.
+const GARBAGE: [&str; 12] = [
+    "NaN", "-NaN", "inf", "-inf", "-1", "1e999", "0x10", "", "foo", "1.5.3",
+    "99999999999999999999", "4294967295",
+];
+
+fn fleet() -> Vec<ServerSpec> {
+    (0..4u32)
+        .map(|i| {
+            ServerSpec::new(
+                i,
+                Resources::new(8.0, 16.0),
+                PowerModel::new(100.0, 200.0),
+                120.0,
+            )
+        })
+        .collect()
+}
+
+/// A well-formed request stream: staggered arrivals that mostly fit.
+fn valid_stream(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("REQ {i} {} {} 2.0 4.0", i + 1, 5 + i % 7))
+        .collect()
+}
+
+fn mutate(lines: &[String], line: usize, field: usize, garbage: usize, mode: usize) -> Vec<String> {
+    if lines.is_empty() {
+        return Vec::new();
+    }
+    let line = line % lines.len();
+    let mut out = lines.to_vec();
+    match mode % 4 {
+        // Replace one space-separated field with garbage.
+        0 => {
+            let mut fields: Vec<String> =
+                out[line].split_whitespace().map(str::to_owned).collect();
+            let field = field % fields.len();
+            fields[field] = GARBAGE[garbage % GARBAGE.len()].to_owned();
+            out[line] = fields.join(" ");
+        }
+        // Truncate mid-line.
+        1 => {
+            let cut = out[line].len() / 2;
+            out[line].truncate(cut);
+        }
+        // Duplicate a line verbatim (duplicate-id injection).
+        2 => {
+            let dup = out[line].clone();
+            out.insert(line, dup);
+        }
+        // Delete a line (skipped ids, reordered stream).
+        _ => {
+            out.remove(line);
+        }
+    }
+    out
+}
+
+/// The full reply grammar; anything else is a protocol break.
+fn reply_is_well_formed(reply: &str) -> bool {
+    reply.starts_with("PLACED ")
+        || reply.starts_with("REJECTED ")
+        || reply.starts_with("ERR ")
+        || reply.starts_with("STATS ")
+        || reply.starts_with("DRAINED ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single mutation of a valid stream yields only well-formed
+    /// replies, never a panic, and the session keeps serving.
+    #[test]
+    fn mutated_streams_never_break_the_session(
+        line in 0usize..10_000,
+        field in 0usize..8,
+        garbage in 0usize..GARBAGE.len(),
+        mode in 0usize..4,
+    ) {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+
+        let stream = mutate(&valid_stream(12), line, field, garbage, mode);
+        for request in &stream {
+            if let Some(reply) = session.handle(request) {
+                prop_assert!(
+                    reply_is_well_formed(&reply),
+                    "unexpected reply {reply:?} to {request:?}"
+                );
+                prop_assert!(!reply.contains('\n'), "reply must be one line");
+            }
+        }
+
+        // The session survives: a fresh, valid request still gets a
+        // decision, and the control verbs still answer.
+        let probe = session.handle("REQ 50000 4000 5 1.0 2.0");
+        prop_assert!(
+            matches!(probe.as_deref(), Some(r) if r == "PLACED 50000 0"
+                || r.starts_with("PLACED 50000 ") || r == "REJECTED 50000"),
+            "session did not survive: {probe:?}"
+        );
+        let stats = session.handle("STATS").expect("STATS always replies");
+        prop_assert!(stats.starts_with("STATS "), "{stats}");
+        let drained = session.handle("DRAIN").expect("DRAIN always replies");
+        prop_assert!(drained.starts_with("DRAINED "), "{drained}");
+    }
+
+    /// Stacked mutations (up to 5) behave the same, and every `ERR`
+    /// carries a kebab-case code.
+    #[test]
+    fn stacked_mutations_yield_typed_errors(
+        edits in proptest::collection::vec(
+            (0usize..10_000, 0usize..8, 0usize..GARBAGE.len(), 0usize..4),
+            1..6,
+        ),
+    ) {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+
+        let mut stream = valid_stream(10);
+        for &(line, field, garbage, mode) in &edits {
+            stream = mutate(&stream, line, field, garbage, mode);
+        }
+        let mut errors = 0u64;
+        for request in &stream {
+            match session.handle(request) {
+                Some(reply) if reply.starts_with("ERR ") => {
+                    errors += 1;
+                    let code = reply.split_whitespace().nth(1).unwrap_or("");
+                    prop_assert!(
+                        !code.is_empty()
+                            && code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                        "ERR code must be kebab-case: {reply:?}"
+                    );
+                }
+                Some(reply) => prop_assert!(reply_is_well_formed(&reply), "{reply:?}"),
+                None => {}
+            }
+        }
+        prop_assert_eq!(
+            metrics.counter(esvm_obs::names::serve::PROTOCOL_ERRORS),
+            errors,
+            "every ERR reply is counted exactly once"
+        );
+    }
+}

@@ -29,3 +29,19 @@ pub mod chaos {
     /// Gauge: cost of the intended fault-free offline assignment.
     pub const ENERGY_OFFLINE_COST: &str = "chaos.energy_offline_cost";
 }
+
+/// Metrics recorded by the online serving loop (`esvm serve`).
+pub mod serve {
+    /// Histogram: wall-clock per-decision latency in microseconds.
+    pub const DECISION_US: &str = "serve.decision_us";
+    /// Counter: well-formed `REQ` lines accepted into the event loop.
+    pub const REQUESTS: &str = "serve.requests";
+    /// Counter: requests answered `PLACED`.
+    pub const PLACED: &str = "serve.placed";
+    /// Counter: requests answered `REJECTED`.
+    pub const REJECTED: &str = "serve.rejected";
+    /// Counter: VMs whose capacity was freed by a departure event.
+    pub const DEPARTED: &str = "serve.departed";
+    /// Counter: lines answered with a typed `ERR` reply.
+    pub const PROTOCOL_ERRORS: &str = "serve.protocol_errors";
+}

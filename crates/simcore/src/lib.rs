@@ -66,10 +66,12 @@ mod vm;
 
 pub mod energy;
 pub mod events;
+pub mod stream;
 
 pub use assignment::{Assignment, AuditReport, EnergyBreakdown, ServerReport, UtilizationStats};
 pub use energy::{LedgerCheckpoint, ServerLedger};
 pub use events::{replay, PowerTrace};
+pub use stream::{departure_time, event_order, VmEvent};
 pub use error::{Error, Result};
 pub use problem::{AllocationProblem, ProblemBuilder, ProblemStats};
 pub use resources::Resources;

@@ -1,0 +1,143 @@
+//! The canonical arrival/departure event stream of an instance.
+//!
+//! Offline allocators consume a problem as a *batch* sorted by start
+//! time ([`AllocationProblem::vms_by_start_time`]). The online serving
+//! path consumes the same instance as a *stream* of timed events: every
+//! VM contributes one [`VmEvent::Arrive`] at its start and one
+//! [`VmEvent::Depart`] at the first time unit after its closed interval
+//! ends. [`event_order`] defines the one canonical interleaving both
+//! the online engine and its differential tests replay, so "the same
+//! trace" means the same event sequence no matter which source (text,
+//! ESVT, stdin) produced it.
+//!
+//! Ordering rules, in priority order:
+//!
+//! 1. ascending event time — arrivals at `start`, departures at
+//!    `end + 1` (intervals are closed, so a VM still occupies its
+//!    server *at* `end`; capacity frees one unit later);
+//! 2. at equal times, **departures before arrivals**: a VM departing at
+//!    `t` cannot overlap one arriving at `t`, so freeing first is safe
+//!    and maximises packing;
+//! 3. within a kind, ascending [`VmId`] — the same lowest-id
+//!    determinism every argmin in the workspace uses.
+//!
+//! [`AllocationProblem::vms_by_start_time`]: crate::AllocationProblem::vms_by_start_time
+
+use crate::{TimeUnit, Vm, VmId};
+
+/// One timed event of the arrival/departure stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VmEvent {
+    /// The VM requests placement; an online decision is due *now*.
+    Arrive(Vm),
+    /// The VM's closed interval has ended: its capacity frees at `at`
+    /// (`= end + 1`).
+    Depart {
+        /// The departing VM.
+        vm: VmId,
+        /// First time unit the freed capacity is usable.
+        at: TimeUnit,
+    },
+}
+
+impl VmEvent {
+    /// The event's time: arrival start, or the departure's free instant.
+    pub fn at(&self) -> TimeUnit {
+        match self {
+            VmEvent::Arrive(vm) => vm.start(),
+            VmEvent::Depart { at, .. } => *at,
+        }
+    }
+
+    /// The VM the event concerns.
+    pub fn vm(&self) -> VmId {
+        match self {
+            VmEvent::Arrive(vm) => vm.id(),
+            VmEvent::Depart { vm, .. } => *vm,
+        }
+    }
+
+    /// Whether this is a departure (sorts before arrivals at its time).
+    pub fn is_departure(&self) -> bool {
+        matches!(self, VmEvent::Depart { .. })
+    }
+}
+
+/// The first time unit after `vm`'s closed interval: when its capacity
+/// frees. Never overflows: interval ends are capped at
+/// [`MAX_TIME`](crate::MAX_TIME)` = u32::MAX − 1`.
+pub fn departure_time(vm: &Vm) -> TimeUnit {
+    vm.end() + 1
+}
+
+/// The canonical event interleaving of `vms` (see the module docs for
+/// the ordering rules). Every VM contributes exactly one arrival and
+/// one departure, so the result has `2 × vms.len()` events.
+pub fn event_order(vms: &[Vm]) -> Vec<VmEvent> {
+    let mut events: Vec<VmEvent> = Vec::with_capacity(vms.len() * 2);
+    for vm in vms {
+        events.push(VmEvent::Arrive(*vm));
+        events.push(VmEvent::Depart {
+            vm: vm.id(),
+            at: departure_time(vm),
+        });
+    }
+    // Departures (false < true is the wrong way around: departures
+    // must come first, so sort on `!is_departure`).
+    events.sort_by_key(|e| (e.at(), !e.is_departure(), e.vm()));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interval, Resources};
+
+    fn vm(id: u32, start: u32, end: u32) -> Vm {
+        Vm::new(id, Resources::new(1.0, 1.0), Interval::new(start, end))
+    }
+
+    #[test]
+    fn every_vm_contributes_arrival_and_departure() {
+        let vms = vec![vm(0, 1, 5), vm(1, 3, 3)];
+        let events = event_order(&vms);
+        assert_eq!(events.len(), 4);
+        let arrivals = events.iter().filter(|e| !e.is_departure()).count();
+        assert_eq!(arrivals, 2);
+    }
+
+    #[test]
+    fn order_is_time_then_departures_first_then_id() {
+        // vm0 [1,4] departs at 5; vm1 arrives at 5 — departure first.
+        // vm2 and vm3 both arrive at 5 — ascending id.
+        let vms = vec![vm(0, 1, 4), vm(3, 5, 9), vm(2, 5, 7), vm(1, 5, 6)];
+        let events = event_order(&vms);
+        assert_eq!(events[0], VmEvent::Arrive(vms[0]));
+        assert_eq!(events[1], VmEvent::Depart { vm: VmId(0), at: 5 });
+        assert_eq!(events[2].vm(), VmId(1));
+        assert_eq!(events[3].vm(), VmId(2));
+        assert_eq!(events[4].vm(), VmId(3));
+        assert!(events[2..5].iter().all(|e| !e.is_departure()));
+    }
+
+    #[test]
+    fn departure_time_is_one_past_the_closed_interval() {
+        let v = vm(7, 2, 9);
+        assert_eq!(departure_time(&v), 10);
+        assert_eq!(VmEvent::Depart { vm: v.id(), at: 10 }.at(), 10);
+        // The cap on interval ends keeps `end + 1` from overflowing.
+        let late = vm(8, crate::MAX_TIME, crate::MAX_TIME);
+        assert_eq!(departure_time(&late), u32::MAX);
+    }
+
+    #[test]
+    fn arrivals_preserve_the_offline_scan_order() {
+        let vms = vec![vm(2, 4, 5), vm(0, 2, 9), vm(1, 2, 3)];
+        let order: Vec<VmId> = event_order(&vms)
+            .into_iter()
+            .filter(|e| !e.is_departure())
+            .map(|e| e.vm())
+            .collect();
+        assert_eq!(order, vec![VmId(0), VmId(1), VmId(2)]);
+    }
+}

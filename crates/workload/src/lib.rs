@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod arrivals;
 pub mod catalog;
 pub mod dist;
@@ -46,6 +47,7 @@ pub mod trace;
 
 mod generator;
 
+pub use adversarial::AdversaryPreset;
 pub use arrivals::ArrivalModel;
 pub use catalog::{ServerType, VmClass, VmType};
 pub use esvt::{from_esvt, to_esvt, BlockStats, EsvtWriter, ReadStats, TraceReader};

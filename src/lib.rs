@@ -71,7 +71,8 @@ pub use esvm_chaos::{
 };
 pub use esvm_core::{
     Allocator, AllocatorKind, BestFit, Consolidator, Ffps, FirstFit, LocalSearch, LowestIdlePower,
-    Miec, Random, Refined, RoundRobin,
+    Miec, OnlineDecision, OnlineEngine, OnlineError, OnlineGreedy, OnlineStats, Random, Refined,
+    RoundRobin,
 };
 pub use esvm_exper::{ExpOptions, Figure, MonteCarlo, Series};
 pub use esvm_ilp::Formulation;
@@ -81,4 +82,5 @@ pub use esvm_simcore::{
     PowerTrace, ProblemBuilder, Resources, Schedule, ScheduleAudit, ServerId, ServerLedger,
     ServerSpec, Vm, VmId,
 };
-pub use esvm_workload::{catalog, ServerType, VmClass, VmType, WorkloadConfig};
+pub use esvm_simcore::{departure_time, event_order, VmEvent};
+pub use esvm_workload::{catalog, AdversaryPreset, ServerType, VmClass, VmType, WorkloadConfig};

@@ -1,0 +1,208 @@
+//! Property tests for the online event engine.
+//!
+//! Arbitrary interleavings of arrivals, departures and fault events
+//! must uphold the serving invariants:
+//!
+//! * an id is placed at most once, and a duplicate arrival is a typed
+//!   error, not a second placement;
+//! * a VM is never placed on a server that is down at decision time;
+//! * every ledger's Eq. 7 decomposition stays consistent with its
+//!   cost after *every* event, and the committed cost (retired +
+//!   live) is conserved across departures and evictions;
+//! * out-of-order arrivals and unknown departures are typed errors
+//!   that leave the engine usable.
+
+use std::collections::HashSet;
+
+use esvm::{
+    event_order, FaultEvent, FaultPlan, FaultPlanConfig, Interval, OnlineEngine, OnlineError,
+    Resources, Vm, VmId, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// Asserts the per-ledger Eq. 7 decomposition and the conservation of
+/// the committed cost after an event.
+fn check_energy(engine: &OnlineEngine, ctx: &str) {
+    let mut live_total = 0.0;
+    for (i, ledger) in engine.ledgers().iter().enumerate() {
+        let cost = ledger.cost();
+        let breakdown = ledger.energy_breakdown().total();
+        assert!(
+            (cost - breakdown).abs() <= 1e-6 * cost.abs().max(1.0),
+            "{ctx}: server {i} cost {cost} vs breakdown {breakdown}"
+        );
+        live_total += cost;
+    }
+    let committed = engine.committed_cost();
+    let recomputed = engine.retired_cost() + live_total;
+    assert!(
+        (committed - recomputed).abs() <= 1e-6 * committed.abs().max(1.0),
+        "{ctx}: committed {committed} vs retired+live {recomputed}"
+    );
+    assert!(committed.is_finite() && committed >= -1e-9, "{ctx}: {committed}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The main interleaving property: a seeded workload's event
+    /// stream, spliced with a seeded fault plan, never violates the
+    /// placement or energy invariants.
+    #[test]
+    fn interleavings_uphold_the_serving_invariants(
+        seed in 0u64..200,
+        fault_seed in 0u64..200,
+        fault_rate in 0.0f64..0.9,
+    ) {
+        let problem = WorkloadConfig::new(24, 6)
+            .mean_interarrival(2.0)
+            .generate(seed)
+            .expect("generation is feasible");
+        let horizon = problem.stats().horizon;
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig::with_fault_rate(fault_rate),
+            problem.server_count(),
+            horizon,
+            fault_seed,
+        );
+
+        let mut engine = OnlineEngine::new(problem.servers());
+        let mut faults = plan.events().iter().peekable();
+        let mut down: HashSet<u32> = HashSet::new();
+        let mut placed_ids: HashSet<VmId> = HashSet::new();
+        let mut committed_before_departures = engine.committed_cost();
+
+        for event in event_order(problem.vms()) {
+            // Faults strike as soon as the clock would reach them.
+            while let Some(f) = faults.peek() {
+                if f.at() > event.at() {
+                    break;
+                }
+                match f {
+                    FaultEvent::ServerDown { server, .. } => {
+                        let evicted = engine.set_down(*server).expect("known server");
+                        down.insert(server.0);
+                        // Evicted ids stay consumed: irrevocability.
+                        for vm in &evicted {
+                            prop_assert!(placed_ids.contains(&vm.id()));
+                        }
+                    }
+                    FaultEvent::ServerUp { server, .. } => {
+                        engine.set_up(*server).expect("known server");
+                        down.remove(&server.0);
+                    }
+                }
+                check_energy(&engine, "after fault");
+                faults.next();
+            }
+
+            let is_departure = event.is_departure();
+            let vm_id = event.vm();
+            match engine.apply(event) {
+                Ok(Some(decision)) => {
+                    if let Some(server) = decision.server() {
+                        prop_assert!(
+                            !down.contains(&server.0),
+                            "placed on down server {server:?}"
+                        );
+                        prop_assert!(
+                            !engine.is_down(server),
+                            "engine disagrees on down state"
+                        );
+                        prop_assert!(
+                            placed_ids.insert(vm_id),
+                            "id {vm_id:?} placed twice"
+                        );
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => prop_assert!(
+                    false,
+                    "in-order stream event must be accepted: {e}"
+                ),
+            }
+            if is_departure {
+                // Departures move energy between the live ledgers and
+                // the retired pool without changing the sum.
+                let committed = engine.committed_cost();
+                prop_assert!(
+                    committed <= committed_before_departures.max(committed) + 1e-6
+                );
+            }
+            committed_before_departures = engine.committed_cost();
+            check_energy(&engine, "after event");
+        }
+
+        // Each id appears at most once in the decision log.
+        let placements = engine.placement(problem.vm_count());
+        let placed: Vec<_> = placements.iter().filter(|s| s.is_some()).collect();
+        prop_assert_eq!(placed.len() as u64, engine.stats().placed);
+        prop_assert!(engine.stats().placed + engine.stats().rejected
+            == engine.stats().arrivals);
+
+        // Drain the survivors; the committed cost is conserved.
+        let before = engine.committed_cost();
+        engine.drain();
+        let after = engine.committed_cost();
+        prop_assert!(
+            (before - after).abs() <= 1e-6 * before.abs().max(1.0),
+            "drain changed the committed cost: {before} -> {after}"
+        );
+        prop_assert_eq!(engine.live_count(), 0);
+    }
+
+    /// Duplicate ids, out-of-order starts and unknown departures are
+    /// typed errors and never corrupt the session.
+    #[test]
+    fn protocol_violations_are_typed_errors(seed in 0u64..100) {
+        let problem = WorkloadConfig::new(12, 4)
+            .mean_interarrival(2.0)
+            .generate(seed)
+            .expect("generation is feasible");
+        let mut engine = OnlineEngine::new(problem.servers());
+
+        let vms = problem.vms();
+        let mut order = problem.vms_by_start_time();
+        order.sort_by_key(|&i| (vms[i].start(), vms[i].id()));
+        let first = vms[order[0]].clone();
+        engine.arrive(first.clone()).expect("first arrival");
+
+        // Duplicate id — even with different demand.
+        let dup = Vm::new(first.id(), Resources::new(1.0, 1.0), first.interval());
+        prop_assert!(matches!(
+            engine.arrive(dup),
+            Err(OnlineError::DuplicateVm(id)) if id == first.id()
+        ));
+
+        // Advance the clock past the first start, then present an
+        // arrival from the past.
+        let late = order
+            .iter()
+            .map(|&i| &vms[i])
+            .find(|v| v.start() > first.start());
+        if let Some(late) = late {
+            engine.arrive(late.clone()).expect("in-order arrival");
+            let stale = Vm::new(
+                9_000u32,
+                Resources::new(1.0, 1.0),
+                Interval::new(first.start(), late.start()),
+            );
+            let verdict = engine.arrive(stale);
+            prop_assert!(
+                matches!(verdict, Err(OnlineError::OutOfOrder { .. })),
+                "stale arrival must be rejected, got {verdict:?}"
+            );
+        }
+
+        // Departing a never-seen id is a typed error.
+        prop_assert!(matches!(
+            engine.depart(VmId(60_000)),
+            Err(OnlineError::UnknownVm(VmId(60_000)))
+        ));
+
+        // The session survives all of the above.
+        let stats = engine.stats();
+        prop_assert!(stats.arrivals >= 1);
+        check_energy(&engine, "after violations");
+    }
+}
