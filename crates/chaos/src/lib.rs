@@ -29,5 +29,5 @@ pub mod policy;
 
 pub use engine::{ChaosEngine, ChaosError, ChaosReport, RepairRecord};
 pub use input::InputFault;
-pub use plan::{FaultCause, FaultEvent, FaultPlan, FaultPlanConfig, PlanParseError};
+pub use plan::{FaultCause, FaultEvent, FaultPlan, FaultPlanConfig, PlanCursor, PlanParseError};
 pub use policy::{RepairPolicy, ShedPolicy};

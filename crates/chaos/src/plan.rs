@@ -81,6 +81,43 @@ impl FaultEvent {
     }
 }
 
+/// A forward cursor over a [`FaultPlan`]'s canonical `(time, server,
+/// downs-before-ups)` event order. A live feed walks its request
+/// stream and, before each arrival at time `t`, drains
+/// [`take_until`](PlanCursor::take_until)`(t)` into the session's
+/// fault verbs — the plan "strikes" exactly when the session clock
+/// would reach each event, mirroring the offline replay semantics.
+#[derive(Debug, Clone)]
+pub struct PlanCursor<'a> {
+    events: &'a [FaultEvent],
+    next: usize,
+}
+
+impl<'a> PlanCursor<'a> {
+    /// The events with `at() <= t` not yet taken, advancing the cursor
+    /// past them. Successive calls with non-decreasing `t` partition
+    /// the plan.
+    pub fn take_until(&mut self, t: TimeUnit) -> &'a [FaultEvent] {
+        let from = self.next;
+        while self.next < self.events.len() && self.events[self.next].at() <= t {
+            self.next += 1;
+        }
+        &self.events[from..self.next]
+    }
+
+    /// All remaining events (a trailing drain after the last arrival).
+    pub fn rest(&mut self) -> &'a [FaultEvent] {
+        let from = self.next;
+        self.next = self.events.len();
+        &self.events[from..]
+    }
+
+    /// How many events have not been taken yet.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
 /// Knobs for [`FaultPlan::generate`].
 ///
 /// `fault_rate` is the headline knob the CLI exposes: the per-server
@@ -203,6 +240,16 @@ impl FaultPlan {
                 matches!(e, FaultEvent::ServerUp { .. }),
             )
         });
+    }
+
+    /// A forward cursor over the plan's canonical event order, for
+    /// feeding faults into a live session interleaved with a request
+    /// stream (see `esvm chaos --live`).
+    pub fn cursor(&self) -> PlanCursor<'_> {
+        PlanCursor {
+            events: &self.events,
+            next: 0,
+        }
     }
 
     /// Generates a seeded plan for a fleet of `server_count` servers

@@ -64,5 +64,5 @@ pub use ffps::Ffps;
 pub use miec::Miec;
 pub use local_search::{LocalSearch, Refined, SearchMove};
 pub use migration::Consolidator;
-pub use online::{OnlineDecision, OnlineEngine, OnlineError, OnlineGreedy, OnlineStats};
+pub use online::{OnlineDecision, OnlineEngine, OnlineError, OnlineGreedy, OnlineStats, RepairOutcome};
 pub use registry::AllocatorKind;

@@ -141,6 +141,10 @@ options (chaos):
   --plan FILE       replay a serialized fault plan instead of
                     generating one from --fault-rate/--seed
   --plan-out FILE   write the fault plan used, for later replay
+  --live            drill the plan against a *live* serve session: the
+                    DOWN/UP events interleave with the arrival stream
+                    through the serve fault verbs (evict + bounded
+                    backoff repair); --journal/--queue apply
   (--vms/--servers/--seed/--algos and the telemetry flags also apply)
 
 options (serve):
@@ -151,8 +155,22 @@ options (serve):
                     it to EOF (unix only)
   --servers N       fleet size for the stdin/socket fleet (default 50)
   --seed N          seed of the generated fleet specs (default 0)
-  (protocol: REQ id start dur cpu mem | STATS | DRAIN; replies
-   PLACED id server | REJECTED id | ERR code detail)
+  --journal FILE    write-ahead journal: every accepted event is
+                    appended (checksummed) before its reply; pass the
+                    same path as --recover to resume a crashed journal
+  --fsync-every N   group-commit cadence: fsync after every N journal
+                    appends (default 4096, a ~10ms durability window
+                    at full throughput; 0 = only at checkpoints)
+  --recover FILE    replay a journal before serving: the fleet comes
+                    from the journal header, a torn tail is truncated,
+                    and the engine state is rebuilt bit-exactly
+  --queue N         bounded admission queue: at most N simultaneous
+                    arrivals admitted per burst, the rest answered
+                    ERR overloaded (trace feeds; default unbounded)
+  --retries N / --backoff N   repair policy for DOWN evictions
+  (protocol: REQ id start dur cpu mem | DOWN s | UP s | STATS | DRAIN;
+   replies PLACED id server | REJECTED id | DOWNED s evicted=…
+   repaired=… shed=… | UPPED s | ERR code detail)
 
 options (gap):
   --seeds N         seeds to measure (default 10), starting at --seed
@@ -214,6 +232,11 @@ struct Flags {
     plan_out: Option<String>,
     socket: Option<String>,
     adversary: Option<esvm_workload::AdversaryPreset>,
+    journal: Option<String>,
+    fsync_every: Option<u32>,
+    recover: Option<String>,
+    queue: Option<usize>,
+    live: bool,
 }
 
 impl Flags {
@@ -398,6 +421,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "--plan" => flags.plan = Some(value("--plan")?),
             "--plan-out" => flags.plan_out = Some(value("--plan-out")?),
             "--socket" => flags.socket = Some(value("--socket")?),
+            "--journal" => flags.journal = Some(value("--journal")?),
+            "--recover" => flags.recover = Some(value("--recover")?),
+            "--live" => flags.live = true,
+            "--fsync-every" => {
+                flags.fsync_every = Some(
+                    value("--fsync-every")?
+                        .parse()
+                        .map_err(|_| usage("--fsync-every must be an integer".into()))?,
+                )
+            }
+            "--queue" => {
+                flags.queue = Some(
+                    value("--queue")?
+                        .parse()
+                        .map_err(|_| usage("--queue must be an integer".into()))?,
+                )
+            }
             "--adversary" => {
                 flags.adversary = Some(
                     value("--adversary")?
@@ -1037,6 +1077,10 @@ fn run_chaos(flags: &Flags) -> Result<String, CliError> {
         })?;
     }
 
+    if flags.live {
+        return run_chaos_live(flags, &problem, &plan, seed);
+    }
+
     let mut policy = RepairPolicy::default();
     if let Some(r) = flags.retries {
         policy.max_retries = r;
@@ -1127,6 +1171,89 @@ fn run_chaos(flags: &Flags) -> Result<String, CliError> {
         out.push_str(&format!("\nevents written to {path}\n"));
     }
     out.push_str(&trace_note);
+    Ok(out)
+}
+
+/// `esvm chaos --live`: the fault plan strikes a *running* serve
+/// session through the `DOWN`/`UP` verbs, interleaved with the arrival
+/// stream — the drill exercises the live eviction + bounded-backoff
+/// repair path (and the journal, when `--journal` is set) instead of
+/// the offline replay engine.
+fn run_chaos_live(
+    flags: &Flags,
+    problem: &esvm_simcore::AllocationProblem,
+    plan: &esvm_chaos::FaultPlan,
+    seed: u64,
+) -> Result<String, CliError> {
+    use crate::serve::{feed_problem_with_faults, ServeSession};
+    let metrics = esvm_obs::MetricsRegistry::new();
+    let mut session = ServeSession::new(problem.servers(), &metrics, &esvm_obs::NoopTracer)
+        .with_config(serve_config_from(flags));
+    attach_journal(flags, problem.servers(), None, &mut session)?;
+    let report = feed_problem_with_faults(problem, plan, &mut session);
+    session
+        .finish()
+        .map_err(|e| CliError::Usage(format!("journal checkpoint failed: {e}")))?;
+
+    // Eq. 7 conservation after the drill — the same telescoping
+    // invariant the engine's tests enforce, checked here so the CLI
+    // run is itself a verification, not just a demo.
+    let engine = session.engine();
+    let live: f64 = engine.ledgers().iter().map(|l| l.cost()).sum();
+    let recomputed = engine.retired_cost() + live;
+    if engine.committed_cost().to_bits() != recomputed.to_bits() {
+        return Err(CliError::Usage(format!(
+            "energy conservation violated after the drill: committed {} != retired+live {}",
+            engine.committed_cost(),
+            recomputed
+        )));
+    }
+
+    let stats = engine.stats();
+    let config = session.config();
+    let mut table = Table::new(vec!["metric", "value"]);
+    for (name, value) in [
+        ("arrivals", stats.arrivals.to_string()),
+        ("placed", stats.placed.to_string()),
+        ("rejected", stats.rejected.to_string()),
+        ("overloaded", metrics.counter(esvm_obs::names::serve::OVERLOADED).to_string()),
+        ("downs applied", report.downs.to_string()),
+        ("ups applied", report.ups.to_string()),
+        ("evicted", stats.evicted.to_string()),
+        ("repaired", stats.repaired.to_string()),
+        ("departed", stats.departed.to_string()),
+        ("live at end", engine.live_count().to_string()),
+        ("committed cost", format!("{:.1}", engine.committed_cost())),
+    ] {
+        table.row(vec![name.into(), value]);
+    }
+    let mut out = format!(
+        "live chaos drill: {} VMs on {} servers, seed {seed}, {} availability events \
+         (retries {}, backoff {})\n\n{table}\nenergy conservation verified \
+         (committed = retired + live, bit-exact)\n",
+        problem.vm_count(),
+        problem.server_count(),
+        plan.events().len(),
+        config.max_retries,
+        config.backoff,
+    );
+    if let Some(path) = &flags.plan_out {
+        std::fs::write(path, plan.to_text())
+            .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("fault plan written to {path}\n"));
+    }
+    if let Some(path) = &flags.journal {
+        out.push_str(&format!("journal written to {path}\n"));
+    }
+    if let Some(path) = &flags.metrics_out {
+        let mut t = Table::new(vec!["metric", "kind", "value"]);
+        for (name, value) in metrics.snapshot() {
+            t.row(vec![name, value.kind().to_owned(), value.render()]);
+        }
+        std::fs::write(path, t.to_csv())
+            .map_err(|e| CliError::Usage(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
     Ok(out)
 }
 
@@ -1388,6 +1515,11 @@ fn serve_summary<T: esvm_obs::Tracer>(
     table.row(vec!["rejected".into(), stats.rejected.to_string()]);
     table.row(vec!["departed".into(), stats.departed.to_string()]);
     table.row(vec!["evicted".into(), stats.evicted.to_string()]);
+    table.row(vec!["repaired".into(), stats.repaired.to_string()]);
+    table.row(vec![
+        "overloaded".into(),
+        metrics.counter(names::OVERLOADED).to_string(),
+    ]);
     table.row(vec!["live at end".into(), session.engine().live_count().to_string()]);
     table.row(vec![
         "live peak".into(),
@@ -1397,6 +1529,19 @@ fn serve_summary<T: esvm_obs::Tracer>(
         "protocol errors".into(),
         metrics.counter(names::PROTOCOL_ERRORS).to_string(),
     ]);
+    if metrics.counter(names::JOURNAL_APPENDS) > 0 {
+        table.row(vec![
+            "journal appends".into(),
+            metrics.counter(names::JOURNAL_APPENDS).to_string(),
+        ]);
+        table.row(vec![
+            "journal fsyncs".into(),
+            metrics.counter(names::JOURNAL_FSYNCS).to_string(),
+        ]);
+    }
+    if let Some(ms) = metrics.gauge(names::RECOVERY_MS) {
+        table.row(vec!["recovery (ms)".into(), format!("{ms:.2}")]);
+    }
     if let Some(h) = metrics.histogram(names::DECISION_US) {
         table.row(vec!["decision mean (µs)".into(), format!("{:.2}", h.mean())]);
         table.row(vec!["decision p50 (µs)".into(), format!("{:.2}", h.p50)]);
@@ -1434,6 +1579,81 @@ fn serve_socket<T: esvm_obs::Tracer>(
     ))
 }
 
+/// The [`ServeConfig`](crate::serve::ServeConfig) the flags describe.
+fn serve_config_from(flags: &Flags) -> crate::serve::ServeConfig {
+    let mut config = crate::serve::ServeConfig::default();
+    if let Some(q) = flags.queue {
+        config.queue_cap = q;
+    }
+    if let Some(r) = flags.retries {
+        config.max_retries = r;
+    }
+    if let Some(b) = flags.backoff {
+        config.backoff = b;
+    }
+    config
+}
+
+/// Recovers a journal into `session`: replay (timed into the
+/// `serve.recovery_ms` gauge) plus checkpoint verification. Returns the
+/// recovery, for journal resumption and the summary line.
+fn recover_into<T: esvm_obs::Tracer>(
+    path: &str,
+    session: &mut crate::serve::ServeSession<'_, T>,
+    metrics: &esvm_obs::MetricsRegistry,
+) -> Result<crate::journal::Recovered, CliError> {
+    let t0 = std::time::Instant::now();
+    let rec = crate::journal::recover_file(path)
+        .map_err(|e| CliError::Usage(format!("cannot recover journal {path:?}: {e}")))?;
+    session
+        .replay(&rec.records)
+        .map_err(|e| CliError::Usage(format!("journal {path:?} does not replay: {e}")))?;
+    metrics.set_gauge(
+        esvm_obs::names::serve::RECOVERY_MS,
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok(rec)
+}
+
+/// Attaches the `--journal` writer to `session`. Resuming the same
+/// file that was just recovered truncates its torn tail and appends;
+/// a different (or fresh) path gets a new journal carrying the
+/// recovered records forward, so it is self-contained for the *next*
+/// recovery.
+fn attach_journal<T: esvm_obs::Tracer>(
+    flags: &Flags,
+    fleet: &[esvm_simcore::ServerSpec],
+    recovered: Option<&(String, crate::journal::Recovered)>,
+    session: &mut crate::serve::ServeSession<'_, T>,
+) -> Result<(), CliError> {
+    let Some(path) = &flags.journal else {
+        return Ok(());
+    };
+    let fsync_every = flags.fsync_every.unwrap_or(4096);
+    let io_err = |e: std::io::Error| CliError::Usage(format!("journal {path:?}: {e}"));
+    let writer = match recovered {
+        Some((rec_path, rec)) if rec_path == path => {
+            crate::journal::truncate_torn_tail(path, rec)
+                .map_err(|e| CliError::Usage(format!("journal {path:?}: {e}")))?;
+            crate::journal::JournalWriter::open_append(path, fsync_every).map_err(io_err)?
+        }
+        _ => {
+            preflight_out_path(path, flags.force)?;
+            let mut w = crate::journal::JournalWriter::create(path, fleet, fsync_every)
+                .map_err(io_err)?;
+            if let Some((_, rec)) = recovered {
+                for record in &rec.records {
+                    w.append(record).map_err(io_err)?;
+                }
+                w.sync().map_err(io_err)?;
+            }
+            w
+        }
+    };
+    session.set_journal(Some(writer));
+    Ok(())
+}
+
 /// The serving loop proper, generic over the tracer choice.
 fn serve_with<T: esvm_obs::Tracer>(
     flags: &Flags,
@@ -1443,9 +1663,12 @@ fn serve_with<T: esvm_obs::Tracer>(
     use crate::serve::{feed_problem, feed_records, serve_lines, ServeSession};
     use std::io::Read as _;
 
+    // Open the trace feed first so the fleet can come from it. ESVT is
+    // detected by magic bytes and streamed through
+    // `TraceReader::records` without materialising the VM list.
+    let mut esvt_reader = None;
+    let mut text_problem = None;
     if let Some(path) = &flags.trace {
-        // ESVT by magic bytes: stream the event feed through
-        // `TraceReader::records` without materialising the VM list.
         let mut magic = [0u8; 4];
         let is_esvt = std::fs::File::open(path)
             .and_then(|mut f| f.read_exact(&mut magic))
@@ -1454,50 +1677,96 @@ fn serve_with<T: esvm_obs::Tracer>(
         if is_esvt {
             let reader = esvm_workload::TraceReader::open(path)
                 .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
-            let servers = reader.servers().to_vec();
-            let mut session = ServeSession::new(&servers, metrics, tracer);
-            feed_records(reader.records(), &mut session)
-                .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
-            return Ok(serve_summary(
-                &format!("streamed ESVT trace {path}"),
-                &session,
-                metrics,
-            ));
+            esvt_reader = Some((path.clone(), reader));
+        } else {
+            text_problem = Some((path.clone(), load_trace(path)?));
         }
-        let problem = load_trace(path)?;
-        let mut session = ServeSession::new(problem.servers(), metrics, tracer);
-        feed_problem(&problem, &mut session);
-        return Ok(serve_summary(
-            &format!("replayed trace {path}"),
-            &session,
-            metrics,
-        ));
     }
 
-    // Live mode: fleet specs are generated from --servers/--seed, the
-    // event stream comes from stdin or a Unix socket.
+    // A recovered journal's header is the authoritative fleet;
+    // otherwise the trace's, otherwise one generated from
+    // --servers/--seed.
+    let recovered_header = match &flags.recover {
+        Some(path) => {
+            let rec = crate::journal::recover_file(path)
+                .map_err(|e| CliError::Usage(format!("cannot recover journal {path:?}: {e}")))?;
+            Some((path.clone(), rec))
+        }
+        None => None,
+    };
     let servers = flags.servers.unwrap_or(50);
     let seed = flags.seed.unwrap_or(0);
-    let fleet = WorkloadConfig::new(1, servers)
-        .transition_time(flags.transition.unwrap_or(1.0))
-        .generate(seed)
-        .map_err(|e| CliError::Run(RunError::Generate(e)))?
-        .servers()
-        .to_vec();
-    let mut session = ServeSession::new(&fleet, metrics, tracer);
-    let source = match &flags.socket {
-        Some(path) => {
-            serve_socket(path, &mut session)?;
-            format!("socket {path}, {servers} servers (seed {seed})")
+    let fleet: Vec<esvm_simcore::ServerSpec> = if let Some((_, rec)) = &recovered_header {
+        rec.servers.clone()
+    } else if let Some((_, reader)) = &esvt_reader {
+        reader.servers().to_vec()
+    } else if let Some((_, problem)) = &text_problem {
+        problem.servers().to_vec()
+    } else {
+        WorkloadConfig::new(1, servers)
+            .transition_time(flags.transition.unwrap_or(1.0))
+            .generate(seed)
+            .map_err(|e| CliError::Run(RunError::Generate(e)))?
+            .servers()
+            .to_vec()
+    };
+
+    let mut session =
+        ServeSession::new(&fleet, metrics, tracer).with_config(serve_config_from(flags));
+    let mut source_notes: Vec<String> = Vec::new();
+    let recovered = match recovered_header {
+        Some((path, _)) => {
+            // Re-read inside the timed path so `serve.recovery_ms`
+            // covers decode + replay, as a restart would pay it.
+            let rec = recover_into(&path, &mut session, metrics)?;
+            source_notes.push(format!(
+                "recovered {} records from {path}{}",
+                rec.records.len(),
+                if rec.torn_bytes > 0 {
+                    format!(" ({} torn bytes dropped)", rec.torn_bytes)
+                } else {
+                    String::new()
+                }
+            ));
+            Some((path, rec))
         }
-        None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            serve_lines(stdin.lock(), stdout.lock(), &mut session)
-                .map_err(|e| CliError::Usage(format!("serve I/O failed: {e}")))?;
-            format!("stdin, {servers} servers (seed {seed})")
+        None => None,
+    };
+    attach_journal(flags, &fleet, recovered.as_ref(), &mut session)?;
+    if let Some(path) = &flags.journal {
+        source_notes.push(format!("journaling to {path}"));
+    }
+
+    let main_source = if let Some((path, reader)) = esvt_reader {
+        feed_records(reader.records(), &mut session)
+            .map_err(|e| CliError::Usage(format!("bad trace {path:?}: {e}")))?;
+        format!("streamed ESVT trace {path}")
+    } else if let Some((path, problem)) = text_problem {
+        feed_problem(&problem, &mut session);
+        format!("replayed trace {path}")
+    } else {
+        match &flags.socket {
+            Some(path) => {
+                serve_socket(path, &mut session)?;
+                format!("socket {path}, {} servers (seed {seed})", fleet.len())
+            }
+            None => {
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                serve_lines(stdin.lock(), stdout.lock(), &mut session)
+                    .map_err(|e| CliError::Usage(format!("serve I/O failed: {e}")))?;
+                format!("stdin, {} servers (seed {seed})", fleet.len())
+            }
         }
     };
+    // Graceful shutdown: a final verified checkpoint in the journal.
+    session
+        .finish()
+        .map_err(|e| CliError::Usage(format!("journal checkpoint failed: {e}")))?;
+    let source = std::iter::once(main_source)
+        .chain(source_notes)
+        .collect::<Vec<_>>()
+        .join(", ");
     Ok(serve_summary(&source, &session, metrics))
 }
 
@@ -2137,6 +2406,126 @@ mod tests {
         assert!(esvt.contains("streamed ESVT trace"), "{esvt}");
         std::fs::remove_file(&text_path).ok();
         std::fs::remove_file(&esvt_path).ok();
+    }
+
+    #[test]
+    fn serve_journal_round_trips_and_survives_a_torn_tail() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("esvm_cli_serve_wal_trace.txt");
+        let journal_path = dir.join("esvm_cli_serve_wal.esvj");
+        let torn_path = dir.join("esvm_cli_serve_wal_torn.esvj");
+        for p in [&trace_path, &journal_path, &torn_path] {
+            std::fs::remove_file(p).ok();
+        }
+        run(&args(&[
+            "gen", "--vms", "40", "--servers", "10", "--seed", "9", "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let first = run(&args(&[
+            "serve", "--trace", trace_path.to_str().unwrap(), "--journal",
+            journal_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(first.contains("journaling to"), "{first}");
+        assert!(first.contains("journal appends"), "{first}");
+        let placed_row = |s: &str| {
+            s.lines()
+                .find(|l| l.trim_start().starts_with("placed"))
+                .unwrap()
+                .to_owned()
+        };
+
+        // Clean recovery replays every record and reports no torn bytes.
+        let recovered = run(&args(&["serve", "--recover", journal_path.to_str().unwrap()]))
+            .unwrap();
+        assert!(recovered.contains("recovered"), "{recovered}");
+        assert!(!recovered.contains("torn bytes"), "{recovered}");
+        assert!(recovered.contains("recovery (ms)"), "{recovered}");
+        assert_eq!(placed_row(&first), placed_row(&recovered));
+
+        // A crash mid-append leaves a torn tail: recovery truncates it
+        // and still reaches a valid state.
+        let bytes = std::fs::read(&journal_path).unwrap();
+        std::fs::write(&torn_path, &bytes[..bytes.len() - 7]).unwrap();
+        let torn = run(&args(&["serve", "--recover", torn_path.to_str().unwrap()])).unwrap();
+        assert!(torn.contains("torn bytes dropped"), "{torn}");
+
+        // Resuming the same journal file truncates the tail in place
+        // and appends — the file stays recoverable afterwards.
+        let resumed = run(&args(&[
+            "serve", "--recover", torn_path.to_str().unwrap(), "--journal",
+            torn_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(resumed.contains("journaling to"), "{resumed}");
+        let again = run(&args(&["serve", "--recover", torn_path.to_str().unwrap()])).unwrap();
+        assert!(!again.contains("torn bytes"), "{again}");
+        for p in [&trace_path, &journal_path, &torn_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_queue_cap_sheds_bursts() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("esvm_cli_serve_queue_trace.txt");
+        std::fs::remove_file(&trace_path).ok();
+        // A tight interarrival packs many same-step arrivals per burst.
+        run(&args(&[
+            "gen", "--vms", "60", "--servers", "20", "--seed", "2", "--interarrival", "0.1",
+            "--out", trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "serve", "--trace", trace_path.to_str().unwrap(), "--queue", "1",
+        ]))
+        .unwrap();
+        let overloaded: u64 = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("overloaded"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(overloaded > 0, "{out}");
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn chaos_live_drills_the_serve_session() {
+        let dir = std::env::temp_dir();
+        let journal_path = dir.join("esvm_cli_chaos_live.esvj");
+        std::fs::remove_file(&journal_path).ok();
+        let out = run(&args(&[
+            "chaos", "--vms", "40", "--servers", "10", "--seed", "7", "--fault-rate", "0.6",
+            "--live", "--journal", journal_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("live chaos drill"), "{out}");
+        assert!(out.contains("energy conservation verified"), "{out}");
+        assert!(out.contains("downs applied"), "{out}");
+        // The drill's journal recovers like any serve journal.
+        let recovered = run(&args(&["serve", "--recover", journal_path.to_str().unwrap()]))
+            .unwrap();
+        assert!(recovered.contains("recovered"), "{recovered}");
+        std::fs::remove_file(&journal_path).ok();
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        for bad in [
+            vec!["serve", "--fsync-every", "often"],
+            vec!["serve", "--queue", "-2"],
+            vec!["serve", "--journal"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+        }
+        let err = run(&args(&["serve", "--recover", "/no/such/journal.esvj"])).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("cannot recover journal")),
+            "{err}"
+        );
     }
 
     #[test]

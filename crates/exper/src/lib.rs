@@ -17,7 +17,11 @@
 //!   and JSON-lines event files;
 //! * [`serve`] — the `esvm serve` online allocation loop: a line
 //!   protocol over the irrevocable-at-arrival engine, fed from stdin,
-//!   a Unix socket, or streamed traces;
+//!   a Unix socket, or streamed traces, with live `DOWN`/`UP` fault
+//!   verbs, bounded-queue overload shedding and crash recovery;
+//! * [`journal`] — the ESVJ write-ahead journal behind
+//!   `esvm serve --journal`/`--recover`: checksummed append-only
+//!   records, torn-tail tolerant replay, checkpoint verification;
 //! * [`gap`] — the `esvm gap` online/offline optimality-gap report
 //!   (empirical competitive ratios per seed);
 //! * [`report`] — a standalone HTML reproduction report with embedded
@@ -40,6 +44,7 @@ pub mod cli;
 pub mod experiments;
 pub mod figure;
 pub mod gap;
+pub mod journal;
 pub mod options;
 pub mod planner;
 pub mod query;

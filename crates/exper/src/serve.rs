@@ -7,21 +7,57 @@
 //! REQ <id> <start> <dur> <cpu> <mem>   →  PLACED <id> <server>
 //!                                      |  REJECTED <id>
 //!                                      |  ERR <code> <detail>
+//! DOWN <server>                        →  DOWNED <server> evicted=… repaired=… shed=…
+//! UP <server>                          →  UPPED <server>
 //! STATS                                →  STATS requests=… placed=… …
 //! DRAIN                                →  DRAINED departed=<n>
 //! ```
 //!
 //! `id`, `start` and `dur` are unsigned integers (`dur ≥ 1` time
-//! units), `cpu`/`mem` finite non-negative decimals. Blank lines and
-//! `#` comments are ignored without a reply. Malformed input of any
-//! kind — unknown verbs, missing fields, NaN demands, negative
-//! durations, overflow-scale starts — earns a typed `ERR` reply and
-//! leaves the session fully usable; nothing on the wire can panic or
-//! poison the engine. Every accepted `REQ` is timed and lands in the
-//! [`serve.decision_us`](esvm_obs::names::serve::DECISION_US)
+//! units), `cpu`/`mem` finite non-negative decimals — validated by the
+//! *same* [`fields`] functions as the text-trace parser, so nothing
+//! reachable from the wire is weaker-checked than file ingestion.
+//! Blank lines and `#` comments are ignored without a reply. Malformed
+//! input of any kind — unknown verbs, missing fields, NaN demands,
+//! negative durations, overflow-scale starts — earns a typed `ERR`
+//! reply and leaves the session fully usable; nothing on the wire can
+//! panic or poison the engine. Every accepted `REQ` is timed and lands
+//! in the [`serve.decision_us`](esvm_obs::names::serve::DECISION_US)
 //! histogram, so `--metrics-out` reports p50/p95/p99 per-decision
 //! latency and `--trace-out` carries the engine's `online.decision`
 //! spans.
+//!
+//! ## Fault verbs and repair
+//!
+//! `DOWN <server>` evicts the server's live VMs and runs each through
+//! the engine's chaos-style bounded-backoff
+//! [`repair`](OnlineEngine::repair_traced) path (configured by
+//! [`ServeConfig::max_retries`]/[`backoff`](ServeConfig::backoff));
+//! `UP <server>` returns it to the argmin scan. Both reply with typed
+//! `ERR unknown-server` for an out-of-fleet id and never panic, so a
+//! seeded [`FaultPlan`](esvm_chaos::FaultPlan) can be drilled against
+//! a *live* session ([`feed_problem_with_faults`], `esvm chaos
+//! --live`) instead of only against offline replay.
+//!
+//! ## Overload protection
+//!
+//! Arrivals that land in the same time step form a burst; the session
+//! admits at most [`ServeConfig::queue_cap`] of them and answers the
+//! rest `ERR overloaded` ([`ServeSession::burst`]) — bounded
+//! backpressure instead of unbounded queueing latency. Line-at-a-time
+//! feeds ([`serve_lines`]) are naturally paced by the wire and are
+//! never shed.
+//!
+//! ## Durability
+//!
+//! With a [`JournalWriter`] attached, every state-changing event
+//! (admitted `REQ`, `DOWN`, `UP`, `DRAIN`, overload shed) is appended
+//! to the write-ahead journal *before* it is applied and replied to;
+//! [`ServeSession::replay`] reconstructs a crashed session bit-exactly
+//! from the recovered records, verifying any
+//! [`Checkpoint`](crate::journal::Checkpoint) snapshots along the way.
+//! See the [`journal`](crate::journal) module for the format and
+//! recovery rules.
 //!
 //! Feeds: [`serve_lines`] drives a session from any [`BufRead`] (stdin,
 //! a Unix socket, a file of `REQ` lines); [`feed_problem`] replays a
@@ -29,21 +65,30 @@
 //! through [`TraceReader::records`] without materialising the VM list.
 //!
 //! [`TraceReader::records`]: esvm_workload::TraceReader::records
+//! [`fields`]: esvm_workload::trace::fields
 
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
-use esvm_core::{OnlineDecision, OnlineEngine, OnlineError};
+use esvm_chaos::{FaultEvent, FaultPlan};
+use esvm_core::{OnlineDecision, OnlineEngine, OnlineError, RepairOutcome};
 use esvm_obs::names::serve as names;
 use esvm_obs::{MetricsRegistry, Tracer};
-use esvm_simcore::{Interval, Resources, ServerSpec, Vm, MAX_TIME};
+use esvm_simcore::{Resources, ServerId, ServerSpec, Vm, MAX_TIME};
+use esvm_workload::trace::fields;
+
+use crate::journal::{Checkpoint, JournalError, JournalRecord, JournalWriter};
 
 /// A parsed protocol line.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Request {
     /// `REQ id start dur cpu mem` — an arrival needing a decision.
     Req(Vm),
+    /// `DOWN server` — fault injection: evict and repair.
+    Down(ServerId),
+    /// `UP server` — recovery: the server rejoins the argmin.
+    Up(ServerId),
     /// `STATS` — one-line session summary.
     Stats,
     /// `DRAIN` — depart every live VM.
@@ -57,8 +102,12 @@ pub enum Request {
 pub enum ProtocolError {
     /// First word of the line is not a known verb.
     UnknownVerb(String),
-    /// `REQ` had the wrong number of fields.
+    /// A verb had the wrong number of fields.
     FieldCount {
+        /// The verb.
+        verb: &'static str,
+        /// The grammar it expected.
+        want: &'static str,
         /// Fields found on the line (after the verb).
         got: usize,
     },
@@ -77,6 +126,16 @@ pub enum ProtocolError {
         /// Requested duration.
         dur: u64,
     },
+    /// The bounded admission queue is full; the request was shed.
+    Overloaded {
+        /// The shed request's id.
+        id: u32,
+        /// The queue capacity in force.
+        cap: usize,
+    },
+    /// The write-ahead journal could not persist the event, so the
+    /// event was *not* applied (the write-ahead contract).
+    Journal(String),
     /// The engine refused the event (duplicate id, time travel, …).
     Online(OnlineError),
 }
@@ -89,6 +148,8 @@ impl ProtocolError {
             ProtocolError::FieldCount { .. } => "field-count",
             ProtocolError::BadNumber { .. } => "bad-number",
             ProtocolError::BadInterval { .. } => "bad-interval",
+            ProtocolError::Overloaded { .. } => "overloaded",
+            ProtocolError::Journal(_) => "journal-io",
             ProtocolError::Online(OnlineError::DuplicateVm(_)) => "duplicate-id",
             ProtocolError::Online(OnlineError::OutOfOrder { .. }) => "out-of-order",
             ProtocolError::Online(OnlineError::UnknownVm(_)) => "unknown-id",
@@ -107,10 +168,13 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::UnknownVerb(verb) => {
-                write!(f, "unknown verb {verb:?}; expected REQ, STATS or DRAIN")
+                write!(
+                    f,
+                    "unknown verb {verb:?}; expected REQ, DOWN, UP, STATS or DRAIN"
+                )
             }
-            ProtocolError::FieldCount { got } => {
-                write!(f, "REQ needs 5 fields (id start dur cpu mem), got {got}")
+            ProtocolError::FieldCount { verb, want, got } => {
+                write!(f, "{verb} needs {want}, got {got}")
             }
             ProtocolError::BadNumber { field, value } => {
                 write!(f, "field {field} cannot be {value:?}")
@@ -119,6 +183,10 @@ impl fmt::Display for ProtocolError {
                 f,
                 "interval start={start} dur={dur} exceeds the horizon cap {MAX_TIME}"
             ),
+            ProtocolError::Overloaded { id, cap } => {
+                write!(f, "admission queue full (cap {cap}); request {id} shed")
+            }
+            ProtocolError::Journal(e) => write!(f, "event not journaled, not applied: {e}"),
             ProtocolError::Online(e) => write!(f, "{e}"),
         }
     }
@@ -127,26 +195,17 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 fn parse_u32(field: &'static str, token: &str) -> Result<u32, ProtocolError> {
-    token.parse::<u32>().map_err(|_| ProtocolError::BadNumber {
-        field,
-        value: token.to_owned(),
+    fields::parse_u32(field, token).map_err(|e| ProtocolError::BadNumber {
+        field: e.field,
+        value: e.value,
     })
 }
 
 fn parse_demand(field: &'static str, token: &str) -> Result<f64, ProtocolError> {
-    let v: f64 = token.parse().map_err(|_| ProtocolError::BadNumber {
-        field,
-        value: token.to_owned(),
-    })?;
-    // NaN, infinities and negatives would panic inside `Resources::new`;
-    // they are protocol errors here.
-    if !v.is_finite() || v < 0.0 {
-        return Err(ProtocolError::BadNumber {
-            field,
-            value: token.to_owned(),
-        });
-    }
-    Ok(v)
+    fields::parse_demand(field, token).map_err(|e| ProtocolError::BadNumber {
+        field: e.field,
+        value: e.value,
+    })
 }
 
 /// Parses one protocol line. `Ok(None)` means the line carries nothing
@@ -156,15 +215,35 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
-    let mut fields = line.split_whitespace();
-    let verb = fields.next().expect("non-empty line has a first token");
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().expect("non-empty line has a first token");
     match verb {
         "STATS" => Ok(Some(Request::Stats)),
         "DRAIN" => Ok(Some(Request::Drain)),
+        "DOWN" | "UP" => {
+            let rest: Vec<&str> = tokens.collect();
+            if rest.len() != 1 {
+                return Err(ProtocolError::FieldCount {
+                    verb: if verb == "DOWN" { "DOWN" } else { "UP" },
+                    want: "1 field (server)",
+                    got: rest.len(),
+                });
+            }
+            let server = ServerId(parse_u32("server", rest[0])?);
+            Ok(Some(if verb == "DOWN" {
+                Request::Down(server)
+            } else {
+                Request::Up(server)
+            }))
+        }
         "REQ" => {
-            let rest: Vec<&str> = fields.collect();
+            let rest: Vec<&str> = tokens.collect();
             if rest.len() != 5 {
-                return Err(ProtocolError::FieldCount { got: rest.len() });
+                return Err(ProtocolError::FieldCount {
+                    verb: "REQ",
+                    want: "5 fields (id start dur cpu mem)",
+                    got: rest.len(),
+                });
             }
             let id = parse_u32("id", rest[0])?;
             let start = parse_u32("start", rest[1])?;
@@ -177,30 +256,91 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
                     value: rest[2].to_owned(),
                 });
             }
-            // `Interval::with_len` panics past the horizon cap; check
-            // in u64 so `start + dur` itself cannot overflow.
+            // Check in u64 so `start + dur` itself cannot overflow,
+            // then the shared interval validator seals the invariants
+            // `Interval::new` would otherwise assert.
             let end = start as u64 + dur as u64 - 1;
-            if start as u64 > MAX_TIME as u64 || end > MAX_TIME as u64 {
+            if end > MAX_TIME as u64 {
                 return Err(ProtocolError::BadInterval {
                     start: start as u64,
                     dur: dur as u64,
                 });
             }
+            let interval =
+                fields::checked_interval(start, end as u32).map_err(|e| ProtocolError::BadNumber {
+                    field: e.field,
+                    value: e.value,
+                })?;
             Ok(Some(Request::Req(Vm::new(
                 id,
                 Resources::new(cpu, mem),
-                Interval::with_len(start, dur),
+                interval,
             ))))
         }
         other => Err(ProtocolError::UnknownVerb(other.to_owned())),
     }
 }
 
-/// One online serving session: engine + instrumentation.
+/// Session knobs beyond the fleet: overload and repair behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Arrivals admitted per simultaneous burst before `ERR
+    /// overloaded` shedding kicks in ([`ServeSession::burst`]).
+    /// `usize::MAX` (the default) never sheds.
+    pub queue_cap: usize,
+    /// Repair retries after the immediate re-place attempt for each
+    /// VM evicted by a `DOWN` verb.
+    pub max_retries: u32,
+    /// Base backoff (time units) of the exponential retry schedule.
+    pub backoff: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: usize::MAX,
+            max_retries: 3,
+            backoff: 2,
+        }
+    }
+}
+
+/// Tallies of one [`ServeSession::replay`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records applied in total.
+    pub records: usize,
+    /// `REQ` records re-decided.
+    pub requests: u64,
+    /// `DOWN`/`UP` records re-applied.
+    pub faults: u64,
+    /// Overload sheds restored (counter only; the engine never saw
+    /// them).
+    pub sheds: u64,
+    /// Checkpoint records verified against the replayed state.
+    pub checkpoints: u64,
+}
+
+/// Tallies of one live fault drill ([`feed_problem_with_faults`]).
+#[derive(Debug, Clone, Default)]
+pub struct DrillReport {
+    /// One wire reply per arrival and per fault event, in feed order.
+    pub replies: Vec<String>,
+    /// `DOWN` events applied.
+    pub downs: u64,
+    /// `UP` events applied.
+    pub ups: u64,
+}
+
+/// One online serving session: engine + instrumentation + durability.
 pub struct ServeSession<'a, T: Tracer> {
     engine: OnlineEngine,
     metrics: &'a MetricsRegistry,
     tracer: &'a T,
+    config: ServeConfig,
+    journal: Option<JournalWriter>,
+    /// (appends, fsyncs) already mirrored into the metric counters.
+    journal_counted: (u64, u64),
 }
 
 impl<'a, T: Tracer> ServeSession<'a, T> {
@@ -211,7 +351,31 @@ impl<'a, T: Tracer> ServeSession<'a, T> {
             engine: OnlineEngine::new(servers),
             metrics,
             tracer,
+            config: ServeConfig::default(),
+            journal: None,
+            journal_counted: (0, 0),
         }
+    }
+
+    /// Replaces the session knobs (builder style).
+    pub fn with_config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The session knobs in force.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Attaches (or detaches) the write-ahead journal. Subsequent
+    /// state-changing events are journaled before they are applied.
+    pub fn set_journal(&mut self, journal: Option<JournalWriter>) {
+        self.journal_counted = journal
+            .as_ref()
+            .map(|w| (w.appends(), w.fsyncs()))
+            .unwrap_or((0, 0));
+        self.journal = journal;
     }
 
     /// The engine, for post-session inspection.
@@ -219,9 +383,81 @@ impl<'a, T: Tracer> ServeSession<'a, T> {
         &self.engine
     }
 
-    /// Feeds one arrival through the timed decision path and returns
-    /// the wire reply.
+    /// Appends to the journal (no-op when none is attached). The
+    /// writer's append/fsync counters are mirrored into the metrics
+    /// registry only when a durability barrier fires — per-append
+    /// registry lookups would tax every decision; at group-commit
+    /// boundaries (and at [`finish`](Self::finish)) the counters are
+    /// exact.
+    fn journal_append(&mut self, record: &JournalRecord) -> Result<(), ProtocolError> {
+        let Some(w) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        w.append(record)
+            .map_err(|e| ProtocolError::Journal(e.to_string()))?;
+        if w.fsyncs() != self.journal_counted.1 {
+            let counted = (w.appends(), w.fsyncs());
+            self.metrics
+                .add(names::JOURNAL_APPENDS, counted.0 - self.journal_counted.0);
+            self.metrics
+                .add(names::JOURNAL_FSYNCS, counted.1 - self.journal_counted.1);
+            self.journal_counted = counted;
+        }
+        Ok(())
+    }
+
+    /// The engine-state snapshot a graceful shutdown journals.
+    fn checkpoint(&self) -> Checkpoint {
+        let s = self.engine.stats();
+        Checkpoint {
+            clock: self.engine.clock(),
+            live: self.engine.live_count() as u64,
+            placed: s.placed,
+            rejected: s.rejected,
+            departed: s.departed,
+            evicted: s.evicted,
+            repaired: s.repaired,
+            committed_cost_bits: self.engine.committed_cost().to_bits(),
+            retired_cost_bits: self.engine.retired_cost().to_bits(),
+        }
+    }
+
+    /// Graceful shutdown: journals a final checkpoint record and
+    /// fsyncs, so a restart can verify the recovered state bit-exactly.
+    /// No-op without a journal.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the journal append or sync.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        let record = JournalRecord::Checkpoint(self.checkpoint());
+        if let Some(w) = self.journal.as_mut() {
+            w.append(&record)?;
+            w.sync()?;
+            let counted = (w.appends(), w.fsyncs());
+            self.metrics
+                .add(names::JOURNAL_APPENDS, counted.0 - self.journal_counted.0);
+            self.metrics
+                .add(names::JOURNAL_FSYNCS, counted.1 - self.journal_counted.1);
+            self.journal_counted = counted;
+        }
+        Ok(())
+    }
+
+    /// Feeds one arrival through the journaled, timed decision path
+    /// and returns the wire reply.
     pub fn request(&mut self, vm: Vm) -> String {
+        if let Err(e) = self.journal_append(&JournalRecord::Req(vm)) {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return e.reply();
+        }
+        self.request_inner(vm)
+    }
+
+    /// The decision path proper, shared by live requests (after the
+    /// journal append) and [`replay`](Self::replay) (which must not
+    /// re-journal).
+    fn request_inner(&mut self, vm: Vm) -> String {
         self.metrics.add(names::REQUESTS, 1);
         let t0 = Instant::now();
         let decision = self.engine.arrive_traced(vm, self.tracer);
@@ -243,6 +479,205 @@ impl<'a, T: Tracer> ServeSession<'a, T> {
         }
     }
 
+    /// Sheds one request from a full admission queue: journaled (the
+    /// reply promises the engine never saw it, and recovery must keep
+    /// that promise), counted, answered `ERR overloaded`.
+    fn shed(&mut self, vm: Vm) -> String {
+        if let Err(e) = self.journal_append(&JournalRecord::Shed(vm.id())) {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return e.reply();
+        }
+        self.metrics.add(names::OVERLOADED, 1);
+        ProtocolError::Overloaded {
+            id: vm.id().0,
+            cap: self.config.queue_cap,
+        }
+        .reply()
+    }
+
+    /// Feeds a burst of simultaneous arrivals through the bounded
+    /// admission queue: the first [`ServeConfig::queue_cap`] are
+    /// admitted in order, the rest are shed with `ERR overloaded`.
+    /// Returns one reply per input, in input order.
+    pub fn burst(&mut self, vms: impl IntoIterator<Item = Vm>) -> Vec<String> {
+        let cap = self.config.queue_cap;
+        vms.into_iter()
+            .enumerate()
+            .map(|(i, vm)| {
+                if i < cap {
+                    self.request(vm)
+                } else {
+                    self.shed(vm)
+                }
+            })
+            .collect()
+    }
+
+    /// Applies a `DOWN` fault: journal, evict, repair each victim
+    /// through the bounded-backoff path, reply.
+    pub fn fault_down(&mut self, server: ServerId) -> String {
+        if server.index() >= self.engine.ledgers().len() {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return ProtocolError::Online(OnlineError::UnknownServer(server)).reply();
+        }
+        let (retries, backoff) = (self.config.max_retries, self.config.backoff);
+        if let Err(e) = self.journal_append(&JournalRecord::Down {
+            server,
+            retries,
+            backoff,
+        }) {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return e.reply();
+        }
+        let (evicted, repaired, shed) = self.apply_down(server, retries, backoff);
+        format!(
+            "DOWNED {} evicted={evicted} repaired={repaired} shed={shed}",
+            server.0
+        )
+    }
+
+    /// Applies an `UP` recovery: journal, restore, reply.
+    pub fn fault_up(&mut self, server: ServerId) -> String {
+        if server.index() >= self.engine.ledgers().len() {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return ProtocolError::Online(OnlineError::UnknownServer(server)).reply();
+        }
+        if let Err(e) = self.journal_append(&JournalRecord::Up(server)) {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return e.reply();
+        }
+        let _ = self.engine.set_up(server);
+        format!("UPPED {}", server.0)
+    }
+
+    /// Eviction + repair, shared by the live verb (after journaling)
+    /// and replay. The recorded policy travels with the journal record
+    /// so replay repairs on the schedule in force at write time.
+    fn apply_down(&mut self, server: ServerId, retries: u32, backoff: u32) -> (u64, u64, u64) {
+        let victims = match self.engine.set_down(server) {
+            Ok(v) => v,
+            // Pre-validated by the caller; an unknown server here
+            // means a hand-edited journal — nothing to evict.
+            Err(_) => return (0, 0, 0),
+        };
+        self.metrics.add(names::EVICTED, victims.len() as u64);
+        let (mut repaired, mut shed) = (0u64, 0u64);
+        for vm in &victims {
+            match self.engine.repair_traced(*vm, retries, backoff, self.tracer) {
+                RepairOutcome::Rehosted { .. } => repaired += 1,
+                RepairOutcome::Shed => shed += 1,
+            }
+        }
+        (victims.len() as u64, repaired, shed)
+    }
+
+    /// Replays recovered journal records through the engine,
+    /// reconstructing the crashed session's state bit-exactly (the
+    /// engine is deterministic, and every decision input is in the
+    /// log). Checkpoint records are verified field-by-field — costs by
+    /// `f64::to_bits` — against the replayed state; a mismatch is a
+    /// typed [`JournalError::CheckpointMismatch`].
+    ///
+    /// An attached journal is suspended for the duration so replay
+    /// never re-journals its own input.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::CorruptRecord`] for a record the live session
+    /// could never have written (e.g. a fault verb naming a server
+    /// outside the fleet), or a checkpoint mismatch as above.
+    pub fn replay(&mut self, records: &[JournalRecord]) -> Result<ReplayReport, JournalError> {
+        let suspended = self.journal.take();
+        let result = self.replay_inner(records);
+        self.journal = suspended;
+        result
+    }
+
+    fn replay_inner(&mut self, records: &[JournalRecord]) -> Result<ReplayReport, JournalError> {
+        let mut report = ReplayReport::default();
+        for (index, record) in records.iter().enumerate() {
+            report.records += 1;
+            match record {
+                JournalRecord::Req(vm) => {
+                    // Rejections (duplicate id, out-of-order) replay to
+                    // the identical rejection: the reply is dropped but
+                    // the state transition is the same.
+                    let _ = self.request_inner(*vm);
+                    report.requests += 1;
+                }
+                JournalRecord::Drain => {
+                    let n = self.engine.drain();
+                    self.metrics.add(names::DEPARTED, n as u64);
+                }
+                JournalRecord::Down {
+                    server,
+                    retries,
+                    backoff,
+                } => {
+                    if server.index() >= self.engine.ledgers().len() {
+                        return Err(JournalError::CorruptRecord {
+                            index,
+                            reason: format!("DOWN names server {} outside the fleet", server.0),
+                        });
+                    }
+                    self.apply_down(*server, *retries, *backoff);
+                    report.faults += 1;
+                }
+                JournalRecord::Up(server) => {
+                    self.engine.set_up(*server).map_err(|e| {
+                        JournalError::CorruptRecord {
+                            index,
+                            reason: e.to_string(),
+                        }
+                    })?;
+                    report.faults += 1;
+                }
+                JournalRecord::Shed(_) => {
+                    self.metrics.add(names::OVERLOADED, 1);
+                    report.sheds += 1;
+                }
+                JournalRecord::Checkpoint(c) => {
+                    self.verify_checkpoint(c)?;
+                    report.checkpoints += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn verify_checkpoint(&self, c: &Checkpoint) -> Result<(), JournalError> {
+        let replayed = self.checkpoint();
+        let fields: [(&'static str, u64, u64); 9] = [
+            ("clock", c.clock as u64, replayed.clock as u64),
+            ("live", c.live, replayed.live),
+            ("placed", c.placed, replayed.placed),
+            ("rejected", c.rejected, replayed.rejected),
+            ("departed", c.departed, replayed.departed),
+            ("evicted", c.evicted, replayed.evicted),
+            ("repaired", c.repaired, replayed.repaired),
+            (
+                "committed_cost",
+                c.committed_cost_bits,
+                replayed.committed_cost_bits,
+            ),
+            (
+                "retired_cost",
+                c.retired_cost_bits,
+                replayed.retired_cost_bits,
+            ),
+        ];
+        for (field, journal, replayed) in fields {
+            if journal != replayed {
+                return Err(JournalError::CheckpointMismatch {
+                    field,
+                    journal,
+                    replayed,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The `STATS` reply line.
     pub fn stats_line(&self) -> String {
         let s = self.engine.stats();
@@ -251,12 +686,16 @@ impl<'a, T: Tracer> ServeSession<'a, T> {
             .map(|h| (h.mean(), h.p50, h.p95, h.p99))
             .unwrap_or((0.0, 0.0, 0.0, 0.0));
         format!(
-            "STATS requests={} placed={} rejected={} departed={} live={} \
-             mean_us={mean:.2} p50_us={p50:.2} p95_us={p95:.2} p99_us={p99:.2}",
+            "STATS requests={} placed={} rejected={} departed={} evicted={} repaired={} \
+             overloaded={} live={} mean_us={mean:.2} p50_us={p50:.2} p95_us={p95:.2} \
+             p99_us={p99:.2}",
             s.arrivals,
             s.placed,
             s.rejected,
             s.departed,
+            s.evicted,
+            s.repaired,
+            self.metrics.counter(names::OVERLOADED),
             self.engine.live_count(),
         )
     }
@@ -267,17 +706,33 @@ impl<'a, T: Tracer> ServeSession<'a, T> {
         match parse_request(line) {
             Ok(None) => None,
             Ok(Some(Request::Req(vm))) => Some(self.request(vm)),
+            Ok(Some(Request::Down(server))) => Some(self.fault_down(server)),
+            Ok(Some(Request::Up(server))) => Some(self.fault_up(server)),
             Ok(Some(Request::Stats)) => Some(self.stats_line()),
-            Ok(Some(Request::Drain)) => {
-                let n = self.engine.drain();
-                self.metrics.add(names::DEPARTED, n as u64);
-                Some(format!("DRAINED departed={n}"))
-            }
+            Ok(Some(Request::Drain)) => Some(self.drain()),
             Err(e) => {
                 self.metrics.add(names::PROTOCOL_ERRORS, 1);
                 Some(e.reply())
             }
         }
+    }
+
+    /// The `DRAIN` verb: journal, depart every live VM, then journal a
+    /// verified checkpoint and fsync — the graceful-shutdown barrier.
+    pub fn drain(&mut self) -> String {
+        if let Err(e) = self.journal_append(&JournalRecord::Drain) {
+            self.metrics.add(names::PROTOCOL_ERRORS, 1);
+            return e.reply();
+        }
+        let n = self.engine.drain();
+        self.metrics.add(names::DEPARTED, n as u64);
+        if self.finish().is_err() {
+            // The drain itself is applied and journaled; only the
+            // checkpoint barrier failed. Recovery still works from the
+            // Drain record, so reply with the count plus a warning.
+            return format!("DRAINED departed={n} journal=unsynced");
+        }
+        format!("DRAINED departed={n}")
     }
 }
 
@@ -306,22 +761,84 @@ pub fn serve_lines<R: BufRead, W: Write, T: Tracer>(
 
 /// Replays a materialised problem through the session in canonical
 /// arrival order (departures fire implicitly as the clock advances).
-/// Returns the replies, one per VM.
+/// Arrivals sharing a start time form one admission burst (see
+/// [`ServeSession::burst`]). Returns the replies, one per VM.
 pub fn feed_problem<T: Tracer>(
     problem: &esvm_simcore::AllocationProblem,
     session: &mut ServeSession<'_, T>,
 ) -> Vec<String> {
-    problem
-        .vms_by_start_time()
-        .into_iter()
-        .map(|j| session.request(problem.vms()[j]))
-        .collect()
+    let vms = problem.vms();
+    let order = problem.vms_by_start_time();
+    let mut replies = Vec::with_capacity(order.len());
+    let mut i = 0;
+    while i < order.len() {
+        let start = vms[order[i]].start();
+        let mut j = i;
+        while j < order.len() && vms[order[j]].start() == start {
+            j += 1;
+        }
+        replies.extend(session.burst(order[i..j].iter().map(|&k| vms[k])));
+        i = j;
+    }
+    replies
+}
+
+/// Replays a problem through the session with a [`FaultPlan`] striking
+/// live: before each arrival burst at time `t`, every plan event with
+/// `at ≤ t` is applied through the session's fault verbs (evictions,
+/// bounded-backoff repair, journal and all); trailing events fire
+/// after the last arrival. This is `esvm chaos --live` — the drill
+/// runs against the real service loop, not an offline replay.
+pub fn feed_problem_with_faults<T: Tracer>(
+    problem: &esvm_simcore::AllocationProblem,
+    plan: &FaultPlan,
+    session: &mut ServeSession<'_, T>,
+) -> DrillReport {
+    let vms = problem.vms();
+    let order = problem.vms_by_start_time();
+    let mut cursor = plan.cursor();
+    let mut report = DrillReport::default();
+    let mut i = 0;
+    loop {
+        let events = if i < order.len() {
+            cursor.take_until(vms[order[i]].start())
+        } else {
+            cursor.rest()
+        };
+        for event in events {
+            match event {
+                FaultEvent::ServerDown { server, .. } => {
+                    report.replies.push(session.fault_down(*server));
+                    report.downs += 1;
+                }
+                FaultEvent::ServerUp { server, .. } => {
+                    report.replies.push(session.fault_up(*server));
+                    report.ups += 1;
+                }
+            }
+        }
+        if i >= order.len() {
+            break;
+        }
+        let start = vms[order[i]].start();
+        let mut j = i;
+        while j < order.len() && vms[order[j]].start() == start {
+            j += 1;
+        }
+        report
+            .replies
+            .extend(session.burst(order[i..j].iter().map(|&k| vms[k])));
+        i = j;
+    }
+    report
 }
 
 /// Streams ESVT records straight into the session —
 /// [`TraceReader::records`](esvm_workload::TraceReader::records) yields
 /// VMs in (start, id) order, so the stream is already a valid event
-/// feed. Returns `(placed, rejected)`.
+/// feed; consecutive same-start records form one admission burst.
+/// Returns `(placed, rejected)` (overload sheds count via the
+/// [`serve.overloaded`](esvm_obs::names::serve::OVERLOADED) counter).
 ///
 /// # Errors
 ///
@@ -333,13 +850,25 @@ pub fn feed_records<R: std::io::Read + std::io::Seek, T: Tracer>(
 ) -> Result<(u64, u64), esvm_workload::trace::TraceError> {
     let mut placed = 0;
     let mut rejected = 0;
-    for record in records {
-        let reply = session.request(record?);
-        if reply.starts_with("PLACED") {
-            placed += 1;
-        } else {
-            rejected += 1;
+    let mut batch: Vec<Vm> = Vec::new();
+    let mut tally = |replies: Vec<String>| {
+        for reply in replies {
+            if reply.starts_with("PLACED") {
+                placed += 1;
+            } else if reply.starts_with("REJECTED") {
+                rejected += 1;
+            }
         }
+    };
+    for record in records {
+        let vm = record?;
+        if batch.last().is_some_and(|prev| prev.start() != vm.start()) {
+            tally(session.burst(batch.drain(..)));
+        }
+        batch.push(vm);
+    }
+    if !batch.is_empty() {
+        tally(session.burst(batch.drain(..)));
     }
     Ok((placed, rejected))
 }
@@ -414,6 +943,12 @@ mod tests {
             ("REQ 0 1 10 1e999 4.0", "bad-number"),
             ("REQ 0 99999999999 10 2.0 4.0", "bad-number"),
             ("REQ 0 4294967294 10 2.0 4.0", "bad-interval"),
+            ("DOWN", "field-count"),
+            ("DOWN 0 1", "field-count"),
+            ("DOWN x", "bad-number"),
+            ("UP -1", "bad-number"),
+            ("DOWN 99", "unknown-server"),
+            ("UP 99", "unknown-server"),
         ] {
             let reply = session.handle(line).unwrap();
             assert!(
@@ -426,7 +961,7 @@ mod tests {
             session.handle("REQ 7 1 5 1.0 1.0").as_deref(),
             Some("PLACED 7 0")
         );
-        assert_eq!(metrics.counter(names::PROTOCOL_ERRORS), 11);
+        assert_eq!(metrics.counter(names::PROTOCOL_ERRORS), 17);
     }
 
     #[test]
@@ -442,6 +977,69 @@ mod tests {
     }
 
     #[test]
+    fn down_evicts_and_repairs_up_restores() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        assert_eq!(
+            session.handle("REQ 0 1 10 8.0 16.0").as_deref(),
+            Some("PLACED 0 0")
+        );
+        // Server 1 is free, so the evicted VM repairs immediately.
+        assert_eq!(
+            session.handle("DOWN 0").as_deref(),
+            Some("DOWNED 0 evicted=1 repaired=1 shed=0")
+        );
+        assert_eq!(metrics.counter(names::EVICTED), 1);
+        // Server 1 also goes down: the VM is evicted again and the
+        // repair has nowhere to go within the backoff budget.
+        assert_eq!(
+            session.handle("DOWN 1").as_deref(),
+            Some("DOWNED 1 evicted=1 repaired=0 shed=1")
+        );
+        assert_eq!(session.handle("UP 0").as_deref(), Some("UPPED 0"));
+        assert_eq!(
+            session.handle("REQ 1 2 5 1.0 1.0").as_deref(),
+            Some("PLACED 1 0")
+        );
+        let stats = session.handle("STATS").unwrap();
+        assert!(stats.contains("evicted=2"), "{stats}");
+        assert!(stats.contains("repaired=1"), "{stats}");
+    }
+
+    #[test]
+    fn bursts_shed_past_the_queue_cap() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer).with_config(
+            ServeConfig {
+                queue_cap: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let vms: Vec<Vm> = (0..4u32)
+            .map(|i| {
+                Vm::new(
+                    i,
+                    Resources::new(1.0, 1.0),
+                    esvm_simcore::Interval::new(1, 5),
+                )
+            })
+            .collect();
+        let replies = session.burst(vms);
+        assert_eq!(replies.len(), 4);
+        assert!(replies[0].starts_with("PLACED"));
+        assert!(replies[1].starts_with("PLACED"));
+        assert!(replies[2].starts_with("ERR overloaded"), "{}", replies[2]);
+        assert!(replies[3].starts_with("ERR overloaded"), "{}", replies[3]);
+        assert_eq!(metrics.counter(names::OVERLOADED), 2);
+        // Shed ids are NOT consumed: the engine never saw them, so a
+        // calmer moment can admit them.
+        let retry = session.handle("REQ 2 2 4 1.0 1.0").unwrap();
+        assert!(retry.starts_with("PLACED 2"), "{retry}");
+    }
+
+    #[test]
     fn serve_lines_replies_per_line() {
         let metrics = MetricsRegistry::new();
         let servers = fleet();
@@ -454,5 +1052,117 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], "PLACED 0 0");
         assert!(lines[1].starts_with("STATS requests=1"));
+    }
+
+    #[test]
+    fn journaled_session_recovers_bit_exactly() {
+        let path = std::env::temp_dir().join("esvj_serve_recover.wal");
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        session.set_journal(Some(JournalWriter::create(&path, &servers, 0).unwrap()));
+        for line in [
+            "REQ 0 1 10 2.0 4.0",
+            "REQ 1 1 10 8.0 16.0",
+            "REQ 1 1 10 1.0 1.0", // duplicate: journaled, rejected
+            "DOWN 1",
+            "REQ 2 3 4 1.0 1.0",
+            "UP 1",
+            "REQ 3 4 4 4.0 4.0",
+        ] {
+            session.handle(line);
+        }
+        session.finish().unwrap();
+        let want_placements = session.engine().placement(8);
+        let want_cost = session.engine().committed_cost().to_bits();
+
+        let rec = crate::journal::recover_file(&path).unwrap();
+        assert_eq!(rec.torn_bytes, 0);
+        let metrics2 = MetricsRegistry::new();
+        let mut restored = ServeSession::new(&rec.servers, &metrics2, &NoopTracer);
+        let report = restored.replay(&rec.records).unwrap();
+        assert_eq!(report.requests, 5);
+        assert_eq!(report.faults, 2);
+        assert_eq!(report.checkpoints, 1);
+        assert_eq!(restored.engine().placement(8), want_placements);
+        assert_eq!(restored.engine().committed_cost().to_bits(), want_cost);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_a_typed_mismatch() {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+        let records = [
+            JournalRecord::Req(Vm::new(
+                0,
+                Resources::new(1.0, 1.0),
+                esvm_simcore::Interval::new(1, 5),
+            )),
+            JournalRecord::Checkpoint(Checkpoint {
+                clock: 1,
+                live: 1,
+                placed: 2, // lie: only one placement happened
+                rejected: 0,
+                departed: 0,
+                evicted: 0,
+                repaired: 0,
+                committed_cost_bits: 0,
+                retired_cost_bits: 0,
+            }),
+        ];
+        let err = session.replay(&records).unwrap_err();
+        assert!(
+            matches!(err, JournalError::CheckpointMismatch { field: "placed", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn live_fault_drill_conserves_energy() {
+        use esvm_workload::WorkloadConfig;
+        let problem = WorkloadConfig::new(40, 8)
+            .mean_interarrival(1.5)
+            .generate(11)
+            .expect("feasible");
+        let horizon = problem.stats().horizon;
+        let plan = FaultPlan::generate(
+            &esvm_chaos::FaultPlanConfig::with_fault_rate(0.5),
+            problem.server_count(),
+            horizon,
+            13,
+        );
+        let metrics = MetricsRegistry::new();
+        let mut session = ServeSession::new(problem.servers(), &metrics, &NoopTracer);
+        let report = feed_problem_with_faults(&problem, &plan, &mut session);
+        assert_eq!(report.downs + report.ups, plan.events().len() as u64);
+        assert_eq!(
+            report.replies.len(),
+            problem.vm_count() + plan.events().len()
+        );
+        for reply in &report.replies {
+            assert!(!reply.starts_with("ERR unknown-server"), "{reply}");
+        }
+        // Eq. 7 conservation after the whole drill: every ledger's
+        // decomposition matches its cost, and committed = retired +
+        // live exactly.
+        let engine = session.engine();
+        let mut live = 0.0;
+        for ledger in engine.ledgers() {
+            let cost = ledger.cost();
+            let breakdown = ledger.energy_breakdown().total();
+            assert!(
+                (cost - breakdown).abs() <= 1e-6 * cost.abs().max(1.0),
+                "{cost} vs {breakdown}"
+            );
+            live += cost;
+        }
+        let recomputed = engine.retired_cost() + live;
+        assert_eq!(
+            engine.committed_cost().to_bits(),
+            recomputed.to_bits(),
+            "telescoping invariant"
+        );
     }
 }

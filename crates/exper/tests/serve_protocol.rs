@@ -40,6 +40,20 @@ fn valid_stream(n: usize) -> Vec<String> {
         .collect()
 }
 
+/// A well-formed stream interleaving arrivals with fault verbs.
+fn faulty_stream(n: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for i in 0..n {
+        lines.push(format!("REQ {i} {} {} 2.0 4.0", i + 1, 5 + i % 7));
+        match i % 5 {
+            1 => lines.push(format!("DOWN {}", i % 4)),
+            3 => lines.push(format!("UP {}", i % 4)),
+            _ => {}
+        }
+    }
+    lines
+}
+
 fn mutate(lines: &[String], line: usize, field: usize, garbage: usize, mode: usize) -> Vec<String> {
     if lines.is_empty() {
         return Vec::new();
@@ -80,6 +94,8 @@ fn reply_is_well_formed(reply: &str) -> bool {
         || reply.starts_with("ERR ")
         || reply.starts_with("STATS ")
         || reply.starts_with("DRAINED ")
+        || reply.starts_with("DOWNED ")
+        || reply.starts_with("UPPED ")
 }
 
 proptest! {
@@ -161,5 +177,74 @@ proptest! {
             errors,
             "every ERR reply is counted exactly once"
         );
+    }
+
+    /// Mutated streams that interleave DOWN/UP fault verbs never panic,
+    /// never break the grammar, and leave the Eq. 7 telescoping
+    /// invariant intact: committed = retired + Σ live ledger cost,
+    /// bit-exactly, after every kind of corruption.
+    #[test]
+    fn mutated_fault_streams_conserve_energy(
+        line in 0usize..10_000,
+        field in 0usize..8,
+        garbage in 0usize..GARBAGE.len(),
+        mode in 0usize..4,
+    ) {
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer);
+
+        let stream = mutate(&faulty_stream(14), line, field, garbage, mode);
+        for request in &stream {
+            if let Some(reply) = session.handle(request) {
+                prop_assert!(
+                    reply_is_well_formed(&reply),
+                    "unexpected reply {reply:?} to {request:?}"
+                );
+            }
+            // Conservation holds after *every* event, not just at the end.
+            let engine = session.engine();
+            let live: f64 = engine.ledgers().iter().map(|l| l.cost()).sum();
+            prop_assert_eq!(
+                engine.committed_cost().to_bits(),
+                (engine.retired_cost() + live).to_bits(),
+                "telescoping invariant broken after {:?}", request
+            );
+        }
+        // Fault verbs still answer after the abuse.
+        let down = session.handle("DOWN 0").expect("DOWN replies");
+        prop_assert!(down.starts_with("DOWNED 0 "), "{down}");
+        let up = session.handle("UP 0").expect("UP replies");
+        prop_assert_eq!(up.as_str(), "UPPED 0");
+    }
+
+    /// Bounded admission: for any queue cap, a burst admits exactly
+    /// `min(cap, len)` requests, sheds the rest with `ERR overloaded`,
+    /// and shed ids remain admissible later (the engine never saw them).
+    #[test]
+    fn bursts_respect_any_queue_cap(cap in 0usize..12, burst_len in 1usize..16) {
+        use esvm_exper::serve::ServeConfig;
+        use esvm_simcore::{Interval, Vm};
+        let metrics = MetricsRegistry::new();
+        let servers = fleet();
+        let mut session = ServeSession::new(&servers, &metrics, &NoopTracer)
+            .with_config(ServeConfig { queue_cap: cap, ..ServeConfig::default() });
+        let vms: Vec<Vm> = (0..burst_len as u32)
+            .map(|i| Vm::new(i, Resources::new(0.5, 0.5), Interval::new(1, 4)))
+            .collect();
+        let replies = session.burst(vms);
+        prop_assert_eq!(replies.len(), burst_len);
+        let admitted = replies.iter().filter(|r| !r.starts_with("ERR overloaded")).count();
+        prop_assert_eq!(admitted, cap.min(burst_len));
+        prop_assert_eq!(
+            metrics.counter(esvm_obs::names::serve::OVERLOADED),
+            (burst_len - cap.min(burst_len)) as u64
+        );
+        // A shed id is not burned: it can be admitted at a calmer time.
+        if cap < burst_len {
+            let id = cap as u32; // first shed id
+            let retry = session.handle(&format!("REQ {id} 2 3 0.5 0.5")).unwrap();
+            prop_assert!(retry.starts_with(&format!("PLACED {id} ")), "{retry}");
+        }
     }
 }

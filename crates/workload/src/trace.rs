@@ -17,7 +17,7 @@
 //! Blank lines and `#` comments are ignored; the header lines after each
 //! section marker are mandatory and validated.
 
-use esvm_simcore::{AllocationProblem, Interval, PowerModel, Resources, ServerSpec, Vm};
+use esvm_simcore::{AllocationProblem, PowerModel, Resources, ServerSpec, Vm};
 use std::fmt;
 
 /// Errors raised while parsing a trace.
@@ -124,6 +124,90 @@ impl std::error::Error for TraceError {
 impl From<esvm_simcore::Error> for TraceError {
     fn from(e: esvm_simcore::Error) -> Self {
         TraceError::Invalid(e)
+    }
+}
+
+/// Field-level validation shared by every text ingestion surface.
+///
+/// The trace parser ([`from_text`]) and the `esvm serve` `REQ` parser
+/// accept the same physical quantities — ids, times, resource demands
+/// — from hostile input. Both route every token through these
+/// validators so a value that cannot reach the engine from a trace
+/// file cannot reach it from the wire either (NaN, negative or
+/// infinite demands, ids and times outside `u32`, intervals past
+/// [`MAX_TIME`](esvm_simcore::MAX_TIME)). Each surface only maps
+/// [`FieldError`] into its own typed error.
+pub mod fields {
+    use esvm_simcore::{Interval, MAX_TIME};
+
+    /// Why a single field (or field pair) was rejected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct FieldError {
+        /// Grammar name of the field (`"cpu"`, `"start"`, …).
+        pub field: &'static str,
+        /// The offending raw token (rendered for pair checks).
+        pub value: String,
+        /// Human-readable reason, suitable for error replies.
+        pub reason: String,
+    }
+
+    /// Parses an unsigned integer field (ids, times, durations).
+    pub fn parse_u32(field: &'static str, token: &str) -> Result<u32, FieldError> {
+        token.parse::<u32>().map_err(|_| FieldError {
+            field,
+            value: token.to_owned(),
+            reason: format!("{field} is not a non-negative integer: {token:?}"),
+        })
+    }
+
+    /// Parses a finite float field.
+    pub fn parse_finite(field: &'static str, token: &str) -> Result<f64, FieldError> {
+        let v = token.parse::<f64>().map_err(|_| FieldError {
+            field,
+            value: token.to_owned(),
+            reason: format!("{field} is not a number: {token:?}"),
+        })?;
+        if !v.is_finite() {
+            return Err(FieldError {
+                field,
+                value: token.to_owned(),
+                reason: format!("{field} must be finite, got {token:?}"),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Parses a resource demand: finite and non-negative. NaN,
+    /// infinities and negatives would panic inside
+    /// `Resources::new`; they are input errors here.
+    pub fn parse_demand(field: &'static str, token: &str) -> Result<f64, FieldError> {
+        let v = parse_finite(field, token)?;
+        if v < 0.0 {
+            return Err(FieldError {
+                field,
+                value: token.to_owned(),
+                reason: format!("{field} must be non-negative, got {v}"),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Validates a closed interval against the time-unit domain:
+    /// `start <= end <= MAX_TIME` (`Interval::new` would panic
+    /// otherwise).
+    pub fn checked_interval(start: u32, end: u32) -> Result<Interval, FieldError> {
+        if end > MAX_TIME {
+            return Err(FieldError {
+                field: "end",
+                value: end.to_string(),
+                reason: format!("end {end} exceeds the time-unit domain (max {MAX_TIME})"),
+            });
+        }
+        Interval::checked_new(start, end).ok_or_else(|| FieldError {
+            field: "start",
+            value: start.to_string(),
+            reason: format!("start {start} exceeds end {end}"),
+        })
     }
 }
 
@@ -238,25 +322,13 @@ pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
             line: lineno,
             reason,
         };
-        let parse = |s: &str, what: &str| -> Result<f64, TraceError> {
-            let v = s
-                .parse::<f64>()
-                .map_err(|_| bad(format!("{what} is not a number: {s:?}")))?;
-            if !v.is_finite() {
-                return Err(bad(format!("{what} must be finite, got {s:?}")));
-            }
-            Ok(v)
+        // The shared validators (`fields`) carry the reason; this
+        // surface only pins the line number.
+        let parse_id = |s: &str, what: &'static str| -> Result<u32, TraceError> {
+            fields::parse_u32(what, s).map_err(|e| bad(e.reason))
         };
-        let parse_id = |s: &str, what: &str| -> Result<u32, TraceError> {
-            s.parse::<u32>()
-                .map_err(|_| bad(format!("{what} is not a non-negative integer: {s:?}")))
-        };
-        let demand = |s: &str, what: &str| -> Result<f64, TraceError> {
-            let v = parse(s, what)?;
-            if v < 0.0 {
-                return Err(bad(format!("{what} must be non-negative, got {v}")));
-            }
-            Ok(v)
+        let demand = |s: &str, what: &'static str| -> Result<f64, TraceError> {
+            fields::parse_demand(what, s).map_err(|e| bad(e.reason))
         };
         match section {
             Section::Preamble => {
@@ -312,14 +384,8 @@ pub fn from_text(text: &str) -> Result<AllocationProblem, TraceError> {
                 let mem = demand(fields[2], "mem")?;
                 let start = parse_id(fields[3], "start")?;
                 let end = parse_id(fields[4], "end")?;
-                if end > esvm_simcore::MAX_TIME {
-                    return Err(bad(format!(
-                        "end {end} exceeds the time-unit domain (max {})",
-                        esvm_simcore::MAX_TIME
-                    )));
-                }
-                let interval = Interval::checked_new(start, end)
-                    .ok_or_else(|| bad(format!("start {start} exceeds end {end}")))?;
+                let interval =
+                    self::fields::checked_interval(start, end).map_err(|e| bad(e.reason))?;
                 vms.push(Vm::new(id, Resources::new(cpu, mem), interval));
             }
         }
